@@ -1,0 +1,60 @@
+//! Ablation: a one-block cache on the blocked baselines (an extension the
+//! paper's baselines lack) — shows sequential access benefits massively
+//! while query-log access barely moves, explaining why the paper's blocked
+//! systems are slow in both regimes.
+use rlz_bench::{
+    build_blocked_store, docs_per_second_budgeted, gov2_collection, ScaledConfig, WorkDir,
+};
+use rlz_corpus::access;
+use rlz_store::{BlockCodec, BlockedStore};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ScaledConfig::from_args(&args);
+    if !args.iter().any(|a| a == "--size-mb") {
+        cfg.collection_bytes = 8 << 20;
+    }
+    let c = gov2_collection(&cfg);
+    let work = WorkDir::new("ablation-cache");
+    println!(
+        "Ablation — one-block cache on blocked zlib store ({} MiB corpus)\n",
+        cfg.collection_bytes >> 20
+    );
+    println!(
+        "{:>10} {:>7} {:>14} {:>13}",
+        "block(MB)", "cache", "seq docs/s", "qlog docs/s"
+    );
+    for &block in &[100 * 1024usize, 1024 * 1024] {
+        let (dir, _) = build_blocked_store(
+            &work,
+            &format!("zl-{block}"),
+            &c,
+            BlockCodec::Zlite(rlz_zlite::Level::Default),
+            block,
+            &cfg,
+        );
+        for cache in [false, true] {
+            let mut store = BlockedStore::open(&dir).expect("open");
+            store.set_block_cache(cache);
+            let n = c.num_docs();
+            let seq = docs_per_second_budgeted(
+                &mut store,
+                &access::sequential(n, cfg.requests),
+                Duration::from_secs(3),
+            );
+            let qlog = docs_per_second_budgeted(
+                &mut store,
+                &access::query_log(n, cfg.requests, 20, 5),
+                Duration::from_secs(3),
+            );
+            println!(
+                "{:>10.1} {:>7} {:>14.0} {:>13.0}",
+                block as f64 / (1 << 20) as f64,
+                if cache { "on" } else { "off" },
+                seq,
+                qlog
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Ablation: factor-stream codecs beyond the paper's U/V/Z — Simple-9,
+//! PForDelta, Elias γ/δ (the paper's future-work candidates). Reports
+//! encoding % and single-thread decode throughput per pair coding.
+use rlz_bench::{gov2_collection, ScaledConfig};
+use rlz_core::{Dictionary, PairCoding, RlzCompressor, SampleStrategy};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ScaledConfig::from_args(&args);
+    if !args.iter().any(|a| a == "--size-mb") {
+        cfg.collection_bytes = 8 << 20;
+    }
+    let c = gov2_collection(&cfg);
+    let dict_size = cfg.dict_sizes()[0];
+    let dict = Dictionary::sample(&c.data, dict_size, cfg.sample_len, SampleStrategy::Evenly);
+    println!(
+        "Ablation — pair codings on GOV2-like corpus ({} MiB, dict {:.2} MiB)\n",
+        cfg.collection_bytes >> 20,
+        dict_size as f64 / (1 << 20) as f64
+    );
+    println!("{:>8} {:>9} {:>14}", "Pos-Len", "Enc.(%)", "decode MiB/s");
+    for name in ["ZZ", "ZV", "UZ", "UV", "SV", "SS", "PV", "PP", "GV", "DV", "VV", "ZS", "ZP"] {
+        let coding = PairCoding::parse(name).expect("valid coding");
+        let rlz = RlzCompressor::new(dict.clone(), coding);
+        let encoded: Vec<Vec<u8>> = c.iter_docs().map(|d| rlz.compress(d)).collect();
+        let enc_total: usize = encoded.iter().map(Vec::len).sum();
+        let pct = (enc_total + dict_size) as f64 * 100.0 / c.total_bytes() as f64;
+        // Decode throughput over the whole collection.
+        let mut out = Vec::new();
+        let t = Instant::now();
+        for e in &encoded {
+            out.clear();
+            rlz.decompress_into(e, &mut out).expect("decode");
+        }
+        let rate = c.total_bytes() as f64 / t.elapsed().as_secs_f64() / (1 << 20) as f64;
+        println!("{:>8} {:>9.2} {:>14.0}", name, pct, rate);
+    }
+}

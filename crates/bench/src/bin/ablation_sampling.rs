@@ -1,0 +1,53 @@
+//! Ablation: dictionary sampling policy — evenly spaced (the paper's §3.3),
+//! random starts, and multi-pass prune-and-refill (the paper's §6 future
+//! work / reference \[17\]).
+use rlz_bench::{gov2_collection, parallel_doc_sizes, ScaledConfig};
+use rlz_core::{prune_and_refill, Dictionary, PairCoding, PruneConfig, RlzCompressor, SampleStrategy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ScaledConfig::from_args(&args);
+    if !args.iter().any(|a| a == "--size-mb") {
+        cfg.collection_bytes = 8 << 20;
+    }
+    let c = gov2_collection(&cfg);
+    let doc_bounds: Vec<usize> = std::iter::once(0)
+        .chain(c.docs.iter().map(|d| d.offset + d.len))
+        .collect();
+    println!(
+        "Ablation — dictionary sampling policy (ZV coding, {} MiB corpus)\n",
+        cfg.collection_bytes >> 20
+    );
+    println!("{:>10} {:>22} {:>9}", "dict", "policy", "Enc.(%)");
+    for dict_size in cfg.dict_sizes() {
+        let evenly =
+            Dictionary::sample(&c.data, dict_size, cfg.sample_len, SampleStrategy::Evenly);
+        let random = Dictionary::sample(
+            &c.data,
+            dict_size,
+            cfg.sample_len,
+            SampleStrategy::Random { seed: 0xAB },
+        );
+        let pruned = prune_and_refill(
+            evenly.clone(),
+            &c.data,
+            &doc_bounds,
+            &PruneConfig::default(),
+        );
+        for (label, dict) in [
+            ("evenly (paper)", evenly),
+            ("random", random),
+            ("evenly + prune[17]", pruned),
+        ] {
+            let rlz = RlzCompressor::new(dict, PairCoding::ZV);
+            let enc = parallel_doc_sizes(&rlz, &c, cfg.threads);
+            let pct = (enc + dict_size) as f64 * 100.0 / c.total_bytes() as f64;
+            println!(
+                "{:>10} {:>22} {:>9.2}",
+                format!("{:.2}MiB", dict_size as f64 / (1 << 20) as f64),
+                label,
+                pct
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation: the paper's binary-search Refine vs a galloping variant, as
+//! factorization (compression-side) throughput.
+use rlz_bench::{gov2_collection, ScaledConfig};
+use rlz_core::{Dictionary, SampleStrategy};
+use rlz_suffix::Matcher;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ScaledConfig::from_args(&args);
+    if !args.iter().any(|a| a == "--size-mb") {
+        cfg.collection_bytes = 8 << 20;
+    }
+    let c = gov2_collection(&cfg);
+    println!(
+        "Ablation — Refine search strategy, factorization throughput ({} MiB corpus)\n",
+        cfg.collection_bytes >> 20
+    );
+    println!("{:>10} {:>12} {:>14} {:>12}", "dict", "strategy", "MiB/s", "factors");
+    for dict_size in cfg.dict_sizes() {
+        let dict = Dictionary::sample(&c.data, dict_size, cfg.sample_len, SampleStrategy::Evenly);
+        let matcher = Matcher::new(dict.bytes(), dict.suffix_array());
+        for (label, gallop) in [("binary", false), ("galloping", true)] {
+            let t = Instant::now();
+            let mut factors = 0u64;
+            for doc in c.iter_docs() {
+                let mut i = 0usize;
+                while i < doc.len() {
+                    let (_, len) = if gallop {
+                        matcher.longest_match_galloping(&doc[i..])
+                    } else {
+                        matcher.longest_match(&doc[i..])
+                    };
+                    i += (len as usize).max(1);
+                    factors += 1;
+                }
+            }
+            let rate = c.total_bytes() as f64 / t.elapsed().as_secs_f64() / (1 << 20) as f64;
+            println!(
+                "{:>10} {:>12} {:>14.1} {:>12}",
+                format!("{:.2}MiB", dict_size as f64 / (1 << 20) as f64),
+                label,
+                rate,
+                factors
+            );
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Figure 3: factor-length histograms across sample periods (GOV2-like).
+use rlz_bench::{gov2_collection, ScaledConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let c = gov2_collection(&cfg);
+    rlz_bench::tables::fig3(&c, &cfg);
+}

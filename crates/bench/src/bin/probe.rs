@@ -1,0 +1,65 @@
+//! Diagnostic probe: factor statistics and per-stream coding costs for one
+//! corpus/dictionary configuration. Not a paper table — used to calibrate
+//! the synthetic corpus and to sanity-check the compression pipeline.
+//!
+//! `cargo run --release -p rlz-bench --bin probe -- --size-mb 8`
+
+use rlz_bench::{gov2_collection, ScaledConfig};
+use rlz_core::{Coder, Dictionary, FactorStats, PairCoding, RlzCompressor, SampleStrategy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let c = gov2_collection(&cfg);
+    println!(
+        "collection: {} docs / {:.1} MiB",
+        c.num_docs(),
+        c.total_bytes() as f64 / (1 << 20) as f64
+    );
+
+    for dict_size in cfg.dict_sizes() {
+        let dict = Dictionary::sample(&c.data, dict_size, cfg.sample_len, SampleStrategy::Evenly);
+        let rlz = RlzCompressor::new(dict, PairCoding::ZZ);
+        let mut stats = FactorStats::new(dict_size);
+        let mut pos_bytes = [0usize; 3]; // U, V, Z
+        let mut len_bytes = [0usize; 3];
+        let mut raw = 0usize;
+        for doc in c.iter_docs() {
+            let factors = rlz.factorize(doc);
+            stats.record(&factors);
+            raw += doc.len();
+            let positions: Vec<u32> = factors.iter().map(|f| f.pos).collect();
+            let lengths: Vec<u32> = factors.iter().map(|f| f.len).collect();
+            for (slot, coder) in [(0, Coder::U32), (1, Coder::VByte), (2, Coder::Zlib)] {
+                let mut buf = Vec::new();
+                coder.encode_stream(&positions, &mut buf);
+                pos_bytes[slot] += buf.len();
+                let mut buf = Vec::new();
+                coder.encode_stream(&lengths, &mut buf);
+                len_bytes[slot] += buf.len();
+            }
+        }
+        println!(
+            "\ndict {:.2} MiB ({} ppm): {} factors ({} literals), avg len {:.1}, unused {:.1}%",
+            dict_size as f64 / (1 << 20) as f64,
+            dict_size * 1_000_000 / c.total_bytes(),
+            stats.total_factors(),
+            stats.literals,
+            stats.avg_factor_len(),
+            stats.unused_dict_percent()
+        );
+        println!("  fraction of copy factors with len < 100: {:.1}%", stats.fraction_below(100) * 100.0);
+        for (slot, name) in [(0, "U"), (1, "V"), (2, "Z")] {
+            println!(
+                "  positions {}: {:6.2}%   lengths {}: {:6.2}%",
+                name,
+                pos_bytes[slot] as f64 * 100.0 / raw as f64,
+                name,
+                len_bytes[slot] as f64 * 100.0 / raw as f64
+            );
+        }
+        let zz = (pos_bytes[2] + len_bytes[2] + dict_size) as f64 * 100.0 / raw as f64;
+        let uv = (pos_bytes[0] + len_bytes[1] + dict_size) as f64 * 100.0 / raw as f64;
+        println!("  ZZ total {zz:.2}%   UV total {uv:.2}%");
+    }
+}

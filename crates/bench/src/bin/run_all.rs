@@ -1,0 +1,62 @@
+//! Regenerates every table and figure of the paper in sequence.
+//! `cargo run --release -p rlz-bench --bin run_all [-- --size-mb N]`
+use rlz_bench::{gov2_collection, wikipedia_collection, ScaledConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    println!(
+        "== RLZ reproduction: all tables/figures at {} MiB scale ==\n",
+        cfg.collection_bytes >> 20
+    );
+    rlz_bench::tables::table1();
+    println!("\n{}\n", "=".repeat(66));
+
+    let gov2 = gov2_collection(&cfg);
+    let wiki = wikipedia_collection(&cfg);
+
+    rlz_bench::tables::factor_stats_table(
+        "Table 2 — RLZ dictionary statistics, GOV2-like corpus",
+        &gov2,
+        &cfg,
+    );
+    rlz_bench::tables::factor_stats_table(
+        "Table 3 — RLZ dictionary statistics, Wikipedia-like corpus",
+        &wiki,
+        &cfg,
+    );
+    rlz_bench::tables::fig3(&gov2, &cfg);
+
+    rlz_bench::tables::rlz_retrieval_table(
+        "Table 4 — RLZ on GOV2-like corpus (crawl order)",
+        &gov2,
+        &cfg,
+    );
+    let gov2_sorted = gov2.url_sorted();
+    rlz_bench::tables::rlz_retrieval_table(
+        "Table 5 — RLZ on URL-sorted GOV2-like corpus",
+        &gov2_sorted,
+        &cfg,
+    );
+    rlz_bench::tables::baseline_retrieval_table(
+        "Table 6 — baselines on GOV2-like corpus (crawl order)",
+        &gov2,
+        &cfg,
+    );
+    rlz_bench::tables::baseline_retrieval_table(
+        "Table 7 — baselines on URL-sorted GOV2-like corpus",
+        &gov2_sorted,
+        &cfg,
+    );
+    rlz_bench::tables::rlz_retrieval_table(
+        "Table 8 — RLZ on Wikipedia-like corpus",
+        &wiki,
+        &cfg,
+    );
+    rlz_bench::tables::baseline_retrieval_table(
+        "Table 9 — baselines on Wikipedia-like corpus",
+        &wiki,
+        &cfg,
+    );
+    rlz_bench::tables::table10(&wiki, &cfg);
+}

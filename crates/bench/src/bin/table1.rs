@@ -1,0 +1,4 @@
+//! Table 1: the paper's worked Refine example, verified and printed.
+fn main() {
+    rlz_bench::tables::table1();
+}

@@ -1,0 +1,9 @@
+//! Table 10: prefix-dictionary sweep on the Wikipedia-like corpus (§3.6).
+use rlz_bench::{wikipedia_collection, ScaledConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let c = wikipedia_collection(&cfg);
+    rlz_bench::tables::table10(&c, &cfg);
+}

@@ -1,0 +1,29 @@
+//! Tables 2 & 3: avg factor length + % unused dictionary bytes, for the
+//! GOV2-like and Wikipedia-like corpora. `-- --corpus gov2|wiki|both`
+use rlz_bench::{gov2_collection, wikipedia_collection, ScaledConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let which = args
+        .iter()
+        .position(|a| a == "--corpus")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "both".into());
+    if which == "gov2" || which == "both" {
+        let c = gov2_collection(&cfg);
+        rlz_bench::tables::factor_stats_table(
+            "Table 2 — RLZ dictionary statistics, GOV2-like corpus",
+            &c,
+            &cfg,
+        );
+    }
+    if which == "wiki" || which == "both" {
+        let c = wikipedia_collection(&cfg);
+        rlz_bench::tables::factor_stats_table(
+            "Table 3 — RLZ dictionary statistics, Wikipedia-like corpus",
+            &c,
+            &cfg,
+        );
+    }
+}

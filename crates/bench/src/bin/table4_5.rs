@@ -1,0 +1,29 @@
+//! Tables 4 & 5: RLZ retrieval on the GOV2-like corpus, crawl order and
+//! URL-sorted. `-- --order crawl|url|both`
+use rlz_bench::{gov2_collection, ScaledConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let order = args
+        .iter()
+        .position(|a| a == "--order")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "both".into());
+    let c = gov2_collection(&cfg);
+    if order == "crawl" || order == "both" {
+        rlz_bench::tables::rlz_retrieval_table(
+            "Table 4 — RLZ on GOV2-like corpus (crawl order)",
+            &c,
+            &cfg,
+        );
+    }
+    if order == "url" || order == "both" {
+        let sorted = c.url_sorted();
+        rlz_bench::tables::rlz_retrieval_table(
+            "Table 5 — RLZ on URL-sorted GOV2-like corpus",
+            &sorted,
+            &cfg,
+        );
+    }
+}

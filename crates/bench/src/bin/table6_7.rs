@@ -1,0 +1,29 @@
+//! Tables 6 & 7: baseline stores (ascii + blocked zlib/lzma) on the
+//! GOV2-like corpus, crawl order and URL-sorted. `-- --order crawl|url|both`
+use rlz_bench::{gov2_collection, ScaledConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let order = args
+        .iter()
+        .position(|a| a == "--order")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "both".into());
+    let c = gov2_collection(&cfg);
+    if order == "crawl" || order == "both" {
+        rlz_bench::tables::baseline_retrieval_table(
+            "Table 6 — baselines on GOV2-like corpus (crawl order)",
+            &c,
+            &cfg,
+        );
+    }
+    if order == "url" || order == "both" {
+        let sorted = c.url_sorted();
+        rlz_bench::tables::baseline_retrieval_table(
+            "Table 7 — baselines on URL-sorted GOV2-like corpus",
+            &sorted,
+            &cfg,
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Tables 8 & 9: RLZ and baselines on the Wikipedia-like corpus.
+//! `-- --which rlz|baselines|both`
+use rlz_bench::{wikipedia_collection, ScaledConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let which = args
+        .iter()
+        .position(|a| a == "--which")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "both".into());
+    let c = wikipedia_collection(&cfg);
+    if which == "rlz" || which == "both" {
+        rlz_bench::tables::rlz_retrieval_table(
+            "Table 8 — RLZ on Wikipedia-like corpus",
+            &c,
+            &cfg,
+        );
+    }
+    if which == "baselines" || which == "both" {
+        rlz_bench::tables::baseline_retrieval_table(
+            "Table 9 — baselines on Wikipedia-like corpus",
+            &c,
+            &cfg,
+        );
+    }
+}

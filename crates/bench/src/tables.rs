@@ -1,0 +1,264 @@
+//! One function per table/figure of the paper's evaluation. Each prints the
+//! same rows/columns the paper reports, at the harness's miniature scale.
+
+use crate::{
+    block_label, build_ascii_store, build_blocked_store, build_rlz_store, dict_label,
+    measure_store_budgeted, print_row, ScaledConfig, WorkDir,
+};
+use rlz_core::{Dictionary, FactorStats, PairCoding, RlzCompressor, SampleStrategy};
+use rlz_corpus::Collection;
+use rlz_store::{AsciiStore, BlockCodec, BlockedStore, RlzStore};
+use std::time::Duration;
+
+/// Wall-clock budget per (store, access pattern) measurement.
+const MEASURE_BUDGET: Duration = Duration::from_secs(3);
+
+/// Table 1: the worked Refine example — verified programmatically and
+/// printed in the paper's layout.
+pub fn table1() {
+    let d = b"cabbaabba";
+    let dict = Dictionary::from_bytes(d.to_vec());
+    println!("Table 1 — Refine over d = \"cabbaabba\", x = \"bbaancabb\"\n");
+    println!("i   : 1 2 3 4 5 6 7 8 9");
+    let chars: Vec<String> = d.iter().map(|&b| (b as char).to_string()).collect();
+    println!("d[i]: {}", chars.join(" "));
+    let sa = dict.suffix_array().as_slice();
+    let printed: Vec<String> = sa.iter().map(|&s| (s + 1).to_string()).collect();
+    println!("SA  : {}  (1-based; the paper prints the inverse array)", printed.join(" "));
+    println!("\nsorted suffixes:");
+    for (rank, &s) in sa.iter().enumerate() {
+        println!("  {:>2}  {}", rank + 1, String::from_utf8_lossy(&d[s as usize..]));
+    }
+    let rlz = RlzCompressor::new(dict, PairCoding::UV);
+    let factors = rlz.factorize(b"bbaancabb");
+    println!("\nfactorization of x (0-based positions):");
+    for f in &factors {
+        if f.is_literal() {
+            println!("  ('{}', 0)", f.pos as u8 as char);
+        } else {
+            println!("  ({}, {})", f.pos, f.len);
+        }
+    }
+    assert_eq!(rlz.decompress(&rlz.compress(b"bbaancabb")).unwrap(), b"bbaancabb");
+    println!("\nround-trip verified.");
+}
+
+/// Tables 2 and 3: average factor length and % unused dictionary bytes for
+/// dictionary sizes × sample lengths (0.5/1/2/5 KB).
+pub fn factor_stats_table(title: &str, collection: &Collection, cfg: &ScaledConfig) {
+    println!("{title}");
+    println!(
+        "(paper: dict 2/1/0.5 GB on 426/256 GB; here the same fractions of {:.0} MiB)\n",
+        collection.total_bytes() as f64 / (1 << 20) as f64
+    );
+    let widths = [10usize, 10, 10, 10];
+    print_row(
+        &["Size".into(), "Samp.(KB)".into(), "Avg.Fact.".into(), "Unused(%)".into()],
+        &widths,
+    );
+    for dict_size in cfg.dict_sizes() {
+        for sample_kb in [0.5f64, 1.0, 2.0, 5.0] {
+            let sample_len = (sample_kb * 1024.0) as usize;
+            let dict = Dictionary::sample(
+                &collection.data,
+                dict_size,
+                sample_len,
+                SampleStrategy::Evenly,
+            );
+            let rlz = RlzCompressor::new(dict, PairCoding::UV);
+            let mut stats = FactorStats::new(dict_size);
+            for doc in collection.iter_docs() {
+                stats.record(&rlz.factorize(doc));
+            }
+            print_row(
+                &[
+                    dict_label(dict_size),
+                    format!("{sample_kb:.1}"),
+                    format!("{:.2}", stats.avg_factor_len()),
+                    format!("{:.2}", stats.unused_dict_percent()),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!();
+}
+
+/// Figure 3: frequency histogram of factor length values for the smallest
+/// dictionary fraction and sample periods 512 B – 10 KB, printed as
+/// log-binned series.
+pub fn fig3(collection: &Collection, cfg: &ScaledConfig) {
+    println!("Figure 3 — factor-length histogram (log-binned counts)");
+    let dict_size = *cfg.dict_sizes().last().expect("dict sizes");
+    println!(
+        "(dict {} = the paper's 0.5 GB fraction; series = sample period)\n",
+        dict_label(dict_size)
+    );
+    let sample_lens = [512usize, 1024, 2048, 5120, 10240];
+    let mut all_bins: Vec<Vec<(usize, usize, u64)>> = Vec::new();
+    for &sample_len in &sample_lens {
+        let dict = Dictionary::sample(
+            &collection.data,
+            dict_size,
+            sample_len,
+            SampleStrategy::Evenly,
+        );
+        let rlz = RlzCompressor::new(dict, PairCoding::UV);
+        let mut stats = FactorStats::new(dict_size);
+        for doc in collection.iter_docs() {
+            stats.record(&rlz.factorize(doc));
+        }
+        println!(
+            "  sample {:>5}B: {:5.1}% of lengths < 100, {:5.1}% < sample length",
+            sample_len,
+            stats.fraction_below(100) * 100.0,
+            stats.fraction_below(sample_len) * 100.0
+        );
+        all_bins.push(stats.log_binned_histogram());
+    }
+    println!();
+    let max_bins = all_bins.iter().map(Vec::len).max().unwrap_or(0);
+    let mut header = vec!["len-bin".to_string()];
+    header.extend(sample_lens.iter().map(|s| format!("{s}B")));
+    let widths = vec![14usize, 9, 9, 9, 9, 9];
+    print_row(&header, &widths);
+    for b in 0..max_bins {
+        let mut cells = Vec::with_capacity(sample_lens.len() + 1);
+        let range = all_bins
+            .iter()
+            .find_map(|bins| bins.get(b).map(|&(lo, hi, _)| format!("{lo}-{hi}")))
+            .unwrap_or_default();
+        cells.push(range);
+        for bins in &all_bins {
+            cells.push(
+                bins.get(b)
+                    .map(|&(_, _, count)| count.to_string())
+                    .unwrap_or_else(|| "0".into()),
+            );
+        }
+        print_row(&cells, &widths);
+    }
+    println!();
+}
+
+/// Tables 4, 5 and 8: RLZ encoding % and retrieval rates for dictionary
+/// sizes × pair codings.
+pub fn rlz_retrieval_table(title: &str, collection: &Collection, cfg: &ScaledConfig) {
+    println!("{title}\n");
+    let widths = [10usize, 8, 9, 12, 11];
+    print_row(
+        &[
+            "Size".into(),
+            "Pos-Len".into(),
+            "Enc.(%)".into(),
+            "Sequential".into(),
+            "Query Log".into(),
+        ],
+        &widths,
+    );
+    let work = WorkDir::new("rlz-tbl");
+    for dict_size in cfg.dict_sizes() {
+        for coding in PairCoding::PAPER_SET {
+            let tag = format!("{}-{}", dict_size, coding.name());
+            let (dir, pct) = build_rlz_store(&work, &tag, collection, dict_size, coding, cfg);
+            let mut store = RlzStore::open(&dir).expect("open rlz");
+            let rates = measure_store_budgeted(&mut store, cfg, MEASURE_BUDGET);
+            print_row(
+                &[
+                    dict_label(dict_size),
+                    coding.name(),
+                    format!("{pct:.2}"),
+                    format!("{:.0}", rates.sequential),
+                    format!("{:.0}", rates.query_log),
+                ],
+                &widths,
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    println!();
+}
+
+/// Tables 6, 7 and 9: baseline ASCII + blocked zlib/lzma stores.
+pub fn baseline_retrieval_table(title: &str, collection: &Collection, cfg: &ScaledConfig) {
+    println!("{title}\n");
+    let widths = [6usize, 10, 9, 12, 11];
+    print_row(
+        &[
+            "Alg.".into(),
+            "Block(MB)".into(),
+            "Enc.(%)".into(),
+            "Sequential".into(),
+            "Query Log".into(),
+        ],
+        &widths,
+    );
+    let work = WorkDir::new("base-tbl");
+
+    let ascii_dir = build_ascii_store(&work, "ascii", collection);
+    let mut ascii = AsciiStore::open(&ascii_dir).expect("open ascii");
+    let rates = measure_store_budgeted(&mut ascii, cfg, MEASURE_BUDGET);
+    print_row(
+        &[
+            "ascii".into(),
+            "-".into(),
+            "100.00".into(),
+            format!("{:.0}", rates.sequential),
+            format!("{:.0}", rates.query_log),
+        ],
+        &widths,
+    );
+    drop(ascii);
+    std::fs::remove_dir_all(&ascii_dir).ok();
+
+    let codecs = [
+        BlockCodec::Zlite(rlz_zlite::Level::Best),
+        BlockCodec::Lzlite(rlz_lzlite::Level::Best),
+    ];
+    for codec in codecs {
+        for &block in &cfg.block_sizes {
+            let tag = format!("{}-{}", codec.name(), block);
+            let (dir, pct) = build_blocked_store(&work, &tag, collection, codec, block, cfg);
+            let mut store = BlockedStore::open(&dir).expect("open blocked");
+            let rates = measure_store_budgeted(&mut store, cfg, MEASURE_BUDGET);
+            print_row(
+                &[
+                    codec.name().into(),
+                    block_label(block),
+                    format!("{pct:.2}"),
+                    format!("{:.0}", rates.sequential),
+                    format!("{:.0}", rates.query_log),
+                ],
+                &widths,
+            );
+            drop(store);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    println!();
+}
+
+/// Table 10: ZZ encoding % with dictionaries built from collection prefixes
+/// (100 % down to 1 %), the dynamic-update simulation of §3.6.
+pub fn table10(collection: &Collection, cfg: &ScaledConfig) {
+    println!(
+        "Table 10 — dictionary from collection prefixes (ZZ pair codes, dict {})\n",
+        dict_label(cfg.dict_sizes()[1])
+    );
+    let widths = [9usize, 11];
+    print_row(&["Prefix %".into(), "Encoding %".into()], &widths);
+    let dict_size = cfg.dict_sizes()[1]; // the paper's middle (1 GB) size
+    for percent in [100u32, 90, 80, 70, 60, 50, 40, 30, 20, 10, 1] {
+        let dict = Dictionary::sample(
+            &collection.data,
+            dict_size,
+            cfg.sample_len,
+            SampleStrategy::Prefix { percent },
+        );
+        let rlz = RlzCompressor::new(dict, PairCoding::ZZ);
+        let enc: usize = crate::parallel_doc_sizes(&rlz, collection, cfg.threads);
+        let pct = (enc + dict_size) as f64 * 100.0 / collection.total_bytes() as f64;
+        print_row(&[format!("{percent}.0"), format!("{pct:.2}")], &widths);
+    }
+    println!();
+}

@@ -1,0 +1,287 @@
+//! LSB-first bit-oriented reader and writer.
+//!
+//! Bits are appended into the low end of an accumulator and flushed to bytes
+//! least-significant-bit first, the convention DEFLATE uses; the `zlite`
+//! compressor and the bit-oriented integer codecs share this module.
+
+use crate::{CodecError, Result};
+
+/// Maximum number of bits accepted by a single `write_bits`/`read_bits`
+/// call. Keeping it below 64 minus a byte of slack lets the accumulator
+/// logic stay branch-light.
+pub const MAX_BITS: u32 = 56;
+
+/// Accumulates bits LSB-first and flushes them into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `value` (`n <= 56`).
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= MAX_BITS);
+        let value = if n == 0 { 0 } else { value & (u64::MAX >> (64 - n)) };
+        self.acc |= value << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Appends `n` zero bits followed by a one bit (unary code for `n`).
+    #[inline]
+    pub fn write_unary(&mut self, n: u32) {
+        let mut rest = n;
+        while rest >= MAX_BITS {
+            self.write_bits(0, MAX_BITS);
+            rest -= MAX_BITS;
+        }
+        self.write_bits(1u64 << rest, rest + 1);
+    }
+
+    /// Number of bits written so far.
+    #[inline]
+    pub fn bit_len(&self) -> u64 {
+        self.out.len() as u64 * 8 + self.nbits as u64
+    }
+
+    /// Pads the final partial byte with zeros and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+        }
+        self.out
+    }
+
+    /// Pads to a byte boundary and appends to an existing buffer.
+    pub fn finish_into(mut self, out: &mut Vec<u8>) {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+        }
+        out.extend_from_slice(&self.out);
+    }
+}
+
+/// Reads bits LSB-first from a byte slice, tracking exact consumption.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte to load into the accumulator.
+    next_byte: usize,
+    acc: u64,
+    nbits: u32,
+    consumed_bits: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            next_byte: 0,
+            acc: 0,
+            nbits: 0,
+            consumed_bits: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self, need: u32) -> Result<()> {
+        while self.nbits < need {
+            let Some(&b) = self.data.get(self.next_byte) else {
+                return Err(CodecError::UnexpectedEof);
+            };
+            self.acc |= (b as u64) << self.nbits;
+            self.nbits += 8;
+            self.next_byte += 1;
+        }
+        Ok(())
+    }
+
+    /// Reads `n` bits (`n <= 56`), least significant first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= MAX_BITS);
+        if n == 0 {
+            return Ok(0);
+        }
+        self.refill(n)?;
+        let v = self.acc & (u64::MAX >> (64 - n));
+        self.acc >>= n;
+        self.nbits -= n;
+        self.consumed_bits += n as u64;
+        Ok(v)
+    }
+
+    /// Reads a unary code: the count of zero bits before the next one bit.
+    #[inline]
+    pub fn read_unary(&mut self) -> Result<u32> {
+        let mut count = 0u32;
+        loop {
+            self.refill(1)?;
+            if self.acc & 1 == 1 {
+                self.acc >>= 1;
+                self.nbits -= 1;
+                self.consumed_bits += 1;
+                return Ok(count);
+            }
+            // Skip a run of zeros currently buffered.
+            let zeros = (self.acc.trailing_zeros()).min(self.nbits);
+            self.acc >>= zeros;
+            self.nbits -= zeros;
+            self.consumed_bits += zeros as u64;
+            count = count
+                .checked_add(zeros)
+                .ok_or(CodecError::Corrupt("unary run overflows u32"))?;
+        }
+    }
+
+    /// Peeks at the next `n` bits without consuming them, zero-padding past
+    /// the end of input (callers that rely on padding must ensure, as the
+    /// `zlite` format does, that a terminator symbol stops decoding before
+    /// padding is ever consumed).
+    #[inline]
+    pub fn peek_bits_padded(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= MAX_BITS);
+        while self.nbits < n {
+            let Some(&b) = self.data.get(self.next_byte) else {
+                break;
+            };
+            self.acc |= (b as u64) << self.nbits;
+            self.nbits += 8;
+            self.next_byte += 1;
+        }
+        if n == 0 {
+            0
+        } else {
+            self.acc & (u64::MAX >> (64 - n))
+        }
+    }
+
+    /// Consumes `n` bits previously seen via [`BitReader::peek_bits_padded`].
+    /// Fails if the input genuinely does not hold `n` more bits.
+    #[inline]
+    pub fn consume_bits(&mut self, n: u32) -> Result<()> {
+        if n > self.nbits {
+            return Err(CodecError::UnexpectedEof);
+        }
+        self.acc >>= n;
+        self.nbits -= n;
+        self.consumed_bits += n as u64;
+        Ok(())
+    }
+
+    /// Discards bits up to the next byte boundary of the underlying input.
+    #[inline]
+    pub fn align_byte(&mut self) {
+        let rem = (self.consumed_bits % 8) as u32;
+        if rem != 0 {
+            let drop = 8 - rem;
+            debug_assert!(self.nbits >= drop);
+            self.acc >>= drop;
+            self.nbits -= drop;
+            self.consumed_bits += drop as u64;
+        }
+    }
+
+    /// Total bits consumed by reads so far.
+    #[inline]
+    pub fn bits_consumed(&self) -> u64 {
+        self.consumed_bits
+    }
+
+    /// Bytes consumed, rounding the final partial byte up (matching the
+    /// writer's padding).
+    #[inline]
+    pub fn bytes_consumed(&self) -> usize {
+        self.consumed_bits.div_ceil(8) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFFFF, 16);
+        w.write_bits(0, 1);
+        w.write_bits(0x12345678, 32);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(32).unwrap(), 0x12345678);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.bits_consumed(), 53);
+        assert_eq!(r.bytes_consumed(), 7);
+    }
+
+    #[test]
+    fn unary_roundtrip() {
+        let values = [0u32, 1, 2, 7, 8, 63, 64, 100, 1000];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_unary(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_unary().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.read_bits(1), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 0);
+        assert_eq!(w.bit_len(), 0);
+        let bytes = w.finish();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn unary_all_zero_bytes_then_one() {
+        // 20 zero bits spanning multiple refills.
+        let mut w = BitWriter::new();
+        w.write_unary(20);
+        w.write_bits(0b11, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_unary().unwrap(), 20);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+    }
+
+    #[test]
+    fn masks_extraneous_high_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 4); // only low 4 bits may land
+        w.write_bits(0, 4);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0x0F]);
+    }
+}

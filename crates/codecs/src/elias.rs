@@ -1,0 +1,168 @@
+//! Elias γ and δ codes — classic bit-oriented universal integer codes.
+//!
+//! Included as additional points on the space/time trade-off curve the
+//! paper's discussion section asks about: γ spends `2⌊log v⌋ + 1` bits, δ
+//! spends `⌊log v⌋ + O(log log v)` bits. Values are shifted by one so zero
+//! is representable.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{CodecError, IntCodec, Result};
+
+/// Elias γ codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EliasGamma;
+
+/// Elias δ codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EliasDelta;
+
+#[inline]
+fn gamma_write(w: &mut BitWriter, v: u64) {
+    debug_assert!(v >= 1);
+    let bits = 64 - v.leading_zeros(); // position of the highest set bit
+    w.write_unary(bits - 1);
+    if bits > 1 {
+        w.write_bits(v, bits - 1); // low bits; the leading 1 is implicit
+    }
+}
+
+#[inline]
+fn gamma_read(r: &mut BitReader<'_>) -> Result<u64> {
+    let low_bits = r.read_unary()?;
+    // Decoded values are at most u32::MAX + 1 = 2^32, i.e. 33 significant
+    // bits; anything longer is corruption (and would exceed the bit reader's
+    // single-read limit).
+    if low_bits > 32 {
+        return Err(CodecError::Corrupt("gamma length overflow"));
+    }
+    let low = if low_bits == 0 { 0 } else { r.read_bits(low_bits)? };
+    Ok(1u64 << low_bits | low)
+}
+
+#[inline]
+fn delta_write(w: &mut BitWriter, v: u64) {
+    debug_assert!(v >= 1);
+    let bits = 64 - v.leading_zeros();
+    gamma_write(w, bits as u64);
+    if bits > 1 {
+        w.write_bits(v, bits - 1);
+    }
+}
+
+#[inline]
+fn delta_read(r: &mut BitReader<'_>) -> Result<u64> {
+    let bits = gamma_read(r)?;
+    if bits == 0 || bits > 33 {
+        return Err(CodecError::Corrupt("delta length out of range"));
+    }
+    let low_bits = (bits - 1) as u32;
+    let low = if low_bits == 0 { 0 } else { r.read_bits(low_bits)? };
+    Ok(1u64 << low_bits | low)
+}
+
+impl IntCodec for EliasGamma {
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        let mut w = BitWriter::new();
+        for &v in values {
+            gamma_write(&mut w, v as u64 + 1);
+        }
+        w.finish_into(out);
+    }
+
+    fn decode(&self, data: &[u8], n: usize, out: &mut Vec<u32>) -> Result<usize> {
+        let mut r = BitReader::new(data);
+        out.reserve(n);
+        for _ in 0..n {
+            let v = gamma_read(&mut r)?;
+            let v = v
+                .checked_sub(1)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or(CodecError::Corrupt("gamma value exceeds u32"))?;
+            out.push(v);
+        }
+        Ok(r.bytes_consumed())
+    }
+
+    fn name(&self) -> &'static str {
+        "gamma"
+    }
+}
+
+impl IntCodec for EliasDelta {
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        let mut w = BitWriter::new();
+        for &v in values {
+            delta_write(&mut w, v as u64 + 1);
+        }
+        w.finish_into(out);
+    }
+
+    fn decode(&self, data: &[u8], n: usize, out: &mut Vec<u32>) -> Result<usize> {
+        let mut r = BitReader::new(data);
+        out.reserve(n);
+        for _ in 0..n {
+            let v = delta_read(&mut r)?;
+            let v = v
+                .checked_sub(1)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or(CodecError::Corrupt("delta value exceeds u32"))?;
+            out.push(v);
+        }
+        Ok(r.bytes_consumed())
+    }
+
+    fn name(&self) -> &'static str {
+        "delta"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_small_values_code_lengths() {
+        // v=0 encodes as gamma(1) = "1": one bit per zero.
+        let enc = EliasGamma.encode_to_vec(&[0; 8]);
+        assert_eq!(enc.len(), 1);
+        assert_eq!(EliasGamma.decode_to_vec(&enc, 8).unwrap(), vec![0; 8]);
+    }
+
+    #[test]
+    fn gamma_roundtrip_powers_of_two() {
+        let values: Vec<u32> = (0..32).map(|i| 1u32 << i).collect();
+        let enc = EliasGamma.encode_to_vec(&values);
+        assert_eq!(EliasGamma.decode_to_vec(&enc, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn delta_beats_gamma_on_large_values() {
+        let values: Vec<u32> = (0..200).map(|i| 1_000_000 + i).collect();
+        let g = EliasGamma.encode_to_vec(&values);
+        let d = EliasDelta.encode_to_vec(&values);
+        assert!(d.len() < g.len(), "delta {} vs gamma {}", d.len(), g.len());
+        assert_eq!(EliasDelta.decode_to_vec(&d, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn max_value_roundtrips() {
+        for codec in [&EliasGamma as &dyn IntCodec, &EliasDelta] {
+            let enc = codec.encode_to_vec(&[u32::MAX, 0, u32::MAX]);
+            assert_eq!(
+                codec.decode_to_vec(&enc, 3).unwrap(),
+                vec![u32::MAX, 0, u32::MAX]
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_input_does_not_panic() {
+        let junk: Vec<u8> = (0..64).map(|i| (i * 37) as u8).collect();
+        // Any outcome is fine as long as it is not a panic; ask for far more
+        // values than the stream can hold to exercise the EOF paths too.
+        let _ = EliasGamma.decode_to_vec(&junk, 1000);
+        let _ = EliasDelta.decode_to_vec(&junk, 1000);
+        let zeros = vec![0u8; 32];
+        assert!(EliasGamma.decode_to_vec(&zeros, 1).is_err());
+    }
+}

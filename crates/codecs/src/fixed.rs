@@ -1,0 +1,64 @@
+//! Fixed-width little-endian `u32` coding — the paper's `U` position coder.
+//!
+//! The paper's first factor-coding scheme assumed positions are spread
+//! uniformly over the dictionary and stored each as a raw unsigned 32-bit
+//! integer. It is the fastest coder to decode and the baseline the others
+//! are compared against.
+
+use crate::{CodecError, IntCodec, Result};
+
+/// Raw little-endian `u32` codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedU32;
+
+impl IntCodec for FixedU32 {
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        out.reserve(values.len() * 4);
+        for &v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(&self, data: &[u8], n: usize, out: &mut Vec<u32>) -> Result<usize> {
+        let need = n.checked_mul(4).ok_or(CodecError::Corrupt("count overflow"))?;
+        let Some(bytes) = data.get(..need) else {
+            return Err(CodecError::UnexpectedEof);
+        };
+        out.reserve(n);
+        for chunk in bytes.chunks_exact(4) {
+            out.push(u32::from_le_bytes(chunk.try_into().expect("chunk of 4")));
+        }
+        Ok(need)
+    }
+
+    fn name(&self) -> &'static str {
+        "u32"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let values = vec![0u32, 1, u32::MAX, 0xDEAD_BEEF];
+        let codec = FixedU32;
+        let enc = codec.encode_to_vec(&values);
+        assert_eq!(enc.len(), 16);
+        assert_eq!(codec.decode_to_vec(&enc, 4).unwrap(), values);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let codec = FixedU32;
+        let enc = codec.encode_to_vec(&[1, 2, 3]);
+        assert!(codec.decode_to_vec(&enc[..11], 3).is_err());
+    }
+
+    #[test]
+    fn exactly_four_bytes_each() {
+        let codec = FixedU32;
+        assert_eq!(codec.encode_to_vec(&[9; 250]).len(), 1000);
+    }
+}

@@ -1,0 +1,184 @@
+//! Variable-byte coding — the paper's `V` position/length coder.
+//!
+//! Each byte carries 7 data bits; the high bit flags continuation. Factor
+//! lengths in an RLZ encoding are mostly below 100 (Figure 3 of the paper),
+//! so the vast majority of lengths take a single byte, which is exactly why
+//! the paper picked vbyte for the `V` coders.
+
+use crate::{CodecError, IntCodec, Result};
+
+/// The variable-byte codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VByte;
+
+/// Appends the vbyte encoding of a single value.
+#[inline]
+pub fn write_u32(mut v: u32, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encoded size of a value in bytes (1–5).
+#[inline]
+pub fn encoded_len(v: u32) -> usize {
+    match v {
+        0..=0x7F => 1,
+        0x80..=0x3FFF => 2,
+        0x4000..=0x1F_FFFF => 3,
+        0x20_0000..=0xFFF_FFFF => 4,
+        _ => 5,
+    }
+}
+
+/// Reads one vbyte value from `data[*pos..]`, advancing `pos`.
+#[inline]
+pub fn read_u32(data: &[u8], pos: &mut usize) -> Result<u32> {
+    let mut v: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = data.get(*pos) else {
+            return Err(CodecError::UnexpectedEof);
+        };
+        *pos += 1;
+        let payload = (byte & 0x7F) as u32;
+        if shift == 28 && payload > 0xF {
+            return Err(CodecError::Corrupt("vbyte value exceeds u32"));
+        }
+        if shift > 28 {
+            return Err(CodecError::Corrupt("vbyte run too long"));
+        }
+        v |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Appends a vbyte-encoded `u64` (used by store headers for file offsets).
+#[inline]
+pub fn write_u64(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one vbyte-encoded `u64` from `data[*pos..]`, advancing `pos`.
+#[inline]
+pub fn read_u64(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = data.get(*pos) else {
+            return Err(CodecError::UnexpectedEof);
+        };
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::Corrupt("vbyte u64 run too long"));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+impl IntCodec for VByte {
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        out.reserve(values.len());
+        for &v in values {
+            write_u32(v, out);
+        }
+    }
+
+    fn decode(&self, data: &[u8], n: usize, out: &mut Vec<u32>) -> Result<usize> {
+        let mut pos = 0usize;
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(read_u32(data, &mut pos)?);
+        }
+        Ok(pos)
+    }
+
+    fn name(&self) -> &'static str {
+        "vbyte"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_values() {
+        let mut out = Vec::new();
+        write_u32(0, &mut out);
+        write_u32(127, &mut out);
+        assert_eq!(out, vec![0, 127]);
+    }
+
+    #[test]
+    fn boundary_values() {
+        for v in [0u32, 1, 127, 128, 16383, 16384, 0x1F_FFFF, 0x20_0000, u32::MAX] {
+            let mut out = Vec::new();
+            write_u32(v, &mut out);
+            assert_eq!(out.len(), encoded_len(v), "value {v}");
+            let mut pos = 0;
+            assert_eq!(read_u32(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn rejects_overlong_encoding() {
+        // Six continuation bytes cannot be a valid u32.
+        let data = [0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let mut pos = 0;
+        assert!(read_u32(&data, &mut pos).is_err());
+    }
+
+    #[test]
+    fn rejects_u32_overflow_in_fifth_byte() {
+        // 5th byte payload 0x10 would set bit 32.
+        let data = [0xFF, 0xFF, 0xFF, 0xFF, 0x10];
+        let mut pos = 0;
+        assert!(read_u32(&data, &mut pos).is_err());
+        // While 0x0F is exactly u32::MAX.
+        let data = [0xFF, 0xFF, 0xFF, 0xFF, 0x0F];
+        let mut pos = 0;
+        assert_eq!(read_u32(&data, &mut pos).unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 0x7F, 0x80, u32::MAX as u64, u64::MAX, 1 << 50] {
+            let mut out = Vec::new();
+            write_u64(v, &mut out);
+            let mut pos = 0;
+            assert_eq!(read_u64(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn most_small_lengths_take_one_byte() {
+        // The property the paper relies on (Fig. 3): lengths < 128 are 1 byte.
+        for v in 0..128u32 {
+            assert_eq!(encoded_len(v), 1);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests: every integer codec round-trips arbitrary input, and the
+//! bit reader/writer are exact inverses.
+
+use proptest::prelude::*;
+use rlz_codecs::bitio::{BitReader, BitWriter};
+use rlz_codecs::{all_codecs, zigzag_decode, zigzag_encode};
+
+proptest! {
+    #[test]
+    fn codecs_roundtrip_arbitrary(values in proptest::collection::vec(any::<u32>(), 0..400)) {
+        for codec in all_codecs() {
+            let enc = codec.encode_to_vec(&values);
+            let dec = codec.decode_to_vec(&enc, values.len());
+            prop_assert_eq!(dec.as_ref().ok(), Some(&values), "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn codecs_roundtrip_small_skewed(values in proptest::collection::vec(0u32..128, 0..400)) {
+        // The regime RLZ factor lengths live in (Fig. 3 of the paper).
+        for codec in all_codecs() {
+            let enc = codec.encode_to_vec(&values);
+            let dec = codec.decode_to_vec(&enc, values.len()).unwrap();
+            prop_assert_eq!(&dec, &values, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn codecs_never_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..200), n in 0usize..300) {
+        for codec in all_codecs() {
+            let _ = codec.decode_to_vec(&data, n);
+        }
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection(v in any::<i32>()) {
+        prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn bitio_roundtrips_random_fields(fields in proptest::collection::vec((any::<u64>(), 1u32..=56), 0..200)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            let mask = u64::MAX >> (64 - n);
+            prop_assert_eq!(r.read_bits(n).unwrap(), v & mask);
+        }
+    }
+
+    #[test]
+    fn bitio_unary_roundtrips(values in proptest::collection::vec(0u32..500, 0..100)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_unary(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.read_unary().unwrap(), v);
+        }
+    }
+}

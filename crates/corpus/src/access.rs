@@ -1,0 +1,113 @@
+//! Document-request workloads (§4 "Method").
+//!
+//! The paper drives every retrieval experiment with two streams of 100 000
+//! document IDs:
+//!
+//! 1. **Sequential** — ascending IDs, modelling large-scale batch
+//!    processing (wraps around when the collection is smaller than the
+//!    request count).
+//! 2. **Query log** — the concatenated top-20 results of real search
+//!    queries (TREC 2009 Million Query track run through Zettair). We model
+//!    the essential statistics of ranked retrieval output: document
+//!    popularity is heavily skewed (a Zipf law over a random permutation of
+//!    the collection, so popular documents are scattered across the
+//!    storage order), grouped in runs of `k` results per query.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sequential IDs `0, 1, 2, …` wrapping at `num_docs` — the paper's
+/// "ordered document requests".
+pub fn sequential(num_docs: usize, count: usize) -> Vec<u32> {
+    assert!(num_docs > 0);
+    (0..count).map(|i| (i % num_docs) as u32).collect()
+}
+
+/// Simulated ranked-retrieval request stream: `count` IDs grouped as
+/// `results_per_query`-sized query results, document popularity Zipfian,
+/// popular documents scattered uniformly over the ID space.
+pub fn query_log(num_docs: usize, count: usize, results_per_query: usize, seed: u64) -> Vec<u32> {
+    assert!(num_docs > 0 && results_per_query > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random permutation: rank r (popular = low) -> actual document ID.
+    let mut perm: Vec<u32> = (0..num_docs as u32).collect();
+    for i in (1..perm.len()).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    // Zipf cumulative weights over ranks.
+    let mut cumulative = Vec::with_capacity(num_docs);
+    let mut total = 0.0f64;
+    for rank in 1..=num_docs {
+        total += 1.0 / (rank as f64).powf(0.9);
+        cumulative.push(total);
+    }
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        // One query: results_per_query draws without replacement.
+        let mut seen = std::collections::HashSet::with_capacity(results_per_query);
+        for _ in 0..results_per_query.min(count - out.len()) {
+            let mut id;
+            loop {
+                let x = rng.random_range(0.0..total);
+                let rank = cumulative.partition_point(|&c| c < x).min(num_docs - 1);
+                id = perm[rank];
+                if seen.insert(id) || seen.len() >= num_docs {
+                    break;
+                }
+            }
+            out.push(id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_wraps() {
+        assert_eq!(sequential(3, 7), vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn query_log_is_deterministic_and_in_range() {
+        let a = query_log(1000, 5000, 20, 9);
+        let b = query_log(1000, 5000, 20, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5000);
+        assert!(a.iter().all(|&id| (id as usize) < 1000));
+    }
+
+    #[test]
+    fn query_log_is_skewed() {
+        let ids = query_log(10_000, 50_000, 20, 3);
+        let mut counts = std::collections::HashMap::new();
+        for &id in &ids {
+            *counts.entry(id).or_insert(0u32) += 1;
+        }
+        // Zipf head: a few documents requested many times.
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 50, "peak popularity only {max}");
+        // But not degenerate: thousands of distinct documents appear.
+        assert!(counts.len() > 2_000, "only {} distinct", counts.len());
+    }
+
+    #[test]
+    fn queries_do_not_repeat_within_a_query() {
+        let ids = query_log(500, 2000, 10, 4);
+        for q in ids.chunks(10) {
+            let set: std::collections::HashSet<_> = q.iter().collect();
+            assert_eq!(set.len(), q.len(), "duplicate in query {q:?}");
+        }
+    }
+
+    #[test]
+    fn popular_documents_are_scattered_over_id_space() {
+        // The permutation must prevent "popular = low ID".
+        let ids = query_log(10_000, 20_000, 20, 8);
+        let mean = ids.iter().map(|&i| i as f64).sum::<f64>() / ids.len() as f64;
+        assert!((2_000.0..8_000.0).contains(&mean), "mean id {mean}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Synthetic genomic collections: a reference sequence plus mutated
+//! re-sequenced individuals.
+//!
+//! RLZ was originally proposed for exactly this workload (Kuruppu, Puglisi
+//! & Zobel, SPIRE 2010 — reference \[20\] of the paper): thousands of genomes
+//! that differ from a reference by a sprinkle of SNPs and indels compress
+//! spectacularly against a dictionary holding one reference. The
+//! `genome_store` example uses this generator.
+
+use crate::Collection;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a genome collection.
+#[derive(Debug, Clone)]
+pub struct GenomeConfig {
+    /// Number of individual sequences (documents).
+    pub individuals: usize,
+    /// Length of the reference sequence in bases.
+    pub reference_len: usize,
+    /// Per-base probability of a SNP in an individual.
+    pub snp_rate: f64,
+    /// Per-base probability of starting a short indel.
+    pub indel_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenomeConfig {
+    fn default() -> Self {
+        GenomeConfig {
+            individuals: 32,
+            reference_len: 100_000,
+            snp_rate: 0.001,
+            indel_rate: 0.0001,
+            seed: 0xD4A,
+        }
+    }
+}
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Generates the reference sequence.
+pub fn reference(config: &GenomeConfig) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.reference_len)
+        .map(|_| BASES[rng.random_range(0..4)])
+        .collect()
+}
+
+/// Generates a collection of individuals mutated from the reference.
+///
+/// Document `i` is individual `i`; URLs are `genome://individual/{i}`.
+pub fn generate(config: &GenomeConfig) -> Collection {
+    let reference = reference(config);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xBEEF);
+    let mut collection = Collection::default();
+    for ind in 0..config.individuals {
+        let mut seq = Vec::with_capacity(reference.len() + 64);
+        let mut i = 0usize;
+        while i < reference.len() {
+            if rng.random_bool(config.snp_rate) {
+                // Substitute with a different base.
+                let cur = reference[i];
+                let mut b = BASES[rng.random_range(0..4)];
+                while b == cur {
+                    b = BASES[rng.random_range(0..4)];
+                }
+                seq.push(b);
+                i += 1;
+            } else if rng.random_bool(config.indel_rate) {
+                let len = rng.random_range(1..=8usize);
+                if rng.random_bool(0.5) {
+                    // Insertion of random bases.
+                    for _ in 0..len {
+                        seq.push(BASES[rng.random_range(0..4)]);
+                    }
+                } else {
+                    // Deletion.
+                    i = (i + len).min(reference.len());
+                }
+            } else {
+                seq.push(reference[i]);
+                i += 1;
+            }
+        }
+        collection.push(format!("genome://individual/{ind}"), &seq);
+    }
+    collection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GenomeConfig {
+            individuals: 4,
+            reference_len: 10_000,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg).data, generate(&cfg).data);
+    }
+
+    #[test]
+    fn individuals_are_close_to_reference() {
+        // SNPs only: positional identity is meaningful (indels would shift
+        // the alignment and make a positional comparison useless).
+        let cfg = GenomeConfig {
+            individuals: 3,
+            reference_len: 20_000,
+            snp_rate: 0.001,
+            indel_rate: 0.0,
+            seed: 5,
+        };
+        let reference = reference(&cfg);
+        let c = generate(&cfg);
+        for doc in c.iter_docs() {
+            assert_eq!(doc.len(), reference.len());
+            let same = doc
+                .iter()
+                .zip(&reference)
+                .filter(|(a, b)| a == b)
+                .count();
+            // Expect ~0.1% SNPs; allow generous slack.
+            assert!(same > reference.len() * 99 / 100, "{same} identical");
+        }
+    }
+
+    #[test]
+    fn indels_change_lengths_only_slightly() {
+        let cfg = GenomeConfig {
+            individuals: 4,
+            reference_len: 50_000,
+            snp_rate: 0.0,
+            indel_rate: 0.0005,
+            seed: 6,
+        };
+        let c = generate(&cfg);
+        for doc in c.iter_docs() {
+            let diff = doc.len().abs_diff(cfg.reference_len);
+            assert!(diff < cfg.reference_len / 100, "length diff {diff}");
+        }
+    }
+
+    #[test]
+    fn sequences_are_dna_alphabet() {
+        let c = generate(&GenomeConfig {
+            individuals: 2,
+            reference_len: 5_000,
+            ..Default::default()
+        });
+        for doc in c.iter_docs() {
+            assert!(doc.iter().all(|b| BASES.contains(b)));
+        }
+    }
+
+    #[test]
+    fn individuals_differ_from_each_other() {
+        let c = generate(&GenomeConfig {
+            individuals: 2,
+            reference_len: 50_000,
+            ..Default::default()
+        });
+        assert_ne!(c.doc(0), c.doc(1));
+    }
+}

@@ -1,0 +1,172 @@
+//! Synthetic document collections and access-pattern workloads.
+//!
+//! The paper evaluates on GOV2 (426 GB web crawl, ~25 M docs, ~18 KB/doc)
+//! and an English Wikipedia snapshot (256 GB, ~6 M docs, ~45 KB/doc),
+//! accessed through two request streams: a sequential scan and the ranked
+//! output of real queries ("query log"). None of those artifacts can ship
+//! with this repository, so this crate generates collections that reproduce
+//! the *properties* the paper's measurements depend on:
+//!
+//! * **global redundancy** — per-site boilerplate shared by documents that
+//!   are far apart in crawl order (invisible to a 32 KB zlib window,
+//!   capturable by a sampled RLZ dictionary or a large lzma window);
+//! * **local redundancy** — repeated phrases inside a document;
+//! * **Zipfian text** — natural-language-like word frequencies;
+//! * **near-duplicates** — mirrored pages;
+//! * **URL order vs crawl order** — sorting by URL clusters same-site pages
+//!   (the Ferragina–Manzini effect of §3.5).
+//!
+//! See `DESIGN.md` ("Substitutions") for the fidelity argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod genome;
+pub mod text;
+pub mod web;
+
+pub use web::{generate_web, CollectionStyle, WebConfig};
+
+/// Metadata for one document inside a [`Collection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocEntry {
+    /// Byte offset of the document in the collection buffer.
+    pub offset: usize,
+    /// Document length in bytes.
+    pub len: usize,
+    /// Source URL (used for URL-order sorting).
+    pub url: String,
+}
+
+/// A document collection: one contiguous buffer plus per-document extents.
+#[derive(Debug, Clone, Default)]
+pub struct Collection {
+    /// Concatenated document bytes.
+    pub data: Vec<u8>,
+    /// Document table in storage order.
+    pub docs: Vec<DocEntry>,
+}
+
+impl Collection {
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Total size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes of document `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn doc(&self, id: usize) -> &[u8] {
+        let e = &self.docs[id];
+        &self.data[e.offset..e.offset + e.len]
+    }
+
+    /// Iterates over documents in storage order.
+    pub fn iter_docs(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        self.docs
+            .iter()
+            .map(|e| &self.data[e.offset..e.offset + e.len])
+    }
+
+    /// Appends a document.
+    pub fn push(&mut self, url: String, body: &[u8]) {
+        let offset = self.data.len();
+        self.data.extend_from_slice(body);
+        self.docs.push(DocEntry {
+            offset,
+            len: body.len(),
+            url,
+        });
+    }
+
+    /// Returns a copy of the collection with documents sorted by URL — the
+    /// URL-ordering experiment of §3.5 (Tables 5 and 7). Sorting clusters
+    /// pages of the same site, which moves cross-document redundancy inside
+    /// the reach of small compression windows.
+    pub fn url_sorted(&self) -> Collection {
+        let mut order: Vec<usize> = (0..self.docs.len()).collect();
+        order.sort_by(|&a, &b| self.docs[a].url.cmp(&self.docs[b].url));
+        let mut out = Collection {
+            data: Vec::with_capacity(self.data.len()),
+            docs: Vec::with_capacity(self.docs.len()),
+        };
+        for id in order {
+            let e = &self.docs[id];
+            out.push(e.url.clone(), &self.data[e.offset..e.offset + e.len]);
+        }
+        out
+    }
+
+    /// Truncates to the documents whose bytes fall entirely within the first
+    /// `percent` of the collection (used by the Table 10 prefix sweep).
+    pub fn prefix_by_percent(&self, percent: u32) -> Collection {
+        assert!((1..=100).contains(&percent));
+        let limit = (self.data.len() as u64 * percent as u64 / 100) as usize;
+        let mut out = Collection::default();
+        for e in &self.docs {
+            if e.offset + e.len <= limit {
+                out.push(e.url.clone(), &self.data[e.offset..e.offset + e.len]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Collection {
+        let mut c = Collection::default();
+        c.push("http://b.example/2".into(), b"second doc");
+        c.push("http://a.example/1".into(), b"first doc");
+        c.push("http://a.example/0".into(), b"zeroth doc");
+        c
+    }
+
+    #[test]
+    fn push_and_doc_access() {
+        let c = tiny();
+        assert_eq!(c.num_docs(), 3);
+        assert_eq!(c.doc(0), b"second doc");
+        assert_eq!(c.doc(2), b"zeroth doc");
+        assert_eq!(c.total_bytes(), 29);
+    }
+
+    #[test]
+    fn url_sort_reorders_documents() {
+        let sorted = tiny().url_sorted();
+        assert_eq!(sorted.docs[0].url, "http://a.example/0");
+        assert_eq!(sorted.doc(0), b"zeroth doc");
+        assert_eq!(sorted.docs[2].url, "http://b.example/2");
+        // Content is preserved as a multiset.
+        let mut a: Vec<Vec<u8>> = tiny().iter_docs().map(|d| d.to_vec()).collect();
+        let mut b: Vec<Vec<u8>> = sorted.iter_docs().map(|d| d.to_vec()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefix_by_percent_respects_byte_limit() {
+        let c = tiny();
+        let half = c.prefix_by_percent(50);
+        assert_eq!(half.num_docs(), 1); // only the first 10-byte doc fits 14 bytes
+        let all = c.prefix_by_percent(100);
+        assert_eq!(all.num_docs(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn prefix_zero_percent_rejected() {
+        let _ = tiny().prefix_by_percent(0);
+    }
+}

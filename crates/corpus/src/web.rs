@@ -1,0 +1,383 @@
+//! Synthetic web-crawl generator: GOV2-like and Wikipedia-like collections.
+//!
+//! Structure of the generated crawl:
+//!
+//! * The crawl is partitioned into **sites**; each site has a fixed header,
+//!   navigation block, footer and a small pool of paragraph templates —
+//!   the boilerplate that makes web collections globally redundant.
+//! * Documents are emitted in interleaved **crawl order** (site pages are
+//!   far apart), while each document's URL allows clustering via
+//!   [`crate::Collection::url_sorted`].
+//! * Bodies mix Zipfian sentences with site template phrases; a fraction of
+//!   pages are **mirrors** (near-duplicates) of earlier pages on the same
+//!   site.
+//!
+//! The two presets differ the way GOV2 and Wikipedia do in the paper: GOV2
+//! pages are smaller (~18 KB) with heavier markup; Wikipedia pages are
+//! larger (~45 KB) with lighter markup and longer running text.
+
+use crate::text::{PhrasePool, Vocabulary};
+use crate::Collection;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which real-world collection the generator imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectionStyle {
+    /// ~18 KB documents, heavy markup, .gov-style sites (the paper's GOV2).
+    Gov2,
+    /// ~45 KB documents, lighter markup, article-style pages (the paper's
+    /// Wikipedia snapshot).
+    Wikipedia,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct WebConfig {
+    /// Approximate total collection size in bytes (generation stops at the
+    /// first document boundary past this).
+    pub total_bytes: usize,
+    /// Style preset.
+    pub style: CollectionStyle,
+    /// Number of distinct sites (template pools).
+    pub num_sites: usize,
+    /// Vocabulary size for body text.
+    pub vocab_size: usize,
+    /// Probability that a page is a near-duplicate of an earlier page of
+    /// the same site.
+    pub mirror_prob: f64,
+    /// RNG seed: equal configs generate byte-identical collections.
+    pub seed: u64,
+}
+
+impl WebConfig {
+    /// GOV2-like preset at the given size.
+    pub fn gov2(total_bytes: usize, seed: u64) -> Self {
+        WebConfig {
+            total_bytes,
+            style: CollectionStyle::Gov2,
+            // GOV2's .gov crawl has many hosts; scale hosts with size so
+            // per-site redundancy stays size-independent.
+            num_sites: (total_bytes / (512 * 1024)).clamp(4, 4096),
+            vocab_size: 20_000,
+            mirror_prob: 0.08,
+            seed,
+        }
+    }
+
+    /// Wikipedia-like preset at the given size.
+    pub fn wikipedia(total_bytes: usize, seed: u64) -> Self {
+        WebConfig {
+            total_bytes,
+            style: CollectionStyle::Wikipedia,
+            // One "site" per template family; Wikipedia is a single host
+            // but has many infobox/template families.
+            num_sites: (total_bytes / (1024 * 1024)).clamp(4, 1024),
+            vocab_size: 40_000,
+            mirror_prob: 0.04,
+            seed,
+        }
+    }
+
+    fn avg_doc_bytes(&self) -> usize {
+        match self.style {
+            CollectionStyle::Gov2 => 18 * 1024,
+            CollectionStyle::Wikipedia => 45 * 1024,
+        }
+    }
+
+    fn markup_weight(&self) -> f64 {
+        match self.style {
+            CollectionStyle::Gov2 => 0.45,
+            CollectionStyle::Wikipedia => 0.22,
+        }
+    }
+}
+
+/// A global library of boilerplate pieces shared across sites.
+///
+/// Real crawls have far less *distinct* boilerplate than `sites ×
+/// templates`: most hosts run one of a handful of CMS/web-server templates.
+/// This is what makes a 0.1–0.5 % sampled dictionary effective on hundreds
+/// of gigabytes — the library below is the bounded inventory a dictionary
+/// can actually capture, while every site still carries small unique
+/// strings (its host name, contact line, titles).
+struct GlobalTemplates {
+    headers: Vec<Vec<u8>>,
+    navs: Vec<Vec<u8>>,
+    footers: Vec<Vec<u8>>,
+    callouts: Vec<Vec<u8>>,
+}
+
+impl GlobalTemplates {
+    fn generate(vocab: &Vocabulary, rng: &mut StdRng) -> Self {
+        let headers = (0..8)
+            .map(|v| {
+                let mut h = Vec::new();
+                h.extend_from_slice(b"<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
+                h.extend_from_slice(
+                    format!("<meta name=\"generator\" content=\"SiteBuilder {v}.2\">").as_bytes(),
+                );
+                h.extend_from_slice(b"<script>function nav(){var m=document.getElementById('menu');m.style.display=m.style.display=='none'?'block':'none';}</script><style>");
+                for _ in 0..10 {
+                    h.extend_from_slice(b".c-");
+                    h.extend_from_slice(vocab.sample(rng).as_bytes());
+                    h.extend_from_slice(b"{margin:0;padding:4px;border:1px solid #ccc;font-family:serif}");
+                }
+                h.extend_from_slice(b"</style>");
+                h
+            })
+            .collect();
+        let navs = (0..12)
+            .map(|_| {
+                let mut nav = Vec::new();
+                nav.extend_from_slice(b"<ul id=\"menu\" class=\"navigation\">");
+                for _ in 0..12 {
+                    nav.extend_from_slice(b"<li><a href=\"/");
+                    nav.extend_from_slice(vocab.sample(rng).as_bytes());
+                    nav.extend_from_slice(b".html\">");
+                    nav.extend_from_slice(vocab.sample(rng).as_bytes());
+                    nav.extend_from_slice(b"</a></li>");
+                }
+                nav.extend_from_slice(b"</ul>");
+                nav
+            })
+            .collect();
+        let footers = (0..8)
+            .map(|_| {
+                let mut f = Vec::new();
+                f.extend_from_slice(b"<div class=\"footer\"><p>");
+                vocab.sentence(rng, 22, &mut f);
+                f.extend_from_slice(b"</p><p>Privacy policy | Accessibility | FOIA | Site map</p>");
+                f
+            })
+            .collect();
+        let callouts = (0..40)
+            .map(|_| {
+                let mut t = Vec::new();
+                t.extend_from_slice(b"<div class=\"callout\"><h3>");
+                vocab.sentence(rng, 3, &mut t);
+                t.extend_from_slice(b"</h3><p>");
+                vocab.sentence(rng, 40, &mut t);
+                t.extend_from_slice(b"</p></div>");
+                t
+            })
+            .collect();
+        GlobalTemplates {
+            headers,
+            navs,
+            footers,
+            callouts,
+        }
+    }
+}
+
+/// One site's boilerplate, assembled from the global library plus unique
+/// host-specific strings.
+struct Site {
+    host: String,
+    header: Vec<u8>,
+    footer: Vec<u8>,
+    nav: Vec<u8>,
+    /// Callout templates (indices into the global library) this site reuses.
+    templates: Vec<usize>,
+    /// Offsets of this site's pages already emitted (for mirroring).
+    pages: Vec<usize>,
+    next_path: usize,
+}
+
+fn make_site(
+    id: usize,
+    library: &GlobalTemplates,
+    vocab: &Vocabulary,
+    rng: &mut StdRng,
+    style: CollectionStyle,
+) -> Site {
+    let host = match style {
+        CollectionStyle::Gov2 => format!("agency{id:04}.gov"),
+        CollectionStyle::Wikipedia => format!("en.wikipedia.example/t{id:04}"),
+    };
+    // Header = global variant + site-specific title/stylesheet line.
+    let mut header = library.headers[rng.random_range(0..library.headers.len())].clone();
+    header.extend_from_slice(
+        format!("<link rel=\"stylesheet\" href=\"/{host}/local.css\"><title>").as_bytes(),
+    );
+    let mut title_words = Vec::new();
+    vocab.sentence(rng, 4, &mut title_words);
+    header.extend_from_slice(&title_words);
+    header.extend_from_slice(b"</title></head><body>");
+
+    let nav = library.navs[rng.random_range(0..library.navs.len())].clone();
+
+    let mut footer = library.footers[rng.random_range(0..library.footers.len())].clone();
+    footer.extend_from_slice(
+        format!("<p>Contact: webmaster@{host} &copy; 2004</p></div></body></html>").as_bytes(),
+    );
+
+    // Each site reuses a handful of the global callout templates.
+    let templates = (0..6)
+        .map(|_| rng.random_range(0..library.callouts.len()))
+        .collect();
+
+    Site {
+        host,
+        header,
+        footer,
+        nav,
+        templates,
+        pages: Vec::new(),
+        next_path: 0,
+    }
+}
+
+/// Generates a web collection per `config` (deterministic for a config).
+pub fn generate_web(config: &WebConfig) -> Collection {
+    assert!(config.num_sites > 0, "need at least one site");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let vocab = Vocabulary::generate(config.vocab_size, 1.05, config.seed ^ 0xC0FFEE);
+    // Global phrase inventory: the n-gram redundancy of natural text. Like
+    // a natural language, its size grows sub-linearly with the collection,
+    // so paper-style dictionary fractions capture its Zipf head.
+    let num_phrases = (config.total_bytes / 32_768).clamp(1_000, 6_000);
+    let phrases = PhrasePool::generate(&vocab, num_phrases, 1.1, config.seed ^ 0x9A55);
+    let library = GlobalTemplates::generate(&vocab, &mut rng);
+    let mut sites: Vec<Site> = (0..config.num_sites)
+        .map(|i| make_site(i, &library, &vocab, &mut rng, config.style))
+        .collect();
+
+    let mut collection = Collection::default();
+    let avg = config.avg_doc_bytes();
+    while collection.total_bytes() < config.total_bytes {
+        // Crawl order: hop between sites pseudo-randomly so same-site pages
+        // are spread across the collection.
+        let site_idx = rng.random_range(0..sites.len());
+        let target = rng.random_range(avg / 2..avg + avg / 2);
+
+        // Mirrors: occasionally re-emit an earlier page with a small edit.
+        let body = if !sites[site_idx].pages.is_empty() && rng.random_bool(config.mirror_prob) {
+            let site = &sites[site_idx];
+            let which = site.pages[rng.random_range(0..site.pages.len())];
+            let mut body = collection.doc(which).to_vec();
+            let mut patch = Vec::new();
+            patch.extend_from_slice(b"<p class=\"updated\">");
+            vocab.sentence(&mut rng, 10, &mut patch);
+            patch.extend_from_slice(b"</p>");
+            let cut = body.len().saturating_sub(sites[site_idx].footer.len());
+            body.splice(cut..cut, patch);
+            body
+        } else {
+            let site = &sites[site_idx];
+            let mut body = Vec::with_capacity(target + 1024);
+            body.extend_from_slice(&site.header);
+            body.extend_from_slice(&site.nav);
+            while body.len() + site.footer.len() < target {
+                if rng.random_bool(config.markup_weight()) {
+                    let idx = site.templates[rng.random_range(0..site.templates.len())];
+                    body.extend_from_slice(&library.callouts[idx]);
+                } else {
+                    body.extend_from_slice(b"<p>");
+                    let para = rng.random_range(250..700usize);
+                    phrases.emit_text(&vocab, &mut rng, para, 0.12, &mut body);
+                    body.extend_from_slice(b"</p>");
+                }
+            }
+            body.extend_from_slice(&site.footer);
+            body
+        };
+
+        let site = &mut sites[site_idx];
+        let url = format!("http://{}/page{:06}.html", site.host, site.next_path);
+        site.next_path += 1;
+        site.pages.push(collection.num_docs());
+        collection.push(url, &body);
+    }
+    collection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = WebConfig::gov2(256 * 1024, 42);
+        let a = generate_web(&cfg);
+        let b = generate_web(&cfg);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.docs.len(), b.docs.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_web(&WebConfig::gov2(128 * 1024, 1));
+        let b = generate_web(&WebConfig::gov2(128 * 1024, 2));
+        assert_ne!(a.data, b.data);
+    }
+
+    #[test]
+    fn respects_target_size_and_doc_shape() {
+        let cfg = WebConfig::gov2(1024 * 1024, 7);
+        let c = generate_web(&cfg);
+        assert!(c.total_bytes() >= cfg.total_bytes);
+        // One document of overshoot at most.
+        assert!(c.total_bytes() < cfg.total_bytes + 64 * 1024);
+        let avg = c.total_bytes() / c.num_docs();
+        assert!((9_000..36_000).contains(&avg), "avg doc size {avg}");
+    }
+
+    #[test]
+    fn wikipedia_docs_are_larger_than_gov2() {
+        let g = generate_web(&WebConfig::gov2(512 * 1024, 3));
+        let w = generate_web(&WebConfig::wikipedia(512 * 1024, 3));
+        let ga = g.total_bytes() / g.num_docs();
+        let wa = w.total_bytes() / w.num_docs();
+        assert!(wa > ga * 2, "wiki {wa} vs gov2 {ga}");
+    }
+
+    #[test]
+    fn same_site_pages_share_boilerplate() {
+        let c = generate_web(&WebConfig::gov2(512 * 1024, 5));
+        // Find two pages of the same host far apart in crawl order.
+        let host = |url: &str| url.split('/').nth(2).unwrap().to_owned();
+        let mut by_host: std::collections::HashMap<String, Vec<usize>> = Default::default();
+        for (i, e) in c.docs.iter().enumerate() {
+            by_host.entry(host(&e.url)).or_default().push(i);
+        }
+        let (_, ids) = by_host
+            .iter()
+            .max_by_key(|(_, v)| v.len())
+            .expect("some host");
+        assert!(ids.len() >= 2, "need repeat visits to a site");
+        let a = c.doc(ids[0]);
+        let b = c.doc(*ids.last().unwrap());
+        // Shared site header: identical prefix of substantial length.
+        let common = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+        assert!(common > 100, "same-site pages share only {common} bytes");
+    }
+
+    #[test]
+    fn urls_are_unique_and_sortable() {
+        let c = generate_web(&WebConfig::gov2(256 * 1024, 11));
+        let mut urls: Vec<&str> = c.docs.iter().map(|d| d.url.as_str()).collect();
+        let n = urls.len();
+        urls.sort();
+        urls.dedup();
+        assert_eq!(urls.len(), n, "duplicate URLs generated");
+    }
+
+    #[test]
+    fn url_sort_clusters_hosts() {
+        let c = generate_web(&WebConfig::gov2(512 * 1024, 13)).url_sorted();
+        let host = |url: &str| url.split('/').nth(2).unwrap().to_owned();
+        // Hosts must appear in contiguous runs after sorting.
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = String::new();
+        for e in &c.docs {
+            let h = host(&e.url);
+            if h != prev {
+                assert!(seen.insert(h.clone()), "host {h} split into runs");
+                prev = h;
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Hash-chain match finder over an unbounded (whole-buffer) window.
+//!
+//! Unlike `zlite`'s 32 KB window, matches may reach arbitrarily far back —
+//! the defining property of the paper's lzma baseline, which Ferragina &
+//! Manzini showed compresses web crawls to ~5 % with a 128 MB dictionary.
+
+use crate::model::{MAX_LEN, MIN_LEN};
+
+const HASH_BITS: u32 = 17;
+const NO_POS: u32 = u32::MAX;
+
+/// Search effort level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Level {
+    /// Shallow chains.
+    Fast,
+    /// Balanced.
+    #[default]
+    Default,
+    /// Deep chains — closest to `lzma -9`.
+    Best,
+}
+
+impl Level {
+    fn max_chain(self) -> usize {
+        match self {
+            Level::Fast => 24,
+            Level::Default => 96,
+            Level::Best => 512,
+        }
+    }
+
+    fn nice_len(self) -> usize {
+        match self {
+            Level::Fast => 64,
+            Level::Default => 128,
+            Level::Best => MAX_LEN,
+        }
+    }
+}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Whole-buffer hash-chain matcher.
+pub struct MatchFinder {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    max_chain: usize,
+    nice_len: usize,
+}
+
+impl MatchFinder {
+    /// Creates a finder for an input of `n` bytes.
+    pub fn new(n: usize, level: Level) -> Self {
+        MatchFinder {
+            head: vec![NO_POS; 1 << HASH_BITS],
+            prev: vec![NO_POS; n],
+            max_chain: level.max_chain(),
+            nice_len: level.nice_len(),
+        }
+    }
+
+    /// Registers position `i` in the chains.
+    #[inline]
+    pub fn insert(&mut self, data: &[u8], i: usize) {
+        if i + 4 <= data.len() {
+            let h = hash4(data, i);
+            self.prev[i] = self.head[h];
+            self.head[h] = i as u32;
+        }
+    }
+
+    /// Longest match at `i` (length >= 3), returned as `(len, dist)`.
+    pub fn best_match(&self, data: &[u8], i: usize) -> Option<(usize, usize)> {
+        if i + 4 > data.len() {
+            return None;
+        }
+        let max_len = MAX_LEN.min(data.len() - i);
+        let mut best_len = 2usize; // require at least 3
+        let mut best_dist = 0usize;
+        let mut j = self.head[hash4(data, i)];
+        let mut chain = self.max_chain;
+        while j != NO_POS && chain > 0 {
+            let jj = j as usize;
+            debug_assert!(jj < i);
+            if best_len < max_len && data[jj + best_len] == data[i + best_len] {
+                let len = common_prefix(data, jj, i, max_len);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = i - jj;
+                    if len >= self.nice_len || len >= max_len {
+                        break;
+                    }
+                }
+            }
+            j = self.prev[jj];
+            chain -= 1;
+        }
+        (best_len > MIN_LEN).then_some((best_len, best_dist))
+    }
+}
+
+/// Length of the match between positions `a < b`, capped at `max_len`.
+#[inline]
+pub fn common_prefix(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    let mut len = 0usize;
+    while len + 8 <= max_len {
+        let x = u64::from_le_bytes(data[a + len..a + len + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(data[b + len..b + len + 8].try_into().expect("8 bytes"));
+        let diff = x ^ y;
+        if diff != 0 {
+            return len + (diff.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
+    while len < max_len && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_distant_matches_beyond_32k() {
+        // The whole point: repetition 100 KB apart must be found.
+        let mut data = b"GLOBAL_BOILERPLATE_HEADER v1.0 common to every page".to_vec();
+        let marker_len = data.len();
+        data.extend(std::iter::repeat_n(b'x', 100_000));
+        let second = data.len();
+        data.extend_from_slice(b"GLOBAL_BOILERPLATE_HEADER v1.0 common to every page");
+
+        let mut mf = MatchFinder::new(data.len(), Level::Default);
+        for i in 0..second {
+            mf.insert(&data, i);
+        }
+        let (len, dist) = mf.best_match(&data, second).expect("match");
+        assert_eq!(dist, second);
+        assert_eq!(len, marker_len);
+    }
+
+    #[test]
+    fn no_match_in_unique_data() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut mf = MatchFinder::new(data.len(), Level::Best);
+        for i in 0..50 {
+            mf.insert(&data, i);
+        }
+        assert_eq!(mf.best_match(&data, 50), None);
+    }
+
+    #[test]
+    fn caps_at_max_len() {
+        let data = vec![b'q'; MAX_LEN * 3];
+        let mut mf = MatchFinder::new(data.len(), Level::Best);
+        for i in 0..MAX_LEN {
+            mf.insert(&data, i);
+        }
+        let (len, _) = mf.best_match(&data, MAX_LEN).expect("match");
+        assert_eq!(len, MAX_LEN);
+    }
+}

@@ -1,0 +1,373 @@
+//! LZMA-style context models: bit trees, the match-length coder and the
+//! distance slot/footer coder.
+
+use crate::rangecoder::{RangeDecoder, RangeEncoder, PROB_INIT};
+
+/// A bit tree coding `bits`-wide values MSB-first with one adaptive
+/// probability per internal node.
+#[derive(Debug, Clone)]
+pub struct BitTree {
+    probs: Vec<u16>,
+    bits: u32,
+}
+
+impl BitTree {
+    /// Creates a tree for values `0..2^bits`.
+    pub fn new(bits: u32) -> Self {
+        BitTree {
+            probs: vec![PROB_INIT; 1 << bits],
+            bits,
+        }
+    }
+
+    /// Encodes `value` (< 2^bits).
+    pub fn encode(&mut self, rc: &mut RangeEncoder, value: u32) {
+        debug_assert!(value < (1 << self.bits));
+        let mut ctx = 1usize;
+        for i in (0..self.bits).rev() {
+            let bit = (value >> i) & 1;
+            rc.encode_bit(&mut self.probs[ctx], bit);
+            ctx = (ctx << 1) | bit as usize;
+        }
+    }
+
+    /// Decodes one value.
+    pub fn decode(&mut self, rc: &mut RangeDecoder<'_>) -> u32 {
+        let mut ctx = 1usize;
+        for _ in 0..self.bits {
+            let bit = rc.decode_bit(&mut self.probs[ctx]);
+            ctx = (ctx << 1) | bit as usize;
+        }
+        ctx as u32 - (1 << self.bits)
+    }
+
+    /// Encodes `value` bit-reversed (LSB first), as LZMA does for distance
+    /// footers and align bits.
+    pub fn encode_reverse(&mut self, rc: &mut RangeEncoder, value: u32) {
+        debug_assert!(value < (1 << self.bits));
+        let mut ctx = 1usize;
+        let mut v = value;
+        for _ in 0..self.bits {
+            let bit = v & 1;
+            v >>= 1;
+            rc.encode_bit(&mut self.probs[ctx], bit);
+            ctx = (ctx << 1) | bit as usize;
+        }
+    }
+
+    /// Decodes a bit-reversed value.
+    pub fn decode_reverse(&mut self, rc: &mut RangeDecoder<'_>) -> u32 {
+        let mut ctx = 1usize;
+        let mut value = 0u32;
+        for i in 0..self.bits {
+            let bit = rc.decode_bit(&mut self.probs[ctx]);
+            ctx = (ctx << 1) | bit as usize;
+            value |= bit << i;
+        }
+        value
+    }
+}
+
+/// Smallest codable match length.
+pub const MIN_LEN: usize = 2;
+/// Largest codable match length: 2 + 8 + 8 + 256.
+pub const MAX_LEN: usize = MIN_LEN + 8 + 8 + 255;
+
+/// LZMA's three-range length coder: lengths 2..=9 in a 3-bit tree,
+/// 10..=17 in another, 18..=273 in an 8-bit tree.
+#[derive(Debug)]
+pub struct LenCoder {
+    choice: u16,
+    choice2: u16,
+    low: BitTree,
+    mid: BitTree,
+    high: BitTree,
+}
+
+impl Default for LenCoder {
+    fn default() -> Self {
+        LenCoder {
+            choice: PROB_INIT,
+            choice2: PROB_INIT,
+            low: BitTree::new(3),
+            mid: BitTree::new(3),
+            high: BitTree::new(8),
+        }
+    }
+}
+
+impl LenCoder {
+    /// Encodes a match length in `MIN_LEN..=MAX_LEN`.
+    pub fn encode(&mut self, rc: &mut RangeEncoder, len: usize) {
+        debug_assert!((MIN_LEN..=MAX_LEN).contains(&len));
+        let v = (len - MIN_LEN) as u32;
+        if v < 8 {
+            rc.encode_bit(&mut self.choice, 0);
+            self.low.encode(rc, v);
+        } else if v < 16 {
+            rc.encode_bit(&mut self.choice, 1);
+            rc.encode_bit(&mut self.choice2, 0);
+            self.mid.encode(rc, v - 8);
+        } else {
+            rc.encode_bit(&mut self.choice, 1);
+            rc.encode_bit(&mut self.choice2, 1);
+            self.high.encode(rc, v - 16);
+        }
+    }
+
+    /// Decodes a match length.
+    pub fn decode(&mut self, rc: &mut RangeDecoder<'_>) -> usize {
+        if rc.decode_bit(&mut self.choice) == 0 {
+            MIN_LEN + self.low.decode(rc) as usize
+        } else if rc.decode_bit(&mut self.choice2) == 0 {
+            MIN_LEN + 8 + self.mid.decode(rc) as usize
+        } else {
+            MIN_LEN + 16 + self.high.decode(rc) as usize
+        }
+    }
+}
+
+/// Number of length-dependent distance-slot contexts.
+const LEN_TO_DIST_STATES: usize = 4;
+/// Slots 0..=3 encode the distance directly.
+const FIRST_FOOTER_SLOT: u32 = 4;
+/// Slots with model-coded footers (below this) vs direct + align bits.
+const MODEL_FOOTER_END: u32 = 14;
+/// Align bits coded with a reverse tree for large distances.
+const ALIGN_BITS: u32 = 4;
+
+/// Distance coder: 6-bit slot (context = capped length), then footer bits.
+#[derive(Debug)]
+pub struct DistCoder {
+    slots: Vec<BitTree>,
+    /// One reverse tree per model-coded slot (4..14).
+    footers: Vec<BitTree>,
+    align: BitTree,
+}
+
+impl Default for DistCoder {
+    fn default() -> Self {
+        DistCoder {
+            slots: (0..LEN_TO_DIST_STATES).map(|_| BitTree::new(6)).collect(),
+            footers: (FIRST_FOOTER_SLOT..MODEL_FOOTER_END)
+                .map(|slot| BitTree::new((slot >> 1) - 1))
+                .collect(),
+            align: BitTree::new(ALIGN_BITS),
+        }
+    }
+}
+
+#[inline]
+fn dist_state(len: usize) -> usize {
+    (len - MIN_LEN).min(LEN_TO_DIST_STATES - 1)
+}
+
+/// Slot of a distance value: 0..=3 identity, then logarithmic.
+#[inline]
+fn dist_slot(dist: u32) -> u32 {
+    if dist < FIRST_FOOTER_SLOT {
+        return dist;
+    }
+    let bits = 31 - dist.leading_zeros();
+    (bits << 1) | ((dist >> (bits - 1)) & 1)
+}
+
+impl DistCoder {
+    /// Encodes `dist` (0-based: the actual distance minus one) for a match
+    /// of length `len`.
+    pub fn encode(&mut self, rc: &mut RangeEncoder, len: usize, dist: u32) {
+        let slot = dist_slot(dist);
+        self.slots[dist_state(len)].encode(rc, slot);
+        if slot < FIRST_FOOTER_SLOT {
+            return;
+        }
+        let footer_bits = (slot >> 1) - 1;
+        let base = (2 | (slot & 1)) << footer_bits;
+        let rest = dist - base;
+        if slot < MODEL_FOOTER_END {
+            self.footers[(slot - FIRST_FOOTER_SLOT) as usize].encode_reverse(rc, rest);
+        } else {
+            rc.encode_direct(rest >> ALIGN_BITS, footer_bits - ALIGN_BITS);
+            self.align.encode_reverse(rc, rest & ((1 << ALIGN_BITS) - 1));
+        }
+    }
+
+    /// Decodes a 0-based distance for a match of length `len`.
+    pub fn decode(&mut self, rc: &mut RangeDecoder<'_>, len: usize) -> u32 {
+        let slot = self.slots[dist_state(len)].decode(rc);
+        if slot < FIRST_FOOTER_SLOT {
+            return slot;
+        }
+        let footer_bits = (slot >> 1) - 1;
+        let base = (2 | (slot & 1)) << footer_bits;
+        if slot < MODEL_FOOTER_END {
+            base + self.footers[(slot - FIRST_FOOTER_SLOT) as usize].decode_reverse(rc)
+        } else {
+            let high = rc.decode_direct(footer_bits - ALIGN_BITS);
+            base + (high << ALIGN_BITS) + self.align.decode_reverse(rc)
+        }
+    }
+}
+
+/// Adaptive literal coder with the previous byte's top `LC` bits as context.
+#[derive(Debug)]
+pub struct LitCoder {
+    /// `1 << LC` contexts × 256-leaf trees (stored as 0x100 probs each).
+    probs: Vec<u16>,
+}
+
+/// Number of literal context bits (LZMA's default `lc=3`).
+const LC: u32 = 3;
+
+impl Default for LitCoder {
+    fn default() -> Self {
+        LitCoder {
+            probs: vec![PROB_INIT; (1usize << LC) * 0x100],
+        }
+    }
+}
+
+impl LitCoder {
+    #[inline]
+    fn ctx_base(prev_byte: u8) -> usize {
+        ((prev_byte >> (8 - LC)) as usize) << 8
+    }
+
+    /// Encodes `byte` given the preceding byte.
+    pub fn encode(&mut self, rc: &mut RangeEncoder, prev_byte: u8, byte: u8) {
+        let base = Self::ctx_base(prev_byte);
+        let mut ctx = 1usize;
+        for i in (0..8).rev() {
+            let bit = ((byte >> i) & 1) as u32;
+            rc.encode_bit(&mut self.probs[base + ctx], bit);
+            ctx = (ctx << 1) | bit as usize;
+        }
+    }
+
+    /// Decodes one literal byte.
+    pub fn decode(&mut self, rc: &mut RangeDecoder<'_>, prev_byte: u8) -> u8 {
+        let base = Self::ctx_base(prev_byte);
+        let mut ctx = 1usize;
+        for _ in 0..8 {
+            let bit = rc.decode_bit(&mut self.probs[base + ctx]);
+            ctx = (ctx << 1) | bit as usize;
+        }
+        (ctx & 0xFF) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_tree_roundtrip() {
+        let mut enc_tree = BitTree::new(6);
+        let mut rc = RangeEncoder::new();
+        let values: Vec<u32> = (0..64).chain([0, 63, 31, 32]).collect();
+        for &v in &values {
+            enc_tree.encode(&mut rc, v);
+        }
+        let bytes = rc.finish();
+        let mut dec_tree = BitTree::new(6);
+        let mut rd = RangeDecoder::new(&bytes);
+        for &v in &values {
+            assert_eq!(dec_tree.decode(&mut rd), v);
+        }
+    }
+
+    #[test]
+    fn reverse_bit_tree_roundtrip() {
+        let mut enc_tree = BitTree::new(4);
+        let mut rc = RangeEncoder::new();
+        for v in 0..16 {
+            enc_tree.encode_reverse(&mut rc, v);
+        }
+        let bytes = rc.finish();
+        let mut dec_tree = BitTree::new(4);
+        let mut rd = RangeDecoder::new(&bytes);
+        for v in 0..16 {
+            assert_eq!(dec_tree.decode_reverse(&mut rd), v);
+        }
+    }
+
+    #[test]
+    fn len_coder_full_range() {
+        let mut enc = LenCoder::default();
+        let mut rc = RangeEncoder::new();
+        let lens: Vec<usize> = (MIN_LEN..=MAX_LEN).collect();
+        for &l in &lens {
+            enc.encode(&mut rc, l);
+        }
+        let bytes = rc.finish();
+        let mut dec = LenCoder::default();
+        let mut rd = RangeDecoder::new(&bytes);
+        for &l in &lens {
+            assert_eq!(dec.decode(&mut rd), l);
+        }
+    }
+
+    #[test]
+    fn dist_slot_is_monotone_and_invertible() {
+        for dist in 0u32..100_000 {
+            let slot = dist_slot(dist);
+            if slot >= FIRST_FOOTER_SLOT {
+                let footer_bits = (slot >> 1) - 1;
+                let base = (2 | (slot & 1)) << footer_bits;
+                assert!(base <= dist && dist - base < (1 << footer_bits), "dist {dist}");
+            } else {
+                assert_eq!(slot, dist);
+            }
+        }
+    }
+
+    #[test]
+    fn dist_coder_roundtrip_wide_range() {
+        let dists: Vec<u32> = vec![
+            0,
+            1,
+            2,
+            3,
+            4,
+            5,
+            100,
+            1 << 10,
+            (1 << 16) - 1,
+            1 << 20,
+            (1 << 26) + 12345,
+            u32::MAX / 2,
+        ];
+        let mut enc = DistCoder::default();
+        let mut rc = RangeEncoder::new();
+        for (i, &d) in dists.iter().enumerate() {
+            enc.encode(&mut rc, MIN_LEN + i % 10, d);
+        }
+        let bytes = rc.finish();
+        let mut dec = DistCoder::default();
+        let mut rd = RangeDecoder::new(&bytes);
+        for (i, &d) in dists.iter().enumerate() {
+            assert_eq!(dec.decode(&mut rd, MIN_LEN + i % 10), d, "dist {d}");
+        }
+    }
+
+    #[test]
+    fn literal_coder_roundtrip_with_context() {
+        let text = b"context-sensitive literal coding adapts to byte bigrams";
+        let mut enc = LitCoder::default();
+        let mut rc = RangeEncoder::new();
+        let mut prev = 0u8;
+        for &b in text.iter() {
+            enc.encode(&mut rc, prev, b);
+            prev = b;
+        }
+        let bytes = rc.finish();
+        let mut dec = LitCoder::default();
+        let mut rd = RangeDecoder::new(&bytes);
+        let mut prev = 0u8;
+        for &b in text.iter() {
+            let got = dec.decode(&mut rd, prev);
+            assert_eq!(got, b);
+            prev = got;
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Binary range coder with adaptive probabilities — the arithmetic-coding
+//! backend of LZMA, ported to safe Rust.
+//!
+//! Probabilities are 11-bit (`0..2048`) and adapt with shift 5, exactly the
+//! constants the LZMA SDK uses.
+
+/// Number of probability bits.
+pub const PROB_BITS: u32 = 11;
+/// Initial probability: one half.
+pub const PROB_INIT: u16 = (1 << PROB_BITS) / 2;
+/// Adaptation shift.
+const MOVE_BITS: u32 = 5;
+/// Renormalization threshold.
+const TOP: u32 = 1 << 24;
+
+/// Range encoder writing to an owned buffer.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Creates a fresh encoder.
+    pub fn new() -> Self {
+        RangeEncoder {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn shift_low(&mut self) {
+        if (self.low as u32) < 0xFF00_0000 || (self.low >> 32) != 0 {
+            let carry = (self.low >> 32) as u8;
+            let mut byte = self.cache;
+            loop {
+                self.out.push(byte.wrapping_add(carry));
+                byte = 0xFF;
+                self.cache_size -= 1;
+                if self.cache_size == 0 {
+                    break;
+                }
+            }
+            self.cache = (self.low >> 24) as u8;
+        }
+        self.cache_size += 1;
+        // Keep only the low 24 bits before shifting: the top byte was just
+        // captured in `cache` (C does this implicitly via `(UInt32)low << 8`
+        // in 32-bit arithmetic).
+        self.low = (self.low & 0x00FF_FFFF) << 8;
+    }
+
+    /// Encodes one bit under the adaptive probability `prob`.
+    #[inline]
+    pub fn encode_bit(&mut self, prob: &mut u16, bit: u32) {
+        let bound = (self.range >> PROB_BITS) * (*prob as u32);
+        if bit == 0 {
+            self.range = bound;
+            *prob += ((1 << PROB_BITS) - *prob) >> MOVE_BITS;
+        } else {
+            self.low += bound as u64;
+            self.range -= bound;
+            *prob -= *prob >> MOVE_BITS;
+        }
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Encodes `n` equiprobable bits of `value`, most significant first.
+    #[inline]
+    pub fn encode_direct(&mut self, value: u32, n: u32) {
+        for i in (0..n).rev() {
+            self.range >>= 1;
+            if (value >> i) & 1 != 0 {
+                self.low += self.range as u64;
+            }
+            while self.range < TOP {
+                self.range <<= 8;
+                self.shift_low();
+            }
+        }
+    }
+
+    /// Flushes pending state and returns the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+
+    /// Bytes emitted so far (excluding pending carries).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if nothing has been flushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Range decoder over a byte slice.
+///
+/// Reads past the end of input are treated as zero bytes; the caller bounds
+/// decoding by the declared output length and validates results, so corrupt
+/// input can only produce wrong bytes or a reported error — never a panic or
+/// an unbounded loop.
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    range: u32,
+    code: u32,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Initializes the decoder (consumes the 5 priming bytes).
+    pub fn new(data: &'a [u8]) -> Self {
+        let mut d = RangeDecoder {
+            data,
+            pos: 1, // first byte is always zero padding from the encoder
+            range: u32::MAX,
+            code: 0,
+        };
+        for _ in 0..4 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        d
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        let b = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    #[inline]
+    fn normalize(&mut self) {
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | self.next_byte() as u32;
+        }
+    }
+
+    /// Decodes one bit under the adaptive probability `prob`.
+    #[inline]
+    pub fn decode_bit(&mut self, prob: &mut u16) -> u32 {
+        let bound = (self.range >> PROB_BITS) * (*prob as u32);
+        let bit = if self.code < bound {
+            self.range = bound;
+            *prob += ((1 << PROB_BITS) - *prob) >> MOVE_BITS;
+            0
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            *prob -= *prob >> MOVE_BITS;
+            1
+        };
+        self.normalize();
+        bit
+    }
+
+    /// Decodes `n` equiprobable bits, most significant first.
+    #[inline]
+    pub fn decode_direct(&mut self, n: u32) -> u32 {
+        let mut result = 0u32;
+        for _ in 0..n {
+            self.range >>= 1;
+            self.code = self.code.wrapping_sub(self.range);
+            let t = 0u32.wrapping_sub(self.code >> 31);
+            self.code = self.code.wrapping_add(self.range & t);
+            result = (result << 1) | t.wrapping_add(1);
+            self.normalize();
+        }
+        result
+    }
+
+    /// Bytes consumed from the input so far.
+    pub fn bytes_consumed(&self) -> usize {
+        self.pos.min(self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_adaptive_bits_roundtrip() {
+        let bits: Vec<u32> = (0..2000).map(|i| ((i * 7) % 3 == 0) as u32).collect();
+        let mut enc = RangeEncoder::new();
+        let mut p = PROB_INIT;
+        for &b in &bits {
+            enc.encode_bit(&mut p, b);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut p = PROB_INIT;
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut p), b);
+        }
+    }
+
+    #[test]
+    fn skewed_bits_compress_below_one_bit_each() {
+        // 1 in 64 ones: adaptive coding must get well under n/8 bytes.
+        let n = 64 * 1024;
+        let mut enc = RangeEncoder::new();
+        let mut p = PROB_INIT;
+        for i in 0..n {
+            enc.encode_bit(&mut p, (i % 64 == 63) as u32);
+        }
+        let bytes = enc.finish();
+        assert!(bytes.len() < n / 8 / 4, "got {} bytes", bytes.len());
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut p = PROB_INIT;
+        for i in 0..n {
+            assert_eq!(dec.decode_bit(&mut p), (i % 64 == 63) as u32);
+        }
+    }
+
+    #[test]
+    fn direct_bits_roundtrip() {
+        let values: Vec<(u32, u32)> = vec![
+            (0, 1),
+            (1, 1),
+            (0xFFFF_FFFF, 32),
+            (0x1234_5678, 32),
+            (5, 3),
+            (1023, 10),
+        ];
+        let mut enc = RangeEncoder::new();
+        for &(v, n) in &values {
+            enc.encode_direct(v, n);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(dec.decode_direct(n), v, "{v} over {n} bits");
+        }
+    }
+
+    #[test]
+    fn mixed_adaptive_and_direct() {
+        let mut enc = RangeEncoder::new();
+        let mut p1 = PROB_INIT;
+        let mut p2 = PROB_INIT;
+        for i in 0..500u32 {
+            enc.encode_bit(&mut p1, i & 1);
+            enc.encode_direct(i % 16, 4);
+            enc.encode_bit(&mut p2, (i % 5 == 0) as u32);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut p1 = PROB_INIT;
+        let mut p2 = PROB_INIT;
+        for i in 0..500u32 {
+            assert_eq!(dec.decode_bit(&mut p1), i & 1);
+            assert_eq!(dec.decode_direct(4), i % 16);
+            assert_eq!(dec.decode_bit(&mut p2), (i % 5 == 0) as u32);
+        }
+    }
+
+    #[test]
+    fn decoder_survives_truncated_input() {
+        let mut enc = RangeEncoder::new();
+        let mut p = PROB_INIT;
+        for i in 0..1000u32 {
+            enc.encode_bit(&mut p, i & 1);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes[..4]);
+        let mut p = PROB_INIT;
+        for _ in 0..1000 {
+            let b = dec.decode_bit(&mut p);
+            assert!(b <= 1);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests: lzlite round-trips arbitrary inputs and survives
+//! corruption without panicking.
+
+use proptest::prelude::*;
+use rlz_lzlite::{compress, decompress, Level};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..3000)) {
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let c = compress(&data, level);
+            let d = decompress(&c);
+            prop_assert_eq!(d.as_deref(), Ok(&data[..]), "{:?}", level);
+        }
+    }
+
+    #[test]
+    fn roundtrip_low_entropy(data in proptest::collection::vec(0u8..3, 0..5000)) {
+        let c = compress(&data, Level::Default);
+        let d = decompress(&c);
+        prop_assert_eq!(d.as_deref(), Ok(&data[..]));
+    }
+
+    #[test]
+    fn roundtrip_repeated_chunks(
+        chunk in proptest::collection::vec(any::<u8>(), 1..80),
+        reps in 1usize..150,
+    ) {
+        let data: Vec<u8> = chunk.iter().cycle().take(chunk.len() * reps).copied().collect();
+        let c = compress(&data, Level::Default);
+        let d = decompress(&c);
+        prop_assert_eq!(d.as_deref(), Ok(&data[..]));
+    }
+
+    #[test]
+    fn garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..1500)) {
+        let _ = decompress(&data);
+    }
+
+    #[test]
+    fn bitflips_never_panic(
+        data in proptest::collection::vec(any::<u8>(), 1..1500),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut c = compress(&data, Level::Fast);
+        let i = idx.index(c.len());
+        c[i] ^= 1 << bit;
+        let _ = decompress(&c);
+    }
+}

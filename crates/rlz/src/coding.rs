@@ -1,0 +1,328 @@
+//! Factor-stream coding (§3.4 of the paper).
+//!
+//! A document's factors are split into a *position* stream and a *length*
+//! stream, each coded independently. The paper evaluates four combinations,
+//! named by two letters (positions then lengths):
+//!
+//! * `U` — raw unsigned 32-bit integers,
+//! * `V` — variable-byte code,
+//! * `Z` — zlib applied per document to the raw 32-bit stream (here:
+//!   `zlite` at best effort, matching the paper's "zlib with z best
+//!   compression"),
+//!
+//! giving `ZZ`, `ZV`, `UZ`, `UV`. The future-work codecs Simple-9,
+//! PForDelta and Elias γ/δ are also wired in (`S`, `P`, `G`, `D`) for the
+//! ablation benchmarks.
+//!
+//! Wire format per document:
+//! `vbyte(n_factors) · vbyte(|pos|) · pos bytes · vbyte(|len|) · len bytes`.
+
+use crate::factor::Factor;
+use rlz_codecs::{elias, fixed, pfor, simple9, vbyte, CodecError, IntCodec};
+
+/// Coder for a single integer stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coder {
+    /// `U`: little-endian `u32` (the paper's unsigned 32-bit baseline).
+    U32,
+    /// `V`: variable-byte code.
+    VByte,
+    /// `Z`: general-purpose compression (zlite, best effort) of the raw
+    /// 32-bit stream — captures higher-order per-document patterns.
+    Zlib,
+    /// `S`: Simple-9 word-aligned code (future work in the paper).
+    Simple9,
+    /// `P`: PForDelta (future work in the paper).
+    PFor,
+    /// `G`: Elias gamma.
+    Gamma,
+    /// `D`: Elias delta.
+    Delta,
+}
+
+impl Coder {
+    /// Parses the single-letter name used in the paper's tables.
+    pub fn parse(letter: char) -> Option<Coder> {
+        Some(match letter.to_ascii_uppercase() {
+            'U' => Coder::U32,
+            'V' => Coder::VByte,
+            'Z' => Coder::Zlib,
+            'S' => Coder::Simple9,
+            'P' => Coder::PFor,
+            'G' => Coder::Gamma,
+            'D' => Coder::Delta,
+            _ => return None,
+        })
+    }
+
+    /// The single-letter name.
+    pub fn letter(&self) -> char {
+        match self {
+            Coder::U32 => 'U',
+            Coder::VByte => 'V',
+            Coder::Zlib => 'Z',
+            Coder::Simple9 => 'S',
+            Coder::PFor => 'P',
+            Coder::Gamma => 'G',
+            Coder::Delta => 'D',
+        }
+    }
+
+    /// Encodes a value stream, appending to `out`.
+    pub fn encode_stream(&self, values: &[u32], out: &mut Vec<u8>) {
+        match self {
+            Coder::U32 => fixed::FixedU32.encode(values, out),
+            Coder::VByte => vbyte::VByte.encode(values, out),
+            Coder::Simple9 => simple9::Simple9.encode(values, out),
+            Coder::PFor => pfor::PForDelta::default().encode(values, out),
+            Coder::Gamma => elias::EliasGamma.encode(values, out),
+            Coder::Delta => elias::EliasDelta.encode(values, out),
+            Coder::Zlib => {
+                let mut raw = Vec::with_capacity(values.len() * 4);
+                fixed::FixedU32.encode(values, &mut raw);
+                let compressed = rlz_zlite::compress(&raw, rlz_zlite::Level::Best);
+                out.extend_from_slice(&compressed);
+            }
+        }
+    }
+
+    /// Decodes exactly `n` values from `data`.
+    pub fn decode_stream(&self, data: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        match self {
+            Coder::U32 => fixed::FixedU32.decode_to_vec(data, n),
+            Coder::VByte => vbyte::VByte.decode_to_vec(data, n),
+            Coder::Simple9 => simple9::Simple9.decode_to_vec(data, n),
+            Coder::PFor => pfor::PForDelta::default().decode_to_vec(data, n),
+            Coder::Gamma => elias::EliasGamma.decode_to_vec(data, n),
+            Coder::Delta => elias::EliasDelta.decode_to_vec(data, n),
+            Coder::Zlib => {
+                let raw = rlz_zlite::decompress(data)?;
+                if raw.len() != n * 4 {
+                    return Err(CodecError::Corrupt("Z stream count mismatch"));
+                }
+                fixed::FixedU32.decode_to_vec(&raw, n)
+            }
+        }
+    }
+}
+
+/// A position/length coder pair, e.g. `ZV` = zlib positions, vbyte lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairCoding {
+    /// Coder for the position stream.
+    pub pos: Coder,
+    /// Coder for the length stream.
+    pub len: Coder,
+}
+
+impl PairCoding {
+    /// zlib positions, zlib lengths — best compression in the paper.
+    pub const ZZ: PairCoding = PairCoding {
+        pos: Coder::Zlib,
+        len: Coder::Zlib,
+    };
+    /// zlib positions, vbyte lengths.
+    pub const ZV: PairCoding = PairCoding {
+        pos: Coder::Zlib,
+        len: Coder::VByte,
+    };
+    /// raw u32 positions, zlib lengths.
+    pub const UZ: PairCoding = PairCoding {
+        pos: Coder::U32,
+        len: Coder::Zlib,
+    };
+    /// raw u32 positions, vbyte lengths — fastest decoding in the paper.
+    pub const UV: PairCoding = PairCoding {
+        pos: Coder::U32,
+        len: Coder::VByte,
+    };
+
+    /// The four combinations evaluated in Tables 4, 5 and 8.
+    pub const PAPER_SET: [PairCoding; 4] = [Self::ZZ, Self::ZV, Self::UZ, Self::UV];
+
+    /// Parses a two-letter name such as `"ZV"`.
+    pub fn parse(name: &str) -> Option<PairCoding> {
+        let mut chars = name.chars();
+        let pos = Coder::parse(chars.next()?)?;
+        let len = Coder::parse(chars.next()?)?;
+        chars.next().is_none().then_some(PairCoding { pos, len })
+    }
+
+    /// The two-letter name used in the paper's tables.
+    pub fn name(&self) -> String {
+        format!("{}{}", self.pos.letter(), self.len.letter())
+    }
+}
+
+/// Encodes a factorized document.
+pub fn encode_document(factors: &[Factor], coding: PairCoding) -> Vec<u8> {
+    let positions: Vec<u32> = factors.iter().map(|f| f.pos).collect();
+    let lengths: Vec<u32> = factors.iter().map(|f| f.len).collect();
+    let mut pos_bytes = Vec::new();
+    coding.pos.encode_stream(&positions, &mut pos_bytes);
+    let mut len_bytes = Vec::new();
+    coding.len.encode_stream(&lengths, &mut len_bytes);
+
+    let mut out = Vec::with_capacity(pos_bytes.len() + len_bytes.len() + 12);
+    vbyte::write_u32(factors.len() as u32, &mut out);
+    vbyte::write_u32(pos_bytes.len() as u32, &mut out);
+    out.extend_from_slice(&pos_bytes);
+    vbyte::write_u32(len_bytes.len() as u32, &mut out);
+    out.extend_from_slice(&len_bytes);
+    out
+}
+
+/// Decodes an encoded document back to factors.
+pub fn decode_document(data: &[u8], coding: PairCoding) -> Result<Vec<Factor>, CodecError> {
+    let (positions, lengths) = decode_streams(data, coding)?;
+    Ok(positions
+        .into_iter()
+        .zip(lengths)
+        .map(|(pos, len)| Factor { pos, len })
+        .collect())
+}
+
+/// Decodes the two value streams of an encoded document.
+pub fn decode_streams(
+    data: &[u8],
+    coding: PairCoding,
+) -> Result<(Vec<u32>, Vec<u32>), CodecError> {
+    let mut at = 0usize;
+    let n = vbyte::read_u32(data, &mut at)? as usize;
+    let pos_len = vbyte::read_u32(data, &mut at)? as usize;
+    let pos_bytes = data
+        .get(at..at + pos_len)
+        .ok_or(CodecError::UnexpectedEof)?;
+    let positions = coding.pos.decode_stream(pos_bytes, n)?;
+    at += pos_len;
+    let len_len = vbyte::read_u32(data, &mut at)? as usize;
+    let len_bytes = data
+        .get(at..at + len_len)
+        .ok_or(CodecError::UnexpectedEof)?;
+    let lengths = coding.len.decode_stream(len_bytes, n)?;
+    Ok((positions, lengths))
+}
+
+/// Decodes an encoded document and expands it against the dictionary text in
+/// one pass, appending the document bytes to `out`.
+pub fn decode_and_expand(
+    data: &[u8],
+    coding: PairCoding,
+    dict_bytes: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    let (positions, lengths) = decode_streams(data, coding)?;
+    for (&pos, &len) in positions.iter().zip(&lengths) {
+        if len == 0 {
+            let b = u8::try_from(pos).map_err(|_| CodecError::Corrupt("literal is not a byte"))?;
+            out.push(b);
+        } else {
+            let chunk = dict_bytes
+                .get(pos as usize..pos as usize + len as usize)
+                .ok_or(CodecError::Corrupt("factor exceeds dictionary"))?;
+            out.extend_from_slice(chunk);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_factors() -> Vec<Factor> {
+        vec![
+            Factor::copy(1000, 42),
+            Factor::literal(b'q'),
+            Factor::copy(0, 7),
+            Factor::copy(999_999, 3),
+            Factor::literal(0),
+            Factor::copy(77, 258),
+        ]
+    }
+
+    #[test]
+    fn all_pair_codings_roundtrip() {
+        let factors = sample_factors();
+        for name in ["ZZ", "ZV", "UZ", "UV", "SS", "PP", "GV", "DV", "SV", "PV"] {
+            let coding = PairCoding::parse(name).unwrap();
+            assert_eq!(coding.name(), name.to_uppercase());
+            let enc = encode_document(&factors, coding);
+            let dec = decode_document(&enc, coding).unwrap();
+            assert_eq!(dec, factors, "coding {name}");
+        }
+    }
+
+    #[test]
+    fn empty_document_roundtrips() {
+        for coding in PairCoding::PAPER_SET {
+            let enc = encode_document(&[], coding);
+            assert!(decode_document(&enc, coding).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(PairCoding::parse("Q"), None);
+        assert_eq!(PairCoding::parse("ZZZ"), None);
+        assert_eq!(PairCoding::parse(""), None);
+        assert_eq!(PairCoding::parse("XY"), None);
+        assert!(PairCoding::parse("zv").is_some(), "case-insensitive");
+    }
+
+    #[test]
+    fn decode_and_expand_matches_two_step() {
+        let dict = b"the common dictionary text with patterns".to_vec();
+        let factors = vec![
+            Factor::copy(4, 6),  // "common"
+            Factor::literal(b'!'),
+            Factor::copy(10, 11), // " dictionary"
+        ];
+        for coding in PairCoding::PAPER_SET {
+            let enc = encode_document(&factors, coding);
+            let mut fast = Vec::new();
+            decode_and_expand(&enc, coding, &dict, &mut fast).unwrap();
+            let mut slow = Vec::new();
+            crate::factor::expand(&dict, &decode_document(&enc, coding).unwrap(), &mut slow)
+                .unwrap();
+            assert_eq!(fast, slow);
+            assert_eq!(fast, b"common! dictionary");
+        }
+    }
+
+    #[test]
+    fn truncated_documents_error() {
+        let factors = sample_factors();
+        for coding in PairCoding::PAPER_SET {
+            let enc = encode_document(&factors, coding);
+            for cut in [0, 1, enc.len() / 2, enc.len() - 1] {
+                assert!(
+                    decode_document(&enc[..cut], coding).is_err(),
+                    "coding {} cut {}",
+                    coding.name(),
+                    cut
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn z_coding_compresses_repetitive_positions() {
+        // Repeated intra-document factors: Z positions must beat U.
+        let factors: Vec<Factor> = (0..500)
+            .map(|i| Factor::copy([100u32, 2000, 30000][i % 3], 20))
+            .collect();
+        let z = encode_document(&factors, PairCoding::ZZ).len();
+        let u = encode_document(&factors, PairCoding::UV).len();
+        assert!(z < u / 3, "ZZ {} vs UV {}", z, u);
+    }
+
+    #[test]
+    fn wrong_coding_fails_or_differs() {
+        // Decoding with a mismatched pair coding must not silently return
+        // the original factors.
+        let factors = sample_factors();
+        let enc = encode_document(&factors, PairCoding::UV);
+        if let Ok(dec) = decode_document(&enc, PairCoding::ZV) { assert_ne!(dec, factors) }
+    }
+}

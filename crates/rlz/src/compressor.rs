@@ -1,0 +1,157 @@
+//! The end-to-end per-document RLZ compressor: factorize against a shared
+//! dictionary, code the factor streams, decode by translating factors back
+//! through the memory-resident dictionary.
+
+use crate::coding::{decode_and_expand, encode_document, PairCoding};
+use crate::factor::{factorize, Factor};
+use crate::Dictionary;
+use rlz_codecs::CodecError;
+
+/// A reusable RLZ compressor bound to one dictionary and pair coding.
+///
+/// The dictionary is held in memory (the property §3.1 credits for fast
+/// random access: "decoding can start immediately"). Compression of
+/// different documents through a shared `RlzCompressor` is embarrassingly
+/// parallel — the struct is `Sync` and all methods take `&self`.
+#[derive(Debug)]
+pub struct RlzCompressor {
+    dict: Dictionary,
+    coding: PairCoding,
+}
+
+impl RlzCompressor {
+    /// Creates a compressor over `dict` with the given pair coding.
+    pub fn new(dict: Dictionary, coding: PairCoding) -> Self {
+        RlzCompressor { dict, coding }
+    }
+
+    /// The dictionary in use.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The pair coding in use.
+    pub fn coding(&self) -> PairCoding {
+        self.coding
+    }
+
+    /// Factorizes one document (exposed for statistics collection).
+    pub fn factorize(&self, doc: &[u8]) -> Vec<Factor> {
+        let mut out = Vec::new();
+        factorize(&self.dict, doc, &mut out);
+        out
+    }
+
+    /// Compresses one document.
+    pub fn compress(&self, doc: &[u8]) -> Vec<u8> {
+        encode_document(&self.factorize(doc), self.coding)
+    }
+
+    /// Compresses a pre-computed factorization (avoids re-parsing when the
+    /// caller also wants statistics).
+    pub fn encode_factors(&self, factors: &[Factor]) -> Vec<u8> {
+        encode_document(factors, self.coding)
+    }
+
+    /// Decompresses one document into a fresh buffer.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decompresses one document, appending to `out` (reusable buffer for
+    /// retrieval loops).
+    pub fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        decode_and_expand(data, self.coding, self.dict.bytes(), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SampleStrategy;
+
+    fn web_like_collection() -> Vec<u8> {
+        let mut c = Vec::new();
+        for i in 0..3000u32 {
+            c.extend_from_slice(
+                format!(
+                    "<html><head><title>Page {i}</title></head><body>\
+                     <nav>home | products | contact</nav>\
+                     <p>Content number {} with shared phrasing across pages.</p>\
+                     </body></html>\n",
+                    i % 97
+                )
+                .as_bytes(),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn roundtrip_all_paper_codings() {
+        let collection = web_like_collection();
+        let dict = Dictionary::sample(&collection, 8192, 1024, SampleStrategy::Evenly);
+        let docs: Vec<&[u8]> = collection.chunks(1500).collect();
+        for coding in PairCoding::PAPER_SET {
+            let comp = RlzCompressor::new(dict.clone(), coding);
+            for doc in &docs {
+                let enc = comp.compress(doc);
+                assert_eq!(&comp.decompress(&enc).unwrap(), doc, "{}", coding.name());
+            }
+        }
+    }
+
+    #[test]
+    fn compression_beats_raw_on_templated_text() {
+        let collection = web_like_collection();
+        let dict = Dictionary::sample(&collection, collection.len() / 100, 1024, SampleStrategy::Evenly);
+        let comp = RlzCompressor::new(dict, PairCoding::ZZ);
+        let total_raw: usize = collection.len();
+        let total_enc: usize = collection.chunks(2000).map(|d| comp.compress(d).len()).sum();
+        let ratio = total_enc as f64 / total_raw as f64;
+        assert!(ratio < 0.35, "encoding ratio {:.3} too poor", ratio);
+    }
+
+    #[test]
+    fn document_with_novel_bytes_roundtrips() {
+        let dict = Dictionary::from_bytes(b"ascii only dictionary".to_vec());
+        let comp = RlzCompressor::new(dict, PairCoding::UV);
+        let doc: Vec<u8> = (0u8..=255).collect();
+        let enc = comp.compress(&doc);
+        assert_eq!(comp.decompress(&enc).unwrap(), doc);
+    }
+
+    #[test]
+    fn decompress_into_reuses_buffer() {
+        let dict = Dictionary::from_bytes(b"shared text shared text".to_vec());
+        let comp = RlzCompressor::new(dict, PairCoding::UV);
+        let enc1 = comp.compress(b"shared text one");
+        let enc2 = comp.compress(b"shared text two");
+        let mut buf = Vec::new();
+        comp.decompress_into(&enc1, &mut buf).unwrap();
+        comp.decompress_into(&enc2, &mut buf).unwrap();
+        assert_eq!(buf, b"shared text oneshared text two");
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error_not_a_panic() {
+        let dict = Dictionary::from_bytes(b"dictionary".to_vec());
+        let comp = RlzCompressor::new(dict, PairCoding::ZZ);
+        let mut enc = comp.compress(b"dictionary dictionary");
+        for i in 0..enc.len() {
+            enc[i] ^= 0xA5;
+            let _ = comp.decompress(&enc);
+            enc[i] ^= 0xA5;
+        }
+        assert!(comp.decompress(&[]).is_err());
+        assert!(comp.decompress(&[0xFF]).is_err());
+    }
+
+    #[test]
+    fn compressor_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RlzCompressor>();
+    }
+}

@@ -1,0 +1,245 @@
+//! Dictionary construction for relative Lempel-Ziv compression (§3.3).
+//!
+//! The dictionary is a representative sample of the collection: evenly
+//! spaced, fixed-length samples concatenated and indexed with a suffix
+//! array. "Although simple, this technique generates a very effective
+//! dictionary for typical Web data" — the evaluation in Tables 2–5 sweeps
+//! dictionary sizes and sample lengths; [`SampleStrategy`] also implements
+//! the prefix sampling used by the dynamic-update experiment (Table 10) and
+//! random sampling as an ablation.
+
+use rlz_suffix::{Matcher, SuffixArray};
+
+/// How sample positions are chosen across the collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleStrategy {
+    /// Evenly spaced samples across the whole collection — the paper's
+    /// method (§3.3): positions `0, n/(m/s), 2n/(m/s), …`.
+    Evenly,
+    /// Evenly spaced samples restricted to the first `percent` of the
+    /// collection — models a dictionary built before the rest of a growing
+    /// collection existed (§3.6, Table 10).
+    Prefix {
+        /// Fraction of the collection visible when sampling, in percent
+        /// (1..=100).
+        percent: u32,
+    },
+    /// Pseudo-random sample starts (deterministic given `seed`); an
+    /// ablation of the evenly-spaced choice.
+    Random {
+        /// RNG seed so builds are reproducible.
+        seed: u64,
+    },
+}
+
+/// An RLZ dictionary: the sampled text plus its suffix array.
+#[derive(Debug, Clone)]
+pub struct Dictionary {
+    bytes: Vec<u8>,
+    sa: SuffixArray,
+}
+
+impl Dictionary {
+    /// Builds a dictionary directly from the given bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        let sa = SuffixArray::build(&bytes);
+        Dictionary { bytes, sa }
+    }
+
+    /// Samples a dictionary of (at most) `dict_size` bytes from `collection`
+    /// using samples of `sample_len` bytes, per the chosen strategy.
+    ///
+    /// Mirrors §3.3: `m/s` samples of length `s` at evenly spaced positions.
+    /// If the collection is smaller than the requested dictionary, the whole
+    /// collection becomes the dictionary.
+    pub fn sample(
+        collection: &[u8],
+        dict_size: usize,
+        sample_len: usize,
+        strategy: SampleStrategy,
+    ) -> Self {
+        assert!(sample_len > 0, "sample length must be positive");
+        let n = collection.len();
+        if n <= dict_size || dict_size == 0 {
+            return Self::from_bytes(collection.to_vec());
+        }
+        let region_end = match strategy {
+            SampleStrategy::Prefix { percent } => {
+                assert!((1..=100).contains(&percent), "percent must be 1..=100");
+                ((n as u64 * percent as u64) / 100).max(1) as usize
+            }
+            _ => n,
+        };
+        let num_samples = dict_size.div_ceil(sample_len).max(1);
+        let mut bytes = Vec::with_capacity(dict_size);
+        match strategy {
+            SampleStrategy::Evenly | SampleStrategy::Prefix { .. } => {
+                // Interval between sample starts; positions are spaced so the
+                // final sample still fits in the region where possible.
+                for k in 0..num_samples {
+                    let start = if num_samples == 1 {
+                        0
+                    } else {
+                        (region_end as u64 * k as u64 / num_samples as u64) as usize
+                    };
+                    let end = (start + sample_len).min(region_end);
+                    bytes.extend_from_slice(&collection[start..end]);
+                    if bytes.len() >= dict_size {
+                        break;
+                    }
+                }
+            }
+            SampleStrategy::Random { seed } => {
+                // splitmix64 of the seed, so nearby seeds diverge.
+                let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                state = (state ^ (state >> 31)) | 1;
+                for _ in 0..num_samples {
+                    // xorshift64*: deterministic, dependency-free.
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                    let start = (r % region_end.saturating_sub(sample_len).max(1) as u64) as usize;
+                    let end = (start + sample_len).min(region_end);
+                    bytes.extend_from_slice(&collection[start..end]);
+                    if bytes.len() >= dict_size {
+                        break;
+                    }
+                }
+            }
+        }
+        bytes.truncate(dict_size);
+        Self::from_bytes(bytes)
+    }
+
+    /// Appends additional samples (e.g. from newly arrived documents) and
+    /// rebuilds the suffix array — the memory-unconstrained update path of
+    /// §3.6. Existing factor encodings remain valid because dictionary
+    /// offsets are unchanged.
+    pub fn append_samples(&mut self, new_text: &[u8], extra_size: usize, sample_len: usize) {
+        let extra = Dictionary::sample(new_text, extra_size, sample_len, SampleStrategy::Evenly);
+        self.bytes.extend_from_slice(extra.bytes());
+        self.sa = SuffixArray::build(&self.bytes);
+    }
+
+    /// The dictionary text.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Dictionary size in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the dictionary holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The dictionary's suffix array.
+    #[inline]
+    pub fn suffix_array(&self) -> &SuffixArray {
+        &self.sa
+    }
+
+    /// A longest-match view over the dictionary.
+    #[inline]
+    pub fn matcher(&self) -> Matcher<'_> {
+        Matcher::new(&self.bytes, &self.sa)
+    }
+
+    /// Serializes as raw bytes (the suffix array is rebuilt on load: it is
+    /// derived state, and rebuilding keeps the on-disk format trivial).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.bytes.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection() -> Vec<u8> {
+        (0..100_000u32)
+            .flat_map(|i| format!("doc{:05} content words here. ", i).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn evenly_spaced_sampling_hits_target_size() {
+        let c = collection();
+        let d = Dictionary::sample(&c, 10_000, 1000, SampleStrategy::Evenly);
+        assert_eq!(d.len(), 10_000);
+    }
+
+    #[test]
+    fn whole_collection_when_smaller_than_dict() {
+        let c = b"tiny".to_vec();
+        let d = Dictionary::sample(&c, 1000, 100, SampleStrategy::Evenly);
+        assert_eq!(d.bytes(), b"tiny");
+    }
+
+    #[test]
+    fn samples_span_the_collection() {
+        // With even spacing, the last sample must come from the tail region.
+        let mut c = vec![b'a'; 50_000];
+        c.extend(vec![b'z'; 50_000]);
+        let d = Dictionary::sample(&c, 5_000, 500, SampleStrategy::Evenly);
+        assert!(d.bytes().contains(&b'a'));
+        assert!(d.bytes().contains(&b'z'));
+    }
+
+    #[test]
+    fn prefix_sampling_only_sees_prefix() {
+        let mut c = vec![b'a'; 50_000];
+        c.extend(vec![b'z'; 50_000]);
+        let d = Dictionary::sample(&c, 5_000, 500, SampleStrategy::Prefix { percent: 50 });
+        assert!(d.bytes().iter().all(|&b| b == b'a'));
+    }
+
+    #[test]
+    fn random_sampling_is_deterministic() {
+        let c = collection();
+        let d1 = Dictionary::sample(&c, 4_000, 256, SampleStrategy::Random { seed: 42 });
+        let d2 = Dictionary::sample(&c, 4_000, 256, SampleStrategy::Random { seed: 42 });
+        assert_eq!(d1.bytes(), d2.bytes());
+        let d3 = Dictionary::sample(&c, 4_000, 256, SampleStrategy::Random { seed: 43 });
+        assert_ne!(d1.bytes(), d3.bytes());
+    }
+
+    #[test]
+    fn append_samples_preserves_existing_offsets() {
+        let c = collection();
+        let mut d = Dictionary::sample(&c, 5_000, 500, SampleStrategy::Evenly);
+        let before = d.bytes().to_vec();
+        d.append_samples(b"entirely new content that keeps repeating itself", 64, 16);
+        assert_eq!(&d.bytes()[..before.len()], &before[..]);
+        assert!(d.len() > before.len());
+    }
+
+    #[test]
+    fn suffix_array_matches_bytes() {
+        let c = collection();
+        let d = Dictionary::sample(&c, 2_000, 250, SampleStrategy::Evenly);
+        assert_eq!(d.suffix_array().len(), d.len());
+        // Spot-check the matcher works over the sampled text.
+        let (pos, len) = d.matcher().longest_match(b"content words");
+        assert!(len > 0);
+        assert_eq!(
+            &d.bytes()[pos as usize..pos as usize + len as usize],
+            &b"content words"[..len as usize]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sample_len_rejected() {
+        let _ = Dictionary::sample(b"abc", 2, 0, SampleStrategy::Evenly);
+    }
+}

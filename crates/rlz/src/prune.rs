@@ -1,0 +1,196 @@
+//! Dictionary pruning — the paper's future-work direction (§6) studied in
+//! Hoobin et al.'s companion SIGIR'11 paper, "Sample selection for
+//! dictionary-based corpus compression" (reference \[17\]).
+//!
+//! Tables 2 and 3 show 7–40 % of an evenly sampled dictionary is never
+//! referenced by any factor. The multi-pass scheme here implements the
+//! paper's sketch: "make multiple passes of random sampling. During each
+//! pass we find and eliminate redundancy, freeing space to be filled in
+//! subsequent passes."
+//!
+//! Each pass: factorize a training sample of documents against the current
+//! dictionary, drop dictionary regions that no factor touched, and refill
+//! the freed budget with fresh samples drawn from elsewhere in the
+//! collection. Pruning happens **before** any document is encoded, so no
+//! encodings are invalidated.
+
+use crate::dict::{Dictionary, SampleStrategy};
+use crate::factor::factorize;
+use crate::stats::FactorStats;
+
+/// Configuration for iterative dictionary refinement.
+#[derive(Debug, Clone)]
+pub struct PruneConfig {
+    /// Number of prune-and-refill passes.
+    pub passes: usize,
+    /// Fraction of the collection (per mille) factorized per pass to
+    /// estimate usage. 50‰ = 5 % keeps passes cheap and estimates stable.
+    pub train_per_mille: u32,
+    /// Sample length for refill material.
+    pub sample_len: usize,
+    /// Minimum run of unused bytes eligible for eviction; short gaps stay
+    /// so that factors spanning their neighbourhood survive.
+    pub min_evict_run: usize,
+    /// Seed for refill sampling.
+    pub seed: u64,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig {
+            passes: 2,
+            train_per_mille: 50,
+            sample_len: 1024,
+            min_evict_run: 64,
+            seed: 0x17,
+        }
+    }
+}
+
+/// Iteratively prunes unused dictionary regions and refills the budget with
+/// fresh samples. Returns the improved dictionary (same size as the input).
+pub fn prune_and_refill(
+    dict: Dictionary,
+    collection: &[u8],
+    doc_bounds: &[usize],
+    config: &PruneConfig,
+) -> Dictionary {
+    let budget = dict.len();
+    let mut current = dict;
+    for pass in 0..config.passes {
+        // 1. Estimate usage on a training subset of documents.
+        let mut stats = FactorStats::new(current.len());
+        let stride = (1000 / config.train_per_mille.clamp(1, 1000)) as usize;
+        let mut factors = Vec::new();
+        for w in doc_bounds.windows(2).step_by(stride.max(1)) {
+            factors.clear();
+            factorize(&current, &collection[w[0]..w[1]], &mut factors);
+            stats.record(&factors);
+        }
+        // 2. Keep used regions (plus short unused gaps).
+        let used = usage_mask(&stats, current.len(), config.min_evict_run);
+        let mut kept = Vec::with_capacity(budget);
+        for (i, &byte) in current.bytes().iter().enumerate() {
+            if used[i] {
+                kept.push(byte);
+            }
+        }
+        let freed = budget - kept.len();
+        if freed == 0 {
+            break;
+        }
+        // 3. Refill with fresh samples from a different phase offset.
+        let refill = Dictionary::sample(
+            collection,
+            freed,
+            config.sample_len,
+            SampleStrategy::Random {
+                seed: config.seed ^ (pass as u64).wrapping_mul(0x9E37_79B9),
+            },
+        );
+        kept.extend_from_slice(refill.bytes());
+        kept.truncate(budget);
+        current = Dictionary::from_bytes(kept);
+    }
+    current
+}
+
+/// Marks bytes to keep: used bytes, and unused runs shorter than
+/// `min_evict_run`.
+fn usage_mask(stats: &FactorStats, len: usize, min_evict_run: usize) -> Vec<bool> {
+    let mut keep = vec![true; len];
+    let used = stats.used();
+    debug_assert_eq!(used.len(), len);
+    let mut i = 0usize;
+    while i < len {
+        if !used[i] {
+            let start = i;
+            while i < len && !used[i] {
+                i += 1;
+            }
+            if i - start >= min_evict_run {
+                for slot in &mut keep[start..i] {
+                    *slot = false;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coding::PairCoding;
+    use crate::RlzCompressor;
+
+    fn collection_with_bounds() -> (Vec<u8>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut bounds = vec![0usize];
+        for i in 0..800u32 {
+            let doc = format!(
+                "<entry id={i}><h1>catalog</h1><p>popular shared phrasing block {}</p>\
+                 <footer>standard footer</footer></entry>",
+                i % 13
+            );
+            data.extend_from_slice(doc.as_bytes());
+            bounds.push(data.len());
+        }
+        (data, bounds)
+    }
+
+    #[test]
+    fn pruning_never_worsens_much_and_usually_helps() {
+        let (data, bounds) = collection_with_bounds();
+        let budget = data.len() / 60;
+        let base = Dictionary::sample(&data, budget, 256, SampleStrategy::Evenly);
+
+        let enc_size = |d: &Dictionary| {
+            let rlz = RlzCompressor::new(d.clone(), PairCoding::ZV);
+            bounds
+                .windows(2)
+                .map(|w| rlz.compress(&data[w[0]..w[1]]).len())
+                .sum::<usize>()
+        };
+        let before = enc_size(&base);
+        let pruned = prune_and_refill(base, &data, &bounds, &PruneConfig::default());
+        assert_eq!(pruned.len(), budget, "budget must be preserved");
+        let after = enc_size(&pruned);
+        // Refilled dictionaries must not regress noticeably; on this
+        // highly-templated collection they should improve or hold.
+        assert!(
+            after as f64 <= before as f64 * 1.05,
+            "pruning regressed: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn pruning_preserves_roundtrips() {
+        let (data, bounds) = collection_with_bounds();
+        let base = Dictionary::sample(&data, 2048, 256, SampleStrategy::Evenly);
+        let pruned = prune_and_refill(base, &data, &bounds, &PruneConfig::default());
+        let rlz = RlzCompressor::new(pruned, PairCoding::UV);
+        for w in bounds.windows(2).take(50) {
+            let doc = &data[w[0]..w[1]];
+            assert_eq!(rlz.decompress(&rlz.compress(doc)).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn zero_passes_is_identity() {
+        let (data, bounds) = collection_with_bounds();
+        let base = Dictionary::sample(&data, 1024, 128, SampleStrategy::Evenly);
+        let out = prune_and_refill(
+            base.clone(),
+            &data,
+            &bounds,
+            &PruneConfig {
+                passes: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.bytes(), base.bytes());
+    }
+}

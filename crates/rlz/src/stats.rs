@@ -1,0 +1,188 @@
+//! Factorization statistics: average factor length, dictionary usage and
+//! factor-length histograms — the measurements behind Tables 2–3 and
+//! Figure 3 of the paper.
+
+use crate::factor::Factor;
+
+/// Streaming statistics over factorizations.
+#[derive(Debug, Clone)]
+pub struct FactorStats {
+    /// Number of copy factors seen.
+    pub copies: u64,
+    /// Number of literal factors seen.
+    pub literals: u64,
+    /// Total bytes the factors expand to.
+    pub expanded_bytes: u64,
+    /// Per-byte usage marks over the dictionary.
+    used: Vec<bool>,
+    /// Histogram of factor length values (index = length, saturating).
+    hist: Vec<u64>,
+}
+
+/// Lengths at or above this value share the final histogram bucket.
+const HIST_CAP: usize = 1 << 20;
+
+impl FactorStats {
+    /// Creates a collector for a dictionary of `dict_len` bytes.
+    pub fn new(dict_len: usize) -> Self {
+        FactorStats {
+            copies: 0,
+            literals: 0,
+            expanded_bytes: 0,
+            used: vec![false; dict_len],
+            hist: Vec::new(),
+        }
+    }
+
+    /// Records one document's factors.
+    pub fn record(&mut self, factors: &[Factor]) {
+        for f in factors {
+            if f.len == 0 {
+                self.literals += 1;
+                self.expanded_bytes += 1;
+            } else {
+                self.copies += 1;
+                self.expanded_bytes += f.len as u64;
+                let len = (f.len as usize).min(HIST_CAP);
+                if self.hist.len() <= len {
+                    self.hist.resize(len + 1, 0);
+                }
+                self.hist[len] += 1;
+                let start = f.pos as usize;
+                let end = (start + f.len as usize).min(self.used.len());
+                for slot in &mut self.used[start..end] {
+                    *slot = true;
+                }
+            }
+        }
+    }
+
+    /// Total factors (copies + literals).
+    pub fn total_factors(&self) -> u64 {
+        self.copies + self.literals
+    }
+
+    /// Average factor length in bytes — the "Avg.Fact." column of
+    /// Tables 2 and 3 (literals count as length-1 factors).
+    pub fn avg_factor_len(&self) -> f64 {
+        if self.total_factors() == 0 {
+            return 0.0;
+        }
+        self.expanded_bytes as f64 / self.total_factors() as f64
+    }
+
+    /// Per-byte dictionary usage: `used()[i]` is true when some copy factor
+    /// covered dictionary byte `i`. Drives the pruning pass of
+    /// [`crate::prune`].
+    pub fn used(&self) -> &[bool] {
+        &self.used
+    }
+
+    /// Percentage of dictionary bytes never referenced by any factor — the
+    /// "Unused (%)" column of Tables 2 and 3.
+    pub fn unused_dict_percent(&self) -> f64 {
+        if self.used.is_empty() {
+            return 0.0;
+        }
+        let unused = self.used.iter().filter(|&&u| !u).count();
+        unused as f64 * 100.0 / self.used.len() as f64
+    }
+
+    /// Frequency of each exact length value (`histogram()[l]` = number of
+    /// copy factors of length `l`).
+    pub fn histogram(&self) -> &[u64] {
+        &self.hist
+    }
+
+    /// Log-binned histogram for Figure 3: `(bin_start, bin_end, count)`
+    /// with bin boundaries at powers of two.
+    pub fn log_binned_histogram(&self) -> Vec<(usize, usize, u64)> {
+        let mut bins = Vec::new();
+        let mut lo = 1usize;
+        while lo < self.hist.len() {
+            let hi = (lo * 2).min(self.hist.len());
+            let count: u64 = self.hist[lo..hi].iter().sum();
+            bins.push((lo, hi - 1, count));
+            lo = hi;
+        }
+        bins
+    }
+
+    /// Fraction of copy factors with length below `limit` — used to verify
+    /// the Figure 3 claim that "the bulk of length values remain small".
+    pub fn fraction_below(&self, limit: usize) -> f64 {
+        if self.copies == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.hist.iter().take(limit.min(self.hist.len())).sum();
+        below as f64 / self.copies as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_average() {
+        let mut s = FactorStats::new(100);
+        s.record(&[
+            Factor::copy(0, 10),
+            Factor::literal(b'x'),
+            Factor::copy(50, 30),
+        ]);
+        assert_eq!(s.copies, 2);
+        assert_eq!(s.literals, 1);
+        assert_eq!(s.expanded_bytes, 41);
+        assert!((s.avg_factor_len() - 41.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unused_percent_tracks_coverage() {
+        let mut s = FactorStats::new(100);
+        assert_eq!(s.unused_dict_percent(), 100.0);
+        s.record(&[Factor::copy(0, 50)]);
+        assert_eq!(s.unused_dict_percent(), 50.0);
+        s.record(&[Factor::copy(25, 50)]); // overlaps, extends to 75
+        assert_eq!(s.unused_dict_percent(), 25.0);
+        s.record(&[Factor::copy(75, 25)]);
+        assert_eq!(s.unused_dict_percent(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins() {
+        let mut s = FactorStats::new(10);
+        for len in [1u32, 1, 2, 3, 4, 5, 8, 9, 100] {
+            s.record(&[Factor::copy(0, len)]);
+        }
+        let h = s.histogram();
+        assert_eq!(h[1], 2);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[100], 1);
+        let bins = s.log_binned_histogram();
+        // Bin [1,1] has 2; [2,3] has 2; [4,7] has 2; [8,15] has 2.
+        assert_eq!(bins[0], (1, 1, 2));
+        assert_eq!(bins[1], (2, 3, 2));
+        assert_eq!(bins[2], (4, 7, 2));
+        assert_eq!(bins[3], (8, 15, 2));
+    }
+
+    #[test]
+    fn fraction_below_limit() {
+        let mut s = FactorStats::new(10);
+        for len in 1..=10u32 {
+            s.record(&[Factor::copy(0, len)]);
+        }
+        assert!((s.fraction_below(6) - 0.5).abs() < 1e-9);
+        assert_eq!(s.fraction_below(1000), 1.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = FactorStats::new(0);
+        assert_eq!(s.avg_factor_len(), 0.0);
+        assert_eq!(s.unused_dict_percent(), 0.0);
+        assert_eq!(s.fraction_below(10), 0.0);
+        assert!(s.log_binned_histogram().is_empty());
+    }
+}

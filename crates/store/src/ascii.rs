@@ -1,0 +1,117 @@
+//! The uncompressed baseline store: "simply a raw concatenation of
+//! uncompressed documents with a map specifying offsets to each document
+//! location" (§4, Systems Tested).
+
+use crate::docmap::DocMap;
+use crate::{read_file, DocStore, StoreError};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const DATA_FILE: &str = "data.bin";
+const MAP_FILE: &str = "docmap.bin";
+
+/// Uncompressed document store with random access.
+#[derive(Debug)]
+pub struct AsciiStore {
+    file: File,
+    map: DocMap,
+}
+
+impl AsciiStore {
+    /// Builds the store in `dir` from the given documents.
+    pub fn build<'a>(
+        dir: &Path,
+        docs: impl Iterator<Item = &'a [u8]>,
+    ) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let mut data = std::io::BufWriter::new(File::create(dir.join(DATA_FILE))?);
+        let mut lens = Vec::new();
+        for doc in docs {
+            data.write_all(doc)?;
+            lens.push(doc.len());
+        }
+        data.flush()?;
+        std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
+        Ok(())
+    }
+
+    /// Opens a previously built store.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let map = DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?;
+        let file = File::open(dir.join(DATA_FILE))?;
+        Ok(AsciiStore { file, map })
+    }
+
+    /// Total stored payload bytes (equals the collection size).
+    pub fn stored_bytes(&self) -> u64 {
+        self.map.total_bytes()
+    }
+}
+
+impl DocStore for AsciiStore {
+    fn num_docs(&self) -> usize {
+        self.map.num_docs()
+    }
+
+    fn get_into(&mut self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
+        let (offset, len) = self
+            .map
+            .extent(id)
+            .ok_or(StoreError::DocOutOfRange(id))?;
+        self.file.seek(SeekFrom::Start(offset))?;
+        let start = out.len();
+        out.resize(start + len, 0);
+        self.file.read_exact(&mut out[start..])?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestDir;
+
+    #[test]
+    fn build_open_get() {
+        let dir = TestDir::new("ascii-basic");
+        let docs: Vec<Vec<u8>> = (0..50)
+            .map(|i| format!("document number {i} with body").into_bytes())
+            .collect();
+        AsciiStore::build(dir.path(), docs.iter().map(|d| d.as_slice())).unwrap();
+        let mut store = AsciiStore::open(dir.path()).unwrap();
+        assert_eq!(store.num_docs(), 50);
+        for (i, doc) in docs.iter().enumerate() {
+            assert_eq!(&store.get(i).unwrap(), doc);
+        }
+        // Random-ish order too.
+        for i in [49usize, 0, 25, 13, 49, 1] {
+            assert_eq!(&store.get(i).unwrap(), &docs[i]);
+        }
+    }
+
+    #[test]
+    fn empty_documents_are_fine() {
+        let dir = TestDir::new("ascii-empty");
+        let docs: Vec<&[u8]> = vec![b"", b"x", b"", b""];
+        AsciiStore::build(dir.path(), docs.iter().copied()).unwrap();
+        let mut store = AsciiStore::open(dir.path()).unwrap();
+        assert_eq!(store.get(0).unwrap(), b"");
+        assert_eq!(store.get(1).unwrap(), b"x");
+        assert_eq!(store.get(3).unwrap(), b"");
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let dir = TestDir::new("ascii-oor");
+        AsciiStore::build(dir.path(), [b"only".as_slice()].into_iter()).unwrap();
+        let mut store = AsciiStore::open(dir.path()).unwrap();
+        assert!(matches!(store.get(1), Err(StoreError::DocOutOfRange(1))));
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let dir = TestDir::new("ascii-missing");
+        assert!(AsciiStore::open(dir.path()).is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! Blocked-compression stores — the paper's baselines (§2.2, §4).
+//!
+//! "Collections are split into fixed size blocks and compressed with an
+//! adaptive algorithm (zlib)." Retrieval of one document decompresses its
+//! whole block; block size trades compression (bigger = better ratio)
+//! against access latency (bigger = slower), the exact trade-off of
+//! Tables 6, 7 and 9. A block size of zero puts one document per block
+//! (the paper's "0.0MB" rows).
+
+use crate::docmap::DocMap;
+use crate::{read_file, DocStore, StoreError};
+use rlz_codecs::vbyte;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const BLOCKS_FILE: &str = "blocks.bin";
+const META_FILE: &str = "meta.bin";
+const MAP_FILE: &str = "docmap.bin";
+
+/// Which general-purpose codec compresses each block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockCodec {
+    /// DEFLATE-class (the paper's zlib baseline).
+    Zlite(rlz_zlite::Level),
+    /// LZMA-class (the paper's lzma baseline).
+    Lzlite(rlz_lzlite::Level),
+}
+
+impl BlockCodec {
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BlockCodec::Zlite(_) => "zlib",
+            BlockCodec::Lzlite(_) => "lzma",
+        }
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        match *self {
+            BlockCodec::Zlite(level) => rlz_zlite::compress(data, level),
+            BlockCodec::Lzlite(level) => rlz_lzlite::compress(data, level),
+        }
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, StoreError> {
+        match self {
+            BlockCodec::Zlite(_) => Ok(rlz_zlite::decompress(data)?),
+            BlockCodec::Lzlite(_) => Ok(rlz_lzlite::decompress(data)?),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            BlockCodec::Zlite(_) => 0,
+            BlockCodec::Lzlite(_) => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, StoreError> {
+        match tag {
+            0 => Ok(BlockCodec::Zlite(rlz_zlite::Level::Default)),
+            1 => Ok(BlockCodec::Lzlite(rlz_lzlite::Level::Default)),
+            _ => Err(StoreError::Corrupt("unknown block codec tag")),
+        }
+    }
+}
+
+/// One block's location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockEntry {
+    /// Offset of the compressed block in `blocks.bin`.
+    file_offset: u64,
+    /// Compressed size.
+    comp_len: u32,
+    /// First document stored in this block.
+    first_doc: u32,
+    /// Uncompressed offset of the block's first byte in the collection.
+    raw_start: u64,
+}
+
+/// Blocked store reader.
+#[derive(Debug)]
+pub struct BlockedStore {
+    file: File,
+    codec: BlockCodec,
+    blocks: Vec<BlockEntry>,
+    /// Uncompressed document extents over the whole collection.
+    map: DocMap,
+    /// Optional single-block cache `(block_index, decompressed bytes)` —
+    /// OFF by default to match the paper's baselines, which pay the full
+    /// block decompression on every request.
+    cache: Option<(usize, Vec<u8>)>,
+    cache_enabled: bool,
+    stored_bytes: u64,
+}
+
+impl BlockedStore {
+    /// Builds a blocked store in `dir`.
+    ///
+    /// `block_size == 0` places one document per block; otherwise documents
+    /// are appended to a block until it reaches `block_size` bytes
+    /// (documents are never split). Blocks are compressed in parallel on
+    /// `threads` OS threads.
+    pub fn build<'a>(
+        dir: &Path,
+        docs: impl Iterator<Item = &'a [u8]>,
+        codec: BlockCodec,
+        block_size: usize,
+        threads: usize,
+    ) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        // Group documents into raw blocks.
+        let mut lens = Vec::new();
+        let mut raw_blocks: Vec<Vec<u8>> = Vec::new();
+        let mut firsts: Vec<u32> = Vec::new();
+        let mut raw_starts: Vec<u64> = Vec::new();
+        let mut current = Vec::new();
+        let mut raw_at = 0u64;
+        let mut doc_id = 0u32;
+        let mut block_first = 0u32;
+        let mut block_start = 0u64;
+        for doc in docs {
+            if !current.is_empty() && (block_size == 0 || current.len() + doc.len() > block_size)
+            {
+                raw_blocks.push(std::mem::take(&mut current));
+                firsts.push(block_first);
+                raw_starts.push(block_start);
+                block_first = doc_id;
+                block_start = raw_at;
+            }
+            current.extend_from_slice(doc);
+            lens.push(doc.len());
+            raw_at += doc.len() as u64;
+            doc_id += 1;
+        }
+        if !current.is_empty() || doc_id == 0 {
+            raw_blocks.push(current);
+            firsts.push(block_first);
+            raw_starts.push(block_start);
+        }
+
+        // Compress blocks in parallel.
+        let compressed = parallel_map(&raw_blocks, threads, |raw| codec.compress(raw));
+
+        // Write payload and metadata.
+        let mut payload = std::io::BufWriter::new(File::create(dir.join(BLOCKS_FILE))?);
+        let mut entries = Vec::with_capacity(compressed.len());
+        let mut file_at = 0u64;
+        for ((comp, &first), &raw_start) in compressed.iter().zip(&firsts).zip(&raw_starts) {
+            payload.write_all(comp)?;
+            entries.push(BlockEntry {
+                file_offset: file_at,
+                comp_len: comp.len() as u32,
+                first_doc: first,
+                raw_start,
+            });
+            file_at += comp.len() as u64;
+        }
+        payload.flush()?;
+
+        let mut meta = Vec::new();
+        meta.push(codec.tag());
+        vbyte::write_u64(entries.len() as u64, &mut meta);
+        for e in &entries {
+            vbyte::write_u64(e.file_offset, &mut meta);
+            vbyte::write_u32(e.comp_len, &mut meta);
+            vbyte::write_u32(e.first_doc, &mut meta);
+            vbyte::write_u64(e.raw_start, &mut meta);
+        }
+        std::fs::write(dir.join(META_FILE), meta)?;
+        std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
+        Ok(())
+    }
+
+    /// Opens a previously built store.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let meta = read_file(&dir.join(META_FILE))?;
+        let mut pos = 0usize;
+        let Some(&tag) = meta.first() else {
+            return Err(StoreError::Corrupt("empty blocked-store metadata"));
+        };
+        pos += 1;
+        let codec = BlockCodec::from_tag(tag)?;
+        let n = vbyte::read_u64(&meta, &mut pos)? as usize;
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            blocks.push(BlockEntry {
+                file_offset: vbyte::read_u64(&meta, &mut pos)?,
+                comp_len: vbyte::read_u32(&meta, &mut pos)?,
+                first_doc: vbyte::read_u32(&meta, &mut pos)?,
+                raw_start: vbyte::read_u64(&meta, &mut pos)?,
+            });
+        }
+        let map = DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?;
+        let file = File::open(dir.join(BLOCKS_FILE))?;
+        let stored_bytes = file.metadata()?.len();
+        Ok(BlockedStore {
+            file,
+            codec,
+            blocks,
+            map,
+            cache: None,
+            cache_enabled: false,
+            stored_bytes,
+        })
+    }
+
+    /// Enables a one-block LRU cache (an extension over the paper's
+    /// baselines; used by the ablation benchmarks).
+    pub fn set_block_cache(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.cache = None;
+        }
+    }
+
+    /// Compressed payload size in bytes.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn block_of_doc(&self, id: usize) -> usize {
+        // Last block whose first_doc <= id.
+        self.blocks.partition_point(|b| b.first_doc as usize <= id) - 1
+    }
+}
+
+impl DocStore for BlockedStore {
+    fn num_docs(&self) -> usize {
+        self.map.num_docs()
+    }
+
+    fn get_into(&mut self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
+        let (doc_off, doc_len) = self
+            .map
+            .extent(id)
+            .ok_or(StoreError::DocOutOfRange(id))?;
+        let b = self.block_of_doc(id);
+        let entry = self.blocks[b];
+        let cached = match (&self.cache, self.cache_enabled) {
+            (Some((cb, bytes)), true) if *cb == b => Some(bytes),
+            _ => None,
+        };
+        let raw = if let Some(bytes) = cached {
+            bytes
+        } else {
+            let mut comp = vec![0u8; entry.comp_len as usize];
+            self.file.seek(SeekFrom::Start(entry.file_offset))?;
+            self.file.read_exact(&mut comp)?;
+            let raw = self.codec.decompress(&comp)?;
+            if self.cache_enabled {
+                self.cache = Some((b, raw));
+                &self.cache.as_ref().expect("just set").1
+            } else {
+                let start = (doc_off - entry.raw_start) as usize;
+                let chunk = raw
+                    .get(start..start + doc_len)
+                    .ok_or(StoreError::Corrupt("document extent exceeds block"))?;
+                out.extend_from_slice(chunk);
+                return Ok(());
+            }
+        };
+        let start = (doc_off - entry.raw_start) as usize;
+        let chunk = raw
+            .get(start..start + doc_len)
+            .ok_or(StoreError::Corrupt("document extent exceeds block"))?;
+        out.extend_from_slice(chunk);
+        Ok(())
+    }
+}
+
+/// Maps `f` over `items` using `threads` OS threads, preserving order.
+pub(crate) fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots_mutex: Vec<std::sync::Mutex<&mut Option<R>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots_mutex[i].lock().expect("no poisoning") = Some(r);
+            });
+        }
+    });
+    drop(slots_mutex);
+    slots.into_iter().map(|s| s.expect("all computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestDir;
+
+    fn docs() -> Vec<Vec<u8>> {
+        (0..120)
+            .map(|i| {
+                format!(
+                    "<doc id={i}><body>{} shared boilerplate trailer</body></doc>",
+                    "text ".repeat(i % 40)
+                )
+                .into_bytes()
+            })
+            .collect()
+    }
+
+    fn check_store(codec: BlockCodec, block_size: usize) {
+        let dir = TestDir::new(&format!("blocked-{}-{}", codec.name(), block_size));
+        let d = docs();
+        BlockedStore::build(dir.path(), d.iter().map(|v| v.as_slice()), codec, block_size, 4)
+            .unwrap();
+        let mut store = BlockedStore::open(dir.path()).unwrap();
+        assert_eq!(store.num_docs(), d.len());
+        for (i, doc) in d.iter().enumerate() {
+            assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+        }
+        // Reverse order hits different blocks each time.
+        for i in (0..d.len()).rev() {
+            assert_eq!(&store.get(i).unwrap(), &d[i]);
+        }
+    }
+
+    #[test]
+    fn zlite_one_doc_per_block() {
+        check_store(BlockCodec::Zlite(rlz_zlite::Level::Default), 0);
+    }
+
+    #[test]
+    fn zlite_fixed_blocks() {
+        check_store(BlockCodec::Zlite(rlz_zlite::Level::Default), 4096);
+    }
+
+    #[test]
+    fn lzlite_fixed_blocks() {
+        check_store(BlockCodec::Lzlite(rlz_lzlite::Level::Default), 8192);
+    }
+
+    #[test]
+    fn block_larger_than_collection() {
+        check_store(BlockCodec::Zlite(rlz_zlite::Level::Fast), usize::MAX);
+    }
+
+    #[test]
+    fn bigger_blocks_compress_better() {
+        let dir_small = TestDir::new("blocked-ratio-small");
+        let dir_big = TestDir::new("blocked-ratio-big");
+        let d = docs();
+        let codec = BlockCodec::Zlite(rlz_zlite::Level::Default);
+        BlockedStore::build(dir_small.path(), d.iter().map(|v| v.as_slice()), codec, 0, 4)
+            .unwrap();
+        BlockedStore::build(
+            dir_big.path(),
+            d.iter().map(|v| v.as_slice()),
+            codec,
+            1 << 20,
+            4,
+        )
+        .unwrap();
+        let small = BlockedStore::open(dir_small.path()).unwrap().stored_bytes();
+        let big = BlockedStore::open(dir_big.path()).unwrap().stored_bytes();
+        assert!(big < small, "big-block {big} should beat per-doc {small}");
+    }
+
+    #[test]
+    fn cache_changes_speed_not_results() {
+        let dir = TestDir::new("blocked-cache");
+        let d = docs();
+        let codec = BlockCodec::Zlite(rlz_zlite::Level::Default);
+        BlockedStore::build(dir.path(), d.iter().map(|v| v.as_slice()), codec, 16384, 2)
+            .unwrap();
+        let mut store = BlockedStore::open(dir.path()).unwrap();
+        store.set_block_cache(true);
+        for (i, doc) in d.iter().enumerate() {
+            assert_eq!(&store.get(i).unwrap(), doc);
+        }
+        store.set_block_cache(false);
+        assert_eq!(&store.get(7).unwrap(), &d[7]);
+    }
+
+    #[test]
+    fn empty_collection_is_valid() {
+        let dir = TestDir::new("blocked-empty");
+        let codec = BlockCodec::Zlite(rlz_zlite::Level::Default);
+        BlockedStore::build(dir.path(), std::iter::empty(), codec, 4096, 1).unwrap();
+        let store = BlockedStore::open(dir.path()).unwrap();
+        assert_eq!(store.num_docs(), 0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let single = parallel_map(&items, 1, |&x| x + 1);
+        assert_eq!(single[999], 1000);
+    }
+}

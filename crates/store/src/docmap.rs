@@ -1,0 +1,114 @@
+//! The document map: byte extents of every document (§3.1 step 3).
+//!
+//! "Store a document map which provides the position on disk of each
+//! encoded file. This component is common to all large scale file
+//! compression systems." Offsets are monotone, so the map serializes as
+//! delta-vbyte.
+
+use crate::StoreError;
+use rlz_codecs::vbyte;
+
+/// Monotone offsets delimiting `n` documents (`n + 1` entries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocMap {
+    offsets: Vec<u64>,
+}
+
+impl DocMap {
+    /// Builds a map from document lengths.
+    pub fn from_lens(lens: impl IntoIterator<Item = usize>) -> Self {
+        let mut offsets = vec![0u64];
+        let mut at = 0u64;
+        for len in lens {
+            at += len as u64;
+            offsets.push(at);
+        }
+        DocMap { offsets }
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total payload bytes covered.
+    pub fn total_bytes(&self) -> u64 {
+        *self.offsets.last().expect("at least one offset")
+    }
+
+    /// `(offset, len)` of document `id`.
+    pub fn extent(&self, id: usize) -> Option<(u64, usize)> {
+        let start = *self.offsets.get(id)?;
+        let end = *self.offsets.get(id + 1)?;
+        Some((start, (end - start) as usize))
+    }
+
+    /// Serializes as `vbyte(n+1)` then delta-vbyte offsets.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.offsets.len() * 2 + 8);
+        vbyte::write_u64(self.offsets.len() as u64, &mut out);
+        let mut prev = 0u64;
+        for &o in &self.offsets {
+            vbyte::write_u64(o - prev, &mut out);
+            prev = o;
+        }
+        out
+    }
+
+    /// Parses a serialized map.
+    pub fn deserialize(data: &[u8]) -> Result<Self, StoreError> {
+        let mut pos = 0usize;
+        let n = vbyte::read_u64(data, &mut pos)? as usize;
+        if n == 0 {
+            return Err(StoreError::Corrupt("document map has no offsets"));
+        }
+        let mut offsets = Vec::with_capacity(n);
+        let mut at = 0u64;
+        for _ in 0..n {
+            at = at
+                .checked_add(vbyte::read_u64(data, &mut pos)?)
+                .ok_or(StoreError::Corrupt("document map offset overflow"))?;
+            offsets.push(at);
+        }
+        Ok(DocMap { offsets })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extents_from_lens() {
+        let m = DocMap::from_lens([10usize, 0, 5]);
+        assert_eq!(m.num_docs(), 3);
+        assert_eq!(m.total_bytes(), 15);
+        assert_eq!(m.extent(0), Some((0, 10)));
+        assert_eq!(m.extent(1), Some((10, 0)));
+        assert_eq!(m.extent(2), Some((10, 5)));
+        assert_eq!(m.extent(3), None);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let m = DocMap::from_lens((0..1000usize).map(|i| i * 7 % 50_000));
+        let bytes = m.serialize();
+        assert_eq!(DocMap::deserialize(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let m = DocMap::from_lens(std::iter::empty());
+        assert_eq!(m.num_docs(), 0);
+        assert_eq!(m.total_bytes(), 0);
+        let bytes = m.serialize();
+        assert_eq!(DocMap::deserialize(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error() {
+        assert!(DocMap::deserialize(&[]).is_err());
+        assert!(DocMap::deserialize(&[0]).is_err()); // zero offsets
+        assert!(DocMap::deserialize(&[5, 1]).is_err()); // truncated
+    }
+}

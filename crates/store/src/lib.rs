@@ -1,0 +1,130 @@
+//! Document stores with fast random access — the storage layer of the
+//! paper's evaluation (§4, "Systems Tested").
+//!
+//! Three store families, all sharing one [`DocStore`] trait and an on-disk
+//! directory layout:
+//!
+//! * [`AsciiStore`] — raw concatenation + document map (the uncompressed
+//!   baseline),
+//! * [`BlockedStore`] — fixed-size blocks compressed with
+//!   [`BlockCodec::Zlite`] (zlib-class) or [`BlockCodec::Lzlite`]
+//!   (lzma-class); block size 0 = one document per block,
+//! * [`RlzStore`] — the paper's contribution: per-document RLZ encodings
+//!   decoded against a memory-resident dictionary.
+//!
+//! # Example
+//!
+//! ```
+//! use rlz_store::{DocStore, RlzStore, RlzStoreBuilder};
+//! use rlz_core::{Dictionary, PairCoding, SampleStrategy};
+//!
+//! let docs: Vec<Vec<u8>> = (0..50)
+//!     .map(|i| format!("<page>{i} shared header</page>").into_bytes())
+//!     .collect();
+//! let all: Vec<u8> = docs.concat();
+//! let dict = Dictionary::sample(&all, 256, 64, SampleStrategy::Evenly);
+//!
+//! let dir = std::env::temp_dir().join("rlz-doc-example");
+//! let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+//! RlzStoreBuilder::new(dict, PairCoding::UV).build(&dir, &slices).unwrap();
+//!
+//! let mut store = RlzStore::open(&dir).unwrap();
+//! assert_eq!(store.get(7).unwrap(), docs[7]);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod blocked;
+mod docmap;
+mod rlz_store;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use ascii::AsciiStore;
+pub use blocked::{BlockCodec, BlockedStore};
+pub use docmap::DocMap;
+pub use rlz_store::{RlzStore, RlzStoreBuilder};
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Errors from building or reading stores.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// A compressed payload failed to decode.
+    Codec(rlz_codecs::CodecError),
+    /// An lzlite block failed to decode.
+    Lz(rlz_lzlite::Error),
+    /// Structural corruption in store metadata.
+    Corrupt(&'static str),
+    /// Requested document does not exist.
+    DocOutOfRange(usize),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Codec(e) => write!(f, "store codec error: {e}"),
+            StoreError::Lz(e) => write!(f, "store lzlite error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+            StoreError::DocOutOfRange(id) => write!(f, "document {id} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            StoreError::Lz(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<rlz_codecs::CodecError> for StoreError {
+    fn from(e: rlz_codecs::CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<rlz_lzlite::Error> for StoreError {
+    fn from(e: rlz_lzlite::Error) -> Self {
+        StoreError::Lz(e)
+    }
+}
+
+/// Random access to documents by ID.
+pub trait DocStore {
+    /// Number of documents stored.
+    fn num_docs(&self) -> usize;
+
+    /// Appends document `id`'s bytes to `out`.
+    fn get_into(&mut self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError>;
+
+    /// Fetches document `id` into a fresh buffer.
+    fn get(&mut self, id: usize) -> Result<Vec<u8>, StoreError> {
+        let mut out = Vec::new();
+        self.get_into(id, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// Reads a whole file (helper shared by store readers).
+pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+    Ok(std::fs::read(path)?)
+}

@@ -1,0 +1,222 @@
+//! The RLZ document store (§3.1): a memory-resident dictionary, one encoded
+//! record per document, and a document map for random access.
+//!
+//! Retrieval = document-map lookup → one positioned read → factor decode
+//! against the in-memory dictionary. No per-request model rebuilding, no
+//! neighbours decompressed — the two costs that make blocked baselines slow.
+
+use crate::docmap::DocMap;
+use crate::{read_file, DocStore, StoreError};
+use rlz_core::{Dictionary, PairCoding, RlzCompressor};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const DICT_FILE: &str = "dict.bin";
+const PAYLOAD_FILE: &str = "payload.bin";
+const MAP_FILE: &str = "docmap.bin";
+const META_FILE: &str = "meta.bin";
+
+/// Builds RLZ stores.
+#[derive(Debug)]
+pub struct RlzStoreBuilder {
+    compressor: RlzCompressor,
+    threads: usize,
+}
+
+impl RlzStoreBuilder {
+    /// Creates a builder over a prepared dictionary.
+    pub fn new(dict: Dictionary, coding: PairCoding) -> Self {
+        RlzStoreBuilder {
+            compressor: RlzCompressor::new(dict, coding),
+            threads: 1,
+        }
+    }
+
+    /// Compresses documents on `threads` OS threads (factorizations are
+    /// independent; the paper stresses compression-time scalability).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Access to the underlying compressor (e.g. for statistics).
+    pub fn compressor(&self) -> &RlzCompressor {
+        &self.compressor
+    }
+
+    /// Builds the store in `dir`.
+    pub fn build(&self, dir: &Path, docs: &[&[u8]]) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let encoded =
+            crate::blocked::parallel_map(docs, self.threads, |doc| self.compressor.compress(doc));
+        let mut payload = std::io::BufWriter::new(File::create(dir.join(PAYLOAD_FILE))?);
+        let mut lens = Vec::with_capacity(encoded.len());
+        for e in &encoded {
+            payload.write_all(e)?;
+            lens.push(e.len());
+        }
+        payload.flush()?;
+        std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
+        std::fs::write(dir.join(DICT_FILE), self.compressor.dict().bytes())?;
+        std::fs::write(dir.join(META_FILE), self.compressor.coding().name().as_bytes())?;
+        Ok(())
+    }
+}
+
+/// RLZ store reader. Holds the dictionary bytes in memory; decoding needs
+/// no suffix array, so opening is cheap.
+#[derive(Debug)]
+pub struct RlzStore {
+    file: File,
+    dict_bytes: Vec<u8>,
+    coding: PairCoding,
+    map: DocMap,
+    stored_bytes: u64,
+}
+
+impl RlzStore {
+    /// Opens a previously built store.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let meta = read_file(&dir.join(META_FILE))?;
+        let name = std::str::from_utf8(&meta)
+            .map_err(|_| StoreError::Corrupt("pair-coding name is not UTF-8"))?;
+        let coding = PairCoding::parse(name)
+            .ok_or(StoreError::Corrupt("unknown pair coding in metadata"))?;
+        let dict_bytes = read_file(&dir.join(DICT_FILE))?;
+        let map = DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?;
+        let file = File::open(dir.join(PAYLOAD_FILE))?;
+        let stored_bytes = file.metadata()?.len();
+        Ok(RlzStore {
+            file,
+            dict_bytes,
+            coding,
+            map,
+            stored_bytes,
+        })
+    }
+
+    /// Compressed payload bytes (excluding dictionary).
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Dictionary size in bytes.
+    pub fn dict_bytes(&self) -> usize {
+        self.dict_bytes.len()
+    }
+
+    /// Total footprint: payload + dictionary + document map (the fair
+    /// "Enc. (%)" accounting used by the benchmark tables).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.stored_bytes + self.dict_bytes.len() as u64 + self.map.serialize().len() as u64
+    }
+
+    /// The pair coding this store was built with.
+    pub fn coding(&self) -> PairCoding {
+        self.coding
+    }
+}
+
+impl DocStore for RlzStore {
+    fn num_docs(&self) -> usize {
+        self.map.num_docs()
+    }
+
+    fn get_into(&mut self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
+        let (offset, len) = self
+            .map
+            .extent(id)
+            .ok_or(StoreError::DocOutOfRange(id))?;
+        let mut enc = vec![0u8; len];
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(&mut enc)?;
+        rlz_core::coding::decode_and_expand(&enc, self.coding, &self.dict_bytes, out)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestDir;
+    use rlz_core::SampleStrategy;
+
+    fn collection() -> Vec<Vec<u8>> {
+        (0..200)
+            .map(|i| {
+                format!(
+                    "<html><nav>home about contact</nav><p>page {i} body {}</p></html>",
+                    "common phrase ".repeat(i % 23)
+                )
+                .into_bytes()
+            })
+            .collect()
+    }
+
+    fn build_and_check(coding: PairCoding) {
+        let docs = collection();
+        let all: Vec<u8> = docs.concat();
+        let dict = Dictionary::sample(&all, 2048, 256, SampleStrategy::Evenly);
+        let dir = TestDir::new(&format!("rlzstore-{}", coding.name()));
+        let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+        RlzStoreBuilder::new(dict, coding)
+            .threads(4)
+            .build(dir.path(), &slices)
+            .unwrap();
+        let mut store = RlzStore::open(dir.path()).unwrap();
+        assert_eq!(store.num_docs(), docs.len());
+        assert_eq!(store.coding(), coding);
+        for (i, doc) in docs.iter().enumerate() {
+            assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_paper_codings() {
+        for coding in PairCoding::PAPER_SET {
+            build_and_check(coding);
+        }
+    }
+
+    #[test]
+    fn compresses_redundant_collections() {
+        let docs = collection();
+        let all: Vec<u8> = docs.concat();
+        let dict = Dictionary::sample(&all, all.len() / 50, 512, SampleStrategy::Evenly);
+        let dir = TestDir::new("rlzstore-ratio");
+        let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+        RlzStoreBuilder::new(dict, PairCoding::ZZ)
+            .threads(4)
+            .build(dir.path(), &slices)
+            .unwrap();
+        let store = RlzStore::open(dir.path()).unwrap();
+        let ratio = store.total_stored_bytes() as f64 / all.len() as f64;
+        assert!(ratio < 0.5, "ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn empty_docs_and_empty_store() {
+        let dict = Dictionary::from_bytes(b"seed".to_vec());
+        let dir = TestDir::new("rlzstore-empty");
+        RlzStoreBuilder::new(dict, PairCoding::UV)
+            .build(dir.path(), &[b"".as_slice(), b"x", b""])
+            .unwrap();
+        let mut store = RlzStore::open(dir.path()).unwrap();
+        assert_eq!(store.get(0).unwrap(), b"");
+        assert_eq!(store.get(1).unwrap(), b"x");
+        assert_eq!(store.get(2).unwrap(), b"");
+        assert!(matches!(store.get(3), Err(StoreError::DocOutOfRange(3))));
+    }
+
+    #[test]
+    fn open_rejects_corrupt_meta() {
+        let dict = Dictionary::from_bytes(b"seed".to_vec());
+        let dir = TestDir::new("rlzstore-badmeta");
+        RlzStoreBuilder::new(dict, PairCoding::UV)
+            .build(dir.path(), &[b"doc".as_slice()])
+            .unwrap();
+        std::fs::write(dir.path().join(super::META_FILE), b"??").unwrap();
+        assert!(RlzStore::open(dir.path()).is_err());
+    }
+}

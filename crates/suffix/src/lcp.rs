@@ -1,0 +1,97 @@
+//! Longest-common-prefix (LCP) arrays via Kasai's algorithm.
+//!
+//! `lcp[i]` is the length of the longest common prefix of the suffixes at
+//! `sa[i-1]` and `sa[i]` (`lcp[0] == 0` by convention). The RLZ dictionary
+//! pruning analysis uses LCP values to reason about intra-dictionary
+//! redundancy; tests use them to cross-check the suffix array order.
+
+use crate::SuffixArray;
+
+/// Computes the LCP array of `text` given its suffix array, in `O(n)`.
+pub fn lcp_array(text: &[u8], sa: &SuffixArray) -> Vec<u32> {
+    let n = text.len();
+    assert_eq!(n, sa.len(), "suffix array does not match text");
+    let sa = sa.as_slice();
+    let mut rank = vec![0u32; n];
+    for (i, &s) in sa.iter().enumerate() {
+        rank[s as usize] = i as u32;
+    }
+    let mut lcp = vec![0u32; n];
+    let mut h = 0usize;
+    for i in 0..n {
+        let r = rank[i] as usize;
+        if r > 0 {
+            let j = sa[r - 1] as usize;
+            while i + h < n && j + h < n && text[i + h] == text[j + h] {
+                h += 1;
+            }
+            lcp[r] = h as u32;
+            h = h.saturating_sub(1);
+        } else {
+            h = 0;
+        }
+    }
+    lcp
+}
+
+/// Average LCP value — a quick scalar measure of self-similarity of a text.
+///
+/// Returns 0.0 for texts shorter than two characters.
+pub fn mean_lcp(text: &[u8], sa: &SuffixArray) -> f64 {
+    if text.len() < 2 {
+        return 0.0;
+    }
+    let lcp = lcp_array(text, sa);
+    lcp[1..].iter().map(|&v| v as f64).sum::<f64>() / (lcp.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_lcp(a: &[u8], b: &[u8]) -> u32 {
+        a.iter().zip(b).take_while(|(x, y)| x == y).count() as u32
+    }
+
+    #[test]
+    fn banana_lcp() {
+        let text = b"banana";
+        let sa = SuffixArray::build(text);
+        // sa = [5,3,1,0,4,2]: a, ana, anana, banana, na, nana
+        assert_eq!(lcp_array(text, &sa), vec![0, 1, 3, 0, 0, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let text = b"abracadabra abracadabra";
+        let sa = SuffixArray::build(text);
+        let lcp = lcp_array(text, &sa);
+        let s = sa.as_slice();
+        for i in 1..s.len() {
+            assert_eq!(
+                lcp[i],
+                brute_lcp(&text[s[i - 1] as usize..], &text[s[i] as usize..]),
+                "position {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let sa = SuffixArray::build(b"");
+        assert!(lcp_array(b"", &sa).is_empty());
+        assert_eq!(mean_lcp(b"", &sa), 0.0);
+        let sa = SuffixArray::build(b"q");
+        assert_eq!(lcp_array(b"q", &sa), vec![0]);
+        assert_eq!(mean_lcp(b"q", &sa), 0.0);
+    }
+
+    #[test]
+    fn uniform_text_has_descending_runs() {
+        let text = b"aaaa";
+        let sa = SuffixArray::build(text);
+        // Suffixes sorted: a, aa, aaa, aaaa -> lcp 0,1,2,3
+        assert_eq!(lcp_array(text, &sa), vec![0, 1, 2, 3]);
+        assert!((mean_lcp(text, &sa) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! Obviously-correct reference suffix array construction for testing.
+//!
+//! Sorts suffix start positions with the standard library's comparison sort;
+//! `O(n² log n)` worst case, fine for the short inputs used in tests and
+//! property tests.
+
+use crate::SuffixArray;
+
+/// Builds a suffix array by direct suffix comparison.
+pub fn suffix_array(text: &[u8]) -> SuffixArray {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    SuffixArray::from_parts(sa)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banana() {
+        let sa = super::suffix_array(b"banana");
+        // suffixes sorted: a, ana, anana, banana, na, nana
+        assert_eq!(sa.as_slice(), &[5, 3, 1, 0, 4, 2]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Linear-time suffix array construction: SA-IS (Nong, Zhang & Chan, 2009).
+//!
+//! The public entry point is [`suffix_array`], which works on byte strings.
+//! Internally the text is mapped to `u32` symbols shifted by one and a unique
+//! zero sentinel is appended, so the recursive core can assume the classical
+//! SA-IS precondition: the input ends with a unique, smallest symbol.
+
+const EMPTY: u32 = u32::MAX;
+
+/// Builds the suffix array of `text` in `O(n)` time.
+pub(crate) fn suffix_array(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+    // Shift bytes by one so the appended 0 sentinel is strictly smallest.
+    let mut s: Vec<u32> = Vec::with_capacity(n + 1);
+    s.extend(text.iter().map(|&b| b as u32 + 1));
+    s.push(0);
+    let sa = sais(&s, 257);
+    // sa[0] is the sentinel suffix; drop it.
+    sa[1..].to_vec()
+}
+
+/// Core SA-IS over an integer string `s` with alphabet `0..k`.
+///
+/// Precondition: `s` ends with a unique smallest symbol (the sentinel).
+fn sais(s: &[u32], k: usize) -> Vec<u32> {
+    let n = s.len();
+    debug_assert!(n >= 1);
+    if n == 1 {
+        return vec![0];
+    }
+
+    // --- Step 0: classify suffixes as S-type (true) or L-type (false). ---
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // Bucket sizes per symbol.
+    let mut bkt = vec![0u32; k];
+    for &c in s {
+        bkt[c as usize] += 1;
+    }
+
+    let mut sa = vec![EMPTY; n];
+
+    // --- Step 1: place LMS suffixes at bucket tails and induce. ---
+    {
+        let mut tails = bucket_tails(&bkt);
+        for i in (1..n).rev() {
+            if is_lms(i) {
+                let c = s[i] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = i as u32;
+            }
+        }
+    }
+    induce(s, &mut sa, &bkt, &is_s);
+
+    // --- Step 2: compact the (now sorted) LMS substrings to the front. ---
+    let mut n1 = 0;
+    for i in 0..n {
+        let p = sa[i];
+        if p != EMPTY && is_lms(p as usize) {
+            sa[n1] = p;
+            n1 += 1;
+        }
+    }
+
+    // --- Step 3: name LMS substrings, storing names at n1 + pos/2. ---
+    for slot in sa[n1..].iter_mut() {
+        *slot = EMPTY;
+    }
+    let mut names = 0u32;
+    let mut prev = usize::MAX;
+    for idx in 0..n1 {
+        let pos = sa[idx] as usize;
+        let mut differs = prev == usize::MAX;
+        if !differs {
+            let (i, j) = (pos, prev);
+            let mut d = 0usize;
+            loop {
+                if s[i + d] != s[j + d] || is_s[i + d] != is_s[j + d] {
+                    differs = true;
+                    break;
+                }
+                if d > 0 && (is_lms(i + d) || is_lms(j + d)) {
+                    differs = !(is_lms(i + d) && is_lms(j + d));
+                    break;
+                }
+                d += 1;
+            }
+        }
+        if differs {
+            names += 1;
+            prev = pos;
+        }
+        sa[n1 + pos / 2] = names - 1;
+    }
+    // Collect the reduced string (names in position order).
+    let mut s1 = Vec::with_capacity(n1);
+    for &name in &sa[n1..n] {
+        if name != EMPTY {
+            s1.push(name);
+        }
+    }
+    debug_assert_eq!(s1.len(), n1);
+
+    // --- Step 4: sort the reduced problem. ---
+    let sa1: Vec<u32> = if (names as usize) < n1 {
+        sais(&s1, names as usize)
+    } else {
+        // All names unique: the rank is the inverse permutation.
+        let mut direct = vec![0u32; n1];
+        for (i, &c) in s1.iter().enumerate() {
+            direct[c as usize] = i as u32;
+        }
+        direct
+    };
+
+    // --- Step 5: place LMS suffixes in their final order and induce. ---
+    let mut lms_pos = Vec::with_capacity(n1);
+    for (i, _) in s.iter().enumerate().skip(1) {
+        if is_lms(i) {
+            lms_pos.push(i as u32);
+        }
+    }
+    for slot in sa.iter_mut() {
+        *slot = EMPTY;
+    }
+    {
+        let mut tails = bucket_tails(&bkt);
+        for &rank in sa1.iter().rev() {
+            let p = lms_pos[rank as usize];
+            let c = s[p as usize] as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = p;
+        }
+    }
+    induce(s, &mut sa, &bkt, &is_s);
+    sa
+}
+
+/// Induced sorting: scatter L-type suffixes left-to-right from bucket heads,
+/// then S-type suffixes right-to-left from bucket tails.
+fn induce(s: &[u32], sa: &mut [u32], bkt: &[u32], is_s: &[bool]) {
+    let n = s.len();
+    let mut heads = bucket_heads(bkt);
+    for i in 0..n {
+        let j = sa[i];
+        if j != EMPTY && j > 0 {
+            let p = (j - 1) as usize;
+            if !is_s[p] {
+                let c = s[p] as usize;
+                sa[heads[c] as usize] = p as u32;
+                heads[c] += 1;
+            }
+        }
+    }
+    let mut tails = bucket_tails(bkt);
+    for i in (0..n).rev() {
+        let j = sa[i];
+        if j != EMPTY && j > 0 {
+            let p = (j - 1) as usize;
+            if is_s[p] {
+                let c = s[p] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = p as u32;
+            }
+        }
+    }
+}
+
+fn bucket_heads(bkt: &[u32]) -> Vec<u32> {
+    let mut heads = Vec::with_capacity(bkt.len());
+    let mut sum = 0u32;
+    for &b in bkt {
+        heads.push(sum);
+        sum += b;
+    }
+    heads
+}
+
+fn bucket_tails(bkt: &[u32]) -> Vec<u32> {
+    let mut tails = Vec::with_capacity(bkt.len());
+    let mut sum = 0u32;
+    for &b in bkt {
+        sum += b;
+        tails.push(sum);
+    }
+    tails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn matches_naive_on_periodic_inputs() {
+        for period in 1..6usize {
+            let pat: Vec<u8> = (0..period).map(|i| b'a' + i as u8).collect();
+            let text: Vec<u8> = pat.iter().cycle().take(97).copied().collect();
+            assert_eq!(
+                suffix_array(&text),
+                naive::suffix_array(&text).into_inner(),
+                "period {period}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom_bytes() {
+        // Simple xorshift so the test needs no external RNG.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [2usize, 3, 10, 100, 1000] {
+            for alphabet in [2u64, 4, 16, 256] {
+                let text: Vec<u8> = (0..len).map(|_| (next() % alphabet) as u8).collect();
+                assert_eq!(
+                    suffix_array(&text),
+                    naive::suffix_array(&text).into_inner(),
+                    "len={len} alphabet={alphabet}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_embedded_zero_bytes() {
+        let text = b"\x00abc\x00abc\x00";
+        assert_eq!(
+            suffix_array(text),
+            naive::suffix_array(text).into_inner()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests: SA-IS agrees with the naive construction, and the matcher
+//! finds true longest matches.
+
+use proptest::prelude::*;
+use rlz_suffix::{naive, Matcher, SuffixArray};
+
+fn brute_longest(text: &[u8], pattern: &[u8]) -> u32 {
+    (0..text.len())
+        .map(|s| {
+            text[s..]
+                .iter()
+                .zip(pattern)
+                .take_while(|(a, b)| a == b)
+                .count() as u32
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+proptest! {
+    #[test]
+    fn sais_matches_naive_small_alphabet(text in proptest::collection::vec(0u8..4, 0..300)) {
+        let fast = SuffixArray::build(&text);
+        let slow = naive::suffix_array(&text);
+        prop_assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn sais_matches_naive_full_alphabet(text in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let fast = SuffixArray::build(&text);
+        let slow = naive::suffix_array(&text);
+        prop_assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn suffix_array_is_sorted(text in proptest::collection::vec(0u8..8, 1..200)) {
+        let sa = SuffixArray::build(&text);
+        let s = sa.as_slice();
+        for w in s.windows(2) {
+            prop_assert!(text[w[0] as usize..] < text[w[1] as usize..]);
+        }
+    }
+
+    #[test]
+    fn longest_match_is_maximal(
+        text in proptest::collection::vec(0u8..6, 1..200),
+        pattern in proptest::collection::vec(0u8..6, 0..64),
+    ) {
+        let sa = SuffixArray::build(&text);
+        let m = Matcher::new(&text, &sa);
+        let (pos, len) = m.longest_match(&pattern);
+        prop_assert_eq!(len, brute_longest(&text, &pattern));
+        if len > 0 {
+            prop_assert_eq!(
+                &text[pos as usize..pos as usize + len as usize],
+                &pattern[..len as usize]
+            );
+        }
+        let (gpos, glen) = m.longest_match_galloping(&pattern);
+        prop_assert_eq!(glen, len);
+        if glen > 0 {
+            prop_assert_eq!(
+                &text[gpos as usize..gpos as usize + glen as usize],
+                &pattern[..glen as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn lcp_matches_definition(text in proptest::collection::vec(0u8..4, 2..150)) {
+        let sa = SuffixArray::build(&text);
+        let lcp = rlz_suffix::lcp::lcp_array(&text, &sa);
+        let s = sa.as_slice();
+        for i in 1..s.len() {
+            let a = &text[s[i - 1] as usize..];
+            let b = &text[s[i] as usize..];
+            let expect = a.iter().zip(b).take_while(|(x, y)| x == y).count() as u32;
+            prop_assert_eq!(lcp[i], expect);
+        }
+    }
+}

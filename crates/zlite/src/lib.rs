@@ -1,0 +1,558 @@
+//! `zlite` — a DEFLATE-class general-purpose compressor.
+//!
+//! This crate is the workspace's stand-in for zlib, which the paper uses
+//! both as the block compressor of its baselines and as the `Z` coder for
+//! RLZ position/length streams. The architecture matches deflate:
+//!
+//! * LZ77 over a 32 KB sliding window with hash-chain match finding and
+//!   one-step-lazy evaluation ([`lz77`]),
+//! * canonical, length-limited Huffman coding of literal/length and
+//!   distance symbols ([`huffman`]), with RFC 1951's length/distance code
+//!   tables ([`tables`]),
+//! * per-block choice between stored, fixed-code and dynamic-code encoding,
+//!   whichever is smallest.
+//!
+//! The container format is this crate's own (there is no zlib to interoperate
+//! with offline), but window size, token structure and asymptotics mirror
+//! deflate, so it reproduces the properties the paper's evaluation relies
+//! on: a window far too small to capture cross-document redundancy, fast
+//! decoding, and per-block decode start-up cost.
+//!
+//! # Example
+//!
+//! ```
+//! let data = b"hello hello hello hello hello".repeat(10);
+//! let compressed = rlz_zlite::compress(&data, rlz_zlite::Level::Default);
+//! assert!(compressed.len() < data.len());
+//! assert_eq!(rlz_zlite::decompress(&compressed).unwrap(), data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod huffman;
+pub mod lz77;
+pub mod tables;
+
+pub use lz77::Level;
+
+use huffman::{Decoder, Encoder};
+use lz77::{MatchFinder, Token};
+use rlz_codecs::bitio::{BitReader, BitWriter};
+use rlz_codecs::{vbyte, CodecError};
+use tables::{
+    dist_code, length_code, DIST_BASE, DIST_EXTRA, EOB, LENGTH_BASE, LENGTH_EXTRA, NUM_DIST,
+    NUM_LITLEN,
+};
+
+/// Errors returned by [`decompress`].
+pub type Error = CodecError;
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Block type tags (2 bits on the wire).
+const BLOCK_STORED: u64 = 0;
+const BLOCK_FIXED: u64 = 1;
+const BLOCK_DYNAMIC: u64 = 2;
+
+/// Tokens per block before the Huffman statistics are flushed.
+const TOKENS_PER_BLOCK: usize = 1 << 15;
+
+/// Code-length alphabet escape marking a run of zeros (6-bit run follows).
+const LEN_RLE_ZERO_RUN: u64 = 31;
+
+/// Compresses `data` at the given effort level.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 3 + 16);
+    vbyte::write_u64(data.len() as u64, &mut out);
+    if data.is_empty() {
+        return out;
+    }
+    let mut w = BitWriter::new();
+    let mut finder = MatchFinder::new(data.len(), level);
+    let mut tokens: Vec<Token> = Vec::with_capacity(TOKENS_PER_BLOCK);
+    let mut block_start = 0usize; // raw offset where the current block began
+    let mut raw_pos = 0usize;
+
+    // Tokenize the whole input, flushing a block whenever enough tokens
+    // accumulate. Match distances may reach into previous blocks, exactly as
+    // in deflate.
+    let flush = |tokens: &mut Vec<Token>, w: &mut BitWriter, start: usize, end: usize| {
+        write_block(w, tokens, &data[start..end]);
+        tokens.clear();
+    };
+    finder.tokenize(data, |t| {
+        raw_pos += match t {
+            Token::Literal(_) => 1,
+            Token::Match { len, .. } => len as usize,
+        };
+        tokens.push(t);
+        if tokens.len() >= TOKENS_PER_BLOCK {
+            flush(&mut tokens, &mut w, block_start, raw_pos);
+            block_start = raw_pos;
+        }
+    });
+    if !tokens.is_empty() {
+        flush(&mut tokens, &mut w, block_start, raw_pos);
+    }
+    debug_assert_eq!(raw_pos, data.len());
+    w.finish_into(&mut out);
+    // Padding so the decoder's fast-path peeks never see EOF.
+    out.extend_from_slice(&[0u8; 4]);
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0usize;
+    let raw_len = vbyte::read_u64(data, &mut pos)? as usize;
+    // Grow progressively rather than trusting the header outright.
+    let mut out = Vec::with_capacity(raw_len.min(1 << 20));
+    let mut r = BitReader::new(&data[pos..]);
+    while out.len() < raw_len {
+        let block_type = r.read_bits(2)?;
+        match block_type {
+            BLOCK_STORED => {
+                r.align_byte();
+                let count = read_vbyte_bits(&mut r)? as usize;
+                if out.len() + count > raw_len {
+                    return Err(CodecError::Corrupt("stored block overflows output"));
+                }
+                out.reserve(count);
+                for _ in 0..count {
+                    out.push(r.read_bits(8)? as u8);
+                }
+            }
+            BLOCK_FIXED => {
+                let (litlen, dist) = fixed_decoders()?;
+                inflate_block(&mut r, &litlen, &dist, raw_len, &mut out)?;
+            }
+            BLOCK_DYNAMIC => {
+                let (litlen, dist) = read_dynamic_header(&mut r)?;
+                inflate_block(&mut r, &litlen, &dist, raw_len, &mut out)?;
+            }
+            _ => return Err(CodecError::Corrupt("invalid block type")),
+        }
+    }
+    if out.len() != raw_len {
+        return Err(CodecError::Corrupt("output length mismatch"));
+    }
+    Ok(out)
+}
+
+/// Fixed code lengths in the spirit of DEFLATE's fixed block type: strongly
+/// useful for short inputs where a dynamic header would dominate.
+fn fixed_litlen_lengths() -> Vec<u8> {
+    let mut lens = vec![0u8; NUM_LITLEN];
+    for (sym, len) in lens.iter_mut().enumerate() {
+        *len = match sym {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    lens
+}
+
+fn fixed_dist_lengths() -> Vec<u8> {
+    vec![5u8; NUM_DIST]
+}
+
+fn fixed_decoders() -> Result<(Decoder, Decoder)> {
+    Ok((
+        Decoder::from_lengths(&fixed_litlen_lengths())?,
+        Decoder::from_lengths(&fixed_dist_lengths())?,
+    ))
+}
+
+/// Writes one block, choosing the cheapest of stored / fixed / dynamic.
+fn write_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8]) {
+    // Histogram the token stream.
+    let mut lit_freq = vec![0u32; NUM_LITLEN];
+    let mut dist_freq = vec![0u32; NUM_DIST];
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                let (lc, _, _) = length_code(len as usize);
+                lit_freq[257 + lc as usize] += 1;
+                let (dc, _, _) = dist_code(dist as usize);
+                dist_freq[dc as usize] += 1;
+            }
+        }
+    }
+    lit_freq[EOB as usize] += 1;
+
+    let mut dyn_lit_lens = huffman::build_lengths(&lit_freq);
+    let mut dyn_dist_lens = huffman::build_lengths(&dist_freq);
+    // Guarantee a non-empty distance table so the decoder can always build.
+    if dyn_dist_lens.iter().all(|&l| l == 0) {
+        dyn_dist_lens[0] = 1;
+    }
+    if dyn_lit_lens.iter().all(|&l| l == 0) {
+        dyn_lit_lens[EOB as usize] = 1;
+    }
+
+    let extra_bits: u64 = tokens
+        .iter()
+        .map(|t| match *t {
+            Token::Literal(_) => 0u64,
+            Token::Match { len, dist } => {
+                length_code(len as usize).2 as u64 + dist_code(dist as usize).2 as u64
+            }
+        })
+        .sum();
+
+    let fixed_lit = fixed_litlen_lengths();
+    let fixed_dist = fixed_dist_lengths();
+    let payload_cost = |lit_lens: &[u8], dist_lens: &[u8]| -> u64 {
+        let lit: u64 = lit_freq
+            .iter()
+            .zip(lit_lens)
+            .map(|(&f, &l)| f as u64 * l as u64)
+            .sum();
+        let dist: u64 = dist_freq
+            .iter()
+            .zip(dist_lens)
+            .map(|(&f, &l)| f as u64 * l as u64)
+            .sum();
+        lit + dist + extra_bits
+    };
+
+    let dynamic_cost = 2 + header_cost_bits(&dyn_lit_lens) + header_cost_bits(&dyn_dist_lens)
+        + 14
+        + payload_cost(&dyn_lit_lens, &dyn_dist_lens);
+    let fixed_cost = 2 + payload_cost(&fixed_lit, &fixed_dist);
+    let stored_cost = 2 + 7 + (vbyte_len_u64(raw.len() as u64) as u64 + raw.len() as u64) * 8;
+
+    if stored_cost < dynamic_cost && stored_cost < fixed_cost {
+        w.write_bits(BLOCK_STORED, 2);
+        align_writer(w);
+        write_vbyte_bits(w, raw.len() as u64);
+        for &b in raw {
+            w.write_bits(b as u64, 8);
+        }
+        return;
+    }
+    let (lit_lens, dist_lens) = if fixed_cost <= dynamic_cost {
+        w.write_bits(BLOCK_FIXED, 2);
+        (fixed_lit, fixed_dist)
+    } else {
+        w.write_bits(BLOCK_DYNAMIC, 2);
+        write_dynamic_header(w, &dyn_lit_lens, &dyn_dist_lens);
+        (dyn_lit_lens, dyn_dist_lens)
+    };
+    let lit_enc = Encoder::from_lengths(&lit_lens).expect("valid built lengths");
+    let dist_enc = Encoder::from_lengths(&dist_lens).expect("valid built lengths");
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => lit_enc.write(w, b as usize),
+            Token::Match { len, dist } => {
+                let (lc, lextra, lbits) = length_code(len as usize);
+                lit_enc.write(w, 257 + lc as usize);
+                w.write_bits(lextra as u64, lbits as u32);
+                let (dc, dextra, dbits) = dist_code(dist as usize);
+                dist_enc.write(w, dc as usize);
+                w.write_bits(dextra as u64, dbits as u32);
+            }
+        }
+    }
+    lit_enc.write(w, EOB as usize);
+}
+
+/// Decodes tokens until end-of-block, appending raw bytes to `out`.
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    litlen: &Decoder,
+    dist: &Decoder,
+    raw_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    loop {
+        let sym = litlen.decode(r)?;
+        if sym < 256 {
+            if out.len() >= raw_len {
+                return Err(CodecError::Corrupt("literal overflows output"));
+            }
+            out.push(sym as u8);
+            continue;
+        }
+        if sym == EOB {
+            return Ok(());
+        }
+        let lc = (sym - 257) as usize;
+        if lc >= LENGTH_BASE.len() {
+            return Err(CodecError::Corrupt("invalid length symbol"));
+        }
+        let len = LENGTH_BASE[lc] as usize + r.read_bits(LENGTH_EXTRA[lc] as u32)? as usize;
+        let dsym = dist.decode(r)? as usize;
+        if dsym >= DIST_BASE.len() {
+            return Err(CodecError::Corrupt("invalid distance symbol"));
+        }
+        let d = DIST_BASE[dsym] as usize + r.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+        if d > out.len() {
+            return Err(CodecError::Corrupt("match reaches before stream start"));
+        }
+        if out.len() + len > raw_len {
+            return Err(CodecError::Corrupt("match overflows output"));
+        }
+        let start = out.len() - d;
+        // Byte-wise copy: matches may overlap themselves (RLE-style).
+        for k in 0..len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+}
+
+// --- dynamic header (code lengths with zero-run RLE) ---
+
+fn header_cost_bits(lens: &[u8]) -> u64 {
+    let mut bits = 9; // transmitted count
+    let mut i = 0usize;
+    let n = trimmed_len(lens);
+    while i < n {
+        if lens[i] == 0 {
+            let mut run = 1usize;
+            while i + run < n && lens[i + run] == 0 && run < 64 {
+                run += 1;
+            }
+            bits += 5 + 6;
+            i += run;
+        } else {
+            bits += 5;
+            i += 1;
+        }
+    }
+    bits
+}
+
+fn trimmed_len(lens: &[u8]) -> usize {
+    lens.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1)
+}
+
+fn write_dynamic_header(w: &mut BitWriter, lit_lens: &[u8], dist_lens: &[u8]) {
+    for lens in [lit_lens, dist_lens] {
+        let n = trimmed_len(lens);
+        w.write_bits(n as u64, 9);
+        let mut i = 0usize;
+        while i < n {
+            if lens[i] == 0 {
+                let mut run = 1usize;
+                while i + run < n && lens[i + run] == 0 && run < 64 {
+                    run += 1;
+                }
+                w.write_bits(LEN_RLE_ZERO_RUN, 5);
+                w.write_bits(run as u64 - 1, 6);
+                i += run;
+            } else {
+                debug_assert!(lens[i] < 31);
+                w.write_bits(lens[i] as u64, 5);
+                i += 1;
+            }
+        }
+    }
+}
+
+fn read_dynamic_header(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
+    let mut tables: Vec<Vec<u8>> = Vec::with_capacity(2);
+    for limit in [NUM_LITLEN, NUM_DIST] {
+        let n = r.read_bits(9)? as usize;
+        if n > limit {
+            return Err(CodecError::Corrupt("code length count out of range"));
+        }
+        let mut lens = vec![0u8; limit];
+        let mut i = 0usize;
+        while i < n {
+            let v = r.read_bits(5)?;
+            if v == LEN_RLE_ZERO_RUN {
+                let run = r.read_bits(6)? as usize + 1;
+                if i + run > n {
+                    return Err(CodecError::Corrupt("zero run overflows table"));
+                }
+                i += run;
+            } else {
+                lens[i] = v as u8;
+                i += 1;
+            }
+        }
+        tables.push(lens);
+    }
+    let dist = Decoder::from_lengths(&tables.pop().expect("two tables"))?;
+    let litlen = Decoder::from_lengths(&tables.pop().expect("two tables"))?;
+    Ok((litlen, dist))
+}
+
+// --- helpers for byte-ish values inside the bit stream ---
+
+fn align_writer(w: &mut BitWriter) {
+    let rem = (w.bit_len() % 8) as u32;
+    if rem != 0 {
+        w.write_bits(0, 8 - rem);
+    }
+}
+
+fn write_vbyte_bits(w: &mut BitWriter, mut v: u64) {
+    loop {
+        let byte = v & 0x7F;
+        v >>= 7;
+        if v == 0 {
+            w.write_bits(byte, 8);
+            return;
+        }
+        w.write_bits(byte | 0x80, 8);
+    }
+}
+
+fn read_vbyte_bits(r: &mut BitReader<'_>) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = r.read_bits(8)?;
+        if shift >= 64 {
+            return Err(CodecError::Corrupt("vbyte run too long"));
+        }
+        v |= (byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn vbyte_len_u64(v: u64) -> usize {
+    let bits = 64 - v.leading_zeros().min(63);
+    ((bits as usize).max(1)).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], level: Level) -> usize {
+        let c = compress(data, level);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data, "level {level:?} len {}", data.len());
+        c.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(roundtrip(b"", Level::Default), 1);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for data in [&b"a"[..], b"ab", b"abc", b"aaaa", b"\x00\xFF"] {
+            for level in [Level::Fast, Level::Default, Level::Best] {
+                roundtrip(data, level);
+            }
+        }
+    }
+
+    #[test]
+    fn repetitive_text_compresses_hard() {
+        let data = b"<html><head><title>page</title></head><body>".repeat(500);
+        let n = roundtrip(&data, Level::Best);
+        assert!(
+            n < data.len() / 20,
+            "expected >20x on boilerplate, got {} / {}",
+            n,
+            data.len()
+        );
+    }
+
+    #[test]
+    fn incompressible_data_stays_close_to_raw() {
+        // xorshift noise: stored blocks should kick in.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        let n = roundtrip(&data, Level::Default);
+        assert!(n < data.len() + data.len() / 50 + 64, "blowup: {n}");
+    }
+
+    #[test]
+    fn english_like_text_ratio() {
+        let sentence = b"the quick brown fox jumps over the lazy dog and runs away quickly. ";
+        let data: Vec<u8> = sentence.iter().cycle().take(200_000).copied().collect();
+        let n = roundtrip(&data, Level::Default);
+        assert!(n < data.len() / 10);
+    }
+
+    #[test]
+    fn multi_block_inputs() {
+        // Force several blocks with shifting content.
+        let mut data = Vec::new();
+        for i in 0..40u32 {
+            let chunk = format!("section {i} body text {} end. ", "word ".repeat(i as usize % 17));
+            data.extend(chunk.bytes().cycle().take(9000));
+        }
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            roundtrip(&data, level);
+        }
+    }
+
+    #[test]
+    fn cross_block_matches_are_valid() {
+        // Content repeating at a period near the block size exercises
+        // distances that reach into the previous block.
+        let unit: Vec<u8> = (0..29_000u32).map(|i| (i % 251) as u8).collect();
+        let mut data = unit.clone();
+        data.extend_from_slice(&unit);
+        data.extend_from_slice(&unit);
+        roundtrip(&data, Level::Best);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = b"some compressible data some compressible data".repeat(50);
+        let c = compress(&data, Level::Default);
+        for cut in [1usize, 2, c.len() / 2] {
+            assert!(decompress(&c[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_header_errors() {
+        let data = b"hello world hello world".repeat(20);
+        let mut c = compress(&data, Level::Default);
+        // Flip bits in the first block header region.
+        c[2] ^= 0xFF;
+        let _ = decompress(&c); // must not panic; error or garbage tolerated
+        // Declare a longer output than the stream encodes.
+        let mut c2 = compress(&data, Level::Default);
+        c2[0] = c2[0].wrapping_add(1);
+        assert!(decompress(&c2).is_err());
+    }
+
+    #[test]
+    fn levels_trade_ratio_for_effort() {
+        let data: Vec<u8> = {
+            // Mildly repetitive: levels should differ.
+            let mut v = Vec::new();
+            for i in 0..3000u32 {
+                v.extend_from_slice(format!("entry-{:06} value={} ", i % 500, i % 37).as_bytes());
+            }
+            v
+        };
+        let fast = compress(&data, Level::Fast).len();
+        let best = compress(&data, Level::Best).len();
+        assert!(best <= fast, "best {best} > fast {fast}");
+    }
+
+    #[test]
+    fn binary_with_zero_runs() {
+        let mut data = vec![0u8; 10_000];
+        data.extend((0..200).map(|i| i as u8));
+        data.extend(vec![0xFFu8; 5_000]);
+        roundtrip(&data, Level::Default);
+    }
+}

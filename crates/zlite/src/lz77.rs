@@ -1,0 +1,291 @@
+//! LZ77 match finding over a 32 KB sliding window with hash chains and
+//! one-step-lazy evaluation — the same architecture zlib uses, which is the
+//! property the paper's baselines depend on (a *small* window that cannot
+//! see cross-document redundancy).
+
+use crate::tables::{MAX_MATCH, MIN_MATCH, WINDOW_SIZE};
+
+/// One output token of the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single byte emitted verbatim.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes behind.
+    Match {
+        /// Match length, `3..=258`.
+        len: u16,
+        /// Distance back into the already-emitted text, `1..=32768`.
+        dist: u16,
+    },
+}
+
+/// Effort level, mirroring zlib's speed/ratio dial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Level {
+    /// Shallow chains, no lazy matching: fastest.
+    Fast,
+    /// Moderate chains with lazy matching.
+    #[default]
+    Default,
+    /// Deep chains, always lazy — the paper's "z best compression".
+    Best,
+}
+
+impl Level {
+    fn params(self) -> Params {
+        match self {
+            Level::Fast => Params {
+                max_chain: 16,
+                nice_len: 32,
+                lazy: false,
+            },
+            Level::Default => Params {
+                max_chain: 128,
+                nice_len: 130,
+                lazy: true,
+            },
+            Level::Best => Params {
+                max_chain: 1024,
+                nice_len: MAX_MATCH,
+                lazy: true,
+            },
+        }
+    }
+}
+
+struct Params {
+    max_chain: usize,
+    nice_len: usize,
+    lazy: bool,
+}
+
+const HASH_BITS: u32 = 15;
+const NO_POS: u32 = u32::MAX;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Hash-chain match finder.
+pub struct MatchFinder {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    params: Params,
+}
+
+impl MatchFinder {
+    /// Creates a finder for an input of length `n`.
+    pub fn new(n: usize, level: Level) -> Self {
+        MatchFinder {
+            head: vec![NO_POS; 1 << HASH_BITS],
+            prev: vec![NO_POS; n],
+            params: level.params(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], i: usize) {
+        if i + 4 <= data.len() {
+            let h = hash4(data, i);
+            self.prev[i] = self.head[h];
+            self.head[h] = i as u32;
+        }
+    }
+
+    /// Longest match at position `i`, if any reaches `MIN_MATCH`.
+    fn best_match(&self, data: &[u8], i: usize) -> Option<(usize, usize)> {
+        if i + MIN_MATCH + 1 > data.len() || i + 4 > data.len() {
+            return None;
+        }
+        let max_len = MAX_MATCH.min(data.len() - i);
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut j = self.head[hash4(data, i)];
+        let mut chain = self.params.max_chain;
+        while j != NO_POS && chain > 0 {
+            let jj = j as usize;
+            debug_assert!(jj < i);
+            if i - jj > WINDOW_SIZE {
+                break;
+            }
+            // Cheap rejection: compare the byte that would extend the match.
+            if data[jj + best_len] == data[i + best_len] {
+                let len = common_prefix(data, jj, i, max_len);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = i - jj;
+                    if len >= self.params.nice_len || len >= max_len {
+                        break;
+                    }
+                }
+            }
+            j = self.prev[jj];
+            chain -= 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    }
+
+    /// Tokenizes `data`, feeding each token to `sink`.
+    pub fn tokenize(&mut self, data: &[u8], mut sink: impl FnMut(Token)) {
+        let n = data.len();
+        let mut i = 0usize;
+        while i < n {
+            let here = self.best_match(data, i);
+            let Some((mut len, mut dist)) = here else {
+                self.insert(data, i);
+                sink(Token::Literal(data[i]));
+                i += 1;
+                continue;
+            };
+            // First position not yet inserted into the hash chains.
+            let mut uninserted = i;
+            // One-step lazy evaluation: prefer a strictly longer match that
+            // starts one byte later.
+            if self.params.lazy && len < self.params.nice_len && i + 1 < n {
+                self.insert(data, i);
+                uninserted = i + 1;
+                if let Some((len2, dist2)) = self.best_match(data, i + 1) {
+                    if len2 > len {
+                        sink(Token::Literal(data[i]));
+                        i += 1;
+                        len = len2;
+                        dist = dist2;
+                    }
+                }
+            }
+            sink(Token::Match {
+                len: len as u16,
+                dist: dist as u16,
+            });
+            for k in uninserted.max(i)..i + len {
+                self.insert(data, k);
+            }
+            i += len;
+        }
+    }
+}
+
+#[inline]
+fn common_prefix(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    debug_assert!(a < b);
+    let mut len = 0usize;
+    // Compare 8 bytes at a time while both sides stay in bounds.
+    while len + 8 <= max_len {
+        let x = u64::from_le_bytes(data[a + len..a + len + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(data[b + len..b + len + 8].try_into().expect("8 bytes"));
+        let diff = x ^ y;
+        if diff != 0 {
+            return len + (diff.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
+    while len < max_len && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+/// Expands a token stream back into bytes (reference decoder used in tests).
+#[cfg(test)]
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    out.push(out[start + k]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens_for(data: &[u8], level: Level) -> Vec<Token> {
+        let mut mf = MatchFinder::new(data.len(), level);
+        let mut tokens = Vec::new();
+        mf.tokenize(data, |t| tokens.push(t));
+        tokens
+    }
+
+    #[test]
+    fn roundtrip_all_levels() {
+        let data = b"the quick brown fox jumps over the lazy dog; \
+                     the quick brown fox jumps over the lazy dog again"
+            .to_vec();
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let tokens = tokens_for(&data, level);
+            assert_eq!(expand(&tokens), data, "{level:?}");
+            assert!(
+                tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+                "{level:?} found no matches in repetitive text"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(tokens_for(b"", Level::Default).is_empty());
+        assert_eq!(tokens_for(b"a", Level::Default), vec![Token::Literal(b'a')]);
+        assert_eq!(
+            tokens_for(b"ab", Level::Best),
+            vec![Token::Literal(b'a'), Token::Literal(b'b')]
+        );
+    }
+
+    #[test]
+    fn run_of_identical_bytes_uses_overlapping_match() {
+        let data = vec![b'x'; 1000];
+        let tokens = tokens_for(&data, Level::Best);
+        assert_eq!(expand(&tokens), data);
+        // First token is a literal, after which self-referential matches
+        // with dist=1 should cover almost everything.
+        assert!(tokens.len() <= 1 + 1000usize.div_ceil(MAX_MATCH) + 2);
+        assert!(matches!(tokens[1], Token::Match { dist: 1, .. }));
+    }
+
+    #[test]
+    fn matches_never_exceed_window() {
+        // Repetition spaced beyond the window must not be found.
+        let mut data = b"unique_prefix_0123456789".to_vec();
+        data.extend(std::iter::repeat_n(b'.', WINDOW_SIZE + 100));
+        data.extend_from_slice(b"unique_prefix_0123456789");
+        let tokens = tokens_for(&data, Level::Best);
+        assert_eq!(expand(&tokens), data);
+        for t in &tokens {
+            if let Token::Match { dist, .. } = t {
+                assert!((*dist as usize) <= WINDOW_SIZE);
+            }
+        }
+    }
+
+    #[test]
+    fn incompressible_input_is_all_literals() {
+        // A de Bruijn-ish byte sequence with no repeated 3-grams.
+        let mut data = Vec::new();
+        for i in 0..400u32 {
+            data.extend_from_slice(&(i.wrapping_mul(2654435761)).to_le_bytes());
+        }
+        let tokens = tokens_for(&data[..300], Level::Default);
+        assert_eq!(expand(&tokens), &data[..300]);
+    }
+
+    #[test]
+    fn max_match_length_respected() {
+        let data = vec![b'z'; 4096];
+        for t in tokens_for(&data, Level::Fast) {
+            if let Token::Match { len, .. } = t {
+                assert!((len as usize) <= MAX_MATCH);
+                assert!((len as usize) >= MIN_MATCH);
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! DEFLATE-style length and distance code tables.
+//!
+//! Match lengths 3..=258 map to 29 length codes, distances 1..=32768 to 30
+//! distance codes, each with a base value plus a run of extra bits — the
+//! exact tables of RFC 1951, reused here because they are well matched to a
+//! 32 KB window.
+
+/// Smallest encodable match length.
+pub const MIN_MATCH: usize = 3;
+/// Largest encodable match length.
+pub const MAX_MATCH: usize = 258;
+/// Window size: how far back a match may reach.
+pub const WINDOW_SIZE: usize = 32 * 1024;
+
+/// Number of literal/length symbols: 256 literals + end-of-block + 29 lengths.
+pub const NUM_LITLEN: usize = 286;
+/// The end-of-block symbol.
+pub const EOB: u16 = 256;
+/// Number of distance symbols.
+pub const NUM_DIST: usize = 30;
+
+/// Base match length for each length code (symbol 257 + index).
+pub const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+
+/// Extra bits carried by each length code.
+pub const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+
+/// Base distance for each distance code.
+pub const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+
+/// Extra bits carried by each distance code.
+pub const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// Maps a match length (3..=258) to `(code_index, extra_value, extra_bits)`.
+#[inline]
+pub fn length_code(len: usize) -> (u16, u32, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    // Binary search would work; a table of 256 entries is faster and simple.
+    let idx = LENGTH_TO_CODE[len - MIN_MATCH] as usize;
+    let base = LENGTH_BASE[idx] as usize;
+    (idx as u16, (len - base) as u32, LENGTH_EXTRA[idx])
+}
+
+/// Maps a distance (1..=32768) to `(code_index, extra_value, extra_bits)`.
+#[inline]
+pub fn dist_code(dist: usize) -> (u16, u32, u8) {
+    debug_assert!((1..=WINDOW_SIZE).contains(&dist));
+    let idx = if dist <= 256 {
+        DIST_TO_CODE_LOW[dist - 1] as usize
+    } else {
+        DIST_TO_CODE_HIGH[(dist - 1) >> 7] as usize
+    };
+    let base = DIST_BASE[idx] as usize;
+    (idx as u16, (dist - base) as u32, DIST_EXTRA[idx])
+}
+
+/// Length-to-code lookup, one entry per length 3..=258.
+static LENGTH_TO_CODE: [u8; 256] = build_length_to_code();
+
+const fn build_length_to_code() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut len = 0usize;
+    while len < 256 {
+        let actual = len + MIN_MATCH;
+        let mut code = 0usize;
+        // Find the last code whose base is <= actual.
+        let mut i = 0usize;
+        while i < 29 {
+            if LENGTH_BASE[i] as usize <= actual {
+                code = i;
+            }
+            i += 1;
+        }
+        table[len] = code as u8;
+        len += 1;
+    }
+    table
+}
+
+/// Distance-to-code lookup for distances 1..=256.
+static DIST_TO_CODE_LOW: [u8; 256] = build_dist_to_code_low();
+/// Distance-to-code lookup for distances 257..=32768, indexed by
+/// `(dist - 1) >> 7`.
+static DIST_TO_CODE_HIGH: [u8; 256] = build_dist_to_code_high();
+
+const fn code_for_dist(dist: usize) -> u8 {
+    let mut code = 0usize;
+    let mut i = 0usize;
+    while i < 30 {
+        if DIST_BASE[i] as usize <= dist {
+            code = i;
+        }
+        i += 1;
+    }
+    code as u8
+}
+
+const fn build_dist_to_code_low() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut d = 0usize;
+    while d < 256 {
+        table[d] = code_for_dist(d + 1);
+        d += 1;
+    }
+    table
+}
+
+const fn build_dist_to_code_high() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut slot = 0usize;
+    while slot < 256 {
+        // Representative distance for this slot (first distance mapping here).
+        let dist = (slot << 7) + 1;
+        table[slot] = code_for_dist(dist);
+        slot += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_codes_cover_range() {
+        for len in MIN_MATCH..=MAX_MATCH {
+            let (code, extra, bits) = length_code(len);
+            assert!((code as usize) < 29, "len {len}");
+            let base = LENGTH_BASE[code as usize] as usize;
+            assert_eq!(base + extra as usize, len);
+            assert!(extra < (1u32 << bits) || (bits == 0 && extra == 0), "len {len}");
+            assert_eq!(bits, LENGTH_EXTRA[code as usize]);
+        }
+        // 258 must use the dedicated final code with no extra bits.
+        assert_eq!(length_code(258), (28, 0, 0));
+        assert_eq!(length_code(3), (0, 0, 0));
+    }
+
+    #[test]
+    fn dist_codes_cover_range() {
+        for dist in 1..=WINDOW_SIZE {
+            let (code, extra, bits) = dist_code(dist);
+            assert!((code as usize) < 30, "dist {dist}");
+            let base = DIST_BASE[code as usize] as usize;
+            assert_eq!(base + extra as usize, dist);
+            assert!(extra < (1u32 << bits) || (bits == 0 && extra == 0));
+        }
+        assert_eq!(dist_code(1), (0, 0, 0));
+        assert_eq!(dist_code(32768), (29, 8191, 13));
+    }
+
+    #[test]
+    fn code_boundaries_are_monotone() {
+        let mut prev = 0u16;
+        for dist in 1..=WINDOW_SIZE {
+            let (code, _, _) = dist_code(dist);
+            assert!(code >= prev);
+            prev = code;
+        }
+    }
+}

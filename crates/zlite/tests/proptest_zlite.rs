@@ -1,0 +1,56 @@
+//! Property tests: zlite round-trips arbitrary byte strings at every level
+//! and never panics on corrupted streams.
+
+use proptest::prelude::*;
+use rlz_zlite::{compress, decompress, Level};
+
+proptest! {
+    #[test]
+    fn roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let c = compress(&data, level);
+            let d = decompress(&c);
+            prop_assert_eq!(d.as_deref(), Ok(&data[..]), "{:?}", level);
+        }
+    }
+
+    #[test]
+    fn roundtrip_low_entropy(data in proptest::collection::vec(0u8..4, 0..6000)) {
+        // Tiny alphabets produce long matches and deep Huffman skew.
+        let c = compress(&data, Level::Best);
+        let d = decompress(&c);
+        prop_assert_eq!(d.as_deref(), Ok(&data[..]));
+    }
+
+    #[test]
+    fn roundtrip_repeated_chunks(
+        chunk in proptest::collection::vec(any::<u8>(), 1..100),
+        reps in 1usize..200,
+    ) {
+        let data: Vec<u8> = chunk.iter().cycle().take(chunk.len() * reps).copied().collect();
+        let c = compress(&data, Level::Default);
+        let d = decompress(&c);
+        prop_assert_eq!(d.as_deref(), Ok(&data[..]));
+        // Strong repetition must compress once it is long enough.
+        if data.len() > 2000 {
+            prop_assert!(c.len() < data.len());
+        }
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let _ = decompress(&data);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_bitflips(
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut c = compress(&data, Level::Default);
+        let idx = flip_byte.index(c.len());
+        c[idx] ^= 1 << flip_bit;
+        let _ = decompress(&c);
+    }
+}

@@ -1,0 +1,62 @@
+//! Dynamic updates (§3.6, Table 10): a dictionary sampled from an early
+//! prefix of a growing collection keeps compressing new documents well,
+//! and appending fresh samples recovers most of the residual loss without
+//! invalidating existing encodings.
+//!
+//! Run with: `cargo run --release --example dynamic_collection`
+
+use rlz_repro::corpus::{generate_web, WebConfig};
+use rlz_repro::rlz::{Dictionary, PairCoding, RlzCompressor, SampleStrategy};
+
+fn encoded_percent(rlz: &RlzCompressor, docs: &[&[u8]]) -> f64 {
+    let raw: usize = docs.iter().map(|d| d.len()).sum();
+    let enc: usize = docs.iter().map(|d| rlz.compress(d).len()).sum();
+    (enc + rlz.dict().len()) as f64 * 100.0 / raw as f64
+}
+
+fn main() {
+    let collection = generate_web(&WebConfig::wikipedia(6 * 1024 * 1024, 77));
+    let docs: Vec<&[u8]> = collection.iter_docs().collect();
+    let dict_size = collection.total_bytes() / 200;
+    println!(
+        "collection: {} docs / {} MiB; dictionary budget {} KiB\n",
+        docs.len(),
+        collection.total_bytes() >> 20,
+        dict_size >> 10
+    );
+
+    // Dictionary from the full collection: the reference point.
+    let full = Dictionary::sample(&collection.data, dict_size, 1024, SampleStrategy::Evenly);
+    let rlz_full = RlzCompressor::new(full, PairCoding::ZZ);
+    let full_pct = encoded_percent(&rlz_full, &docs);
+    println!("dictionary from 100% of collection: {full_pct:.2}% encoding");
+
+    // Dictionary sampled when only 30% of the collection existed.
+    let prefix = Dictionary::sample(
+        &collection.data,
+        dict_size,
+        1024,
+        SampleStrategy::Prefix { percent: 30 },
+    );
+    let rlz_prefix = RlzCompressor::new(prefix.clone(), PairCoding::ZZ);
+    let prefix_pct = encoded_percent(&rlz_prefix, &docs);
+    println!("dictionary from  30% prefix:        {prefix_pct:.2}% encoding");
+
+    // §3.6's no-re-encoding repair: append samples of the *new* region to
+    // the dictionary. Old factor offsets stay valid; only the suffix array
+    // is rebuilt.
+    let split = collection.total_bytes() * 30 / 100;
+    let mut grown = prefix;
+    grown.append_samples(&collection.data[split..], dict_size / 2, 1024);
+    let rlz_grown = RlzCompressor::new(grown, PairCoding::ZZ);
+    let grown_pct = encoded_percent(&rlz_grown, &docs);
+    println!("after appending new-region samples: {grown_pct:.2}% encoding");
+
+    println!(
+        "\npaper's finding (Table 10): prefix dictionaries lose little — here \
+         {:.2} points; appending samples recovers {:.2} points.",
+        prefix_pct - full_pct,
+        prefix_pct - grown_pct
+    );
+    assert!(prefix_pct < full_pct + 10.0, "prefix dictionary degraded too much");
+}

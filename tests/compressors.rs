@@ -1,0 +1,94 @@
+//! Cross-codec properties the evaluation depends on: the lzma-class codec
+//! must out-compress the zlib-class codec on redundancy beyond a 32 KB
+//! window, and decode slower; both must round-trip the synthetic corpora.
+
+use rlz_repro::corpus::{generate_web, CollectionStyle, WebConfig};
+use rlz_repro::{lzlite, zlite};
+
+#[test]
+fn lzlite_beats_zlite_on_cross_window_redundancy() {
+    // Same-site boilerplate recurs far apart in crawl order; only the
+    // large-window codec can reach it.
+    let c = generate_web(&WebConfig::gov2(3 * 1024 * 1024, 11));
+    let z = zlite::compress(&c.data, zlite::Level::Best).len();
+    let lz = lzlite::compress(&c.data, lzlite::Level::Default).len();
+    assert!(
+        (lz as f64) < z as f64 * 0.9,
+        "lzlite {lz} should clearly beat zlite {z}"
+    );
+}
+
+#[test]
+fn both_roundtrip_both_corpus_styles() {
+    for style in [CollectionStyle::Gov2, CollectionStyle::Wikipedia] {
+        let cfg = WebConfig {
+            style,
+            ..WebConfig::gov2(512 * 1024, 3)
+        };
+        let c = generate_web(&cfg);
+        let z = zlite::compress(&c.data, zlite::Level::Default);
+        assert_eq!(zlite::decompress(&z).unwrap(), c.data, "{style:?} zlite");
+        let lz = lzlite::compress(&c.data, lzlite::Level::Fast);
+        assert_eq!(lzlite::decompress(&lz).unwrap(), c.data, "{style:?} lzlite");
+    }
+}
+
+#[test]
+fn lzlite_decodes_slower_than_zlite() {
+    // The speed ordering behind Tables 6/7/9: lzma-class decode is the
+    // slowest. Measured coarsely (3x margin demanded is far below the real
+    // gap, so this is not flaky).
+    let c = generate_web(&WebConfig::gov2(2 * 1024 * 1024, 5));
+    let z = zlite::compress(&c.data, zlite::Level::Default);
+    let lz = lzlite::compress(&c.data, lzlite::Level::Default);
+
+    let time = |f: &dyn Fn() -> usize| {
+        let t = std::time::Instant::now();
+        let n = f();
+        assert_eq!(n, c.data.len());
+        t.elapsed()
+    };
+    // Warm up, then measure best-of-3 to shed scheduler noise.
+    let zt = (0..3)
+        .map(|_| time(&|| zlite::decompress(&z).unwrap().len()))
+        .min()
+        .unwrap();
+    let lzt = (0..3)
+        .map(|_| time(&|| lzlite::decompress(&lz).unwrap().len()))
+        .min()
+        .unwrap();
+    assert!(
+        lzt > zt,
+        "lzlite decode ({lzt:?}) should be slower than zlite ({zt:?})"
+    );
+}
+
+#[test]
+fn genome_collection_compresses_against_reference_dictionary() {
+    use rlz_repro::corpus::genome::{self, GenomeConfig};
+    use rlz_repro::rlz::{Dictionary, PairCoding, RlzCompressor};
+
+    let cfg = GenomeConfig {
+        individuals: 8,
+        reference_len: 60_000,
+        snp_rate: 0.001,
+        indel_rate: 0.0001,
+        seed: 77,
+    };
+    let reference = genome::reference(&cfg);
+    let c = genome::generate(&cfg);
+    // Dictionary = the reference genome (the SPIRE'10 RLZ setting).
+    let rlz = RlzCompressor::new(Dictionary::from_bytes(reference), PairCoding::ZV);
+    let mut total_enc = 0usize;
+    for doc in c.iter_docs() {
+        let enc = rlz.compress(doc);
+        assert_eq!(rlz.decompress(&enc).unwrap(), doc);
+        total_enc += enc.len();
+    }
+    let ratio = total_enc as f64 / c.total_bytes() as f64;
+    assert!(
+        ratio < 0.05,
+        "resequenced genomes must compress below 5% against the reference, got {:.2}%",
+        ratio * 100.0
+    );
+}

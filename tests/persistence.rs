@@ -1,0 +1,113 @@
+//! On-disk format stability: stores built by one "process" (builder scope)
+//! must reopen cleanly and serve identical bytes; metadata corruption must
+//! be detected.
+
+use rlz_repro::corpus::{generate_web, WebConfig};
+use rlz_repro::rlz::{Dictionary, PairCoding, SampleStrategy};
+use rlz_repro::store::{
+    AsciiStore, BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder,
+};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("rlz-persist-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn rlz_store_reopens_across_sessions() {
+    let c = generate_web(&WebConfig::gov2(1 << 20, 99));
+    let docs: Vec<&[u8]> = c.iter_docs().collect();
+    let dir = TempDir::new("rlz-reopen");
+    {
+        let dict = Dictionary::sample(&c.data, 16 * 1024, 512, SampleStrategy::Evenly);
+        RlzStoreBuilder::new(dict, PairCoding::ZV)
+            .threads(4)
+            .build(dir.path(), &docs)
+            .unwrap();
+    } // builder, dictionary, suffix array all dropped — "process exit"
+
+    // First reader session.
+    {
+        let mut store = RlzStore::open(dir.path()).unwrap();
+        assert_eq!(store.get(0).unwrap(), docs[0]);
+    }
+    // Second reader session sees the same bytes.
+    let mut store = RlzStore::open(dir.path()).unwrap();
+    for (i, doc) in docs.iter().enumerate() {
+        assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+    }
+}
+
+#[test]
+fn blocked_store_reopens_and_detects_meta_corruption() {
+    let c = generate_web(&WebConfig::gov2(1 << 20, 98));
+    let docs: Vec<&[u8]> = c.iter_docs().collect();
+    let dir = TempDir::new("blocked-reopen");
+    BlockedStore::build(
+        dir.path(),
+        docs.iter().copied(),
+        BlockCodec::Zlite(rlz_repro::zlite::Level::Default),
+        64 * 1024,
+        4,
+    )
+    .unwrap();
+    {
+        let mut store = BlockedStore::open(dir.path()).unwrap();
+        for (i, doc) in docs.iter().enumerate() {
+            assert_eq!(&store.get(i).unwrap(), doc);
+        }
+    }
+    // Truncate the metadata: open (or first access) must fail, not panic.
+    let meta = dir.path().join("meta.bin");
+    let bytes = std::fs::read(&meta).unwrap();
+    std::fs::write(&meta, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(BlockedStore::open(dir.path()).is_err());
+}
+
+#[test]
+fn ascii_store_detects_truncated_payload() {
+    let dir = TempDir::new("ascii-trunc");
+    let docs: Vec<&[u8]> = vec![b"first document", b"second document"];
+    AsciiStore::build(dir.path(), docs.iter().copied()).unwrap();
+    // Chop the data file: the doc map now points past EOF.
+    let data = dir.path().join("data.bin");
+    let bytes = std::fs::read(&data).unwrap();
+    std::fs::write(&data, &bytes[..5]).unwrap();
+    let mut store = AsciiStore::open(dir.path()).unwrap();
+    assert!(store.get(1).is_err());
+}
+
+#[test]
+fn rlz_store_detects_cross_coding_mismatch() {
+    // A payload written as UV but labelled ZZ must error or mis-decode, not
+    // panic, and a correct label round-trips.
+    let c = generate_web(&WebConfig::gov2(256 * 1024, 97));
+    let docs: Vec<&[u8]> = c.iter_docs().collect();
+    let dir = TempDir::new("rlz-mislabel");
+    let dict = Dictionary::sample(&c.data, 8 * 1024, 512, SampleStrategy::Evenly);
+    RlzStoreBuilder::new(dict, PairCoding::UV)
+        .build(dir.path(), &docs)
+        .unwrap();
+    std::fs::write(dir.path().join("meta.bin"), b"ZZ").unwrap();
+    let mut store = RlzStore::open(dir.path()).unwrap();
+    for (i, doc) in docs.iter().enumerate() {
+        if let Ok(bytes) = store.get(i) {
+            assert_ne!(&bytes, doc, "mislabelled store decoded correctly?!");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end integration: synthetic crawl → every store type → retrieval
+//! equality, plus the compression-ordering claims of the paper's discussion
+//! section at miniature scale.
+
+use rlz_repro::corpus::{self, access, generate_web, WebConfig};
+use rlz_repro::rlz::{Dictionary, PairCoding, SampleStrategy};
+use rlz_repro::store::{
+    AsciiStore, BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder,
+};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("rlz-it-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn crawl() -> &'static corpus::Collection {
+    use std::sync::OnceLock;
+    static CRAWL: OnceLock<corpus::Collection> = OnceLock::new();
+    CRAWL.get_or_init(|| generate_web(&WebConfig::gov2(6 * 1024 * 1024, 0xFEED)))
+}
+
+#[test]
+fn every_store_returns_identical_documents() {
+    let c = crawl();
+    let docs: Vec<&[u8]> = c.iter_docs().collect();
+
+    let ascii_dir = TempDir::new("ascii");
+    AsciiStore::build(ascii_dir.path(), docs.iter().copied()).unwrap();
+    let mut ascii = AsciiStore::open(ascii_dir.path()).unwrap();
+
+    let zl_dir = TempDir::new("zl");
+    BlockedStore::build(
+        zl_dir.path(),
+        docs.iter().copied(),
+        BlockCodec::Zlite(rlz_repro::zlite::Level::Default),
+        64 * 1024,
+        8,
+    )
+    .unwrap();
+    let mut zl = BlockedStore::open(zl_dir.path()).unwrap();
+
+    let lz_dir = TempDir::new("lz");
+    BlockedStore::build(
+        lz_dir.path(),
+        docs.iter().copied(),
+        BlockCodec::Lzlite(rlz_repro::lzlite::Level::Fast),
+        128 * 1024,
+        8,
+    )
+    .unwrap();
+    let mut lz = BlockedStore::open(lz_dir.path()).unwrap();
+
+    let dict = Dictionary::sample(&c.data, c.data.len() / 200, 1024, SampleStrategy::Evenly);
+    let rlz_dir = TempDir::new("rlz");
+    RlzStoreBuilder::new(dict, PairCoding::ZV)
+        .threads(8)
+        .build(rlz_dir.path(), &docs)
+        .unwrap();
+    let mut rlz = RlzStore::open(rlz_dir.path()).unwrap();
+
+    assert_eq!(ascii.num_docs(), docs.len());
+    assert_eq!(zl.num_docs(), docs.len());
+    assert_eq!(lz.num_docs(), docs.len());
+    assert_eq!(rlz.num_docs(), docs.len());
+
+    // Query-log access pattern over all four stores.
+    let requests = access::query_log(docs.len(), 500, 20, 7);
+    for &id in &requests {
+        let expect = docs[id as usize];
+        assert_eq!(ascii.get(id as usize).unwrap(), expect);
+        assert_eq!(zl.get(id as usize).unwrap(), expect);
+        assert_eq!(lz.get(id as usize).unwrap(), expect);
+        assert_eq!(rlz.get(id as usize).unwrap(), expect);
+    }
+}
+
+#[test]
+fn rlz_compresses_better_than_small_block_zlib() {
+    // The paper's headline space claim at miniature scale: RLZ with a ~1%
+    // dictionary beats blocked zlib.
+    let c = crawl();
+    let docs: Vec<&[u8]> = c.iter_docs().collect();
+
+    let zl_dir = TempDir::new("ratio-zl");
+    BlockedStore::build(
+        zl_dir.path(),
+        docs.iter().copied(),
+        BlockCodec::Zlite(rlz_repro::zlite::Level::Best),
+        100 * 1024,
+        8,
+    )
+    .unwrap();
+    let zl = BlockedStore::open(zl_dir.path()).unwrap();
+
+    let dict = Dictionary::sample(&c.data, c.data.len() / 50, 1024, SampleStrategy::Evenly);
+    let rlz_dir = TempDir::new("ratio-rlz");
+    RlzStoreBuilder::new(dict, PairCoding::ZZ)
+        .threads(8)
+        .build(rlz_dir.path(), &docs)
+        .unwrap();
+    let rlz = RlzStore::open(rlz_dir.path()).unwrap();
+
+    let zl_pct = zl.stored_bytes() as f64 * 100.0 / c.total_bytes() as f64;
+    let rlz_pct = rlz.total_stored_bytes() as f64 * 100.0 / c.total_bytes() as f64;
+    assert!(
+        rlz_pct < zl_pct,
+        "rlz {rlz_pct:.2}% should beat blocked zlib {zl_pct:.2}%"
+    );
+}
+
+#[test]
+fn url_sorting_helps_blocked_but_not_rlz() {
+    let c = crawl();
+    let sorted = c.url_sorted();
+
+    let build_zl = |col: &corpus::Collection, tag: &str| {
+        let docs: Vec<&[u8]> = col.iter_docs().collect();
+        let dir = TempDir::new(tag);
+        BlockedStore::build(
+            dir.path(),
+            docs.iter().copied(),
+            BlockCodec::Zlite(rlz_repro::zlite::Level::Default),
+            100 * 1024,
+            8,
+        )
+        .unwrap();
+        let s = BlockedStore::open(dir.path()).unwrap().stored_bytes();
+        s
+    };
+    let crawl_size = build_zl(c, "url-zl-crawl");
+    let sorted_size = build_zl(&sorted, "url-zl-sorted");
+    assert!(
+        (sorted_size as f64) < crawl_size as f64 * 0.98,
+        "URL sorting should help blocked zlib: {sorted_size} vs {crawl_size}"
+    );
+
+    let build_rlz = |col: &corpus::Collection, tag: &str| {
+        let docs: Vec<&[u8]> = col.iter_docs().collect();
+        let dict =
+            Dictionary::sample(&col.data, col.data.len() / 150, 1024, SampleStrategy::Evenly);
+        let dir = TempDir::new(tag);
+        RlzStoreBuilder::new(dict, PairCoding::ZV)
+            .threads(8)
+            .build(dir.path(), &docs)
+            .unwrap();
+        RlzStore::open(dir.path()).unwrap().total_stored_bytes()
+    };
+    let rlz_crawl = build_rlz(c, "url-rlz-crawl") as f64;
+    let rlz_sorted = build_rlz(&sorted, "url-rlz-sorted") as f64;
+    // The paper's claim (§5): reordering moves RLZ "by a fraction of a
+    // percent" while blocked compressors improve substantially. At this
+    // miniature scale, sampling variance adds noise to RLZ's delta, so
+    // assert the *relative* claim: RLZ is much less order-sensitive than
+    // the blocked baseline. (The 32 MiB benchmark reproduces the ~0.5-point
+    // absolute figure; see EXPERIMENTS.md, Tables 4/5.)
+    let rlz_rel = (rlz_sorted - rlz_crawl).abs() / rlz_crawl;
+    let blocked_rel = (crawl_size as f64 - sorted_size as f64).abs() / crawl_size as f64;
+    assert!(
+        rlz_rel < blocked_rel,
+        "RLZ order-sensitivity ({rlz_rel:.4}) should be below blocked zlib's ({blocked_rel:.4})"
+    );
+    assert!(rlz_rel < 0.2, "RLZ moved implausibly much: {rlz_rel:.4}");
+}
+
+#[test]
+fn dictionary_size_trades_compression() {
+    let c = crawl();
+    let docs: Vec<&[u8]> = c.iter_docs().collect();
+    let mut sizes = Vec::new();
+    for (i, frac) in [800usize, 200, 50].into_iter().enumerate() {
+        let dict = Dictionary::sample(&c.data, c.data.len() / frac, 1024, SampleStrategy::Evenly);
+        let dir = TempDir::new(&format!("dictsize-{i}"));
+        RlzStoreBuilder::new(dict, PairCoding::ZV)
+            .threads(8)
+            .build(dir.path(), &docs)
+            .unwrap();
+        sizes.push(RlzStore::open(dir.path()).unwrap().total_stored_bytes());
+    }
+    assert!(
+        sizes[0] > sizes[1] && sizes[1] > sizes[2],
+        "larger dictionaries must compress better: {sizes:?}"
+    );
+}
