@@ -20,7 +20,9 @@ fn main() {
         dict_size as f64 / (1 << 20) as f64
     );
     println!("{:>8} {:>9} {:>14}", "Pos-Len", "Enc.(%)", "decode MiB/s");
-    for name in ["ZZ", "ZV", "UZ", "UV", "SV", "SS", "PV", "PP", "GV", "DV", "VV", "ZS", "ZP"] {
+    for name in [
+        "ZZ", "ZV", "UZ", "UV", "SV", "SS", "PV", "PP", "GV", "DV", "VV", "ZS", "ZP",
+    ] {
         let coding = PairCoding::parse(name).expect("valid coding");
         let rlz = RlzCompressor::new(dict.clone(), coding);
         let encoded: Vec<Vec<u8>> = c.iter_docs().map(|d| rlz.compress(d)).collect();

@@ -2,7 +2,9 @@
 //! random starts, and multi-pass prune-and-refill (the paper's §6 future
 //! work / reference \[17\]).
 use rlz_bench::{gov2_collection, parallel_doc_sizes, ScaledConfig};
-use rlz_core::{prune_and_refill, Dictionary, PairCoding, PruneConfig, RlzCompressor, SampleStrategy};
+use rlz_core::{
+    prune_and_refill, Dictionary, PairCoding, PruneConfig, RlzCompressor, SampleStrategy,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,8 +22,7 @@ fn main() {
     );
     println!("{:>10} {:>22} {:>9}", "dict", "policy", "Enc.(%)");
     for dict_size in cfg.dict_sizes() {
-        let evenly =
-            Dictionary::sample(&c.data, dict_size, cfg.sample_len, SampleStrategy::Evenly);
+        let evenly = Dictionary::sample(&c.data, dict_size, cfg.sample_len, SampleStrategy::Evenly);
         let random = Dictionary::sample(
             &c.data,
             dict_size,

@@ -16,7 +16,10 @@ fn main() {
         "Ablation — Refine search strategy, factorization throughput ({} MiB corpus)\n",
         cfg.collection_bytes >> 20
     );
-    println!("{:>10} {:>12} {:>14} {:>12}", "dict", "strategy", "MiB/s", "factors");
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}",
+        "dict", "strategy", "MiB/s", "factors"
+    );
     for dict_size in cfg.dict_sizes() {
         let dict = Dictionary::sample(&c.data, dict_size, cfg.sample_len, SampleStrategy::Evenly);
         let matcher = Matcher::new(dict.bytes(), dict.suffix_array());

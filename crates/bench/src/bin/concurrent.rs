@@ -1,0 +1,22 @@
+//! Concurrent-retrieval benchmark (extension beyond the paper): docs/second
+//! for every store family at 1/2/4/8 reader threads sharing one opened
+//! store. Demonstrates that the `&self` read path scales with threads for
+//! RLZ while blocked baselines stay decompression-bound.
+//!
+//! `cargo run --release -p rlz-bench --bin concurrent [-- --size-mb N]`
+
+use rlz_bench::{gov2_collection, ScaledConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let gov2 = gov2_collection(&cfg);
+    rlz_bench::tables::concurrent_retrieval_table(
+        &format!(
+            "Concurrent retrieval — GOV2-like corpus ({} MiB)",
+            cfg.collection_bytes >> 20
+        ),
+        &gov2,
+        &cfg,
+    );
+}

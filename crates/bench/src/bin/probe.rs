@@ -48,7 +48,10 @@ fn main() {
             stats.avg_factor_len(),
             stats.unused_dict_percent()
         );
-        println!("  fraction of copy factors with len < 100: {:.1}%", stats.fraction_below(100) * 100.0);
+        println!(
+            "  fraction of copy factors with len < 100: {:.1}%",
+            stats.fraction_below(100) * 100.0
+        );
         for (slot, name) in [(0, "U"), (1, "V"), (2, "Z")] {
             println!(
                 "  positions {}: {:6.2}%   lengths {}: {:6.2}%",

@@ -48,15 +48,16 @@ fn main() {
         &gov2_sorted,
         &cfg,
     );
-    rlz_bench::tables::rlz_retrieval_table(
-        "Table 8 — RLZ on Wikipedia-like corpus",
-        &wiki,
-        &cfg,
-    );
+    rlz_bench::tables::rlz_retrieval_table("Table 8 — RLZ on Wikipedia-like corpus", &wiki, &cfg);
     rlz_bench::tables::baseline_retrieval_table(
         "Table 9 — baselines on Wikipedia-like corpus",
         &wiki,
         &cfg,
     );
     rlz_bench::tables::table10(&wiki, &cfg);
+    rlz_bench::tables::concurrent_retrieval_table(
+        "Concurrent retrieval — GOV2-like corpus (extension; not in the paper)",
+        &gov2,
+        &cfg,
+    );
 }

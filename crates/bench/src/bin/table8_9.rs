@@ -12,11 +12,7 @@ fn main() {
         .unwrap_or_else(|| "both".into());
     let c = wikipedia_collection(&cfg);
     if which == "rlz" || which == "both" {
-        rlz_bench::tables::rlz_retrieval_table(
-            "Table 8 — RLZ on Wikipedia-like corpus",
-            &c,
-            &cfg,
-        );
+        rlz_bench::tables::rlz_retrieval_table("Table 8 — RLZ on Wikipedia-like corpus", &c, &cfg);
     }
     if which == "baselines" || which == "both" {
         rlz_bench::tables::baseline_retrieval_table(

@@ -132,7 +132,10 @@ pub fn gov2_collection(cfg: &ScaledConfig) -> Collection {
 
 /// Builds the Wikipedia-like collection for this config.
 pub fn wikipedia_collection(cfg: &ScaledConfig) -> Collection {
-    generate_web(&WebConfig::wikipedia(cfg.collection_bytes, cfg.seed ^ 0x51C1))
+    generate_web(&WebConfig::wikipedia(
+        cfg.collection_bytes,
+        cfg.seed ^ 0x51C1,
+    ))
 }
 
 /// A scratch directory, removed on drop.
@@ -143,8 +146,7 @@ pub struct WorkDir {
 impl WorkDir {
     /// Creates `$TMPDIR/rlz-bench-{name}-{pid}`.
     pub fn new(name: &str) -> Self {
-        let path =
-            std::env::temp_dir().join(format!("rlz-bench-{name}-{}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("rlz-bench-{name}-{}", std::process::id()));
         std::fs::create_dir_all(&path).expect("create bench work dir");
         WorkDir { path }
     }
@@ -176,7 +178,7 @@ pub struct RetrievalRates {
 }
 
 /// Runs both access patterns over a store and reports docs/second.
-pub fn measure_store(store: &mut dyn DocStore, cfg: &ScaledConfig) -> RetrievalRates {
+pub fn measure_store(store: &dyn DocStore, cfg: &ScaledConfig) -> RetrievalRates {
     let n = store.num_docs();
     let sequential = access::sequential(n, cfg.requests);
     let query_log = access::query_log(n, cfg.requests, 20, cfg.seed ^ 0xACCE55);
@@ -187,7 +189,7 @@ pub fn measure_store(store: &mut dyn DocStore, cfg: &ScaledConfig) -> RetrievalR
 }
 
 /// Timed replay of a request stream.
-pub fn docs_per_second(store: &mut dyn DocStore, requests: &[u32]) -> f64 {
+pub fn docs_per_second(store: &dyn DocStore, requests: &[u32]) -> f64 {
     let mut buf = Vec::new();
     let t = Instant::now();
     for &id in requests {
@@ -203,7 +205,7 @@ pub fn docs_per_second(store: &mut dyn DocStore, requests: &[u32]) -> f64 {
 /// all 100 000 requests, which for slow stores took its authors hours per
 /// cell; rates converge long before that).
 pub fn docs_per_second_budgeted(
-    store: &mut dyn DocStore,
+    store: &dyn DocStore,
     requests: &[u32],
     budget: std::time::Duration,
 ) -> f64 {
@@ -226,7 +228,7 @@ pub fn docs_per_second_budgeted(
 
 /// Runs both access patterns with a per-pattern time budget.
 pub fn measure_store_budgeted(
-    store: &mut dyn DocStore,
+    store: &dyn DocStore,
     cfg: &ScaledConfig,
     budget: std::time::Duration,
 ) -> RetrievalRates {
@@ -237,6 +239,42 @@ pub fn measure_store_budgeted(
         sequential: docs_per_second_budgeted(store, &sequential, budget),
         query_log: docs_per_second_budgeted(store, &query_log, budget),
     }
+}
+
+/// Concurrent timed replay: `threads` reader threads share one `&store`
+/// and replay round-robin shards of the request stream, each with its own
+/// output buffer. Returns aggregate docs/second. This is the workload the
+/// `&self` store refactor exists for — one opened store, many readers.
+pub fn concurrent_docs_per_second(
+    store: &dyn DocStore,
+    requests: &[u32],
+    threads: usize,
+    budget: std::time::Duration,
+) -> f64 {
+    let shards = access::shards(requests, threads);
+    let served = std::sync::atomic::AtomicUsize::new(0);
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for shard in &shards {
+            let served = &served;
+            scope.spawn(move || {
+                let mut buf = Vec::new();
+                let mut n = 0usize;
+                for &id in shard {
+                    buf.clear();
+                    store
+                        .get_into(id as usize, &mut buf)
+                        .expect("retrieval failed during benchmark");
+                    n += 1;
+                    if n.is_multiple_of(32) && t.elapsed() >= budget {
+                        break;
+                    }
+                }
+                served.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    served.into_inner() as f64 / t.elapsed().as_secs_f64()
 }
 
 /// Builds an RLZ store for (dict size, coding), returning `(dir, Enc%)`.

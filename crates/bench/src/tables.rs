@@ -2,12 +2,13 @@
 //! same rows/columns the paper reports, at the harness's miniature scale.
 
 use crate::{
-    block_label, build_ascii_store, build_blocked_store, build_rlz_store, dict_label,
-    measure_store_budgeted, print_row, ScaledConfig, WorkDir,
+    block_label, build_ascii_store, build_blocked_store, build_rlz_store,
+    concurrent_docs_per_second, dict_label, measure_store_budgeted, print_row, ScaledConfig,
+    WorkDir,
 };
 use rlz_core::{Dictionary, FactorStats, PairCoding, RlzCompressor, SampleStrategy};
-use rlz_corpus::Collection;
-use rlz_store::{AsciiStore, BlockCodec, BlockedStore, RlzStore};
+use rlz_corpus::{access, Collection};
+use rlz_store::{AsciiStore, BlockCodec, BlockedStore, DocStore, RlzStore};
 use std::time::Duration;
 
 /// Wall-clock budget per (store, access pattern) measurement.
@@ -24,10 +25,17 @@ pub fn table1() {
     println!("d[i]: {}", chars.join(" "));
     let sa = dict.suffix_array().as_slice();
     let printed: Vec<String> = sa.iter().map(|&s| (s + 1).to_string()).collect();
-    println!("SA  : {}  (1-based; the paper prints the inverse array)", printed.join(" "));
+    println!(
+        "SA  : {}  (1-based; the paper prints the inverse array)",
+        printed.join(" ")
+    );
     println!("\nsorted suffixes:");
     for (rank, &s) in sa.iter().enumerate() {
-        println!("  {:>2}  {}", rank + 1, String::from_utf8_lossy(&d[s as usize..]));
+        println!(
+            "  {:>2}  {}",
+            rank + 1,
+            String::from_utf8_lossy(&d[s as usize..])
+        );
     }
     let rlz = RlzCompressor::new(dict, PairCoding::UV);
     let factors = rlz.factorize(b"bbaancabb");
@@ -39,7 +47,10 @@ pub fn table1() {
             println!("  ({}, {})", f.pos, f.len);
         }
     }
-    assert_eq!(rlz.decompress(&rlz.compress(b"bbaancabb")).unwrap(), b"bbaancabb");
+    assert_eq!(
+        rlz.decompress(&rlz.compress(b"bbaancabb")).unwrap(),
+        b"bbaancabb"
+    );
     println!("\nround-trip verified.");
 }
 
@@ -53,7 +64,12 @@ pub fn factor_stats_table(title: &str, collection: &Collection, cfg: &ScaledConf
     );
     let widths = [10usize, 10, 10, 10];
     print_row(
-        &["Size".into(), "Samp.(KB)".into(), "Avg.Fact.".into(), "Unused(%)".into()],
+        &[
+            "Size".into(),
+            "Samp.(KB)".into(),
+            "Avg.Fact.".into(),
+            "Unused(%)".into(),
+        ],
         &widths,
     );
     for dict_size in cfg.dict_sizes() {
@@ -161,8 +177,8 @@ pub fn rlz_retrieval_table(title: &str, collection: &Collection, cfg: &ScaledCon
         for coding in PairCoding::PAPER_SET {
             let tag = format!("{}-{}", dict_size, coding.name());
             let (dir, pct) = build_rlz_store(&work, &tag, collection, dict_size, coding, cfg);
-            let mut store = RlzStore::open(&dir).expect("open rlz");
-            let rates = measure_store_budgeted(&mut store, cfg, MEASURE_BUDGET);
+            let store = RlzStore::open(&dir).expect("open rlz");
+            let rates = measure_store_budgeted(&store, cfg, MEASURE_BUDGET);
             print_row(
                 &[
                     dict_label(dict_size),
@@ -196,8 +212,8 @@ pub fn baseline_retrieval_table(title: &str, collection: &Collection, cfg: &Scal
     let work = WorkDir::new("base-tbl");
 
     let ascii_dir = build_ascii_store(&work, "ascii", collection);
-    let mut ascii = AsciiStore::open(&ascii_dir).expect("open ascii");
-    let rates = measure_store_budgeted(&mut ascii, cfg, MEASURE_BUDGET);
+    let ascii = AsciiStore::open(&ascii_dir).expect("open ascii");
+    let rates = measure_store_budgeted(&ascii, cfg, MEASURE_BUDGET);
     print_row(
         &[
             "ascii".into(),
@@ -219,8 +235,8 @@ pub fn baseline_retrieval_table(title: &str, collection: &Collection, cfg: &Scal
         for &block in &cfg.block_sizes {
             let tag = format!("{}-{}", codec.name(), block);
             let (dir, pct) = build_blocked_store(&work, &tag, collection, codec, block, cfg);
-            let mut store = BlockedStore::open(&dir).expect("open blocked");
-            let rates = measure_store_budgeted(&mut store, cfg, MEASURE_BUDGET);
+            let store = BlockedStore::open(&dir).expect("open blocked");
+            let rates = measure_store_budgeted(&store, cfg, MEASURE_BUDGET);
             print_row(
                 &[
                     codec.name().into(),
@@ -235,6 +251,83 @@ pub fn baseline_retrieval_table(title: &str, collection: &Collection, cfg: &Scal
             std::fs::remove_dir_all(&dir).ok();
         }
     }
+    println!();
+}
+
+/// Thread counts reported by the concurrent-retrieval table.
+pub const CONCURRENT_THREAD_STEPS: [usize; 4] = [1, 2, 4, 8];
+
+/// Concurrent retrieval (extension beyond the paper, enabled by the
+/// `&self` store architecture): query-log docs/second for every store
+/// family as reader threads scale, one opened store shared by all readers.
+/// The rightmost column repeats the single-thread sequential rate so the
+/// numbers sit next to the existing tables' layout.
+pub fn concurrent_retrieval_table(title: &str, collection: &Collection, cfg: &ScaledConfig) {
+    println!("{title}");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "(query-log docs/s; one shared store handle, N reader threads; host \
+         has {cores} core(s) — expect scaling only up to that)\n"
+    );
+    let mut header = vec!["Alg.".to_string(), "Enc.(%)".to_string()];
+    header.extend(CONCURRENT_THREAD_STEPS.iter().map(|t| format!("{t}T")));
+    header.push("1T seq".into());
+    let widths = [12usize, 9, 11, 11, 11, 11, 11];
+    print_row(&header, &widths);
+
+    let work = WorkDir::new("conc-tbl");
+    let n = collection.num_docs();
+    let query_log = access::query_log(n, cfg.requests, 20, cfg.seed ^ 0xACCE55);
+    let sequential = access::sequential(n, cfg.requests);
+
+    let measure = |name: &str, pct: f64, store: &dyn DocStore| {
+        let mut cells = vec![name.to_string(), format!("{pct:.2}")];
+        for &threads in &CONCURRENT_THREAD_STEPS {
+            let rate = concurrent_docs_per_second(store, &query_log, threads, MEASURE_BUDGET);
+            cells.push(format!("{rate:.0}"));
+        }
+        let seq = crate::docs_per_second_budgeted(store, &sequential, MEASURE_BUDGET);
+        cells.push(format!("{seq:.0}"));
+        print_row(&cells, &widths);
+    };
+
+    let ascii_dir = build_ascii_store(&work, "ascii", collection);
+    let ascii = AsciiStore::open(&ascii_dir).expect("open ascii");
+    measure("ascii", 100.0, &ascii);
+    drop(ascii);
+    std::fs::remove_dir_all(&ascii_dir).ok();
+
+    let (zl_dir, zl_pct) = build_blocked_store(
+        &work,
+        "zlib-conc",
+        collection,
+        BlockCodec::Zlite(rlz_zlite::Level::Default),
+        100 * 1024,
+        cfg,
+    );
+    let zl = BlockedStore::open(&zl_dir).expect("open blocked");
+    measure("zlib 0.1MB", zl_pct, &zl);
+    let mut zl_cached = zl.clone();
+    zl_cached.set_block_cache_capacity(64);
+    measure("zlib+cache", zl_pct, &zl_cached);
+    drop((zl, zl_cached));
+    std::fs::remove_dir_all(&zl_dir).ok();
+
+    let dict_size = cfg.dict_sizes()[1];
+    let (rlz_dir, rlz_pct) = build_rlz_store(
+        &work,
+        "rlz-conc",
+        collection,
+        dict_size,
+        PairCoding::ZV,
+        cfg,
+    );
+    let rlz = RlzStore::open(&rlz_dir).expect("open rlz");
+    measure("rlz ZV", rlz_pct, &rlz);
+    let resident = RlzStore::open_resident(&rlz_dir).expect("open rlz resident");
+    measure("rlz ZV mem", rlz_pct, &resident);
+    drop((rlz, resident));
+    std::fs::remove_dir_all(&rlz_dir).ok();
     println!();
 }
 

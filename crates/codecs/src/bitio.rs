@@ -29,7 +29,11 @@ impl BitWriter {
     #[inline]
     pub fn write_bits(&mut self, value: u64, n: u32) {
         debug_assert!(n <= MAX_BITS);
-        let value = if n == 0 { 0 } else { value & (u64::MAX >> (64 - n)) };
+        let value = if n == 0 {
+            0
+        } else {
+            value & (u64::MAX >> (64 - n))
+        };
         self.acc |= value << self.nbits;
         self.nbits += n;
         while self.nbits >= 8 {

@@ -35,7 +35,11 @@ fn gamma_read(r: &mut BitReader<'_>) -> Result<u64> {
     if low_bits > 32 {
         return Err(CodecError::Corrupt("gamma length overflow"));
     }
-    let low = if low_bits == 0 { 0 } else { r.read_bits(low_bits)? };
+    let low = if low_bits == 0 {
+        0
+    } else {
+        r.read_bits(low_bits)?
+    };
     Ok(1u64 << low_bits | low)
 }
 
@@ -56,7 +60,11 @@ fn delta_read(r: &mut BitReader<'_>) -> Result<u64> {
         return Err(CodecError::Corrupt("delta length out of range"));
     }
     let low_bits = (bits - 1) as u32;
-    let low = if low_bits == 0 { 0 } else { r.read_bits(low_bits)? };
+    let low = if low_bits == 0 {
+        0
+    } else {
+        r.read_bits(low_bits)?
+    };
     Ok(1u64 << low_bits | low)
 }
 
@@ -132,7 +140,10 @@ mod tests {
     fn gamma_roundtrip_powers_of_two() {
         let values: Vec<u32> = (0..32).map(|i| 1u32 << i).collect();
         let enc = EliasGamma.encode_to_vec(&values);
-        assert_eq!(EliasGamma.decode_to_vec(&enc, values.len()).unwrap(), values);
+        assert_eq!(
+            EliasGamma.decode_to_vec(&enc, values.len()).unwrap(),
+            values
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@ impl IntCodec for FixedU32 {
     }
 
     fn decode(&self, data: &[u8], n: usize, out: &mut Vec<u32>) -> Result<usize> {
-        let need = n.checked_mul(4).ok_or(CodecError::Corrupt("count overflow"))?;
+        let need = n
+            .checked_mul(4)
+            .ok_or(CodecError::Corrupt("count overflow"))?;
         let Some(bytes) = data.get(..need) else {
             return Err(CodecError::UnexpectedEof);
         };

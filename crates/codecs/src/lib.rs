@@ -144,7 +144,12 @@ mod tests {
             for p in &patterns {
                 let enc = codec.encode_to_vec(p);
                 let dec = codec.decode_to_vec(&enc, p.len()).unwrap_or_else(|e| {
-                    panic!("{} failed on {:?}: {}", codec.name(), &p[..p.len().min(8)], e)
+                    panic!(
+                        "{} failed on {:?}: {}",
+                        codec.name(),
+                        &p[..p.len().min(8)],
+                        e
+                    )
                 });
                 assert_eq!(&dec, p, "codec {}", codec.name());
             }
@@ -162,7 +167,11 @@ mod tests {
                     continue;
                 }
                 let res = codec.decode_to_vec(&enc[..cut], values.len());
-                assert!(res.is_err(), "codec {} accepted truncated input", codec.name());
+                assert!(
+                    res.is_err(),
+                    "codec {} accepted truncated input",
+                    codec.name()
+                );
             }
         }
     }

@@ -43,7 +43,11 @@ impl IntCodec for Simple9 {
             // end of input are treated as zero padding.
             let mut chosen = CONFIGS.len() - 1;
             'sel: for (sel, &(count, bits)) in CONFIGS.iter().enumerate() {
-                let limit = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+                let limit = if bits == 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << bits) - 1
+                };
                 for j in 0..count {
                     if let Some(&v) = values.get(i + j) {
                         if v > limit {

@@ -37,6 +37,14 @@ pub fn encoded_len(v: u32) -> usize {
     }
 }
 
+/// Encoded size of a 64-bit value in bytes (1–10).
+#[inline]
+pub fn encoded_len_u64(v: u64) -> usize {
+    // ceil(bits/7), with v == 0 still costing one byte.
+    let bits = 64 - v.max(1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
 /// Reads one vbyte value from `data[*pos..]`, advancing `pos`.
 #[inline]
 pub fn read_u32(data: &[u8], pos: &mut usize) -> Result<u32> {
@@ -133,7 +141,17 @@ mod tests {
 
     #[test]
     fn boundary_values() {
-        for v in [0u32, 1, 127, 128, 16383, 16384, 0x1F_FFFF, 0x20_0000, u32::MAX] {
+        for v in [
+            0u32,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            0x1F_FFFF,
+            0x20_0000,
+            u32::MAX,
+        ] {
             let mut out = Vec::new();
             write_u32(v, &mut out);
             assert_eq!(out.len(), encoded_len(v), "value {v}");

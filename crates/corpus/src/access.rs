@@ -62,6 +62,22 @@ pub fn query_log(num_docs: usize, count: usize, results_per_query: usize, seed: 
     out
 }
 
+/// Partitions a request stream round-robin into `threads` per-thread
+/// streams for concurrent replay. Round-robin (rather than chunking)
+/// keeps every shard statistically similar to the full stream — each
+/// thread sees the same Zipf head and the same stride pattern — so
+/// per-thread rates add up to a faithful concurrent workload.
+pub fn shards(requests: &[u32], threads: usize) -> Vec<Vec<u32>> {
+    let threads = threads.max(1).min(requests.len().max(1));
+    let mut out: Vec<Vec<u32>> = (0..threads)
+        .map(|_| Vec::with_capacity(requests.len() / threads + 1))
+        .collect();
+    for (i, &id) in requests.iter().enumerate() {
+        out[i % threads].push(id);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +117,25 @@ mod tests {
             let set: std::collections::HashSet<_> = q.iter().collect();
             assert_eq!(set.len(), q.len(), "duplicate in query {q:?}");
         }
+    }
+
+    #[test]
+    fn shards_partition_without_loss_or_reorder() {
+        let reqs = query_log(100, 1000, 10, 6);
+        let shards = shards(&reqs, 4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), reqs.len());
+        // Round-robin: shard t holds requests t, t+4, t+8, ... in order.
+        for (t, shard) in shards.iter().enumerate() {
+            for (j, &id) in shard.iter().enumerate() {
+                assert_eq!(id, reqs[t + j * 4]);
+            }
+        }
+        // Degenerate thread counts still cover everything.
+        assert_eq!(super::shards(&reqs, 0), super::shards(&reqs, 1));
+        assert_eq!(super::shards(&reqs, 1)[0], reqs);
+        let over = super::shards(&reqs[..3], 8);
+        assert_eq!(over.len(), 3);
     }
 
     #[test]

@@ -44,7 +44,7 @@ const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
 pub fn reference(config: &GenomeConfig) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     (0..config.reference_len)
-        .map(|_| BASES[rng.random_range(0..4)])
+        .map(|_| BASES[rng.random_range(0..4usize)])
         .collect()
 }
 
@@ -62,9 +62,9 @@ pub fn generate(config: &GenomeConfig) -> Collection {
             if rng.random_bool(config.snp_rate) {
                 // Substitute with a different base.
                 let cur = reference[i];
-                let mut b = BASES[rng.random_range(0..4)];
+                let mut b = BASES[rng.random_range(0..4usize)];
                 while b == cur {
-                    b = BASES[rng.random_range(0..4)];
+                    b = BASES[rng.random_range(0..4usize)];
                 }
                 seq.push(b);
                 i += 1;
@@ -73,7 +73,7 @@ pub fn generate(config: &GenomeConfig) -> Collection {
                 if rng.random_bool(0.5) {
                     // Insertion of random bases.
                     for _ in 0..len {
-                        seq.push(BASES[rng.random_range(0..4)]);
+                        seq.push(BASES[rng.random_range(0..4usize)]);
                     }
                 } else {
                     // Deletion.
@@ -118,11 +118,7 @@ mod tests {
         let c = generate(&cfg);
         for doc in c.iter_docs() {
             assert_eq!(doc.len(), reference.len());
-            let same = doc
-                .iter()
-                .zip(&reference)
-                .filter(|(a, b)| a == b)
-                .count();
+            let same = doc.iter().zip(&reference).filter(|(a, b)| a == b).count();
             // Expect ~0.1% SNPs; allow generous slack.
             assert!(same > reference.len() * 99 / 100, "{same} identical");
         }

@@ -118,7 +118,10 @@ impl PhrasePool {
             total += 1.0 / (rank as f64).powf(s);
             cumulative.push(total);
         }
-        PhrasePool { phrases, cumulative }
+        PhrasePool {
+            phrases,
+            cumulative,
+        }
     }
 
     /// Samples one phrase by the Zipf law.

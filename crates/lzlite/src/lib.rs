@@ -277,7 +277,11 @@ mod tests {
             statev ^= statev << 13;
             statev ^= statev >> 7;
             statev ^= statev << 17;
-            seg.push(if i % 3 == 0 { b'a' + (statev % 26) as u8 } else { b' ' });
+            seg.push(if i % 3 == 0 {
+                b'a' + (statev % 26) as u8
+            } else {
+                b' '
+            });
         }
         let mut data = seg.clone();
         data.extend_from_slice(&seg);

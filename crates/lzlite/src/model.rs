@@ -188,7 +188,8 @@ impl DistCoder {
             self.footers[(slot - FIRST_FOOTER_SLOT) as usize].encode_reverse(rc, rest);
         } else {
             rc.encode_direct(rest >> ALIGN_BITS, footer_bits - ALIGN_BITS);
-            self.align.encode_reverse(rc, rest & ((1 << ALIGN_BITS) - 1));
+            self.align
+                .encode_reverse(rc, rest & ((1 << ALIGN_BITS) - 1));
         }
     }
 
@@ -314,7 +315,10 @@ mod tests {
             if slot >= FIRST_FOOTER_SLOT {
                 let footer_bits = (slot >> 1) - 1;
                 let base = (2 | (slot & 1)) << footer_bits;
-                assert!(base <= dist && dist - base < (1 << footer_bits), "dist {dist}");
+                assert!(
+                    base <= dist && dist - base < (1 << footer_bits),
+                    "dist {dist}"
+                );
             } else {
                 assert_eq!(slot, dist);
             }

@@ -183,10 +183,7 @@ pub fn decode_document(data: &[u8], coding: PairCoding) -> Result<Vec<Factor>, C
 }
 
 /// Decodes the two value streams of an encoded document.
-pub fn decode_streams(
-    data: &[u8],
-    coding: PairCoding,
-) -> Result<(Vec<u32>, Vec<u32>), CodecError> {
+pub fn decode_streams(data: &[u8], coding: PairCoding) -> Result<(Vec<u32>, Vec<u32>), CodecError> {
     let mut at = 0usize;
     let n = vbyte::read_u32(data, &mut at)? as usize;
     let pos_len = vbyte::read_u32(data, &mut at)? as usize;
@@ -274,7 +271,7 @@ mod tests {
     fn decode_and_expand_matches_two_step() {
         let dict = b"the common dictionary text with patterns".to_vec();
         let factors = vec![
-            Factor::copy(4, 6),  // "common"
+            Factor::copy(4, 6), // "common"
             Factor::literal(b'!'),
             Factor::copy(10, 11), // " dictionary"
         ];
@@ -323,6 +320,8 @@ mod tests {
         // the original factors.
         let factors = sample_factors();
         let enc = encode_document(&factors, PairCoding::UV);
-        if let Ok(dec) = decode_document(&enc, PairCoding::ZV) { assert_ne!(dec, factors) }
+        if let Ok(dec) = decode_document(&enc, PairCoding::ZV) {
+            assert_ne!(dec, factors)
+        }
     }
 }

@@ -106,10 +106,18 @@ mod tests {
     #[test]
     fn compression_beats_raw_on_templated_text() {
         let collection = web_like_collection();
-        let dict = Dictionary::sample(&collection, collection.len() / 100, 1024, SampleStrategy::Evenly);
+        let dict = Dictionary::sample(
+            &collection,
+            collection.len() / 100,
+            1024,
+            SampleStrategy::Evenly,
+        );
         let comp = RlzCompressor::new(dict, PairCoding::ZZ);
         let total_raw: usize = collection.len();
-        let total_enc: usize = collection.chunks(2000).map(|d| comp.compress(d).len()).sum();
+        let total_enc: usize = collection
+            .chunks(2000)
+            .map(|d| comp.compress(d).len())
+            .sum();
         let ratio = total_enc as f64 / total_raw as f64;
         assert!(ratio < 0.35, "encoding ratio {:.3} too poor", ratio);
     }

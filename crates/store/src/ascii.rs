@@ -2,28 +2,28 @@
 //! uncompressed documents with a map specifying offsets to each document
 //! location" (§4, Systems Tested).
 
+use crate::backend::{FileBackend, MemBackend, StorageBackend};
 use crate::docmap::DocMap;
 use crate::{read_file, DocStore, StoreError};
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
 const DATA_FILE: &str = "data.bin";
 const MAP_FILE: &str = "docmap.bin";
 
-/// Uncompressed document store with random access.
-#[derive(Debug)]
+/// Uncompressed document store with random access. Clones are cheap
+/// handles onto the same backend and document map.
+#[derive(Debug, Clone)]
 pub struct AsciiStore {
-    file: File,
-    map: DocMap,
+    data: Arc<dyn StorageBackend>,
+    map: Arc<DocMap>,
 }
 
 impl AsciiStore {
     /// Builds the store in `dir` from the given documents.
-    pub fn build<'a>(
-        dir: &Path,
-        docs: impl Iterator<Item = &'a [u8]>,
-    ) -> Result<(), StoreError> {
+    pub fn build<'a>(dir: &Path, docs: impl Iterator<Item = &'a [u8]>) -> Result<(), StoreError> {
         std::fs::create_dir_all(dir)?;
         let mut data = std::io::BufWriter::new(File::create(dir.join(DATA_FILE))?);
         let mut lens = Vec::new();
@@ -36,11 +36,20 @@ impl AsciiStore {
         Ok(())
     }
 
-    /// Opens a previously built store.
+    /// Opens a previously built store with a file-backed payload.
     pub fn open(dir: &Path) -> Result<Self, StoreError> {
-        let map = DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?;
-        let file = File::open(dir.join(DATA_FILE))?;
-        Ok(AsciiStore { file, map })
+        Self::with_backend(dir, Arc::new(FileBackend::open(&dir.join(DATA_FILE))?))
+    }
+
+    /// Opens a previously built store with the payload fully resident in
+    /// memory.
+    pub fn open_resident(dir: &Path) -> Result<Self, StoreError> {
+        Self::with_backend(dir, Arc::new(MemBackend::load(&dir.join(DATA_FILE))?))
+    }
+
+    fn with_backend(dir: &Path, data: Arc<dyn StorageBackend>) -> Result<Self, StoreError> {
+        let map = Arc::new(DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?);
+        Ok(AsciiStore { data, map })
     }
 
     /// Total stored payload bytes (equals the collection size).
@@ -54,16 +63,17 @@ impl DocStore for AsciiStore {
         self.map.num_docs()
     }
 
-    fn get_into(&mut self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
-        let (offset, len) = self
-            .map
-            .extent(id)
-            .ok_or(StoreError::DocOutOfRange(id))?;
-        self.file.seek(SeekFrom::Start(offset))?;
+    fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
+        let (offset, len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
         let start = out.len();
         out.resize(start + len, 0);
-        self.file.read_exact(&mut out[start..])?;
-        Ok(())
+        match self.data.read_exact_at(&mut out[start..], offset) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                out.truncate(start);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -79,14 +89,18 @@ mod tests {
             .map(|i| format!("document number {i} with body").into_bytes())
             .collect();
         AsciiStore::build(dir.path(), docs.iter().map(|d| d.as_slice())).unwrap();
-        let mut store = AsciiStore::open(dir.path()).unwrap();
-        assert_eq!(store.num_docs(), 50);
-        for (i, doc) in docs.iter().enumerate() {
-            assert_eq!(&store.get(i).unwrap(), doc);
-        }
-        // Random-ish order too.
-        for i in [49usize, 0, 25, 13, 49, 1] {
-            assert_eq!(&store.get(i).unwrap(), &docs[i]);
+        for store in [
+            AsciiStore::open(dir.path()).unwrap(),
+            AsciiStore::open_resident(dir.path()).unwrap(),
+        ] {
+            assert_eq!(store.num_docs(), 50);
+            for (i, doc) in docs.iter().enumerate() {
+                assert_eq!(&store.get(i).unwrap(), doc);
+            }
+            // Random-ish order too.
+            for i in [49usize, 0, 25, 13, 49, 1] {
+                assert_eq!(&store.get(i).unwrap(), &docs[i]);
+            }
         }
     }
 
@@ -95,7 +109,7 @@ mod tests {
         let dir = TestDir::new("ascii-empty");
         let docs: Vec<&[u8]> = vec![b"", b"x", b"", b""];
         AsciiStore::build(dir.path(), docs.iter().copied()).unwrap();
-        let mut store = AsciiStore::open(dir.path()).unwrap();
+        let store = AsciiStore::open(dir.path()).unwrap();
         assert_eq!(store.get(0).unwrap(), b"");
         assert_eq!(store.get(1).unwrap(), b"x");
         assert_eq!(store.get(3).unwrap(), b"");
@@ -105,7 +119,7 @@ mod tests {
     fn out_of_range_is_an_error() {
         let dir = TestDir::new("ascii-oor");
         AsciiStore::build(dir.path(), [b"only".as_slice()].into_iter()).unwrap();
-        let mut store = AsciiStore::open(dir.path()).unwrap();
+        let store = AsciiStore::open(dir.path()).unwrap();
         assert!(matches!(store.get(1), Err(StoreError::DocOutOfRange(1))));
     }
 
@@ -113,5 +127,26 @@ mod tests {
     fn missing_files_error_cleanly() {
         let dir = TestDir::new("ascii-missing");
         assert!(AsciiStore::open(dir.path()).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_leaves_out_unchanged() {
+        let dir = TestDir::new("ascii-trunc-out");
+        AsciiStore::build(dir.path(), [b"0123456789".as_slice()].into_iter()).unwrap();
+        std::fs::write(dir.path().join(super::DATA_FILE), b"0123").unwrap();
+        let store = AsciiStore::open(dir.path()).unwrap();
+        let mut out = b"prefix".to_vec();
+        assert!(store.get_into(0, &mut out).is_err());
+        assert_eq!(out, b"prefix", "failed read must not leave partial bytes");
+    }
+
+    #[test]
+    fn clones_share_the_backend() {
+        let dir = TestDir::new("ascii-clone");
+        let docs: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 100]).collect();
+        AsciiStore::build(dir.path(), docs.iter().map(|d| d.as_slice())).unwrap();
+        let store = AsciiStore::open(dir.path()).unwrap();
+        let clone = store.clone();
+        assert_eq!(store.get(3).unwrap(), clone.get(3).unwrap());
     }
 }

@@ -1,0 +1,203 @@
+//! Cursor-free storage backends: positional reads through `&self`.
+//!
+//! The paper's retrieval model (§3.1) is a document-map lookup followed by
+//! one positioned read. A shared `File` cursor (`seek` + `read`) serializes
+//! that read path across threads; [`StorageBackend`] instead exposes
+//! `read_exact_at`, which is independent of any cursor and therefore safe to
+//! issue from any number of reader threads against one open store.
+//!
+//! Two implementations:
+//!
+//! * [`FileBackend`] — positional I/O on an open file (`pread` on Unix,
+//!   `seek_read` on Windows);
+//! * [`MemBackend`] — a fully resident payload, for serving from RAM.
+
+use crate::StoreError;
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// Positional, cursor-free reads over an immutable payload.
+///
+/// Implementations must be safe to call concurrently from many threads —
+/// this is what lets one opened store serve parallel requests.
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// Payload length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the payload is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fills `buf` exactly from `offset`, erroring if the payload ends
+    /// before `offset + buf.len()`.
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<(), StoreError>;
+}
+
+/// File-backed payload using positional reads (no shared cursor).
+#[derive(Debug)]
+pub struct FileBackend {
+    #[cfg(any(unix, windows))]
+    file: File,
+    /// Portable fallback: positional reads emulated under a lock.
+    #[cfg(not(any(unix, windows)))]
+    file: std::sync::Mutex<File>,
+    len: u64,
+}
+
+impl FileBackend {
+    /// Opens `path` for shared positional reads.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileBackend {
+            #[cfg(any(unix, windows))]
+            file,
+            #[cfg(not(any(unix, windows)))]
+            file: std::sync::Mutex::new(file),
+            len,
+        })
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    #[cfg(unix)]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+        use std::os::unix::fs::FileExt;
+        Ok(self.file.read_exact_at(buf, offset)?)
+    }
+
+    #[cfg(windows)]
+    fn read_exact_at(&self, mut buf: &mut [u8], mut offset: u64) -> Result<(), StoreError> {
+        use std::os::windows::fs::FileExt;
+        while !buf.is_empty() {
+            match self.file.seek_read(buf, offset) {
+                Ok(0) => {
+                    return Err(StoreError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "payload ended mid-record",
+                    )))
+                }
+                Ok(n) => {
+                    buf = &mut buf[n..];
+                    offset += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(StoreError::Io(e)),
+            }
+        }
+        Ok(())
+    }
+
+    #[cfg(not(any(unix, windows)))]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = self.file.lock().expect("file lock poisoned");
+        file.seek(SeekFrom::Start(offset))?;
+        Ok(file.read_exact(buf)?)
+    }
+}
+
+/// Memory-resident payload: the whole file held in RAM, reads are memcpy.
+#[derive(Debug)]
+pub struct MemBackend {
+    data: Vec<u8>,
+}
+
+impl MemBackend {
+    /// Wraps an in-memory payload.
+    pub fn new(data: Vec<u8>) -> Self {
+        MemBackend { data }
+    }
+
+    /// Loads `path` fully into memory.
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        Ok(MemBackend {
+            data: std::fs::read(path)?,
+        })
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+        let start = usize::try_from(offset)
+            .map_err(|_| StoreError::Corrupt("offset exceeds resident payload"))?;
+        let chunk = start
+            .checked_add(buf.len())
+            .and_then(|end| self.data.get(start..end))
+            .ok_or_else(|| {
+                StoreError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "read past end of resident payload",
+                ))
+            })?;
+        buf.copy_from_slice(chunk);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestDir;
+
+    fn check_backend(b: &dyn StorageBackend) {
+        assert_eq!(b.len(), 10);
+        let mut buf = [0u8; 4];
+        b.read_exact_at(&mut buf, 3).unwrap();
+        assert_eq!(&buf, b"3456");
+        b.read_exact_at(&mut buf, 6).unwrap();
+        assert_eq!(&buf, b"6789");
+        // Reading past the end must error, not panic.
+        assert!(b.read_exact_at(&mut buf, 8).is_err());
+        assert!(b.read_exact_at(&mut buf, 10_000).is_err());
+        // Zero-length reads always succeed.
+        b.read_exact_at(&mut [], 10).unwrap();
+    }
+
+    #[test]
+    fn file_backend_positional_reads() {
+        let dir = TestDir::new("backend-file");
+        let path = dir.path().join("payload.bin");
+        std::fs::write(&path, b"0123456789").unwrap();
+        check_backend(&FileBackend::open(&path).unwrap());
+    }
+
+    #[test]
+    fn mem_backend_positional_reads() {
+        check_backend(&MemBackend::new(b"0123456789".to_vec()));
+    }
+
+    #[test]
+    fn concurrent_reads_share_one_backend() {
+        let dir = TestDir::new("backend-conc");
+        let path = dir.path().join("payload.bin");
+        let data: Vec<u8> = (0..=255u8).cycle().take(1 << 16).collect();
+        std::fs::write(&path, &data).unwrap();
+        let backend = FileBackend::open(&path).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let backend = &backend;
+                let data = &data;
+                scope.spawn(move || {
+                    let mut buf = [0u8; 97];
+                    for i in 0..500 {
+                        let off = (t * 131 + i * 257) % (data.len() - buf.len());
+                        backend.read_exact_at(&mut buf, off as u64).unwrap();
+                        assert_eq!(&buf[..], &data[off..off + buf.len()]);
+                    }
+                });
+            }
+        });
+    }
+}

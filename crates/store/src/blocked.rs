@@ -7,16 +7,22 @@
 //! Tables 6, 7 and 9. A block size of zero puts one document per block
 //! (the paper's "0.0MB" rows).
 
+use crate::backend::{FileBackend, MemBackend, StorageBackend};
+use crate::cache::ShardedLru;
 use crate::docmap::DocMap;
 use crate::{read_file, DocStore, StoreError};
 use rlz_codecs::vbyte;
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
 const BLOCKS_FILE: &str = "blocks.bin";
 const META_FILE: &str = "meta.bin";
 const MAP_FILE: &str = "docmap.bin";
+
+/// Default block-cache capacity when enabled without an explicit size.
+const DEFAULT_CACHE_BLOCKS: usize = 32;
 
 /// Which general-purpose codec compresses each block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,19 +85,20 @@ struct BlockEntry {
     raw_start: u64,
 }
 
-/// Blocked store reader.
-#[derive(Debug)]
+/// Blocked store reader. Clones are cheap handles sharing the backend,
+/// block table, document map and (if enabled) the block cache.
+#[derive(Debug, Clone)]
 pub struct BlockedStore {
-    file: File,
+    payload: Arc<dyn StorageBackend>,
     codec: BlockCodec,
-    blocks: Vec<BlockEntry>,
+    blocks: Arc<Vec<BlockEntry>>,
     /// Uncompressed document extents over the whole collection.
-    map: DocMap,
-    /// Optional single-block cache `(block_index, decompressed bytes)` —
-    /// OFF by default to match the paper's baselines, which pay the full
-    /// block decompression on every request.
-    cache: Option<(usize, Vec<u8>)>,
-    cache_enabled: bool,
+    map: Arc<DocMap>,
+    /// Optional decompressed-block cache — OFF by default to match the
+    /// paper's baselines, which pay the full block decompression on every
+    /// request. When enabled it is a thread-safe sharded LRU shared by all
+    /// clones of this store.
+    cache: Option<Arc<ShardedLru>>,
     stored_bytes: u64,
 }
 
@@ -121,8 +128,7 @@ impl BlockedStore {
         let mut block_first = 0u32;
         let mut block_start = 0u64;
         for doc in docs {
-            if !current.is_empty() && (block_size == 0 || current.len() + doc.len() > block_size)
-            {
+            if !current.is_empty() && (block_size == 0 || current.len() + doc.len() > block_size) {
                 raw_blocks.push(std::mem::take(&mut current));
                 firsts.push(block_first);
                 raw_starts.push(block_start);
@@ -141,7 +147,7 @@ impl BlockedStore {
         }
 
         // Compress blocks in parallel.
-        let compressed = parallel_map(&raw_blocks, threads, |raw| codec.compress(raw));
+        let compressed = crate::parallel_map(&raw_blocks, threads, |raw| codec.compress(raw));
 
         // Write payload and metadata.
         let mut payload = std::io::BufWriter::new(File::create(dir.join(BLOCKS_FILE))?);
@@ -173,8 +179,18 @@ impl BlockedStore {
         Ok(())
     }
 
-    /// Opens a previously built store.
+    /// Opens a previously built store with a file-backed payload.
     pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        Self::with_backend(dir, Arc::new(FileBackend::open(&dir.join(BLOCKS_FILE))?))
+    }
+
+    /// Opens a previously built store with the compressed payload fully
+    /// resident in memory (blocks still decompress per request).
+    pub fn open_resident(dir: &Path) -> Result<Self, StoreError> {
+        Self::with_backend(dir, Arc::new(MemBackend::load(&dir.join(BLOCKS_FILE))?))
+    }
+
+    fn with_backend(dir: &Path, payload: Arc<dyn StorageBackend>) -> Result<Self, StoreError> {
         let meta = read_file(&dir.join(META_FILE))?;
         let mut pos = 0usize;
         let Some(&tag) = meta.first() else {
@@ -192,27 +208,31 @@ impl BlockedStore {
                 raw_start: vbyte::read_u64(&meta, &mut pos)?,
             });
         }
-        let map = DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?;
-        let file = File::open(dir.join(BLOCKS_FILE))?;
-        let stored_bytes = file.metadata()?.len();
+        let map = Arc::new(DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?);
+        let stored_bytes = payload.len();
         Ok(BlockedStore {
-            file,
+            payload,
             codec,
-            blocks,
+            blocks: Arc::new(blocks),
             map,
             cache: None,
-            cache_enabled: false,
             stored_bytes,
         })
     }
 
-    /// Enables a one-block LRU cache (an extension over the paper's
-    /// baselines; used by the ablation benchmarks).
+    /// Enables or disables the shared decompressed-block cache (an
+    /// extension over the paper's baselines; used by the ablation
+    /// benchmarks). Enabling installs a fresh sharded LRU of
+    /// [`DEFAULT_CACHE_BLOCKS`](Self::set_block_cache_capacity) blocks,
+    /// shared with every clone made afterwards.
     pub fn set_block_cache(&mut self, enabled: bool) {
-        self.cache_enabled = enabled;
-        if !enabled {
-            self.cache = None;
-        }
+        self.cache = enabled.then(|| Arc::new(ShardedLru::new(DEFAULT_CACHE_BLOCKS)));
+    }
+
+    /// Enables the shared block cache with room for `blocks` decompressed
+    /// blocks (`0` disables).
+    pub fn set_block_cache_capacity(&mut self, blocks: usize) {
+        self.cache = (blocks > 0).then(|| Arc::new(ShardedLru::new(blocks)));
     }
 
     /// Compressed payload size in bytes.
@@ -229,43 +249,22 @@ impl BlockedStore {
         // Last block whose first_doc <= id.
         self.blocks.partition_point(|b| b.first_doc as usize <= id) - 1
     }
-}
 
-impl DocStore for BlockedStore {
-    fn num_docs(&self) -> usize {
-        self.map.num_docs()
+    /// Reads and decompresses block `b` (no cache involvement).
+    fn decompress_block(&self, entry: BlockEntry) -> Result<Vec<u8>, StoreError> {
+        crate::with_scratch(entry.comp_len as usize, |comp| {
+            self.payload.read_exact_at(comp, entry.file_offset)?;
+            self.codec.decompress(comp)
+        })
     }
 
-    fn get_into(&mut self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
-        let (doc_off, doc_len) = self
-            .map
-            .extent(id)
-            .ok_or(StoreError::DocOutOfRange(id))?;
-        let b = self.block_of_doc(id);
-        let entry = self.blocks[b];
-        let cached = match (&self.cache, self.cache_enabled) {
-            (Some((cb, bytes)), true) if *cb == b => Some(bytes),
-            _ => None,
-        };
-        let raw = if let Some(bytes) = cached {
-            bytes
-        } else {
-            let mut comp = vec![0u8; entry.comp_len as usize];
-            self.file.seek(SeekFrom::Start(entry.file_offset))?;
-            self.file.read_exact(&mut comp)?;
-            let raw = self.codec.decompress(&comp)?;
-            if self.cache_enabled {
-                self.cache = Some((b, raw));
-                &self.cache.as_ref().expect("just set").1
-            } else {
-                let start = (doc_off - entry.raw_start) as usize;
-                let chunk = raw
-                    .get(start..start + doc_len)
-                    .ok_or(StoreError::Corrupt("document extent exceeds block"))?;
-                out.extend_from_slice(chunk);
-                return Ok(());
-            }
-        };
+    fn slice_doc(
+        raw: &[u8],
+        entry: BlockEntry,
+        doc_off: u64,
+        doc_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
         let start = (doc_off - entry.raw_start) as usize;
         let chunk = raw
             .get(start..start + doc_len)
@@ -275,34 +274,33 @@ impl DocStore for BlockedStore {
     }
 }
 
-/// Maps `f` over `items` using `threads` OS threads, preserving order.
-pub(crate) fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    threads: usize,
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+impl DocStore for BlockedStore {
+    fn num_docs(&self) -> usize {
+        self.map.num_docs()
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots_mutex: Vec<std::sync::Mutex<&mut Option<R>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots_mutex[i].lock().expect("no poisoning") = Some(r);
-            });
+
+    fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
+        let (doc_off, doc_len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
+        let b = self.block_of_doc(id);
+        let entry = self.blocks[b];
+        match &self.cache {
+            Some(cache) => {
+                let raw = match cache.get(b) {
+                    Some(hit) => hit,
+                    None => {
+                        let raw = Arc::new(self.decompress_block(entry)?);
+                        cache.insert(b, Arc::clone(&raw));
+                        raw
+                    }
+                };
+                Self::slice_doc(&raw, entry, doc_off, doc_len, out)
+            }
+            None => {
+                let raw = self.decompress_block(entry)?;
+                Self::slice_doc(&raw, entry, doc_off, doc_len, out)
+            }
         }
-    });
-    drop(slots_mutex);
-    slots.into_iter().map(|s| s.expect("all computed")).collect()
+    }
 }
 
 #[cfg(test)]
@@ -325,16 +323,26 @@ mod tests {
     fn check_store(codec: BlockCodec, block_size: usize) {
         let dir = TestDir::new(&format!("blocked-{}-{}", codec.name(), block_size));
         let d = docs();
-        BlockedStore::build(dir.path(), d.iter().map(|v| v.as_slice()), codec, block_size, 4)
-            .unwrap();
-        let mut store = BlockedStore::open(dir.path()).unwrap();
-        assert_eq!(store.num_docs(), d.len());
-        for (i, doc) in d.iter().enumerate() {
-            assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
-        }
-        // Reverse order hits different blocks each time.
-        for i in (0..d.len()).rev() {
-            assert_eq!(&store.get(i).unwrap(), &d[i]);
+        BlockedStore::build(
+            dir.path(),
+            d.iter().map(|v| v.as_slice()),
+            codec,
+            block_size,
+            4,
+        )
+        .unwrap();
+        for store in [
+            BlockedStore::open(dir.path()).unwrap(),
+            BlockedStore::open_resident(dir.path()).unwrap(),
+        ] {
+            assert_eq!(store.num_docs(), d.len());
+            for (i, doc) in d.iter().enumerate() {
+                assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+            }
+            // Reverse order hits different blocks each time.
+            for i in (0..d.len()).rev() {
+                assert_eq!(&store.get(i).unwrap(), &d[i]);
+            }
         }
     }
 
@@ -364,8 +372,14 @@ mod tests {
         let dir_big = TestDir::new("blocked-ratio-big");
         let d = docs();
         let codec = BlockCodec::Zlite(rlz_zlite::Level::Default);
-        BlockedStore::build(dir_small.path(), d.iter().map(|v| v.as_slice()), codec, 0, 4)
-            .unwrap();
+        BlockedStore::build(
+            dir_small.path(),
+            d.iter().map(|v| v.as_slice()),
+            codec,
+            0,
+            4,
+        )
+        .unwrap();
         BlockedStore::build(
             dir_big.path(),
             d.iter().map(|v| v.as_slice()),
@@ -384,15 +398,43 @@ mod tests {
         let dir = TestDir::new("blocked-cache");
         let d = docs();
         let codec = BlockCodec::Zlite(rlz_zlite::Level::Default);
-        BlockedStore::build(dir.path(), d.iter().map(|v| v.as_slice()), codec, 16384, 2)
-            .unwrap();
+        BlockedStore::build(dir.path(), d.iter().map(|v| v.as_slice()), codec, 16384, 2).unwrap();
         let mut store = BlockedStore::open(dir.path()).unwrap();
         store.set_block_cache(true);
         for (i, doc) in d.iter().enumerate() {
             assert_eq!(&store.get(i).unwrap(), doc);
         }
+        // And again in reverse, now served partly from cache.
+        for (i, doc) in d.iter().enumerate().rev() {
+            assert_eq!(&store.get(i).unwrap(), doc);
+        }
         store.set_block_cache(false);
         assert_eq!(&store.get(7).unwrap(), &d[7]);
+    }
+
+    #[test]
+    fn cache_is_shared_across_clones_and_threads() {
+        let dir = TestDir::new("blocked-cache-shared");
+        let d = docs();
+        let codec = BlockCodec::Zlite(rlz_zlite::Level::Default);
+        BlockedStore::build(dir.path(), d.iter().map(|v| v.as_slice()), codec, 8192, 2).unwrap();
+        let mut store = BlockedStore::open(dir.path()).unwrap();
+        store.set_block_cache_capacity(16);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let handle = store.clone();
+                let d = &d;
+                scope.spawn(move || {
+                    for round in 0..3 {
+                        for (i, doc) in d.iter().enumerate() {
+                            if (i + t + round) % 2 == 0 {
+                                assert_eq!(&handle.get(i).unwrap(), doc);
+                            }
+                        }
+                    }
+                });
+            }
+        });
     }
 
     #[test]
@@ -402,14 +444,5 @@ mod tests {
         BlockedStore::build(dir.path(), std::iter::empty(), codec, 4096, 1).unwrap();
         let store = BlockedStore::open(dir.path()).unwrap();
         assert_eq!(store.num_docs(), 0);
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<u32> = (0..1000).collect();
-        let out = parallel_map(&items, 8, |&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-        let single = parallel_map(&items, 1, |&x| x + 1);
-        assert_eq!(single[999], 1000);
     }
 }

@@ -1,0 +1,168 @@
+//! Thread-safe sharded LRU cache for decompressed blocks.
+//!
+//! [`BlockedStore`](crate::BlockedStore) retrieval decompresses a whole
+//! block to serve one document; under sequential access the same block is
+//! hit repeatedly, and under concurrent access popular blocks are hit from
+//! many threads at once. This cache shards its key space over independently
+//! locked maps so parallel readers rarely contend on the same mutex, and
+//! hands out `Arc`s to the decompressed bytes so hits copy nothing under the
+//! lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards (power of two).
+const SHARDS: usize = 8;
+
+/// A sharded, approximately-LRU cache from block index to decompressed
+/// bytes. Eviction is exact LRU *within* a shard.
+#[derive(Debug)]
+pub struct ShardedLru {
+    shards: [Mutex<Shard>; SHARDS],
+    per_shard_cap: usize,
+    tick: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// key → (last-touch tick, payload)
+    entries: HashMap<usize, (u64, Arc<Vec<u8>>)>,
+}
+
+impl ShardedLru {
+    /// A cache holding at most `capacity` blocks (rounded up to at least
+    /// one block per shard).
+    pub fn new(capacity: usize) -> Self {
+        ShardedLru {
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            per_shard_cap: capacity.div_ceil(SHARDS).max(1),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of cached blocks.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * SHARDS
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock poisoned").entries.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetches block `key`, refreshing its recency.
+    pub fn get(&self, key: usize) -> Option<Arc<Vec<u8>>> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().expect("cache lock poisoned");
+        shard.entries.get_mut(&key).map(|entry| {
+            entry.0 = tick;
+            Arc::clone(&entry.1)
+        })
+    }
+
+    /// Inserts block `key`, evicting the shard's least-recently-used entry
+    /// if the shard is full.
+    pub fn insert(&self, key: usize, value: Arc<Vec<u8>>) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().expect("cache lock poisoned");
+        if shard.entries.len() >= self.per_shard_cap && !shard.entries.contains_key(&key) {
+            // Exact LRU by linear scan: shards stay small (capacity/8), so
+            // this is cheaper than maintaining an ordered structure.
+            if let Some(&oldest) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k)
+            {
+                shard.entries.remove(&oldest);
+            }
+        }
+        shard.entries.insert(key, (tick, value));
+    }
+
+    fn shard(&self, key: usize) -> &Mutex<Shard> {
+        // Spread consecutive block indices across shards so sequential
+        // access does not serialize on one lock.
+        &self.shards[key % SHARDS]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(v: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![v; 16])
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let cache = ShardedLru::new(16);
+        assert!(cache.get(3).is_none());
+        cache.insert(3, block(3));
+        assert_eq!(cache.get(3).unwrap()[0], 3);
+        assert!(cache.get(11).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_shard() {
+        let cache = ShardedLru::new(8); // one entry per shard
+                                        // Keys 0 and 8 share shard 0.
+        cache.insert(0, block(0));
+        cache.insert(8, block(8));
+        assert!(cache.get(0).is_none(), "0 should have been evicted by 8");
+        assert_eq!(cache.get(8).unwrap()[0], 8);
+    }
+
+    #[test]
+    fn recency_protects_hot_entries() {
+        let cache = ShardedLru::new(16); // two entries per shard
+        cache.insert(0, block(0));
+        cache.insert(8, block(8));
+        cache.get(0); // touch 0: now 8 is the LRU of shard 0
+        cache.insert(16, block(16));
+        assert!(cache.get(8).is_none(), "8 was least recent");
+        assert!(cache.get(0).is_some());
+        assert!(cache.get(16).is_some());
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let cache = ShardedLru::new(32);
+        for k in 0..1000 {
+            cache.insert(k, block(k as u8));
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_mixed_access() {
+        let cache = ShardedLru::new(64);
+        std::thread::scope(|scope| {
+            for t in 0..8u8 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..2000usize {
+                        let key = (t as usize * 37 + i * 13) % 200;
+                        if let Some(v) = cache.get(key) {
+                            assert_eq!(v[0] as usize, key % 256);
+                        } else {
+                            cache.insert(key, Arc::new(vec![(key % 256) as u8; 16]));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= cache.capacity());
+    }
+}

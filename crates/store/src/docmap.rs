@@ -55,6 +55,20 @@ impl DocMap {
         out
     }
 
+    /// Exact size of [`serialize`](Self::serialize)'s output, computed
+    /// without materializing it — used for footprint accounting
+    /// (`RlzStore::total_stored_bytes`), which previously re-serialized the
+    /// whole map just to measure it.
+    pub fn serialized_len(&self) -> usize {
+        let mut n = vbyte::encoded_len_u64(self.offsets.len() as u64);
+        let mut prev = 0u64;
+        for &o in &self.offsets {
+            n += vbyte::encoded_len_u64(o - prev);
+            prev = o;
+        }
+        n
+    }
+
     /// Parses a serialized map.
     pub fn deserialize(data: &[u8]) -> Result<Self, StoreError> {
         let mut pos = 0usize;
@@ -94,6 +108,19 @@ mod tests {
         let m = DocMap::from_lens((0..1000usize).map(|i| i * 7 % 50_000));
         let bytes = m.serialize();
         assert_eq!(DocMap::deserialize(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn serialized_len_matches_serialize() {
+        for lens in [
+            vec![],
+            vec![0usize, 0, 0],
+            vec![1, 127, 128, 16_383, 16_384, 1 << 20, (1 << 35)],
+            (0..500usize).map(|i| i * 13 % 9_000).collect(),
+        ] {
+            let m = DocMap::from_lens(lens);
+            assert_eq!(m.serialized_len(), m.serialize().len());
+        }
     }
 
     #[test]

@@ -12,6 +12,26 @@
 //! * [`RlzStore`] — the paper's contribution: per-document RLZ encodings
 //!   decoded against a memory-resident dictionary.
 //!
+//! # Shared-reader architecture
+//!
+//! The paper's headline result is that RLZ retrieval is just a document-map
+//! lookup, one positioned read, and memcpy expansion against an in-memory
+//! dictionary — a read path that scales with reader threads. The store
+//! layer is built around that:
+//!
+//! * every retrieval method takes **`&self`**: one opened store serves any
+//!   number of threads concurrently;
+//! * disk access goes through [`StorageBackend`] (positional
+//!   `read_exact_at`; no shared file cursor), with a file-backed
+//!   ([`FileBackend`]) and a memory-resident ([`MemBackend`]) variant —
+//!   see each store's `open` / `open_resident`;
+//! * stores are `Clone`, and clones are cheap handles sharing the
+//!   dictionary, document map and backend via `Arc` — hand one to each
+//!   worker thread, or just share a reference;
+//! * [`DocStore::get_batch`] serves a batch of requests on N threads;
+//! * [`BlockedStore`]'s optional block cache is a thread-safe sharded LRU
+//!   ([`ShardedLru`]) shared by all clones of the store.
+//!
 //! # Example
 //!
 //! ```
@@ -28,8 +48,13 @@
 //! let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
 //! RlzStoreBuilder::new(dict, PairCoding::UV).build(&dir, &slices).unwrap();
 //!
-//! let mut store = RlzStore::open(&dir).unwrap();
+//! let store = RlzStore::open(&dir).unwrap();
 //! assert_eq!(store.get(7).unwrap(), docs[7]);
+//!
+//! // Concurrent multi-get: one shared store, four worker threads.
+//! let ids: Vec<u32> = (0..50).collect();
+//! let batch = store.get_batch(&ids, 4).unwrap();
+//! assert_eq!(batch[13], docs[13]);
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
@@ -37,17 +62,22 @@
 #![warn(missing_docs)]
 
 mod ascii;
+mod backend;
 mod blocked;
+mod cache;
 mod docmap;
 mod rlz_store;
 #[cfg(test)]
 pub(crate) mod testutil;
 
 pub use ascii::AsciiStore;
+pub use backend::{FileBackend, MemBackend, StorageBackend};
 pub use blocked::{BlockCodec, BlockedStore};
+pub use cache::ShardedLru;
 pub use docmap::DocMap;
 pub use rlz_store::{RlzStore, RlzStoreBuilder};
 
+use std::cell::RefCell;
 use std::fmt;
 use std::io;
 use std::path::Path;
@@ -108,23 +138,130 @@ impl From<rlz_lzlite::Error> for StoreError {
     }
 }
 
-/// Random access to documents by ID.
-pub trait DocStore {
+/// Random access to documents by ID, shareable across reader threads.
+///
+/// All retrieval takes `&self`: implementations use positional I/O and
+/// interior synchronization (never a shared cursor), so one opened store can
+/// serve concurrent requests. `Send + Sync` is part of the contract.
+pub trait DocStore: Send + Sync {
     /// Number of documents stored.
     fn num_docs(&self) -> usize;
 
     /// Appends document `id`'s bytes to `out`.
-    fn get_into(&mut self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError>;
+    fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError>;
 
     /// Fetches document `id` into a fresh buffer.
-    fn get(&mut self, id: usize) -> Result<Vec<u8>, StoreError> {
+    fn get(&self, id: usize) -> Result<Vec<u8>, StoreError> {
         let mut out = Vec::new();
         self.get_into(id, &mut out)?;
         Ok(out)
     }
+
+    /// Fetches every document in `ids` (in order) using up to `threads`
+    /// worker threads sharing this store. The default implementation
+    /// partitions the batch over scoped threads; `threads <= 1` degrades to
+    /// a plain sequential loop.
+    fn get_batch(&self, ids: &[u32], threads: usize) -> Result<Vec<Vec<u8>>, StoreError> {
+        get_batch_parallel(self, ids, threads)
+    }
+}
+
+/// Shared implementation behind [`DocStore::get_batch`].
+fn get_batch_parallel<S: DocStore + ?Sized>(
+    store: &S,
+    ids: &[u32],
+    threads: usize,
+) -> Result<Vec<Vec<u8>>, StoreError> {
+    let threads = threads.max(1).min(ids.len().max(1));
+    if threads <= 1 {
+        return ids.iter().map(|&id| store.get(id as usize)).collect();
+    }
+    parallel_map(ids, threads, |&id| store.get(id as usize))
+        .into_iter()
+        .collect()
+}
+
+/// Maps `f` over `items` using `threads` OS threads, preserving order.
+/// Used for parallel compression at build time and parallel multi-gets at
+/// read time.
+pub(crate) fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots_mutex: Vec<std::sync::Mutex<&mut Option<R>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots_mutex[i].lock().expect("no poisoning") = Some(r);
+            });
+        }
+    });
+    drop(slots_mutex);
+    slots
+        .into_iter()
+        .map(|s| s.expect("all computed"))
+        .collect()
+}
+
+thread_local! {
+    /// Per-thread scratch for encoded records, so the hot read path does
+    /// not allocate per get.
+    static SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over a `len`-byte per-thread scratch slice. Must not be nested
+/// (the inner call would hit the RefCell's borrow check).
+pub(crate) fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0);
+        }
+        f(&mut buf[..len])
+    })
 }
 
 /// Reads a whole file (helper shared by store readers).
 pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
     Ok(std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let single = parallel_map(&items, 1, |&x| x + 1);
+        assert_eq!(single[999], 1000);
+    }
+
+    #[test]
+    fn scratch_reuses_capacity() {
+        let p1 = with_scratch(64, |buf| {
+            assert_eq!(buf.len(), 64);
+            buf.as_ptr() as usize
+        });
+        let p2 = with_scratch(32, |buf| {
+            assert_eq!(buf.len(), 32);
+            buf.as_ptr() as usize
+        });
+        assert_eq!(p1, p2, "same thread must reuse the same scratch buffer");
+    }
 }

@@ -4,13 +4,19 @@
 //! Retrieval = document-map lookup → one positioned read → factor decode
 //! against the in-memory dictionary. No per-request model rebuilding, no
 //! neighbours decompressed — the two costs that make blocked baselines slow.
+//!
+//! The dictionary and document map are behind `Arc`s: cloning an open
+//! `RlzStore` is a cheap per-thread handle onto the same resident state,
+//! and every read uses positional I/O, so one store serves many threads.
 
+use crate::backend::{FileBackend, MemBackend, StorageBackend};
 use crate::docmap::DocMap;
 use crate::{read_file, DocStore, StoreError};
 use rlz_core::{Dictionary, PairCoding, RlzCompressor};
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
 const DICT_FILE: &str = "dict.bin";
 const PAYLOAD_FILE: &str = "payload.bin";
@@ -48,8 +54,7 @@ impl RlzStoreBuilder {
     /// Builds the store in `dir`.
     pub fn build(&self, dir: &Path, docs: &[&[u8]]) -> Result<(), StoreError> {
         std::fs::create_dir_all(dir)?;
-        let encoded =
-            crate::blocked::parallel_map(docs, self.threads, |doc| self.compressor.compress(doc));
+        let encoded = crate::parallel_map(docs, self.threads, |doc| self.compressor.compress(doc));
         let mut payload = std::io::BufWriter::new(File::create(dir.join(PAYLOAD_FILE))?);
         let mut lens = Vec::with_capacity(encoded.len());
         for e in &encoded {
@@ -59,40 +64,62 @@ impl RlzStoreBuilder {
         payload.flush()?;
         std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
         std::fs::write(dir.join(DICT_FILE), self.compressor.dict().bytes())?;
-        std::fs::write(dir.join(META_FILE), self.compressor.coding().name().as_bytes())?;
+        std::fs::write(
+            dir.join(META_FILE),
+            self.compressor.coding().name().as_bytes(),
+        )?;
         Ok(())
     }
 }
 
 /// RLZ store reader. Holds the dictionary bytes in memory; decoding needs
-/// no suffix array, so opening is cheap.
-#[derive(Debug)]
+/// no suffix array, so opening is cheap. Clones share the dictionary,
+/// document map and payload backend.
+#[derive(Debug, Clone)]
 pub struct RlzStore {
-    file: File,
-    dict_bytes: Vec<u8>,
+    payload: Arc<dyn StorageBackend>,
+    dict_bytes: Arc<Vec<u8>>,
     coding: PairCoding,
-    map: DocMap,
+    map: Arc<DocMap>,
     stored_bytes: u64,
+    map_bytes: u64,
 }
 
 impl RlzStore {
-    /// Opens a previously built store.
+    /// Opens a previously built store; encoded records are read from disk
+    /// per request (the paper's configuration).
     pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        Self::with_backend(dir, |p| Ok(Arc::new(FileBackend::open(p)?)))
+    }
+
+    /// Opens a previously built store with the encoded payload fully
+    /// resident in memory alongside the dictionary: retrieval does no disk
+    /// I/O at all.
+    pub fn open_resident(dir: &Path) -> Result<Self, StoreError> {
+        Self::with_backend(dir, |p| Ok(Arc::new(MemBackend::load(p)?)))
+    }
+
+    fn with_backend(
+        dir: &Path,
+        make: impl FnOnce(&Path) -> Result<Arc<dyn StorageBackend>, StoreError>,
+    ) -> Result<Self, StoreError> {
         let meta = read_file(&dir.join(META_FILE))?;
         let name = std::str::from_utf8(&meta)
             .map_err(|_| StoreError::Corrupt("pair-coding name is not UTF-8"))?;
         let coding = PairCoding::parse(name)
             .ok_or(StoreError::Corrupt("unknown pair coding in metadata"))?;
-        let dict_bytes = read_file(&dir.join(DICT_FILE))?;
-        let map = DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?;
-        let file = File::open(dir.join(PAYLOAD_FILE))?;
-        let stored_bytes = file.metadata()?.len();
+        let dict_bytes = Arc::new(read_file(&dir.join(DICT_FILE))?);
+        let map = Arc::new(DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?);
+        let payload = make(&dir.join(PAYLOAD_FILE))?;
+        let stored_bytes = payload.len();
+        let map_bytes = map.serialized_len() as u64;
         Ok(RlzStore {
-            file,
+            payload,
             dict_bytes,
             coding,
             map,
             stored_bytes,
+            map_bytes,
         })
     }
 
@@ -109,7 +136,7 @@ impl RlzStore {
     /// Total footprint: payload + dictionary + document map (the fair
     /// "Enc. (%)" accounting used by the benchmark tables).
     pub fn total_stored_bytes(&self) -> u64 {
-        self.stored_bytes + self.dict_bytes.len() as u64 + self.map.serialize().len() as u64
+        self.stored_bytes + self.dict_bytes.len() as u64 + self.map_bytes
     }
 
     /// The pair coding this store was built with.
@@ -123,16 +150,20 @@ impl DocStore for RlzStore {
         self.map.num_docs()
     }
 
-    fn get_into(&mut self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
-        let (offset, len) = self
-            .map
-            .extent(id)
-            .ok_or(StoreError::DocOutOfRange(id))?;
-        let mut enc = vec![0u8; len];
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.read_exact(&mut enc)?;
-        rlz_core::coding::decode_and_expand(&enc, self.coding, &self.dict_bytes, out)?;
-        Ok(())
+    fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
+        let (offset, len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
+        let start = out.len();
+        let result = crate::with_scratch(len, |enc| {
+            self.payload.read_exact_at(enc, offset)?;
+            rlz_core::coding::decode_and_expand(enc, self.coding, &self.dict_bytes, out)?;
+            Ok(())
+        });
+        // decode_and_expand appends factor by factor; a mid-record failure
+        // must not leave partial bytes behind in a reused buffer.
+        if result.is_err() {
+            out.truncate(start);
+        }
+        result
     }
 }
 
@@ -164,11 +195,15 @@ mod tests {
             .threads(4)
             .build(dir.path(), &slices)
             .unwrap();
-        let mut store = RlzStore::open(dir.path()).unwrap();
-        assert_eq!(store.num_docs(), docs.len());
-        assert_eq!(store.coding(), coding);
-        for (i, doc) in docs.iter().enumerate() {
-            assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+        for store in [
+            RlzStore::open(dir.path()).unwrap(),
+            RlzStore::open_resident(dir.path()).unwrap(),
+        ] {
+            assert_eq!(store.num_docs(), docs.len());
+            assert_eq!(store.coding(), coding);
+            for (i, doc) in docs.iter().enumerate() {
+                assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+            }
         }
     }
 
@@ -196,17 +231,90 @@ mod tests {
     }
 
     #[test]
+    fn total_stored_bytes_counts_the_map_exactly() {
+        let docs = collection();
+        let all: Vec<u8> = docs.concat();
+        let dict = Dictionary::sample(&all, 2048, 256, SampleStrategy::Evenly);
+        let dir = TestDir::new("rlzstore-footprint");
+        let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+        RlzStoreBuilder::new(dict, PairCoding::UV)
+            .build(dir.path(), &slices)
+            .unwrap();
+        let store = RlzStore::open(dir.path()).unwrap();
+        let map_file = std::fs::metadata(dir.path().join(super::MAP_FILE))
+            .unwrap()
+            .len();
+        assert_eq!(
+            store.total_stored_bytes(),
+            store.stored_bytes() + store.dict_bytes() as u64 + map_file
+        );
+    }
+
+    #[test]
     fn empty_docs_and_empty_store() {
         let dict = Dictionary::from_bytes(b"seed".to_vec());
         let dir = TestDir::new("rlzstore-empty");
         RlzStoreBuilder::new(dict, PairCoding::UV)
             .build(dir.path(), &[b"".as_slice(), b"x", b""])
             .unwrap();
-        let mut store = RlzStore::open(dir.path()).unwrap();
+        let store = RlzStore::open(dir.path()).unwrap();
         assert_eq!(store.get(0).unwrap(), b"");
         assert_eq!(store.get(1).unwrap(), b"x");
         assert_eq!(store.get(2).unwrap(), b"");
         assert!(matches!(store.get(3), Err(StoreError::DocOutOfRange(3))));
+    }
+
+    #[test]
+    fn get_batch_matches_sequential_gets() {
+        let docs = collection();
+        let all: Vec<u8> = docs.concat();
+        let dict = Dictionary::sample(&all, 2048, 256, SampleStrategy::Evenly);
+        let dir = TestDir::new("rlzstore-batch");
+        let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+        RlzStoreBuilder::new(dict, PairCoding::ZV)
+            .threads(4)
+            .build(dir.path(), &slices)
+            .unwrap();
+        let store = RlzStore::open(dir.path()).unwrap();
+        let ids: Vec<u32> = (0..docs.len() as u32).rev().collect();
+        for threads in [1, 4] {
+            let batch = store.get_batch(&ids, threads).unwrap();
+            assert_eq!(batch.len(), ids.len());
+            for (got, &id) in batch.iter().zip(&ids) {
+                assert_eq!(got, &docs[id as usize], "doc {id} at {threads} threads");
+            }
+        }
+        // An out-of-range ID anywhere in the batch surfaces as an error.
+        assert!(store.get_batch(&[0, 9_999], 2).is_err());
+    }
+
+    #[test]
+    fn decode_error_leaves_out_unchanged() {
+        let docs = collection();
+        let all: Vec<u8> = docs.concat();
+        let dict = Dictionary::sample(&all, 2048, 256, SampleStrategy::Evenly);
+        let dir = TestDir::new("rlzstore-partial");
+        let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+        RlzStoreBuilder::new(dict, PairCoding::UV)
+            .build(dir.path(), &slices)
+            .unwrap();
+        // Truncate the payload so later records read past EOF or decode
+        // mid-record; any failing get must not leave partial bytes in a
+        // reused output buffer.
+        let payload = dir.path().join(super::PAYLOAD_FILE);
+        let bytes = std::fs::read(&payload).unwrap();
+        std::fs::write(&payload, &bytes[..bytes.len() / 3]).unwrap();
+        let store = RlzStore::open(dir.path()).unwrap();
+        let mut out = b"keep".to_vec();
+        let mut failures = 0;
+        for i in 0..docs.len() {
+            out.truncate(4);
+            if store.get_into(i, &mut out).is_err() {
+                failures += 1;
+                assert_eq!(out, b"keep", "doc {i} left partial bytes on error");
+            }
+        }
+        assert!(failures > 0, "truncation should make some gets fail");
     }
 
     #[test]

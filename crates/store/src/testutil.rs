@@ -15,10 +15,8 @@ impl TestDir {
     /// Creates `$TMPDIR/rlz-test-{name}-{pid}-{seq}`.
     pub fn new(name: &str) -> Self {
         let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "rlz-test-{name}-{}-{seq}",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("rlz-test-{name}-{}-{seq}", std::process::id()));
         std::fs::create_dir_all(&path).expect("create test dir");
         TestDir { path }
     }

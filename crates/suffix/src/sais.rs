@@ -241,9 +241,6 @@ mod tests {
     #[test]
     fn handles_embedded_zero_bytes() {
         let text = b"\x00abc\x00abc\x00";
-        assert_eq!(
-            suffix_array(text),
-            naive::suffix_array(text).into_inner()
-        );
+        assert_eq!(suffix_array(text), naive::suffix_array(text).into_inner());
     }
 }

@@ -59,10 +59,7 @@ fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
     impl Ord for Node {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Reverse for a min-heap; tie-break on id for determinism.
-            other
-                .weight
-                .cmp(&self.weight)
-                .then(other.id.cmp(&self.id))
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
         }
     }
     impl PartialOrd for Node {
@@ -239,7 +236,9 @@ impl Decoder {
         }
         first_code[ml + 1] = u32::MAX; // sentinel
         first_sym[ml + 1] = sym_index; // one past the last symbol
-        let mut order: Vec<u16> = (0..lens.len() as u16).filter(|&s| lens[s as usize] > 0).collect();
+        let mut order: Vec<u16> = (0..lens.len() as u16)
+            .filter(|&s| lens[s as usize] > 0)
+            .collect();
         order.sort_by_key(|&s| (lens[s as usize], s));
 
         let mut fast = vec![u16::MAX; 1 << FAST_BITS];
@@ -279,7 +278,11 @@ impl Decoder {
         for len in 1..=self.max_len as usize {
             code = (code << 1) | r.read_bits(1)? as u32;
             let offset = code.wrapping_sub(self.first_code[len]);
-            let next_first = self.first_sym.get(len + 1).copied().unwrap_or(self.syms.len() as u32);
+            let next_first = self
+                .first_sym
+                .get(len + 1)
+                .copied()
+                .unwrap_or(self.syms.len() as u32);
             let count = next_first - self.first_sym[len];
             if code >= self.first_code[len] && offset < count {
                 return Ok(self.syms[(self.first_sym[len] + offset) as usize]);
@@ -317,7 +320,9 @@ mod tests {
     fn skewed_code_roundtrip() {
         let freqs = [1000u32, 500, 250, 125, 60, 30, 15, 8, 4, 2, 1, 1];
         let lens = build_lengths(&freqs);
-        let symbols: Vec<usize> = (0..12).flat_map(|s| std::iter::repeat_n(s, 12 - s)).collect();
+        let symbols: Vec<usize> = (0..12)
+            .flat_map(|s| std::iter::repeat_n(s, 12 - s))
+            .collect();
         roundtrip(&lens, &symbols);
     }
 

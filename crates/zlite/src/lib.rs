@@ -220,7 +220,9 @@ fn write_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8]) {
         lit + dist + extra_bits
     };
 
-    let dynamic_cost = 2 + header_cost_bits(&dyn_lit_lens) + header_cost_bits(&dyn_dist_lens)
+    let dynamic_cost = 2
+        + header_cost_bits(&dyn_lit_lens)
+        + header_cost_bits(&dyn_dist_lens)
         + 14
         + payload_cost(&dyn_lit_lens, &dyn_dist_lens);
     let fixed_cost = 2 + payload_cost(&fixed_lit, &fixed_dist);
@@ -492,7 +494,10 @@ mod tests {
         // Force several blocks with shifting content.
         let mut data = Vec::new();
         for i in 0..40u32 {
-            let chunk = format!("section {i} body text {} end. ", "word ".repeat(i as usize % 17));
+            let chunk = format!(
+                "section {i} body text {} end. ",
+                "word ".repeat(i as usize % 17)
+            );
             data.extend(chunk.bytes().cycle().take(9000));
         }
         for level in [Level::Fast, Level::Default, Level::Best] {
@@ -527,7 +532,7 @@ mod tests {
         // Flip bits in the first block header region.
         c[2] ^= 0xFF;
         let _ = decompress(&c); // must not panic; error or garbage tolerated
-        // Declare a longer output than the stream encodes.
+                                // Declare a longer output than the stream encodes.
         let mut c2 = compress(&data, Level::Default);
         c2[0] = c2[0].wrapping_add(1);
         assert!(decompress(&c2).is_err());

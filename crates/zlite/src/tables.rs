@@ -21,8 +21,8 @@ pub const NUM_DIST: usize = 30;
 
 /// Base match length for each length code (symbol 257 + index).
 pub const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 
 /// Extra bits carried by each length code.
@@ -38,8 +38,8 @@ pub const DIST_BASE: [u16; 30] = [
 
 /// Extra bits carried by each distance code.
 pub const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 /// Maps a match length (3..=258) to `(code_index, extra_value, extra_bits)`.
@@ -139,7 +139,10 @@ mod tests {
             assert!((code as usize) < 29, "len {len}");
             let base = LENGTH_BASE[code as usize] as usize;
             assert_eq!(base + extra as usize, len);
-            assert!(extra < (1u32 << bits) || (bits == 0 && extra == 0), "len {len}");
+            assert!(
+                extra < (1u32 << bits) || (bits == 0 && extra == 0),
+                "len {len}"
+            );
             assert_eq!(bits, LENGTH_EXTRA[code as usize]);
         }
         // 258 must use the dedicated final code with no extra bits.

@@ -58,5 +58,8 @@ fn main() {
         prefix_pct - full_pct,
         prefix_pct - grown_pct
     );
-    assert!(prefix_pct < full_pct + 10.0, "prefix dictionary degraded too much");
+    assert!(
+        prefix_pct < full_pct + 10.0,
+        "prefix dictionary degraded too much"
+    );
 }

@@ -7,9 +7,7 @@
 
 use rlz_repro::corpus::{access, generate_web, WebConfig};
 use rlz_repro::rlz::{Dictionary, PairCoding, SampleStrategy};
-use rlz_repro::store::{
-    AsciiStore, BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder,
-};
+use rlz_repro::store::{AsciiStore, BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder};
 use std::time::Instant;
 
 fn main() {
@@ -17,7 +15,11 @@ fn main() {
     println!("generating a {} MiB synthetic .gov crawl...", size >> 20);
     let crawl = generate_web(&WebConfig::gov2(size, 2026));
     let docs: Vec<&[u8]> = crawl.iter_docs().collect();
-    println!("  {} documents, avg {} bytes", docs.len(), crawl.total_bytes() / docs.len());
+    println!(
+        "  {} documents, avg {} bytes",
+        docs.len(),
+        crawl.total_bytes() / docs.len()
+    );
 
     let root = std::env::temp_dir().join(format!("rlz-web-archive-{}", std::process::id()));
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
@@ -66,7 +68,7 @@ fn main() {
     let sequential = access::sequential(docs.len(), 2 * docs.len());
     let querylog = access::query_log(docs.len(), 5_000, 20, 42);
 
-    let report = |name: &str, store: &mut dyn DocStore, stored: u64| {
+    let report = |name: &str, store: &dyn DocStore, stored: u64| {
         let pct = stored as f64 * 100.0 / crawl.total_bytes() as f64;
         let mut buf = Vec::new();
         let t = Instant::now();
@@ -84,21 +86,32 @@ fn main() {
         println!("{name:<22} {pct:>7.2}% {seq:>12.0} docs/s seq {qlog:>12.0} docs/s query-log");
     };
 
-    println!("\n{:<22} {:>8} {:>18} {:>22}", "system", "size", "sequential", "query log");
-    let mut s = AsciiStore::open(&root.join("ascii")).unwrap();
-    let stored = s.stored_bytes();
-    report("ascii", &mut s, stored);
-    let mut s = BlockedStore::open(&root.join("zlib")).unwrap();
-    let stored = s.stored_bytes();
-    report("zlib 100KB blocks", &mut s, stored);
-    let mut s = BlockedStore::open(&root.join("lzma")).unwrap();
-    let stored = s.stored_bytes();
-    report("lzma 100KB blocks", &mut s, stored);
-    let mut s = RlzStore::open(&root.join("rlz")).unwrap();
-    let stored = s.total_stored_bytes();
-    report("rlz 1% dict (ZV)", &mut s, stored);
+    println!(
+        "\n{:<22} {:>8} {:>18} {:>22}",
+        "system", "size", "sequential", "query log"
+    );
+    let s = AsciiStore::open(&root.join("ascii")).unwrap();
+    report("ascii", &s, s.stored_bytes());
+    let s = BlockedStore::open(&root.join("zlib")).unwrap();
+    report("zlib 100KB blocks", &s, s.stored_bytes());
+    let s = BlockedStore::open(&root.join("lzma")).unwrap();
+    report("lzma 100KB blocks", &s, s.stored_bytes());
+    let rlz = RlzStore::open(&root.join("rlz")).unwrap();
+    report("rlz 1% dict (ZV)", &rlz, rlz.total_stored_bytes());
+
+    // --- concurrent retrieval: one shared store, N reader threads ---
+    // Every retrieval method takes `&self`, so the same opened store can be
+    // hammered from any number of threads; get_batch does the fan-out.
+    println!("\nconcurrent query-log retrieval over the shared rlz store:");
+    for workers in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let batch = rlz.get_batch(&querylog, workers).unwrap();
+        let rate = batch.len() as f64 / t.elapsed().as_secs_f64();
+        println!("  {workers} thread(s): {rate:>12.0} docs/s");
+    }
 
     std::fs::remove_dir_all(&root).ok();
     println!("\nExpected shape (paper §5): rlz compresses best or near-best and");
-    println!("serves documents orders of magnitude faster than blocked baselines.");
+    println!("serves documents orders of magnitude faster than blocked baselines,");
+    println!("and rlz throughput grows with reader threads on one shared store.");
 }

@@ -1,0 +1,225 @@
+//! Minimal, offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset `benches/micro.rs` uses — benchmark groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! calibrated wall-clock loop (warm-up, then enough iterations to fill a
+//! measurement window; median-of-batches timing). No statistical analysis,
+//! plots, or baselines: output is one line per benchmark with ns/iter and
+//! derived throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation used to derive rate units from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An ID rendered from a parameter value, e.g. an input size.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+
+    /// An ID from a function name and a parameter.
+    pub fn new(function: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{param}", function.into()),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher {
+    iters_per_batch: u64,
+    batch_nanos: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~25 ms?
+        let t = Instant::now();
+        let mut calibration_iters = 0u64;
+        while t.elapsed() < Duration::from_millis(25) {
+            std::hint::black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = t.elapsed().as_nanos() as f64 / calibration_iters.max(1) as f64;
+        let batch = ((25_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        self.iters_per_batch = batch;
+        // Measure 5 batches and keep each batch's per-iteration time.
+        for _ in 0..5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.batch_nanos
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        self.batch_nanos
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.batch_nanos
+            .get(self.batch_nanos.len() / 2)
+            .copied()
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to report rates.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by wall clock.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: R) {
+        let mut b = Bencher {
+            iters_per_batch: 0,
+            batch_nanos: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id.into_benchmark_id().name, &mut b);
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) {
+        let mut b = Bencher {
+            iters_per_batch: 0,
+            batch_nanos: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id.name, &mut b);
+    }
+
+    fn report(&self, bench: &str, b: &mut Bencher) {
+        let ns = b.median_ns();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / ns * 1e9 / (1u64 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.2} Melem/s", n as f64 / ns * 1e3)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<40} {:>14.1} ns/iter{rate}   ({} iters/batch)",
+            format!("{}/{}", self.name, bench),
+            ns,
+            b.iters_per_batch
+        );
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Names accepted as benchmark IDs.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, f: R) {
+        let mut g = self.benchmark_group(id.to_string());
+        g.bench_function("default", f);
+        g.finish();
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -4,9 +4,7 @@
 
 use rlz_repro::corpus::{generate_web, WebConfig};
 use rlz_repro::rlz::{Dictionary, PairCoding, SampleStrategy};
-use rlz_repro::store::{
-    AsciiStore, BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder,
-};
+use rlz_repro::store::{AsciiStore, BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder};
 
 struct TempDir(std::path::PathBuf);
 
@@ -43,11 +41,11 @@ fn rlz_store_reopens_across_sessions() {
 
     // First reader session.
     {
-        let mut store = RlzStore::open(dir.path()).unwrap();
+        let store = RlzStore::open(dir.path()).unwrap();
         assert_eq!(store.get(0).unwrap(), docs[0]);
     }
     // Second reader session sees the same bytes.
-    let mut store = RlzStore::open(dir.path()).unwrap();
+    let store = RlzStore::open(dir.path()).unwrap();
     for (i, doc) in docs.iter().enumerate() {
         assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
     }
@@ -67,7 +65,7 @@ fn blocked_store_reopens_and_detects_meta_corruption() {
     )
     .unwrap();
     {
-        let mut store = BlockedStore::open(dir.path()).unwrap();
+        let store = BlockedStore::open(dir.path()).unwrap();
         for (i, doc) in docs.iter().enumerate() {
             assert_eq!(&store.get(i).unwrap(), doc);
         }
@@ -88,7 +86,7 @@ fn ascii_store_detects_truncated_payload() {
     let data = dir.path().join("data.bin");
     let bytes = std::fs::read(&data).unwrap();
     std::fs::write(&data, &bytes[..5]).unwrap();
-    let mut store = AsciiStore::open(dir.path()).unwrap();
+    let store = AsciiStore::open(dir.path()).unwrap();
     assert!(store.get(1).is_err());
 }
 
@@ -104,7 +102,7 @@ fn rlz_store_detects_cross_coding_mismatch() {
         .build(dir.path(), &docs)
         .unwrap();
     std::fs::write(dir.path().join("meta.bin"), b"ZZ").unwrap();
-    let mut store = RlzStore::open(dir.path()).unwrap();
+    let store = RlzStore::open(dir.path()).unwrap();
     for (i, doc) in docs.iter().enumerate() {
         if let Ok(bytes) = store.get(i) {
             assert_ne!(&bytes, doc, "mislabelled store decoded correctly?!");

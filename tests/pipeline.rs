@@ -4,9 +4,7 @@
 
 use rlz_repro::corpus::{self, access, generate_web, WebConfig};
 use rlz_repro::rlz::{Dictionary, PairCoding, SampleStrategy};
-use rlz_repro::store::{
-    AsciiStore, BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder,
-};
+use rlz_repro::store::{AsciiStore, BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder};
 
 struct TempDir(std::path::PathBuf);
 
@@ -40,7 +38,7 @@ fn every_store_returns_identical_documents() {
 
     let ascii_dir = TempDir::new("ascii");
     AsciiStore::build(ascii_dir.path(), docs.iter().copied()).unwrap();
-    let mut ascii = AsciiStore::open(ascii_dir.path()).unwrap();
+    let ascii = AsciiStore::open(ascii_dir.path()).unwrap();
 
     let zl_dir = TempDir::new("zl");
     BlockedStore::build(
@@ -51,7 +49,7 @@ fn every_store_returns_identical_documents() {
         8,
     )
     .unwrap();
-    let mut zl = BlockedStore::open(zl_dir.path()).unwrap();
+    let zl = BlockedStore::open(zl_dir.path()).unwrap();
 
     let lz_dir = TempDir::new("lz");
     BlockedStore::build(
@@ -62,7 +60,7 @@ fn every_store_returns_identical_documents() {
         8,
     )
     .unwrap();
-    let mut lz = BlockedStore::open(lz_dir.path()).unwrap();
+    let lz = BlockedStore::open(lz_dir.path()).unwrap();
 
     let dict = Dictionary::sample(&c.data, c.data.len() / 200, 1024, SampleStrategy::Evenly);
     let rlz_dir = TempDir::new("rlz");
@@ -70,7 +68,7 @@ fn every_store_returns_identical_documents() {
         .threads(8)
         .build(rlz_dir.path(), &docs)
         .unwrap();
-    let mut rlz = RlzStore::open(rlz_dir.path()).unwrap();
+    let rlz = RlzStore::open(rlz_dir.path()).unwrap();
 
     assert_eq!(ascii.num_docs(), docs.len());
     assert_eq!(zl.num_docs(), docs.len());
@@ -150,8 +148,12 @@ fn url_sorting_helps_blocked_but_not_rlz() {
 
     let build_rlz = |col: &corpus::Collection, tag: &str| {
         let docs: Vec<&[u8]> = col.iter_docs().collect();
-        let dict =
-            Dictionary::sample(&col.data, col.data.len() / 150, 1024, SampleStrategy::Evenly);
+        let dict = Dictionary::sample(
+            &col.data,
+            col.data.len() / 150,
+            1024,
+            SampleStrategy::Evenly,
+        );
         let dir = TempDir::new(tag);
         RlzStoreBuilder::new(dict, PairCoding::ZV)
             .threads(8)
