@@ -30,12 +30,22 @@ fn bench_suffix_array(c: &mut Criterion) {
 fn bench_factorize(c: &mut Criterion) {
     let col = corpus_1m();
     let dict = Dictionary::sample(&col.data, 64 * 1024, 1024, SampleStrategy::Evenly);
-    let rlz = RlzCompressor::new(dict, PairCoding::UV);
     let doc = col.doc(3);
     let mut group = c.benchmark_group("factorize");
     group.throughput(Throughput::Bytes(doc.len() as u64));
-    group.bench_function("binary_search_refine", |b| {
-        b.iter(|| rlz.factorize(black_box(doc)));
+    group.bench_function("qgram_indexed", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            rlz_core::factorize(&dict, black_box(doc), &mut out);
+        });
+    });
+    group.bench_function("plain_refine", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            rlz_core::factorize_plain(&dict, black_box(doc), &mut out);
+        });
     });
     group.finish();
 }

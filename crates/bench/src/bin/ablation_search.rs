@@ -5,6 +5,13 @@ use rlz_core::{Dictionary, SampleStrategy};
 use rlz_suffix::Matcher;
 use std::time::Instant;
 
+#[derive(Clone, Copy)]
+enum Strategy {
+    Binary,
+    Galloping,
+    Indexed,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ScaledConfig::from_args(&args);
@@ -23,16 +30,21 @@ fn main() {
     for dict_size in cfg.dict_sizes() {
         let dict = Dictionary::sample(&c.data, dict_size, cfg.sample_len, SampleStrategy::Evenly);
         let matcher = Matcher::new(dict.bytes(), dict.suffix_array());
-        for (label, gallop) in [("binary", false), ("galloping", true)] {
+        let index = dict.prefix_index();
+        for (label, strategy) in [
+            ("binary", Strategy::Binary),
+            ("galloping", Strategy::Galloping),
+            ("indexed", Strategy::Indexed),
+        ] {
             let t = Instant::now();
             let mut factors = 0u64;
             for doc in c.iter_docs() {
                 let mut i = 0usize;
                 while i < doc.len() {
-                    let (_, len) = if gallop {
-                        matcher.longest_match_galloping(&doc[i..])
-                    } else {
-                        matcher.longest_match(&doc[i..])
+                    let (_, len) = match strategy {
+                        Strategy::Binary => matcher.longest_match(&doc[i..]),
+                        Strategy::Galloping => matcher.longest_match_galloping(&doc[i..]),
+                        Strategy::Indexed => matcher.longest_match_indexed(index, &doc[i..]),
                     };
                     i += (len as usize).max(1);
                     factors += 1;

@@ -1,0 +1,23 @@
+//! Read-path batch benchmark: query-log batches served by the naive
+//! request-order fan-out vs the seek-aware offset-ordered default vs
+//! block-coalesced decoding, per store family. Writes the machine-readable
+//! `BENCH_batch.json` artifact.
+//!
+//! `cargo run --release -p rlz-bench --bin batch [-- --size-mb N]`
+
+use rlz_bench::{gov2_collection, ScaledConfig};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let gov2 = gov2_collection(&cfg);
+    let report = rlz_bench::tables::batch_table(
+        "Batch retrieval — unordered vs offset-ordered vs coalesced",
+        &gov2,
+        &cfg,
+    );
+    report
+        .write(Path::new("BENCH_batch.json"))
+        .expect("write BENCH_batch.json");
+}

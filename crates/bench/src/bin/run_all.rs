@@ -60,4 +60,18 @@ fn main() {
         &gov2,
         &cfg,
     );
+    rlz_bench::tables::factorize_table(
+        "Factorization throughput — q-gram indexed vs plain matcher (extension)",
+        &gov2,
+        &cfg,
+    )
+    .write(std::path::Path::new("BENCH_factorize.json"))
+    .expect("write BENCH_factorize.json");
+    rlz_bench::tables::batch_table(
+        "Batch retrieval — unordered vs offset-ordered vs coalesced (extension)",
+        &gov2,
+        &cfg,
+    )
+    .write(std::path::Path::new("BENCH_batch.json"))
+    .expect("write BENCH_batch.json");
 }

@@ -7,6 +7,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
 pub mod tables;
 
 use rlz_core::{Dictionary, PairCoding, RlzCompressor, SampleStrategy};

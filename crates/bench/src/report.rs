@@ -1,0 +1,167 @@
+//! Machine-readable benchmark artifacts.
+//!
+//! Each perf-relevant benchmark writes a `BENCH_<name>.json` next to its
+//! printed table so the perf trajectory can be recorded and diffed across
+//! commits. The format is deliberately flat — one object per measurement
+//! row, every field a number or short string — so any JSON consumer can
+//! turn a pair of artifacts into a before/after comparison without schema
+//! knowledge.
+//!
+//! The container is offline (no serde); this is a tiny hand-rolled writer
+//! covering exactly what the reports need.
+
+use std::io;
+use std::path::Path;
+
+/// One measurement row: ordered `(key, rendered JSON value)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Row {
+    fields: Vec<(String, String)>,
+}
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Self {
+        Row::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), json_string(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field (3 decimal places; non-finite values become 0 to
+    /// keep the artifact valid JSON).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value:.3}")
+        } else {
+            "0".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{}: {}", json_string(k), v))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// A named collection of rows, serialized as
+/// `{"bench": ..., "schema_version": 1, "rows": [...]}`.
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: &'static str,
+    rows: Vec<Row>,
+}
+
+impl Report {
+    /// A report for benchmark `name`.
+    pub fn new(name: &'static str) -> Self {
+        Report {
+            name,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a measurement row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The serialized artifact.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| format!("  {}", r.render()))
+            .collect();
+        format!(
+            "{{\n\"bench\": {}, \"schema_version\": 1, \"rows\": [\n{}\n]}}\n",
+            json_string(self.name),
+            rows.join(",\n")
+        )
+    }
+
+    /// Writes the artifact to `path` and prints where it went.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())?;
+        println!(
+            "[bench artifact] {} rows -> {}",
+            self.rows.len(),
+            path.display()
+        );
+        Ok(())
+    }
+}
+
+/// Minimal JSON string quoting (ASCII control chars, quote, backslash).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_json() {
+        let mut r = Report::new("demo");
+        r.push(
+            Row::new()
+                .str("corpus", "gov2")
+                .int("bytes", 1024)
+                .num("mb_per_s", 12.3456),
+        );
+        r.push(Row::new().num("bad", f64::NAN));
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"demo\""));
+        assert!(json.contains("\"corpus\": \"gov2\""));
+        assert!(json.contains("\"bytes\": 1024"));
+        assert!(json.contains("\"mb_per_s\": 12.346"));
+        assert!(json.contains("\"bad\": 0"));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -331,6 +331,293 @@ pub fn concurrent_retrieval_table(title: &str, collection: &Collection, cfg: &Sc
     println!();
 }
 
+/// Factorization-throughput table (build path; extension beyond the
+/// paper): MB/s and docs/s of RLZ factorization with the q-gram
+/// [`rlz_suffix::PrefixIndex`] fast path vs the paper's plain `Refine`
+/// matcher, across dictionary sizes. Also spot-checks that both matchers
+/// emit identical factorizations before timing anything.
+///
+/// Returns the machine-readable report (`BENCH_factorize.json`).
+pub fn factorize_table(
+    title: &str,
+    collection: &Collection,
+    cfg: &ScaledConfig,
+) -> crate::report::Report {
+    println!("{title}");
+    println!(
+        "(single-threaded; {} MiB corpus; q = {} unless noted; 'plain' = \
+         Refine from the full SA interval every factor)\n",
+        collection.total_bytes() >> 20,
+        rlz_core::Dictionary::DEFAULT_INDEX_Q,
+    );
+    let widths = [10usize, 3, 9, 10, 10, 10, 9];
+    print_row(
+        &[
+            "Dict".into(),
+            "q".into(),
+            "Matcher".into(),
+            "MiB/s".into(),
+            "docs/s".into(),
+            "factors".into(),
+            "speedup".into(),
+        ],
+        &widths,
+    );
+    let mut report = crate::report::Report::new("factorize");
+    let docs: Vec<&[u8]> = collection.iter_docs().collect();
+    for dict_size in cfg.dict_sizes() {
+        let dict = Dictionary::sample(
+            &collection.data,
+            dict_size,
+            cfg.sample_len,
+            SampleStrategy::Evenly,
+        );
+        // Zero-behavioral-diff check on a slice of the corpus before any
+        // timing: the fast path must not change a single factor.
+        for doc in docs.iter().step_by((docs.len() / 32).max(1)) {
+            let mut fast = Vec::new();
+            let mut plain = Vec::new();
+            rlz_core::factorize(&dict, doc, &mut fast);
+            rlz_core::factorize_plain(&dict, doc, &mut plain);
+            assert_eq!(fast, plain, "indexed factorization diverged");
+        }
+        let mut plain_rate = 0.0f64;
+        for (matcher, plain) in [("plain", true), ("indexed", false)] {
+            let m = factorize_rate(&dict, &docs, plain, MEASURE_BUDGET);
+            let speedup = if plain {
+                plain_rate = m.mb_per_s;
+                "1.00x".to_string()
+            } else {
+                format!("{:.2}x", m.mb_per_s / plain_rate)
+            };
+            print_row(
+                &[
+                    dict_label(dict_size),
+                    dict.index_q().to_string(),
+                    matcher.into(),
+                    format!("{:.1}", m.mb_per_s),
+                    format!("{:.0}", m.docs_per_s),
+                    m.factors.to_string(),
+                    speedup,
+                ],
+                &widths,
+            );
+            report.push(
+                crate::report::Row::new()
+                    .str("corpus", "gov2-like")
+                    .int("corpus_bytes", collection.total_bytes() as u64)
+                    .int("dict_bytes", dict_size as u64)
+                    .int("sample_len", cfg.sample_len as u64)
+                    .int("q", dict.index_q() as u64)
+                    .str("matcher", matcher)
+                    .num("mb_per_s", m.mb_per_s)
+                    .num("docs_per_s", m.docs_per_s)
+                    .int("factors", m.factors),
+            );
+        }
+    }
+    println!();
+    report
+}
+
+struct FactorizeRate {
+    mb_per_s: f64,
+    docs_per_s: f64,
+    factors: u64,
+}
+
+/// Timed factorization sweep over `docs` (cycling until `budget` elapses).
+fn factorize_rate(
+    dict: &Dictionary,
+    docs: &[&[u8]],
+    plain: bool,
+    budget: Duration,
+) -> FactorizeRate {
+    let mut out = Vec::new();
+    let t = std::time::Instant::now();
+    let mut bytes = 0u64;
+    let mut served = 0u64;
+    let mut factors = 0u64;
+    'timed: while !docs.is_empty() {
+        for doc in docs {
+            out.clear();
+            if plain {
+                rlz_core::factorize_plain(dict, doc, &mut out);
+            } else {
+                rlz_core::factorize(dict, doc, &mut out);
+            }
+            bytes += doc.len() as u64;
+            factors += out.len() as u64;
+            served += 1;
+            if served.is_multiple_of(16) && t.elapsed() >= budget {
+                break 'timed;
+            }
+        }
+        if t.elapsed() >= budget {
+            break;
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    FactorizeRate {
+        mb_per_s: bytes as f64 / (1 << 20) as f64 / secs,
+        docs_per_s: served as f64 / secs,
+        factors,
+    }
+}
+
+/// Batch-retrieval table (read path; extension beyond the paper):
+/// docs/second for query-log batches served three ways — the naive
+/// request-order fan-out, the seek-aware offset-ordered default, and (for
+/// the blocked store) block-coalesced decoding — on cold file-backed
+/// stores.
+///
+/// Returns the machine-readable report (`BENCH_batch.json`).
+pub fn batch_table(
+    title: &str,
+    collection: &Collection,
+    cfg: &ScaledConfig,
+) -> crate::report::Report {
+    println!("{title}");
+    println!(
+        "(file-backed stores, {} worker thread(s), batches of {} query-log \
+         requests; results always return in request order)\n",
+        cfg.threads, BATCH_SIZE
+    );
+    let widths = [12usize, 11, 9, 11, 10];
+    print_row(
+        &[
+            "Store".into(),
+            "Strategy".into(),
+            "Enc.(%)".into(),
+            "docs/s".into(),
+            "MiB/s".into(),
+        ],
+        &widths,
+    );
+    let mut report = crate::report::Report::new("batch");
+    let work = WorkDir::new("batch-tbl");
+    let ids = access::query_log(
+        collection.num_docs(),
+        cfg.requests.max(BATCH_SIZE),
+        20,
+        cfg.seed ^ 0xBA7C4,
+    );
+
+    let mut run = |store_name: &str, pct: f64, store: &dyn DocStore, coalesced: bool| {
+        let mut strategies: Vec<(&str, BatchFn)> = vec![
+            ("unordered", |s, ids, t| {
+                rlz_store::get_batch_unordered(s, ids, t)
+            }),
+            ("ordered", |s, ids, t| {
+                rlz_store::get_batch_ordered(s, ids, t)
+            }),
+        ];
+        if coalesced {
+            // The store's own get_batch override: offset-ordered AND one
+            // decode per touched block.
+            strategies.push(("coalesced", |s, ids, t| s.get_batch(ids, t)));
+        }
+        for (strategy, f) in strategies {
+            let m = batch_rate(store, &ids, cfg.threads, f, MEASURE_BUDGET);
+            print_row(
+                &[
+                    store_name.into(),
+                    strategy.into(),
+                    format!("{pct:.2}"),
+                    format!("{:.0}", m.docs_per_s),
+                    format!("{:.1}", m.mb_per_s),
+                ],
+                &widths,
+            );
+            report.push(
+                crate::report::Row::new()
+                    .str("corpus", "gov2-like")
+                    .int("corpus_bytes", collection.total_bytes() as u64)
+                    .str("store", store_name)
+                    .str("strategy", strategy)
+                    .int("batch_size", BATCH_SIZE as u64)
+                    .int("threads", cfg.threads as u64)
+                    .num("docs_per_s", m.docs_per_s)
+                    .num("mb_per_s", m.mb_per_s),
+            );
+        }
+    };
+
+    let ascii_dir = build_ascii_store(&work, "ascii", collection);
+    let ascii = AsciiStore::open(&ascii_dir).expect("open ascii");
+    run("ascii", 100.0, &ascii, false);
+    drop(ascii);
+    std::fs::remove_dir_all(&ascii_dir).ok();
+
+    let (zl_dir, zl_pct) = build_blocked_store(
+        &work,
+        "zlib-batch",
+        collection,
+        BlockCodec::Zlite(rlz_zlite::Level::Default),
+        100 * 1024,
+        cfg,
+    );
+    let zl = BlockedStore::open(&zl_dir).expect("open blocked");
+    run("zlib 0.1MB", zl_pct, &zl, true);
+    drop(zl);
+    std::fs::remove_dir_all(&zl_dir).ok();
+
+    let dict_size = cfg.dict_sizes()[1];
+    let (rlz_dir, rlz_pct) = build_rlz_store(
+        &work,
+        "rlz-batch",
+        collection,
+        dict_size,
+        PairCoding::ZV,
+        cfg,
+    );
+    let rlz = RlzStore::open(&rlz_dir).expect("open rlz");
+    run("rlz ZV", rlz_pct, &rlz, false);
+    drop(rlz);
+    std::fs::remove_dir_all(&rlz_dir).ok();
+    println!();
+    report
+}
+
+/// Requests per `get_batch` call in [`batch_table`].
+pub const BATCH_SIZE: usize = 256;
+
+type BatchFn = fn(&dyn DocStore, &[u32], usize) -> Result<Vec<Vec<u8>>, rlz_store::StoreError>;
+
+struct BatchRate {
+    docs_per_s: f64,
+    mb_per_s: f64,
+}
+
+/// Replays `ids` in batches of [`BATCH_SIZE`] through `f` until `budget`
+/// elapses, cycling as needed.
+fn batch_rate(
+    store: &dyn DocStore,
+    ids: &[u32],
+    threads: usize,
+    f: BatchFn,
+    budget: Duration,
+) -> BatchRate {
+    let t = std::time::Instant::now();
+    let mut served = 0u64;
+    let mut bytes = 0u64;
+    'timed: loop {
+        for batch in ids.chunks(BATCH_SIZE) {
+            let out = f(store, batch, threads).expect("batch retrieval failed during benchmark");
+            served += out.len() as u64;
+            bytes += out.iter().map(|d| d.len() as u64).sum::<u64>();
+            if t.elapsed() >= budget {
+                break 'timed;
+            }
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    BatchRate {
+        docs_per_s: served as f64 / secs,
+        mb_per_s: bytes as f64 / (1 << 20) as f64 / secs,
+    }
+}
+
 /// Table 10: ZZ encoding % with dictionaries built from collection prefixes
 /// (100 % down to 1 %), the dynamic-update simulation of §3.6.
 pub fn table10(collection: &Collection, cfg: &ScaledConfig) {

@@ -8,7 +8,8 @@
 //! the prefix sampling used by the dynamic-update experiment (Table 10) and
 //! random sampling as an ablation.
 
-use rlz_suffix::{Matcher, SuffixArray};
+use rlz_suffix::{Matcher, PrefixIndex, SuffixArray};
+use std::sync::Arc;
 
 /// How sample positions are chosen across the collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,18 +33,36 @@ pub enum SampleStrategy {
     },
 }
 
-/// An RLZ dictionary: the sampled text plus its suffix array.
+/// An RLZ dictionary: the sampled text, its suffix array, and a q-gram
+/// [`PrefixIndex`] accelerating longest-match queries.
+///
+/// The prefix index is built once per dictionary and `Arc`-shared: clones
+/// of a `Dictionary` (e.g. one per compressor or per store builder thread)
+/// reuse the same table, so every factorization gets the fast path for
+/// free. See [`Dictionary::reindex`] for the q knob.
 #[derive(Debug, Clone)]
 pub struct Dictionary {
     bytes: Vec<u8>,
     sa: SuffixArray,
+    index: Arc<PrefixIndex>,
 }
 
 impl Dictionary {
+    /// Default q-gram length for the prefix index: a 512 KiB table that
+    /// skips the two widest `Refine` binary searches of every factor.
+    pub const DEFAULT_INDEX_Q: usize = 2;
+
     /// Builds a dictionary directly from the given bytes.
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Self::from_bytes_with_q(bytes, Self::DEFAULT_INDEX_Q)
+    }
+
+    /// Builds a dictionary with an explicit prefix-index q-gram length
+    /// (`1..=rlz_suffix::MAX_Q`; table memory is `O(256^q)`).
+    pub fn from_bytes_with_q(bytes: Vec<u8>, q: usize) -> Self {
         let sa = SuffixArray::build(&bytes);
-        Dictionary { bytes, sa }
+        let index = Arc::new(PrefixIndex::build(&bytes, &sa, q));
+        Dictionary { bytes, sa, index }
     }
 
     /// Samples a dictionary of (at most) `dict_size` bytes from `collection`
@@ -58,10 +77,24 @@ impl Dictionary {
         sample_len: usize,
         strategy: SampleStrategy,
     ) -> Self {
+        Self::from_bytes(Self::sample_bytes(
+            collection, dict_size, sample_len, strategy,
+        ))
+    }
+
+    /// The raw sampled bytes of [`sample`](Self::sample), without building
+    /// the derived suffix array / prefix index (used when several sampling
+    /// passes are batched into one rebuild).
+    fn sample_bytes(
+        collection: &[u8],
+        dict_size: usize,
+        sample_len: usize,
+        strategy: SampleStrategy,
+    ) -> Vec<u8> {
         assert!(sample_len > 0, "sample length must be positive");
         let n = collection.len();
         if n <= dict_size || dict_size == 0 {
-            return Self::from_bytes(collection.to_vec());
+            return collection.to_vec();
         }
         let region_end = match strategy {
             SampleStrategy::Prefix { percent } => {
@@ -111,17 +144,48 @@ impl Dictionary {
             }
         }
         bytes.truncate(dict_size);
-        Self::from_bytes(bytes)
+        bytes
     }
 
-    /// Appends additional samples (e.g. from newly arrived documents) and
-    /// rebuilds the suffix array — the memory-unconstrained update path of
-    /// §3.6. Existing factor encodings remain valid because dictionary
-    /// offsets are unchanged.
+    /// Appends additional samples (e.g. from newly arrived documents) — the
+    /// memory-unconstrained update path of §3.6. Existing factor encodings
+    /// remain valid because dictionary offsets are unchanged.
+    ///
+    /// **Cost:** every call rebuilds the entire `O(m)` suffix array *and*
+    /// the `O(m + σ^q)` prefix index from scratch — there is no incremental
+    /// update. Growing a dictionary through repeated small appends is
+    /// quadratic overall; batch them with
+    /// [`append_samples_many`](Self::append_samples_many), which pays for
+    /// one rebuild regardless of how many additions it absorbs.
     pub fn append_samples(&mut self, new_text: &[u8], extra_size: usize, sample_len: usize) {
-        let extra = Dictionary::sample(new_text, extra_size, sample_len, SampleStrategy::Evenly);
-        self.bytes.extend_from_slice(extra.bytes());
+        self.append_samples_many(&[(new_text, extra_size, sample_len)]);
+    }
+
+    /// Appends several `(new_text, extra_size, sample_len)` additions in
+    /// one shot, rebuilding the suffix array and prefix index exactly once
+    /// — the batched counterpart of [`append_samples`](Self::append_samples)
+    /// for update streams that arrive in bursts.
+    pub fn append_samples_many(&mut self, additions: &[(&[u8], usize, usize)]) {
+        if additions.is_empty() {
+            return;
+        }
+        for &(new_text, extra_size, sample_len) in additions {
+            let extra =
+                Self::sample_bytes(new_text, extra_size, sample_len, SampleStrategy::Evenly);
+            self.bytes.extend_from_slice(&extra);
+        }
         self.sa = SuffixArray::build(&self.bytes);
+        self.index = Arc::new(PrefixIndex::build(&self.bytes, &self.sa, self.index.q()));
+    }
+
+    /// Rebuilds the prefix index with a different q-gram length
+    /// (`1..=rlz_suffix::MAX_Q`). Larger q skips more `Refine` steps per
+    /// factor but costs `O(256^q)` table entries; `q = 1` keeps only the
+    /// 2 KiB first-byte table.
+    pub fn reindex(&mut self, q: usize) {
+        if self.index.q() != q {
+            self.index = Arc::new(PrefixIndex::build(&self.bytes, &self.sa, q));
+        }
     }
 
     /// The dictionary text.
@@ -148,17 +212,32 @@ impl Dictionary {
         &self.sa
     }
 
-    /// A longest-match view over the dictionary.
+    /// A longest-match view over the dictionary (un-indexed `Refine` from
+    /// the full interval — the correctness oracle; factorization uses
+    /// [`prefix_index`](Self::prefix_index) alongside it for the fast
+    /// path).
     #[inline]
     pub fn matcher(&self) -> Matcher<'_> {
         Matcher::new(&self.bytes, &self.sa)
     }
 
-    /// Serializes as raw bytes (the suffix array is rebuilt on load: it is
-    /// derived state, and rebuilding keeps the on-disk format trivial).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        self.bytes.clone()
+    /// The q-gram prefix-interval index, shared by all clones of this
+    /// dictionary.
+    #[inline]
+    pub fn prefix_index(&self) -> &PrefixIndex {
+        &self.index
     }
+
+    /// The q-gram length of the current prefix index.
+    #[inline]
+    pub fn index_q(&self) -> usize {
+        self.index.q()
+    }
+
+    // On-disk serialization is the raw dictionary text — use
+    // [`bytes`](Self::bytes) directly (the suffix array and prefix index
+    // are derived state, rebuilt on load; a former `to_bytes` method
+    // cloned the whole dictionary just to say the same thing).
 }
 
 #[cfg(test)]
@@ -221,6 +300,53 @@ mod tests {
         d.append_samples(b"entirely new content that keeps repeating itself", 64, 16);
         assert_eq!(&d.bytes()[..before.len()], &before[..]);
         assert!(d.len() > before.len());
+    }
+
+    #[test]
+    fn append_samples_many_equals_sequential_appends() {
+        let c = collection();
+        let mut one_by_one = Dictionary::sample(&c, 4_000, 500, SampleStrategy::Evenly);
+        let mut batched = one_by_one.clone();
+        let extra_a = b"first burst of new material first burst".to_vec();
+        let extra_b: Vec<u8> = (0..500u32)
+            .flat_map(|i| format!("late doc {i} ").into_bytes())
+            .collect();
+        one_by_one.append_samples(&extra_a, 64, 16);
+        one_by_one.append_samples(&extra_b, 128, 32);
+        batched.append_samples_many(&[(&extra_a, 64, 16), (&extra_b, 128, 32)]);
+        assert_eq!(one_by_one.bytes(), batched.bytes());
+        assert_eq!(one_by_one.suffix_array(), batched.suffix_array());
+        // Empty batch is a no-op, not a rebuild.
+        let before = batched.bytes().to_vec();
+        batched.append_samples_many(&[]);
+        assert_eq!(batched.bytes(), &before[..]);
+    }
+
+    #[test]
+    fn reindex_changes_q_and_preserves_matches() {
+        let c = collection();
+        let mut d = Dictionary::sample(&c, 3_000, 300, SampleStrategy::Evenly);
+        assert_eq!(d.index_q(), Dictionary::DEFAULT_INDEX_Q);
+        let (pos, len) = d
+            .matcher()
+            .longest_match_indexed(d.prefix_index(), b"content words");
+        for q in [1usize, 3, 2] {
+            d.reindex(q);
+            assert_eq!(d.index_q(), q);
+            assert_eq!(
+                d.matcher()
+                    .longest_match_indexed(d.prefix_index(), b"content words"),
+                (pos, len),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn clones_share_the_prefix_index() {
+        let d = Dictionary::from_bytes(b"shared index".to_vec());
+        let clone = d.clone();
+        assert!(std::ptr::eq(d.prefix_index(), clone.prefix_index()));
     }
 
     #[test]

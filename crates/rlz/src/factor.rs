@@ -62,7 +62,33 @@ impl Factor {
 /// Works on one document at a time: the paper stops factors at document
 /// boundaries so each document decodes independently, which is exactly what
 /// a per-document call achieves.
+///
+/// Longest-match queries go through the dictionary's q-gram
+/// [`PrefixIndex`](rlz_suffix::PrefixIndex), which skips the widest
+/// `Refine` binary searches of every factor; the parse is byte-identical
+/// to [`factorize_plain`], which keeps the paper's un-indexed search as
+/// the correctness oracle and benchmark ablation.
 pub fn factorize(dict: &Dictionary, text: &[u8], out: &mut Vec<Factor>) {
+    let matcher = dict.matcher();
+    let index = dict.prefix_index();
+    let mut i = 0usize;
+    while i < text.len() {
+        let (pos, len) = matcher.longest_match_indexed(index, &text[i..]);
+        if len == 0 {
+            out.push(Factor::literal(text[i]));
+            i += 1;
+        } else {
+            out.push(Factor::copy(pos, len));
+            i += len as usize;
+        }
+    }
+}
+
+/// [`factorize`] using the un-indexed matcher of the paper (`Refine` from
+/// the full suffix-array interval every factor). Produces the same parse;
+/// kept as the correctness oracle for the prefix index and as the baseline
+/// in the factorization-throughput benchmark.
+pub fn factorize_plain(dict: &Dictionary, text: &[u8], out: &mut Vec<Factor>) {
     let matcher = dict.matcher();
     let mut i = 0usize;
     while i < text.len() {
@@ -201,6 +227,32 @@ mod tests {
         let mut out = Vec::new();
         expand(d.bytes(), &factors, &mut out).unwrap();
         assert_eq!(out, b"abcdef");
+    }
+
+    #[test]
+    fn indexed_and_plain_parses_are_identical() {
+        // The zero-behavioral-diff guarantee: on every corpus shape — high
+        // redundancy, novel bytes, short docs — the indexed fast path must
+        // emit exactly the factors the paper's search emits.
+        let collection: Vec<u8> = (0..1500u32)
+            .flat_map(|i| {
+                format!("<page id={}>shared boilerplate {}</page>", i % 41, i % 7).into_bytes()
+            })
+            .collect();
+        for q in [1usize, 2, 3] {
+            let mut d = Dictionary::sample(&collection, 2048, 256, SampleStrategy::Evenly);
+            d.reindex(q);
+            let mut docs: Vec<&[u8]> = collection.chunks(333).collect();
+            docs.push(b"\x00\xffnovel bytes\x01");
+            docs.push(b"x");
+            for doc in &docs {
+                let mut fast = Vec::new();
+                let mut plain = Vec::new();
+                factorize(&d, doc, &mut fast);
+                factorize_plain(&d, doc, &mut plain);
+                assert_eq!(fast, plain, "q={q}");
+            }
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod stats;
 pub use coding::{Coder, PairCoding};
 pub use compressor::RlzCompressor;
 pub use dict::{Dictionary, SampleStrategy};
-pub use factor::{expand, factorize, factorize_to_vec, DecodeError, Factor};
+pub use factor::{expand, factorize, factorize_plain, factorize_to_vec, DecodeError, Factor};
 pub use prune::{prune_and_refill, PruneConfig};
 pub use stats::FactorStats;
 

@@ -63,6 +63,10 @@ impl DocStore for AsciiStore {
         self.map.num_docs()
     }
 
+    fn record_offset(&self, id: usize) -> Option<u64> {
+        self.map.extent(id).map(|(offset, _)| offset)
+    }
+
     fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
         let (offset, len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
         let start = out.len();

@@ -258,6 +258,22 @@ impl BlockedStore {
         })
     }
 
+    /// Decompressed bytes of block `b`, through the shared cache when one
+    /// is enabled.
+    fn load_block(&self, b: usize) -> Result<Arc<Vec<u8>>, StoreError> {
+        let Some(cache) = &self.cache else {
+            return Ok(Arc::new(self.decompress_block(self.blocks[b])?));
+        };
+        match cache.get(b) {
+            Some(hit) => Ok(hit),
+            None => {
+                let raw = Arc::new(self.decompress_block(self.blocks[b])?);
+                cache.insert(b, Arc::clone(&raw));
+                Ok(raw)
+            }
+        }
+    }
+
     fn slice_doc(
         raw: &[u8],
         entry: BlockEntry,
@@ -279,27 +295,54 @@ impl DocStore for BlockedStore {
         self.map.num_docs()
     }
 
+    fn record_offset(&self, id: usize) -> Option<u64> {
+        // Position of the *block* holding the document: ordering a batch by
+        // it both sweeps the payload forward and lands same-block ids next
+        // to each other.
+        self.map.extent(id)?;
+        Some(self.blocks[self.block_of_doc(id)].file_offset)
+    }
+
     fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
         let (doc_off, doc_len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
         let b = self.block_of_doc(id);
-        let entry = self.blocks[b];
-        match &self.cache {
-            Some(cache) => {
-                let raw = match cache.get(b) {
-                    Some(hit) => hit,
-                    None => {
-                        let raw = Arc::new(self.decompress_block(entry)?);
-                        cache.insert(b, Arc::clone(&raw));
-                        raw
-                    }
-                };
-                Self::slice_doc(&raw, entry, doc_off, doc_len, out)
-            }
-            None => {
-                let raw = self.decompress_block(entry)?;
-                Self::slice_doc(&raw, entry, doc_off, doc_len, out)
-            }
+        let raw = self.load_block(b)?;
+        Self::slice_doc(&raw, self.blocks[b], doc_off, doc_len, out)
+    }
+
+    /// Seek-coalesced multi-get: ids landing in the same block are grouped
+    /// so each block is read and decompressed **once** per batch, however
+    /// many documents it serves; groups are processed in file order across
+    /// the workers. Results come back in request order.
+    fn get_batch(&self, ids: &[u32], threads: usize) -> Result<Vec<Vec<u8>>, StoreError> {
+        if ids.is_empty() {
+            return Ok(Vec::new());
         }
+        // (request slot, block, doc offset, doc len); out-of-range ids fail
+        // the batch up front, before any I/O.
+        let mut reqs = Vec::with_capacity(ids.len());
+        for (slot, &id) in ids.iter().enumerate() {
+            let id = id as usize;
+            let (doc_off, doc_len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
+            reqs.push((slot, self.block_of_doc(id), doc_off, doc_len));
+        }
+        // Blocks are written to the payload in index order, so sorting by
+        // block index is sorting by file offset.
+        reqs.sort_by_key(|&(_, b, doc_off, _)| (b, doc_off));
+        let runs: Vec<&[(usize, usize, u64, usize)]> = reqs.chunk_by(|a, b| a.1 == b.1).collect();
+        let threads = threads.max(1).min(runs.len());
+        crate::scatter_chunks(ids.len(), &runs, threads, |run| {
+            let b = run[0].1;
+            let entry = self.blocks[b];
+            let raw = self.load_block(b)?;
+            run.iter()
+                .map(|&(slot, _, doc_off, doc_len)| {
+                    let mut out = Vec::with_capacity(doc_len);
+                    Self::slice_doc(&raw, entry, doc_off, doc_len, &mut out)?;
+                    Ok((slot, out))
+                })
+                .collect()
+        })
     }
 }
 

@@ -28,7 +28,13 @@
 //! * stores are `Clone`, and clones are cheap handles sharing the
 //!   dictionary, document map and backend via `Arc` — hand one to each
 //!   worker thread, or just share a reference;
-//! * [`DocStore::get_batch`] serves a batch of requests on N threads;
+//! * [`DocStore::get_batch`] serves a batch of requests on N threads,
+//!   seek-aware: requests are ordered by on-disk offset
+//!   ([`DocStore::record_offset`]) so workers sweep the payload forward,
+//!   and [`BlockedStore`] coalesces same-block ids so one decompression
+//!   serves every document in the block (results return in request
+//!   order; [`get_batch_unordered`] keeps the naive fan-out as the
+//!   benchmark ablation);
 //! * [`BlockedStore`]'s optional block cache is a thread-safe sharded LRU
 //!   ([`ShardedLru`]) shared by all clones of the store.
 //!
@@ -157,17 +163,61 @@ pub trait DocStore: Send + Sync {
         Ok(out)
     }
 
-    /// Fetches every document in `ids` (in order) using up to `threads`
-    /// worker threads sharing this store. The default implementation
-    /// partitions the batch over scoped threads; `threads <= 1` degrades to
-    /// a plain sequential loop.
+    /// Byte offset of document `id`'s record within the store's payload,
+    /// when the store keeps one (used by [`DocStore::get_batch`] to order
+    /// batched reads by on-disk position). `None` for out-of-range ids or
+    /// stores without a meaningful payload offset.
+    fn record_offset(&self, id: usize) -> Option<u64> {
+        let _ = id;
+        None
+    }
+
+    /// Fetches every document in `ids`, **in request order**, using up to
+    /// `threads` worker threads sharing this store.
+    ///
+    /// The default implementation is seek-aware ([`get_batch_ordered`]):
+    /// requests are sorted by [`record_offset`](DocStore::record_offset) so
+    /// each worker sweeps forward through a contiguous region of the
+    /// payload instead of seeking randomly — the win is largest on cold
+    /// file-backed stores. Results are scattered back into request order,
+    /// duplicates served independently, and any out-of-range id fails the
+    /// whole batch. [`BlockedStore`] overrides this to additionally
+    /// coalesce ids sharing a block, so one decompression serves every
+    /// document in the block.
     fn get_batch(&self, ids: &[u32], threads: usize) -> Result<Vec<Vec<u8>>, StoreError> {
-        get_batch_parallel(self, ids, threads)
+        get_batch_ordered(self, ids, threads)
     }
 }
 
-/// Shared implementation behind [`DocStore::get_batch`].
-fn get_batch_parallel<S: DocStore + ?Sized>(
+/// Seek-aware multi-get: orders requests by payload offset, fans contiguous
+/// runs out to `threads` workers, and scatters results back into request
+/// order. This is the default [`DocStore::get_batch`].
+pub fn get_batch_ordered<S: DocStore + ?Sized>(
+    store: &S,
+    ids: &[u32],
+    threads: usize,
+) -> Result<Vec<Vec<u8>>, StoreError> {
+    if ids.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut order: Vec<(usize, u32)> = ids.iter().copied().enumerate().collect();
+    // Stable sort by on-disk position; `None` (offset-less or out-of-range
+    // ids — the latter error inside get) sorts first, which is harmless.
+    order.sort_by_cached_key(|&(_, id)| store.record_offset(id as usize));
+    let threads = threads.max(1).min(ids.len());
+    let chunk = order.len().div_ceil(threads);
+    let tasks: Vec<&[(usize, u32)]> = order.chunks(chunk).collect();
+    scatter_chunks(ids.len(), &tasks, threads, |part| {
+        part.iter()
+            .map(|&(slot, id)| Ok((slot, store.get(id as usize)?)))
+            .collect()
+    })
+}
+
+/// Request-order multi-get without seek awareness: every worker pulls the
+/// next id from a shared counter, whatever its disk position. Kept as the
+/// ablation baseline for the batch-retrieval benchmark (`--bin batch`).
+pub fn get_batch_unordered<S: DocStore + ?Sized>(
     store: &S,
     ids: &[u32],
     threads: usize,
@@ -179,6 +229,63 @@ fn get_batch_parallel<S: DocStore + ?Sized>(
     parallel_map(ids, threads, |&id| store.get(id as usize))
         .into_iter()
         .collect()
+}
+
+/// Runs `tasks` on up to `threads` scoped workers; each task yields
+/// `(slot, value)` pairs that are scattered into a `n_out`-slot result
+/// vector. Every slot must be filled exactly once across all tasks. The
+/// first task error fails the whole call.
+pub(crate) fn scatter_chunks<T: Sync, R: Send>(
+    n_out: usize,
+    tasks: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> Result<Vec<(usize, R)>, StoreError> + Sync,
+) -> Result<Vec<R>, StoreError> {
+    let threads = threads.max(1).min(tasks.len().max(1));
+    let mut slots: Vec<Option<R>> = (0..n_out).map(|_| None).collect();
+    let fill = |slots: &mut Vec<Option<R>>, pairs: Vec<(usize, R)>| {
+        for (slot, r) in pairs {
+            debug_assert!(slots[slot].is_none(), "slot {slot} filled twice");
+            slots[slot] = Some(r);
+        }
+    };
+    if threads <= 1 {
+        for t in tasks {
+            let pairs = f(t)?;
+            fill(&mut slots, pairs);
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let f = &f;
+        let next = &next;
+        let results: Vec<Result<Vec<(usize, R)>, StoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut acc = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(t) = tasks.get(i) else { break };
+                            acc.append(&mut f(t)?);
+                        }
+                        Ok(acc)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        for r in results {
+            let pairs = r?;
+            fill(&mut slots, pairs);
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled by exactly one task"))
+        .collect())
 }
 
 /// Maps `f` over `items` using `threads` OS threads, preserving order.

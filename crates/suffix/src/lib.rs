@@ -12,6 +12,15 @@
 //!   successive binary searches that narrow a suffix-array interval while a
 //!   pattern is extended one character at a time, yielding the longest match
 //!   of a pattern prefix anywhere in the indexed text.
+//! * [`PrefixIndex`] — a q-gram prefix-interval table (default `q = 2`)
+//!   that maps the first `q` bytes of a pattern straight to its suffix-array
+//!   interval, so [`Matcher::longest_match_indexed`] skips the `q` widest
+//!   `Refine` binary searches — the dominant cost of RLZ factorization. The
+//!   table holds `O(σ^q)` interval entries (8 bytes each): 2 KiB at `q = 1`,
+//!   512 KiB at `q = 2`, 128 MiB at `q = 3`, independent of the text size.
+//!   A 256-entry first-byte table covers patterns shorter than `q` and
+//!   leading q-grams absent from the text. Results are byte-identical to
+//!   the un-indexed matcher.
 //! * [`lcp`] — longest-common-prefix arrays (Kasai's algorithm), used by the
 //!   dictionary-usage statistics and by tests.
 //! * [`naive`] — an obviously-correct `O(n² log n)` reference construction,
@@ -39,9 +48,11 @@
 pub mod lcp;
 mod matcher;
 pub mod naive;
+mod prefix;
 mod sais;
 
 pub use matcher::Matcher;
+pub use prefix::{PrefixIndex, MAX_Q};
 
 /// A suffix array over a byte string.
 ///

@@ -7,7 +7,7 @@
 //! `[lb, rb]` of suffixes that match the pattern read so far and narrowing it
 //! with two binary searches per added character — `O(len · log m)` per query.
 
-use crate::SuffixArray;
+use crate::{PrefixIndex, SuffixArray};
 
 /// A borrowing view that answers longest-match queries over `text` using its
 /// suffix array.
@@ -174,14 +174,50 @@ impl<'a> Matcher<'a> {
         self.longest_match_impl(pattern, true)
     }
 
+    /// [`Matcher::longest_match`] fast-pathed through a [`PrefixIndex`]:
+    /// the index hands back the interval `Refine` would reach after its
+    /// first `q` steps, so the widest binary searches are skipped entirely.
+    ///
+    /// Produces byte-identical results to [`Matcher::longest_match`] — the
+    /// index interval is exactly the one the refine loop computes, so both
+    /// the match position and length agree (the property the RLZ store
+    /// relies on: indexed and plain builds emit identical factorizations).
+    ///
+    /// `index` must have been built over this matcher's text.
+    pub fn longest_match_indexed(&self, index: &PrefixIndex, pattern: &[u8]) -> (u32, u32) {
+        debug_assert_eq!(
+            index.text_len(),
+            self.text.len(),
+            "prefix index built over a different text"
+        );
+        if self.sa.is_empty() || pattern.is_empty() {
+            return (0, 0);
+        }
+        match index.lookup(pattern) {
+            Some((lb, rb, depth)) => self.longest_match_from(pattern, lb, rb, depth, false),
+            None => (0, 0),
+        }
+    }
+
     #[inline]
     fn longest_match_impl(&self, pattern: &[u8], gallop: bool) -> (u32, u32) {
         if self.sa.is_empty() || pattern.is_empty() {
             return (0, 0);
         }
-        let mut lb = 0usize;
-        let mut rb = self.sa.len() - 1;
-        let mut depth = 0usize;
+        self.longest_match_from(pattern, 0, self.sa.len() - 1, 0, gallop)
+    }
+
+    /// The refine loop, resumable from any valid state: every suffix in
+    /// `[lb, rb]` must already match `pattern[..depth]`.
+    #[inline]
+    fn longest_match_from(
+        &self,
+        pattern: &[u8],
+        mut lb: usize,
+        mut rb: usize,
+        mut depth: usize,
+        gallop: bool,
+    ) -> (u32, u32) {
         while depth < pattern.len() {
             if lb == rb {
                 // Single candidate left: extend by direct comparison, the
@@ -337,6 +373,49 @@ mod tests {
                     &text[gpos as usize..gpos as usize + glen as usize],
                     &p[..glen as usize]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_matches_plain_on_all_paths() {
+        // Covers: jump to depth q, fallback to depth 1 (absent q-gram),
+        // singleton short-circuit, absent first byte, pattern shorter
+        // than q, and match running to end of text.
+        let texts: &[&[u8]] = &[
+            b"cabbaabba",
+            b"abracadabra arbor cadaver abracadabra",
+            b"aaaaaaa",
+            b"x",
+            b"",
+        ];
+        let patterns: &[&[u8]] = &[
+            b"bbaancabb",
+            b"abra",
+            b"a",
+            b"b",
+            b"zz",
+            b"az",
+            b"aaaaaaaaaa",
+            b"cadaver!",
+            b"",
+            b"ra arb",
+        ];
+        for text in texts {
+            let sa = SuffixArray::build(text);
+            let m = Matcher::new(text, &sa);
+            for q in 1..=3usize {
+                let idx = PrefixIndex::build(text, &sa, q);
+                for p in patterns {
+                    assert_eq!(
+                        m.longest_match_indexed(&idx, p),
+                        m.longest_match(p),
+                        "text {:?} pattern {:?} q {}",
+                        text,
+                        p,
+                        q
+                    );
+                }
             }
         }
     }

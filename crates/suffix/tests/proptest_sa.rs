@@ -2,7 +2,7 @@
 //! finds true longest matches.
 
 use proptest::prelude::*;
-use rlz_suffix::{naive, Matcher, SuffixArray};
+use rlz_suffix::{naive, Matcher, PrefixIndex, SuffixArray};
 
 fn brute_longest(text: &[u8], pattern: &[u8]) -> u32 {
     (0..text.len())
@@ -63,6 +63,35 @@ proptest! {
                 &text[gpos as usize..gpos as usize + glen as usize],
                 &pattern[..glen as usize]
             );
+        }
+    }
+
+    #[test]
+    fn indexed_longest_match_agrees_with_plain_and_brute(
+        text in proptest::collection::vec(0u8..6, 0..200),
+        // Full byte range so patterns regularly contain bytes absent from
+        // the text, and lengths 0..4 so patterns shorter than q occur for
+        // every q.
+        pattern in proptest::collection::vec(any::<u8>(), 0..64),
+        short in proptest::collection::vec(0u8..6, 0..4),
+        q in 1usize..=3,
+    ) {
+        let sa = SuffixArray::build(&text);
+        let m = Matcher::new(&text, &sa);
+        let idx = PrefixIndex::build(&text, &sa, q);
+        for p in [&pattern, &short] {
+            let (pos, len) = m.longest_match_indexed(&idx, p);
+            // Byte-identical to the un-indexed matcher: same position,
+            // same length (the factorization-equality guarantee).
+            prop_assert_eq!((pos, len), m.longest_match(p), "q={} pattern={:?}", q, p);
+            // And truly maximal per the brute-force oracle.
+            prop_assert_eq!(len, brute_longest(&text, p));
+            if len > 0 {
+                prop_assert_eq!(
+                    &text[pos as usize..pos as usize + len as usize],
+                    &p[..len as usize]
+                );
+            }
         }
     }
 

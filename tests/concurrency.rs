@@ -176,3 +176,107 @@ fn get_batch_round_trips_across_store_families() {
         }
     }
 }
+
+/// Builds one store of each family over the shared crawl and runs `check`
+/// on it (file-backed variants; the seek-aware batch path is aimed at
+/// exactly these).
+fn for_each_store_family(check: impl Fn(&str, &dyn DocStore)) {
+    let c = crawl();
+    let docs: Vec<&[u8]> = c.iter_docs().collect();
+
+    let ascii_dir = TempDir::new("fam-ascii");
+    AsciiStore::build(ascii_dir.path(), docs.iter().copied()).unwrap();
+    check("ascii", &AsciiStore::open(ascii_dir.path()).unwrap());
+
+    let zl_dir = TempDir::new("fam-zl");
+    BlockedStore::build(
+        zl_dir.path(),
+        docs.iter().copied(),
+        BlockCodec::Zlite(rlz_repro::zlite::Level::Fast),
+        16 * 1024,
+        THREADS,
+    )
+    .unwrap();
+    check("blocked", &BlockedStore::open(zl_dir.path()).unwrap());
+    let mut cached = BlockedStore::open(zl_dir.path()).unwrap();
+    cached.set_block_cache_capacity(4);
+    check("blocked+cache", &cached);
+
+    let rlz_dir = TempDir::new("fam-rlz");
+    let dict = Dictionary::sample(&c.data, c.data.len() / 100, 1024, SampleStrategy::Evenly);
+    RlzStoreBuilder::new(dict, PairCoding::UV)
+        .threads(THREADS)
+        .build(rlz_dir.path(), &docs)
+        .unwrap();
+    check("rlz", &RlzStore::open(rlz_dir.path()).unwrap());
+}
+
+/// Seek-ordered + coalesced batches must be byte-identical to sequential
+/// gets — in request order — including heavy duplication and ids that hit
+/// every corner of the block layout.
+#[test]
+fn get_batch_ordering_and_coalescing_match_sequential_gets() {
+    let c = crawl();
+    let n = c.num_docs();
+    // Shuffled-ish ids with duplicates: reversed stride walk interleaved
+    // with a hot id repeated throughout, plus boundary ids.
+    let mut ids: Vec<u32> = Vec::new();
+    for i in 0..(2 * n) {
+        ids.push(((i * 7919) % n) as u32);
+        if i % 3 == 0 {
+            ids.push((n / 2) as u32); // duplicate hot document
+        }
+    }
+    ids.push(0);
+    ids.push((n - 1) as u32);
+
+    for_each_store_family(|family, store| {
+        let sequential: Vec<Vec<u8>> = ids
+            .iter()
+            .map(|&id| store.get(id as usize).unwrap())
+            .collect();
+        for threads in [1, 2, THREADS] {
+            let batch = store.get_batch(&ids, threads).unwrap();
+            assert_eq!(batch, sequential, "{family} at {threads} threads");
+            let unordered = rlz_repro::store::get_batch_unordered(store, &ids, threads).unwrap();
+            assert_eq!(
+                unordered, sequential,
+                "{family} unordered at {threads} threads"
+            );
+        }
+    });
+}
+
+/// An out-of-range id anywhere in a batch fails the whole batch on every
+/// store family and at every thread count.
+#[test]
+fn get_batch_rejects_out_of_range_ids() {
+    let c = crawl();
+    let n = c.num_docs() as u32;
+    for_each_store_family(|family, store| {
+        for threads in [1, THREADS] {
+            for bad_ids in [
+                vec![n],                 // lone out-of-range
+                vec![0, 1, n, 2],        // mid-batch
+                vec![n + 1000, 0],       // far out of range, first
+                vec![0, 1, 2, u32::MAX], // extreme id
+            ] {
+                assert!(
+                    store.get_batch(&bad_ids, threads).is_err(),
+                    "{family} accepted {bad_ids:?} at {threads} threads"
+                );
+            }
+        }
+    });
+}
+
+/// Empty batches are valid and return nothing.
+#[test]
+fn get_batch_empty_is_ok() {
+    for_each_store_family(|family, store| {
+        assert!(
+            store.get_batch(&[], THREADS).unwrap().is_empty(),
+            "{family}"
+        );
+    });
+}
