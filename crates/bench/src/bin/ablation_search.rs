@@ -1,7 +1,10 @@
-//! Ablation: the paper's binary-search Refine vs a galloping variant, as
-//! factorization (compression-side) throughput.
+//! Ablation: the paper's binary-search Refine vs a galloping variant (and
+//! the q-gram indexed fast path), as factorization (compression-side)
+//! throughput — plus the decode-side ablation, fused zero-allocation
+//! pipeline vs the two-step oracle, so both hot-path speedups stay
+//! recorded side by side.
 use rlz_bench::{gov2_collection, ScaledConfig};
-use rlz_core::{Dictionary, SampleStrategy};
+use rlz_core::{Dictionary, PairCoding, SampleStrategy};
 use rlz_suffix::Matcher;
 use std::time::Instant;
 
@@ -57,6 +60,49 @@ fn main() {
                 label,
                 rate,
                 factors
+            );
+        }
+    }
+
+    // Decode-side ablation (PR 3): the fused zero-allocation pipeline vs
+    // the two-step decode_document + expand oracle, on the paper's fastest
+    // (UV) and densest (ZZ) codings.
+    println!("\nAblation — decode pipeline, retrieval-side throughput\n");
+    println!(
+        "{:>10} {:>8} {:>12} {:>14} {:>9}",
+        "dict", "coding", "pipeline", "MiB/s", "speedup"
+    );
+    let dict_size = cfg.dict_sizes()[1];
+    let dict = Dictionary::sample(&c.data, dict_size, cfg.sample_len, SampleStrategy::Evenly);
+    for coding in [PairCoding::UV, PairCoding::ZZ] {
+        let encoded: Vec<Vec<u8>> = c
+            .iter_docs()
+            .map(|doc| {
+                rlz_core::coding::encode_document(&rlz_core::factorize_to_vec(&dict, doc), coding)
+            })
+            .collect();
+        let mut two_step_rate = 0.0f64;
+        for fused in [false, true] {
+            let m = rlz_bench::tables::decode_rate(
+                &encoded,
+                coding,
+                dict.bytes(),
+                fused,
+                std::time::Duration::from_secs(2),
+            );
+            let speedup = if fused {
+                format!("{:.2}x", m.mb_per_s / two_step_rate)
+            } else {
+                two_step_rate = m.mb_per_s;
+                "1.00x".to_string()
+            };
+            println!(
+                "{:>10} {:>8} {:>12} {:>14.1} {:>9}",
+                format!("{:.2}MiB", dict_size as f64 / (1 << 20) as f64),
+                coding.name(),
+                if fused { "fused" } else { "two-step" },
+                m.mb_per_s,
+                speedup
             );
         }
     }

@@ -1,0 +1,23 @@
+//! Read-path throughput benchmark: factor decode + expansion docs/s and
+//! MiB/s for every paper pair coding, fused zero-allocation pipeline vs the
+//! two-step `decode_document` + `expand` oracle. Writes the
+//! machine-readable `BENCH_decode.json` artifact.
+//!
+//! `cargo run --release -p rlz-bench --bin decode [-- --size-mb N]`
+
+use rlz_bench::{gov2_collection, ScaledConfig};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let gov2 = gov2_collection(&cfg);
+    let report = rlz_bench::tables::decode_table(
+        "Decode throughput — fused zero-allocation pipeline vs two-step oracle",
+        &gov2,
+        &cfg,
+    );
+    report
+        .write(Path::new("BENCH_decode.json"))
+        .expect("write BENCH_decode.json");
+}

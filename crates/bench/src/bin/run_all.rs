@@ -74,4 +74,11 @@ fn main() {
     )
     .write(std::path::Path::new("BENCH_batch.json"))
     .expect("write BENCH_batch.json");
+    rlz_bench::tables::decode_table(
+        "Decode throughput — fused zero-allocation pipeline vs two-step oracle (extension)",
+        &gov2,
+        &cfg,
+    )
+    .write(std::path::Path::new("BENCH_decode.json"))
+    .expect("write BENCH_decode.json");
 }

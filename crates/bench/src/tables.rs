@@ -618,6 +618,164 @@ fn batch_rate(
     }
 }
 
+/// Decode-throughput table (read path; extension beyond the paper):
+/// docs/second and MiB/second of factor decoding + expansion for every
+/// paper pair coding, comparing the two-step oracle
+/// (`decode_document` + `expand`, allocating per document) against the
+/// fused zero-allocation pipeline (`decode_and_expand_scratch` with one
+/// reused [`rlz_core::DecodeScratch`]). Verifies byte-identical output on
+/// a corpus sample before timing anything.
+///
+/// Returns the machine-readable report (`BENCH_decode.json`).
+pub fn decode_table(
+    title: &str,
+    collection: &Collection,
+    cfg: &ScaledConfig,
+) -> crate::report::Report {
+    println!("{title}");
+    let dict_size = cfg.dict_sizes()[1];
+    println!(
+        "(single-threaded; {} MiB corpus, dict {}; 'two-step' = decode_document \
+         + expand oracle, 'fused' = zero-allocation decode_and_expand_scratch)\n",
+        collection.total_bytes() >> 20,
+        dict_label(dict_size),
+    );
+    let widths = [8usize, 10, 12, 10, 9];
+    print_row(
+        &[
+            "Pos-Len".into(),
+            "Pipeline".into(),
+            "docs/s".into(),
+            "MiB/s".into(),
+            "speedup".into(),
+        ],
+        &widths,
+    );
+    let mut report = crate::report::Report::new("decode");
+    let dict = Dictionary::sample(
+        &collection.data,
+        dict_size,
+        cfg.sample_len,
+        SampleStrategy::Evenly,
+    );
+    // Factorize once; each coding re-codes the same parse.
+    let parses: Vec<Vec<rlz_core::Factor>> = collection
+        .iter_docs()
+        .map(|doc| rlz_core::factorize_to_vec(&dict, doc))
+        .collect();
+    for coding in PairCoding::PAPER_SET {
+        let encoded: Vec<Vec<u8>> = parses
+            .iter()
+            .map(|f| rlz_core::coding::encode_document(f, coding))
+            .collect();
+        // Byte-identical check on a corpus sample before any timing.
+        let mut scratch = rlz_core::DecodeScratch::new();
+        for enc in encoded.iter().step_by((encoded.len() / 32).max(1)) {
+            let mut fused = Vec::new();
+            rlz_core::decode_and_expand_scratch(
+                enc,
+                coding,
+                dict.bytes(),
+                &mut fused,
+                &mut scratch,
+            )
+            .unwrap();
+            let factors = rlz_core::coding::decode_document(enc, coding).unwrap();
+            let mut oracle = Vec::new();
+            rlz_core::expand(dict.bytes(), &factors, &mut oracle).unwrap();
+            assert_eq!(fused, oracle, "fused decode diverged from the oracle");
+        }
+        let mut two_step_rate = 0.0f64;
+        for (pipeline, fused) in [("two-step", false), ("fused", true)] {
+            let m = decode_rate(&encoded, coding, dict.bytes(), fused, MEASURE_BUDGET);
+            let speedup = if fused {
+                format!("{:.2}x", m.docs_per_s / two_step_rate)
+            } else {
+                two_step_rate = m.docs_per_s;
+                "1.00x".to_string()
+            };
+            print_row(
+                &[
+                    coding.name(),
+                    pipeline.into(),
+                    format!("{:.0}", m.docs_per_s),
+                    format!("{:.1}", m.mb_per_s),
+                    speedup,
+                ],
+                &widths,
+            );
+            report.push(
+                crate::report::Row::new()
+                    .str("corpus", "gov2-like")
+                    .int("corpus_bytes", collection.total_bytes() as u64)
+                    .int("dict_bytes", dict_size as u64)
+                    .str("coding", &coding.name())
+                    .str("pipeline", pipeline)
+                    .num("docs_per_s", m.docs_per_s)
+                    .num("mb_per_s", m.mb_per_s),
+            );
+        }
+    }
+    println!();
+    report
+}
+
+/// Decode throughput of one timed sweep (see [`decode_rate`]).
+pub struct DecodeRate {
+    /// Documents decoded per second.
+    pub docs_per_s: f64,
+    /// Expanded output MiB per second.
+    pub mb_per_s: f64,
+}
+
+/// Timed decode sweep over pre-encoded records (cycling until `budget`
+/// elapses). `fused == false` runs the two-step oracle with its per-doc
+/// allocations, exactly as `RlzStore::get_into` did before the fused
+/// pipeline existed. Shared by [`decode_table`] and the `ablation_search`
+/// binary so both report the same measurement.
+pub fn decode_rate(
+    encoded: &[Vec<u8>],
+    coding: PairCoding,
+    dict_bytes: &[u8],
+    fused: bool,
+    budget: Duration,
+) -> DecodeRate {
+    let mut out = Vec::new();
+    let mut scratch = rlz_core::DecodeScratch::new();
+    let t = std::time::Instant::now();
+    let mut bytes = 0u64;
+    let mut served = 0u64;
+    'timed: while !encoded.is_empty() {
+        for enc in encoded {
+            out.clear();
+            if fused {
+                rlz_core::decode_and_expand_scratch(
+                    enc,
+                    coding,
+                    dict_bytes,
+                    &mut out,
+                    &mut scratch,
+                )
+                .expect("decode failed during benchmark");
+            } else {
+                let factors =
+                    rlz_core::coding::decode_document(enc, coding).expect("decode failed");
+                rlz_core::expand(dict_bytes, &factors, &mut out).expect("expand failed");
+            }
+            bytes += out.len() as u64;
+            served += 1;
+            if served.is_multiple_of(64) && t.elapsed() >= budget {
+                break 'timed;
+            }
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    DecodeRate {
+        docs_per_s: served as f64 / secs,
+        mb_per_s: bytes as f64 / (1 << 20) as f64 / secs,
+    }
+}
+
 /// Table 10: ZZ encoding % with dictionaries built from collection prefixes
 /// (100 % down to 1 %), the dynamic-update simulation of §3.6.
 pub fn table10(collection: &Collection, cfg: &ScaledConfig) {

@@ -79,7 +79,10 @@ impl IntCodec for EliasGamma {
 
     fn decode(&self, data: &[u8], n: usize, out: &mut Vec<u32>) -> Result<usize> {
         let mut r = BitReader::new(data);
-        out.reserve(n);
+        // A γ code is ≥ 1 bit, so `data` can hold at most 8 values per
+        // byte: capping the reservation keeps a corrupt count from driving
+        // a huge allocation before the EOF check fires.
+        out.reserve(n.min(data.len().saturating_mul(8)));
         for _ in 0..n {
             let v = gamma_read(&mut r)?;
             let v = v
@@ -107,7 +110,8 @@ impl IntCodec for EliasDelta {
 
     fn decode(&self, data: &[u8], n: usize, out: &mut Vec<u32>) -> Result<usize> {
         let mut r = BitReader::new(data);
-        out.reserve(n);
+        // A δ code is ≥ 1 bit; same corrupt-count reservation cap as γ.
+        out.reserve(n.min(data.len().saturating_mul(8)));
         for _ in 0..n {
             let v = delta_read(&mut r)?;
             let v = v

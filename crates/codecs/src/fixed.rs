@@ -26,10 +26,13 @@ impl IntCodec for FixedU32 {
         let Some(bytes) = data.get(..need) else {
             return Err(CodecError::UnexpectedEof);
         };
-        out.reserve(n);
-        for chunk in bytes.chunks_exact(4) {
-            out.push(u32::from_le_bytes(chunk.try_into().expect("chunk of 4")));
-        }
+        // Bulk extend from an exact-size iterator: one capacity check for
+        // the whole stream instead of one per value.
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|chunk| u32::from_le_bytes(chunk.try_into().expect("chunk of 4"))),
+        );
         Ok(need)
     }
 

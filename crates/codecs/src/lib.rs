@@ -81,9 +81,28 @@ pub trait IntCodec: fmt::Debug + Send + Sync {
 
     /// Convenience wrapper decoding `n` values into a fresh vector.
     fn decode_to_vec(&self, data: &[u8], n: usize) -> Result<Vec<u32>> {
-        let mut out = Vec::with_capacity(n);
+        // Cap the speculative reservation so a corrupt header cannot force
+        // a huge allocation before the first bounds check fires.
+        let mut out = Vec::with_capacity(n.min(data.len().saturating_mul(8).max(64)));
         self.decode(data, n, &mut out)?;
         Ok(out)
+    }
+
+    /// Decodes exactly `n` values from `data` into `out`, **replacing** its
+    /// contents while reusing its capacity; returns the number of input
+    /// bytes consumed.
+    ///
+    /// This is the retrieval hot-path entry point: a caller that keeps one
+    /// `Vec<u32>` per stream performs zero heap allocations once the buffer
+    /// has grown to the working-set size. All codecs in this crate decode
+    /// by appending to the caller's buffer, so the default implementation
+    /// (clear, then [`decode`](IntCodec::decode)) is already
+    /// allocation-free; codecs with a dedicated fast path (e.g. [`vbyte`]'s
+    /// word-at-a-time loop) get it through their `decode` body. On error
+    /// `out` may hold a partially decoded prefix.
+    fn decode_into(&self, data: &[u8], n: usize, out: &mut Vec<u32>) -> Result<usize> {
+        out.clear();
+        self.decode(data, n, out)
     }
 }
 

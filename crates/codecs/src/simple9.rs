@@ -72,7 +72,9 @@ impl IntCodec for Simple9 {
     fn decode(&self, data: &[u8], n: usize, out: &mut Vec<u32>) -> Result<usize> {
         let mut pos = 0usize;
         let mut produced = 0usize;
-        out.reserve(n);
+        // One 4-byte word yields at most 28 values: capping the reservation
+        // keeps a corrupt count from driving a huge allocation up front.
+        out.reserve(n.min(data.len().saturating_mul(7)));
         while produced < n {
             let Some(word_bytes) = data.get(pos..pos + 4) else {
                 return Err(CodecError::UnexpectedEof);

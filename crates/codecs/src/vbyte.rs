@@ -115,8 +115,31 @@ impl IntCodec for VByte {
 
     fn decode(&self, data: &[u8], n: usize, out: &mut Vec<u32>) -> Result<usize> {
         let mut pos = 0usize;
-        out.reserve(n);
-        for _ in 0..n {
+        out.reserve(n.min(data.len()));
+        let mut remaining = n;
+        // Word-at-a-time fast path: RLZ factor lengths are mostly < 128
+        // (Fig. 3), so long runs of single-byte codes dominate. Load 8
+        // input bytes at once; if no continuation bit is set they are 8
+        // complete values. A word containing a continuation bit falls back
+        // to the scalar reader for one value, then retries the fast path.
+        const MSB: u64 = 0x8080_8080_8080_8080;
+        while remaining >= 8 {
+            match data.get(pos..pos + 8) {
+                Some(chunk) => {
+                    let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+                    if word & MSB == 0 {
+                        out.extend((0..8).map(|i| ((word >> (8 * i)) & 0x7F) as u32));
+                        pos += 8;
+                        remaining -= 8;
+                        continue;
+                    }
+                }
+                None => break,
+            }
+            out.push(read_u32(data, &mut pos)?);
+            remaining -= 1;
+        }
+        for _ in 0..remaining {
             out.push(read_u32(data, &mut pos)?);
         }
         Ok(pos)
@@ -189,6 +212,25 @@ mod tests {
             let mut pos = 0;
             assert_eq!(read_u64(&out, &mut pos).unwrap(), v);
             assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn word_fast_path_matches_scalar_decoding() {
+        use crate::IntCodec;
+        // Mix runs of single-byte values (fast path) with multi-byte values
+        // (scalar fallback) at every alignment relative to the 8-byte word.
+        for lead in 0..9usize {
+            let mut values: Vec<u32> = (0..lead as u32).collect();
+            values.push(1 << 20); // 3-byte code breaks the word
+            values.extend(0..23u32); // long single-byte tail
+            values.push(u32::MAX);
+            values.extend(100..105u32); // short tail below 8 values
+            let enc = VByte.encode_to_vec(&values);
+            let mut out = vec![99u32; 4]; // stale contents must be replaced
+            let used = VByte.decode_into(&enc, values.len(), &mut out).unwrap();
+            assert_eq!(used, enc.len(), "lead {lead}");
+            assert_eq!(out, values, "lead {lead}");
         }
     }
 

@@ -26,6 +26,26 @@ proptest! {
     }
 
     #[test]
+    fn decode_into_agrees_with_decode_to_vec(
+        values in proptest::collection::vec(any::<u32>(), 0..400),
+        stale in proptest::collection::vec(any::<u32>(), 0..64),
+    ) {
+        // The buffer-reusing hot path must fully replace whatever the
+        // buffer held and produce exactly what the allocating wrapper
+        // produces, for every codec (including vbyte's word-at-a-time
+        // fast path, which `stale`-sized prefixes shift around).
+        for codec in all_codecs() {
+            let enc = codec.encode_to_vec(&values);
+            let fresh = codec.decode_to_vec(&enc, values.len());
+            let mut reused = stale.clone();
+            let into = codec.decode_into(&enc, values.len(), &mut reused);
+            prop_assert_eq!(fresh.as_ref().ok(), Some(&values), "codec {}", codec.name());
+            prop_assert_eq!(into.ok(), Some(enc.len()), "codec {}", codec.name());
+            prop_assert_eq!(&reused, &values, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
     fn codecs_never_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..200), n in 0usize..300) {
         for codec in all_codecs() {
             let _ = codec.decode_to_vec(&data, n);

@@ -168,11 +168,22 @@ pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
 
 /// Decompresses a buffer produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
+    let mut out = Vec::new();
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a buffer produced by [`compress`] into `out`, **replacing**
+/// its contents while reusing its capacity (the hot-path variant for
+/// callers that inflate many blocks in a loop). On error `out` may hold a
+/// partial prefix.
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), Error> {
+    out.clear();
     let mut pos = 0usize;
     let raw_len = read_vbyte_u64(data, &mut pos).ok_or(Error::BadHeader)? as usize;
-    let mut out: Vec<u8> = Vec::with_capacity(raw_len.min(1 << 20));
+    out.reserve(raw_len.min(1 << 20));
     if raw_len == 0 {
-        return Ok(out);
+        return Ok(());
     }
     let mut rc = RangeDecoder::new(&data[pos..]);
     let mut model = Model::new();
@@ -207,7 +218,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
         }
         state = next_state(state, true);
     }
-    Ok(out)
+    Ok(())
 }
 
 fn write_vbyte_u64(mut v: u64, out: &mut Vec<u8>) {

@@ -16,9 +16,39 @@
 //!
 //! Wire format per document:
 //! `vbyte(n_factors) · vbyte(|pos|) · pos bytes · vbyte(|len|) · len bytes`.
+//!
+//! # The fused decode pipeline
+//!
+//! Retrieval speed is the paper's headline claim (Tables 5 and 8): a
+//! document get is one map lookup, one positioned read, and a factor decode
+//! against the resident dictionary. Two decode paths serve that claim:
+//!
+//! * **Two-step oracle** — [`decode_document`] materialises a
+//!   `Vec<Factor>`, then [`crate::factor::expand`] copies each factor with
+//!   per-factor bounds checks. Simple, allocating, kept as the correctness
+//!   baseline and benchmark ablation.
+//! * **Fused** — [`decode_and_expand_scratch`] decodes both integer
+//!   streams into a caller-owned [`DecodeScratch`] (two `u32` buffers plus
+//!   one inflate buffer for the `Z` coders), validates every factor extent
+//!   against the dictionary in a single pre-pass that also sums the
+//!   expanded length, reserves `out` once, and then runs a
+//!   branch-minimized copy loop: factors of ≤ 16 bytes (the overwhelming
+//!   majority per Figure 3) take a fixed-width 16-byte copy that the
+//!   compiler lowers to two unconditional vector moves, longer factors a
+//!   plain `memcpy`. A caller that reuses its scratch — the store layer
+//!   keeps one per thread — performs **zero heap allocations** per
+//!   steady-state document get.
+//!
+//! [`decode_and_expand`] wraps the fused path with a fresh scratch for
+//! one-off callers. Both paths are byte-identical on every valid record
+//! (asserted by tests and property tests), and both reject corrupt records
+//! without panicking: header offsets are `checked_add`-guarded and factor
+//! counts are validated against each stream's maximum possible density
+//! before any value decoding happens.
 
 use crate::factor::Factor;
 use rlz_codecs::{elias, fixed, pfor, simple9, vbyte, CodecError, IntCodec};
+use std::cell::RefCell;
 
 /// Coder for a single integer stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,33 +107,63 @@ impl Coder {
             Coder::PFor => pfor::PForDelta::default().encode(values, out),
             Coder::Gamma => elias::EliasGamma.encode(values, out),
             Coder::Delta => elias::EliasDelta.encode(values, out),
-            Coder::Zlib => {
-                let mut raw = Vec::with_capacity(values.len() * 4);
+            Coder::Zlib => ZLIB_RAW_SCRATCH.with(|cell| {
+                // The raw u32 staging buffer is per-thread scratch: bulk
+                // compression encodes millions of documents, and a fresh
+                // `Vec` per document showed up as pure allocator traffic.
+                let mut raw = cell.borrow_mut();
+                raw.clear();
                 fixed::FixedU32.encode(values, &mut raw);
                 let compressed = rlz_zlite::compress(&raw, rlz_zlite::Level::Best);
                 out.extend_from_slice(&compressed);
-            }
+            }),
         }
     }
 
     /// Decodes exactly `n` values from `data`.
     pub fn decode_stream(&self, data: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        let mut out = Vec::new();
+        let mut inflate = Vec::new();
+        self.decode_stream_into(data, n, &mut out, &mut inflate)?;
+        Ok(out)
+    }
+
+    /// Decodes exactly `n` values from `data` into `out`, **replacing** its
+    /// contents while reusing its capacity. `inflate` is the staging buffer
+    /// the `Z` coder decompresses into (reused the same way); the other
+    /// coders leave it untouched. The zero-allocation entry point of the
+    /// fused decode pipeline (see the module docs).
+    pub fn decode_stream_into(
+        &self,
+        data: &[u8],
+        n: usize,
+        out: &mut Vec<u32>,
+        inflate: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
         match self {
-            Coder::U32 => fixed::FixedU32.decode_to_vec(data, n),
-            Coder::VByte => vbyte::VByte.decode_to_vec(data, n),
-            Coder::Simple9 => simple9::Simple9.decode_to_vec(data, n),
-            Coder::PFor => pfor::PForDelta::default().decode_to_vec(data, n),
-            Coder::Gamma => elias::EliasGamma.decode_to_vec(data, n),
-            Coder::Delta => elias::EliasDelta.decode_to_vec(data, n),
+            Coder::U32 => fixed::FixedU32.decode_into(data, n, out).map(drop),
+            Coder::VByte => vbyte::VByte.decode_into(data, n, out).map(drop),
+            Coder::Simple9 => simple9::Simple9.decode_into(data, n, out).map(drop),
+            Coder::PFor => pfor::PForDelta::default()
+                .decode_into(data, n, out)
+                .map(drop),
+            Coder::Gamma => elias::EliasGamma.decode_into(data, n, out).map(drop),
+            Coder::Delta => elias::EliasDelta.decode_into(data, n, out).map(drop),
             Coder::Zlib => {
-                let raw = rlz_zlite::decompress(data)?;
-                if raw.len() != n * 4 {
+                rlz_zlite::decompress_into(data, inflate)?;
+                if Some(inflate.len()) != n.checked_mul(4) {
                     return Err(CodecError::Corrupt("Z stream count mismatch"));
                 }
-                fixed::FixedU32.decode_to_vec(&raw, n)
+                fixed::FixedU32.decode_into(inflate, n, out).map(drop)
             }
         }
     }
+}
+
+thread_local! {
+    /// Per-thread staging buffer for [`Coder::Zlib`]'s `encode_stream`: the
+    /// raw little-endian u32 image of the stream being compressed.
+    static ZLIB_RAW_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A position/length coder pair, e.g. `ZV` = zlib positions, vbyte lengths.
@@ -182,42 +242,166 @@ pub fn decode_document(data: &[u8], coding: PairCoding) -> Result<Vec<Factor>, C
         .collect())
 }
 
-/// Decodes the two value streams of an encoded document.
-pub fn decode_streams(data: &[u8], coding: PairCoding) -> Result<(Vec<u32>, Vec<u32>), CodecError> {
+/// Upper bound on how many decoded values one encoded stream byte can
+/// yield, across every [`Coder`]. The densest case is the `Z` coder: a
+/// DEFLATE-class match token can cost as little as ~2 bits and emit up to
+/// 258 raw bytes, so one compressed byte can expand to ~1032 raw bytes =
+/// 258 u32 values; the bit-packed coders top out far lower (PForDelta
+/// width-0 ≈ 64 values/byte at the default block size, γ/δ 8, Simple-9 7).
+/// 1024 leaves headroom above all of them. Used to reject a corrupt factor
+/// count before it drives any allocation or decoding.
+const MAX_VALUES_PER_STREAM_BYTE: u64 = 1024;
+
+/// Parses the record header, returning `(n_factors, pos bytes, len bytes)`.
+///
+/// Hardened against corrupt records: the `at + stream_len` offsets are
+/// `checked_add`-guarded so huge declared lengths cannot wrap, both stream
+/// extents must lie inside the record, and `n` is rejected when it exceeds
+/// the maximum density any coder can achieve on a stream of that size.
+fn split_streams(data: &[u8]) -> Result<(usize, &[u8], &[u8]), CodecError> {
+    fn stream<'a>(data: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8], CodecError> {
+        let stream_len = vbyte::read_u32(data, at)? as usize;
+        if n as u64 > (stream_len as u64).saturating_mul(MAX_VALUES_PER_STREAM_BYTE) {
+            return Err(CodecError::Corrupt("factor count exceeds stream capacity"));
+        }
+        let end = at
+            .checked_add(stream_len)
+            .filter(|&end| end <= data.len())
+            .ok_or(CodecError::UnexpectedEof)?;
+        let bytes = &data[*at..end];
+        *at = end;
+        Ok(bytes)
+    }
     let mut at = 0usize;
     let n = vbyte::read_u32(data, &mut at)? as usize;
-    let pos_len = vbyte::read_u32(data, &mut at)? as usize;
-    let pos_bytes = data
-        .get(at..at + pos_len)
-        .ok_or(CodecError::UnexpectedEof)?;
+    let pos_bytes = stream(data, &mut at, n)?;
+    let len_bytes = stream(data, &mut at, n)?;
+    Ok((n, pos_bytes, len_bytes))
+}
+
+/// Decodes the two value streams of an encoded document.
+pub fn decode_streams(data: &[u8], coding: PairCoding) -> Result<(Vec<u32>, Vec<u32>), CodecError> {
+    let (n, pos_bytes, len_bytes) = split_streams(data)?;
     let positions = coding.pos.decode_stream(pos_bytes, n)?;
-    at += pos_len;
-    let len_len = vbyte::read_u32(data, &mut at)? as usize;
-    let len_bytes = data
-        .get(at..at + len_len)
-        .ok_or(CodecError::UnexpectedEof)?;
     let lengths = coding.len.decode_stream(len_bytes, n)?;
     Ok((positions, lengths))
 }
 
+/// Reusable buffers for the fused decode pipeline: the position and length
+/// streams of the document being decoded, plus the inflate staging buffer
+/// the `Z` coders decompress into.
+///
+/// One scratch per thread (the store layer keeps a thread-local) makes a
+/// steady-state document get allocation-free: every buffer stays at the
+/// high-water size of the documents that thread has served. The scratch
+/// holds no document state between calls — any store/coding may share one.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    positions: Vec<u32>,
+    lengths: Vec<u32>,
+    inflate: Vec<u8>,
+}
+
+impl DecodeScratch {
+    /// An empty scratch; buffers grow to the working-set size on first use.
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
+
+    /// Decodes both value streams of `data` into this scratch, replacing
+    /// previous contents, and returns `(positions, lengths)` views.
+    pub fn decode_streams(
+        &mut self,
+        data: &[u8],
+        coding: PairCoding,
+    ) -> Result<(&[u32], &[u32]), CodecError> {
+        let (n, pos_bytes, len_bytes) = split_streams(data)?;
+        coding
+            .pos
+            .decode_stream_into(pos_bytes, n, &mut self.positions, &mut self.inflate)?;
+        coding
+            .len
+            .decode_stream_into(len_bytes, n, &mut self.lengths, &mut self.inflate)?;
+        Ok((&self.positions, &self.lengths))
+    }
+}
+
 /// Decodes an encoded document and expands it against the dictionary text in
 /// one pass, appending the document bytes to `out`.
+///
+/// Convenience wrapper over [`decode_and_expand_scratch`] with a fresh
+/// scratch; retrieval loops should hold a [`DecodeScratch`] and call the
+/// scratch variant directly to stay allocation-free.
 pub fn decode_and_expand(
     data: &[u8],
     coding: PairCoding,
     dict_bytes: &[u8],
     out: &mut Vec<u8>,
 ) -> Result<(), CodecError> {
-    let (positions, lengths) = decode_streams(data, coding)?;
-    for (&pos, &len) in positions.iter().zip(&lengths) {
+    decode_and_expand_scratch(data, coding, dict_bytes, out, &mut DecodeScratch::new())
+}
+
+/// Copy factors of up to this many bytes go through the fixed-width fast
+/// path: copy a full window, then truncate to the real length. Figure 3 of
+/// the paper puts the bulk of factor lengths well under this.
+const SHORT_FACTOR_WINDOW: usize = 16;
+
+/// The fused decode path: decodes both factor streams into `scratch`,
+/// validates every factor against `dict_bytes` in one pre-pass, then
+/// expands with a branch-minimized copy loop, appending to `out`. On any
+/// error nothing is appended to `out`.
+///
+/// Byte-identical to [`decode_document`] + [`crate::factor::expand`] (the
+/// two-step oracle) on every valid record; see the module docs for the
+/// pipeline design.
+pub fn decode_and_expand_scratch(
+    data: &[u8],
+    coding: PairCoding,
+    dict_bytes: &[u8],
+    out: &mut Vec<u8>,
+    scratch: &mut DecodeScratch,
+) -> Result<(), CodecError> {
+    let (positions, lengths) = scratch.decode_streams(data, coding)?;
+    let dict_len = dict_bytes.len() as u64;
+
+    // Pre-pass: validate every factor extent and sum the expanded size, so
+    // the copy loop below needs no per-factor error branch and `out` grows
+    // at most once. Literals must be byte values; copies must lie inside
+    // the dictionary.
+    let mut expanded = 0u64;
+    for (&pos, &len) in positions.iter().zip(lengths) {
         if len == 0 {
-            let b = u8::try_from(pos).map_err(|_| CodecError::Corrupt("literal is not a byte"))?;
-            out.push(b);
+            if pos > u8::MAX as u32 {
+                return Err(CodecError::Corrupt("literal is not a byte"));
+            }
+            expanded += 1;
         } else {
-            let chunk = dict_bytes
-                .get(pos as usize..pos as usize + len as usize)
-                .ok_or(CodecError::Corrupt("factor exceeds dictionary"))?;
-            out.extend_from_slice(chunk);
+            if pos as u64 + len as u64 > dict_len {
+                return Err(CodecError::Corrupt("factor exceeds dictionary"));
+            }
+            expanded += len as u64;
+        }
+    }
+    let expanded =
+        usize::try_from(expanded).map_err(|_| CodecError::Corrupt("document exceeds usize"))?;
+    // The short-factor fast path overshoots by up to WINDOW-1 bytes before
+    // truncating back; reserve for the overshoot so it never reallocates.
+    out.reserve(expanded + SHORT_FACTOR_WINDOW);
+
+    for (&pos, &len) in positions.iter().zip(lengths) {
+        let (pos, len) = (pos as usize, len as usize);
+        if len == 0 {
+            out.push(pos as u8);
+        } else if len <= SHORT_FACTOR_WINDOW && pos + SHORT_FACTOR_WINDOW <= dict_bytes.len() {
+            // Fixed-width copy: unconditionally move a whole window (two
+            // 8-byte loads/stores after vectorization), then cut back.
+            let window: &[u8; SHORT_FACTOR_WINDOW] = dict_bytes[pos..pos + SHORT_FACTOR_WINDOW]
+                .try_into()
+                .expect("window bounds checked");
+            out.extend_from_slice(window);
+            out.truncate(out.len() - (SHORT_FACTOR_WINDOW - len));
+        } else {
+            out.extend_from_slice(&dict_bytes[pos..pos + len]);
         }
     }
     Ok(())
@@ -275,15 +459,99 @@ mod tests {
             Factor::literal(b'!'),
             Factor::copy(10, 11), // " dictionary"
         ];
+        let mut scratch = DecodeScratch::new();
         for coding in PairCoding::PAPER_SET {
             let enc = encode_document(&factors, coding);
             let mut fast = Vec::new();
             decode_and_expand(&enc, coding, &dict, &mut fast).unwrap();
+            let mut fused = b"prefix".to_vec();
+            decode_and_expand_scratch(&enc, coding, &dict, &mut fused, &mut scratch).unwrap();
             let mut slow = Vec::new();
             crate::factor::expand(&dict, &decode_document(&enc, coding).unwrap(), &mut slow)
                 .unwrap();
             assert_eq!(fast, slow);
             assert_eq!(fast, b"common! dictionary");
+            assert_eq!(&fused[6..], slow.as_slice(), "fused path appends");
+            assert_eq!(&fused[..6], b"prefix");
+        }
+    }
+
+    #[test]
+    fn fused_decode_matches_oracle_on_boundary_factors() {
+        // Factors crossing the 16-byte fast-path window in every way: len
+        // exactly at/over the window, copies ending at the dictionary's
+        // last byte (where the fixed-width window would overrun), empty
+        // docs, and all-literal docs.
+        let dict: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        let end = dict.len() as u32;
+        let shapes: Vec<Vec<Factor>> = vec![
+            vec![],
+            vec![Factor::literal(0), Factor::literal(255)],
+            (1..=33).map(|l| Factor::copy(end - l, l)).collect(),
+            vec![
+                Factor::copy(end - 1, 1), // final byte: window cannot fit
+                Factor::copy(0, 16),
+                Factor::copy(end - 16, 16),
+                Factor::copy(end - 17, 17),
+                Factor::literal(b'x'),
+                Factor::copy(3, 15),
+            ],
+        ];
+        let mut scratch = DecodeScratch::new();
+        for name in ["ZZ", "ZV", "UZ", "UV", "SS", "PP", "GV", "DV"] {
+            let coding = PairCoding::parse(name).unwrap();
+            for factors in &shapes {
+                let enc = encode_document(factors, coding);
+                let mut fused = Vec::new();
+                decode_and_expand_scratch(&enc, coding, &dict, &mut fused, &mut scratch).unwrap();
+                let mut oracle = Vec::new();
+                crate::factor::expand(&dict, &decode_document(&enc, coding).unwrap(), &mut oracle)
+                    .unwrap();
+                assert_eq!(fused, oracle, "coding {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_decode_errors_append_nothing() {
+        let dict = b"tiny".to_vec();
+        let bad = vec![
+            vec![Factor::copy(0, 4), Factor::copy(2, 3)], // second exceeds dict
+            vec![Factor { pos: 999, len: 0 }],            // literal above a byte
+        ];
+        let mut scratch = DecodeScratch::new();
+        for factors in &bad {
+            let enc = encode_document(factors, PairCoding::UV);
+            let mut out = b"keep".to_vec();
+            assert!(
+                decode_and_expand_scratch(&enc, PairCoding::UV, &dict, &mut out, &mut scratch)
+                    .is_err()
+            );
+            assert_eq!(out, b"keep", "pre-pass must reject before writing");
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected_not_wrapped() {
+        // A declared stream length reaching past the record must error.
+        let mut enc = Vec::new();
+        vbyte::write_u32(1, &mut enc); // n = 1
+        vbyte::write_u32(u32::MAX, &mut enc); // |pos| far beyond the record
+        enc.extend_from_slice(&[0xAA; 8]);
+        assert!(decode_streams(&enc, PairCoding::UV).is_err());
+
+        // A factor count no coder could fit in the declared streams must be
+        // rejected before any decoding or allocation happens.
+        let mut enc = Vec::new();
+        vbyte::write_u32(u32::MAX, &mut enc); // n = 4 billion factors
+        vbyte::write_u32(2, &mut enc); // ...from a 2-byte position stream
+        enc.extend_from_slice(&[0, 0]);
+        vbyte::write_u32(0, &mut enc);
+        for coding in PairCoding::PAPER_SET {
+            assert!(matches!(
+                decode_streams(&enc, coding),
+                Err(CodecError::Corrupt("factor count exceeds stream capacity"))
+            ));
         }
     }
 

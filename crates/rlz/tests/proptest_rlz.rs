@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use rlz_core::{
     coding::{decode_document, encode_document},
-    expand, factorize_to_vec, Dictionary, PairCoding, RlzCompressor, SampleStrategy,
+    decode_and_expand_scratch, expand, factorize_to_vec, DecodeScratch, Dictionary, PairCoding,
+    RlzCompressor, SampleStrategy,
 };
 
 proptest! {
@@ -108,9 +109,37 @@ proptest! {
     #[test]
     fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..400)) {
         let dict = Dictionary::from_bytes(b"some dictionary".to_vec());
+        let mut scratch = DecodeScratch::new();
+        let mut out = Vec::new();
         for coding in PairCoding::PAPER_SET {
             let comp = RlzCompressor::new(dict.clone(), coding);
             let _ = comp.decompress(&data);
+            out.clear();
+            let _ = decode_and_expand_scratch(&data, coding, dict.bytes(), &mut out, &mut scratch);
+        }
+    }
+
+    #[test]
+    fn fused_decode_matches_two_step_oracle(
+        dict_bytes in proptest::collection::vec(any::<u8>(), 1..300),
+        doc in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        // The fused zero-allocation pipeline must be byte-identical to the
+        // two-step `decode_document` + `expand` oracle, with one reused
+        // scratch carried across every coding and document.
+        let dict = Dictionary::from_bytes(dict_bytes);
+        let mut scratch = DecodeScratch::new();
+        let mut fused = Vec::new();
+        for coding in PairCoding::PAPER_SET {
+            let comp = RlzCompressor::new(dict.clone(), coding);
+            let enc = comp.compress(&doc);
+            let mut oracle = Vec::new();
+            expand(dict.bytes(), &decode_document(&enc, coding).unwrap(), &mut oracle).unwrap();
+            fused.clear();
+            decode_and_expand_scratch(&enc, coding, dict.bytes(), &mut fused, &mut scratch)
+                .unwrap();
+            prop_assert_eq!(&fused, &oracle, "{}", coding.name());
+            prop_assert_eq!(&fused, &doc, "{}", coding.name());
         }
     }
 }

@@ -49,10 +49,12 @@ impl BlockCodec {
         }
     }
 
-    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, StoreError> {
+    /// Decompresses one block into `out`, replacing its contents while
+    /// reusing its capacity.
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), StoreError> {
         match self {
-            BlockCodec::Zlite(_) => Ok(rlz_zlite::decompress(data)?),
-            BlockCodec::Lzlite(_) => Ok(rlz_lzlite::decompress(data)?),
+            BlockCodec::Zlite(_) => Ok(rlz_zlite::decompress_into(data, out)?),
+            BlockCodec::Lzlite(_) => Ok(rlz_lzlite::decompress_into(data, out)?),
         }
     }
 
@@ -250,12 +252,24 @@ impl BlockedStore {
         self.blocks.partition_point(|b| b.first_doc as usize <= id) - 1
     }
 
-    /// Reads and decompresses block `b` (no cache involvement).
-    fn decompress_block(&self, entry: BlockEntry) -> Result<Vec<u8>, StoreError> {
+    /// Reads and decompresses block `b` into `out` (no cache involvement),
+    /// replacing `out`'s contents while reusing its capacity.
+    fn decompress_block_into(
+        &self,
+        entry: BlockEntry,
+        out: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
         crate::with_scratch(entry.comp_len as usize, |comp| {
             self.payload.read_exact_at(comp, entry.file_offset)?;
-            self.codec.decompress(comp)
+            self.codec.decompress_into(comp, out)
         })
+    }
+
+    /// Reads and decompresses block `b` into a fresh buffer.
+    fn decompress_block(&self, entry: BlockEntry) -> Result<Vec<u8>, StoreError> {
+        let mut out = Vec::new();
+        self.decompress_block_into(entry, &mut out)?;
+        Ok(out)
     }
 
     /// Decompressed bytes of block `b`, through the shared cache when one
@@ -306,8 +320,17 @@ impl DocStore for BlockedStore {
     fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
         let (doc_off, doc_len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
         let b = self.block_of_doc(id);
-        let raw = self.load_block(b)?;
-        Self::slice_doc(&raw, self.blocks[b], doc_off, doc_len, out)
+        let entry = self.blocks[b];
+        if self.cache.is_some() {
+            let raw = self.load_block(b)?;
+            return Self::slice_doc(&raw, entry, doc_off, doc_len, out);
+        }
+        // Uncached (the paper's baseline): inflate into the thread's block
+        // scratch instead of allocating a block-sized buffer per get.
+        crate::with_block_scratch(|raw| {
+            self.decompress_block_into(entry, raw)?;
+            Self::slice_doc(raw, entry, doc_off, doc_len, out)
+        })
     }
 
     /// Seek-coalesced multi-get: ids landing in the same block are grouped

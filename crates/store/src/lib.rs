@@ -327,6 +327,17 @@ thread_local! {
     /// Per-thread scratch for encoded records, so the hot read path does
     /// not allocate per get.
     static SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread factor-stream scratch for the fused RLZ decode pipeline
+    /// (two `u32` buffers + one inflate buffer, see
+    /// [`rlz_core::DecodeScratch`]). Together with `SCRATCH` this makes a
+    /// warm `RlzStore::get_into` perform zero heap allocations.
+    static DECODE_SCRATCH: RefCell<rlz_core::DecodeScratch> =
+        RefCell::new(rlz_core::DecodeScratch::new());
+    /// Per-thread decompressed-block buffer for `BlockedStore` gets that
+    /// bypass the shared cache (the paper's baseline configuration), so a
+    /// warm uncached get reuses one inflate target instead of allocating a
+    /// block-sized `Vec` per request.
+    static BLOCK_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Runs `f` over a `len`-byte per-thread scratch slice. Must not be nested
@@ -339,6 +350,19 @@ pub(crate) fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
         }
         f(&mut buf[..len])
     })
+}
+
+/// Runs `f` with this thread's RLZ factor-stream scratch. Safe to nest
+/// inside [`with_scratch`] (different thread-local cells); must not be
+/// nested within itself.
+pub(crate) fn with_decode_scratch<R>(f: impl FnOnce(&mut rlz_core::DecodeScratch) -> R) -> R {
+    DECODE_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Runs `f` with this thread's decompressed-block buffer. Safe to nest
+/// inside [`with_scratch`]; must not be nested within itself.
+pub(crate) fn with_block_scratch<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+    BLOCK_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 /// Reads a whole file (helper shared by store readers).

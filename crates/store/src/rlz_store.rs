@@ -157,13 +157,25 @@ impl DocStore for RlzStore {
     fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
         let (offset, len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
         let start = out.len();
+        // Fused decode against the thread's scratch buffers: a warm get
+        // performs zero heap allocations (asserted by the counting-
+        // allocator test in `tests/alloc_counting.rs`).
         let result = crate::with_scratch(len, |enc| {
             self.payload.read_exact_at(enc, offset)?;
-            rlz_core::coding::decode_and_expand(enc, self.coding, &self.dict_bytes, out)?;
+            crate::with_decode_scratch(|scratch| {
+                rlz_core::coding::decode_and_expand_scratch(
+                    enc,
+                    self.coding,
+                    &self.dict_bytes,
+                    out,
+                    scratch,
+                )
+            })?;
             Ok(())
         });
-        // decode_and_expand appends factor by factor; a mid-record failure
-        // must not leave partial bytes behind in a reused buffer.
+        // The fused path validates before writing, but keep the truncate as
+        // defence in depth: a failing get must never leave partial bytes
+        // behind in a reused buffer.
         if result.is_err() {
             out.truncate(start);
         }

@@ -104,10 +104,24 @@ pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
 
 /// Decompresses a buffer produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a buffer produced by [`compress`] into `out`, **replacing**
+/// its contents while reusing its capacity.
+///
+/// This is the hot-path variant for callers that inflate many streams in a
+/// loop (the RLZ store's `Z` position/length coders inflate one small
+/// stream per document get): a reused buffer means the inflate pass does no
+/// heap allocation once warm. On error `out` may hold a partial prefix.
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
     let mut pos = 0usize;
     let raw_len = vbyte::read_u64(data, &mut pos)? as usize;
     // Grow progressively rather than trusting the header outright.
-    let mut out = Vec::with_capacity(raw_len.min(1 << 20));
+    out.reserve(raw_len.min(1 << 20));
     let mut r = BitReader::new(&data[pos..]);
     while out.len() < raw_len {
         let block_type = r.read_bits(2)?;
@@ -125,11 +139,11 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
             }
             BLOCK_FIXED => {
                 let (litlen, dist) = fixed_decoders()?;
-                inflate_block(&mut r, &litlen, &dist, raw_len, &mut out)?;
+                inflate_block(&mut r, &litlen, &dist, raw_len, out)?;
             }
             BLOCK_DYNAMIC => {
                 let (litlen, dist) = read_dynamic_header(&mut r)?;
-                inflate_block(&mut r, &litlen, &dist, raw_len, &mut out)?;
+                inflate_block(&mut r, &litlen, &dist, raw_len, out)?;
             }
             _ => return Err(CodecError::Corrupt("invalid block type")),
         }
@@ -137,7 +151,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     if out.len() != raw_len {
         return Err(CodecError::Corrupt("output length mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Fixed code lengths in the spirit of DEFLATE's fixed block type: strongly
@@ -551,6 +565,21 @@ mod tests {
         let fast = compress(&data, Level::Fast).len();
         let best = compress(&data, Level::Best).len();
         assert!(best <= fast, "best {best} > fast {fast}");
+    }
+
+    #[test]
+    fn decompress_into_replaces_and_reuses_buffer() {
+        let a = b"first payload first payload first payload".repeat(30);
+        let b = b"x".to_vec();
+        let ca = compress(&a, Level::Default);
+        let cb = compress(&b, Level::Default);
+        let mut buf = b"stale".to_vec();
+        decompress_into(&ca, &mut buf).unwrap();
+        assert_eq!(buf, a);
+        let cap = buf.capacity();
+        decompress_into(&cb, &mut buf).unwrap();
+        assert_eq!(buf, b);
+        assert_eq!(buf.capacity(), cap, "shrinking the buffer defeats reuse");
     }
 
     #[test]
