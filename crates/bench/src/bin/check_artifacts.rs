@@ -1,0 +1,289 @@
+//! `check_artifacts` — schema validator and trend reporter for the
+//! machine-readable `BENCH_*.json` benchmark artifacts.
+//!
+//! ```text
+//! check_artifacts [--compare PREV_DIR] [FILES...]
+//! ```
+//!
+//! With no files, validates every `BENCH_*.json` in the current directory.
+//! Validation failures exit nonzero; CI runs this in place of any ad-hoc
+//! python, and local runs use the exact same binary.
+//!
+//! `--compare PREV_DIR` additionally prints a before/after table against
+//! artifacts of the same name in `PREV_DIR` (e.g. restored from the
+//! previous CI run). The trend is informational only — shared-runner noise
+//! makes hard thresholds useless — so comparison never affects the exit
+//! code.
+
+use rlz_bench::json::{self, Value};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Per-row numeric measures worth trending, by field name.
+const MEASURES: [&str; 5] = ["mb_per_s", "docs_per_s", "p50_us", "p95_us", "p99_us"];
+
+fn fail(file: &Path, what: &str) -> String {
+    format!("{}: {what}", file.display())
+}
+
+fn load(file: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| fail(file, &e.to_string()))?;
+    json::parse(&text).map_err(|e| fail(file, &e))
+}
+
+/// Generic shape shared by every artifact: `bench` name, schema version 1,
+/// and a non-empty `rows` array of objects. Returns (bench, rows).
+fn check_shape<'v>(file: &Path, v: &'v Value) -> Result<(String, &'v [Value]), String> {
+    let bench = v
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail(file, "missing string field \"bench\""))?
+        .to_string();
+    match v.get("schema_version").and_then(Value::as_f64) {
+        Some(1.0) => {}
+        other => {
+            return Err(fail(
+                file,
+                &format!("schema_version must be 1, got {other:?}"),
+            ))
+        }
+    }
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| fail(file, "missing array field \"rows\""))?;
+    if rows.is_empty() {
+        return Err(fail(file, "no measurement rows"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if !matches!(row, Value::Obj(_)) {
+            return Err(fail(file, &format!("row {i} is not an object")));
+        }
+    }
+    Ok((bench, rows))
+}
+
+fn num_field(file: &Path, row: &Value, i: usize, key: &str) -> Result<f64, String> {
+    row.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| fail(file, &format!("row {i}: missing numeric field {key:?}")))
+}
+
+fn nonneg(file: &Path, row: &Value, i: usize, key: &str) -> Result<f64, String> {
+    let v = num_field(file, row, i, key)?;
+    if v < 0.0 {
+        return Err(fail(file, &format!("row {i}: {key} is negative ({v})")));
+    }
+    Ok(v)
+}
+
+fn str_set(rows: &[Value], key: &str) -> Vec<String> {
+    let mut values: Vec<String> = rows
+        .iter()
+        .filter_map(|r| r.get(key).and_then(Value::as_str).map(str::to_string))
+        .collect();
+    values.sort();
+    values.dedup();
+    values
+}
+
+/// Bench-specific schema checks, keyed by the artifact's `bench` field.
+fn check_bench(file: &Path, bench: &str, rows: &[Value]) -> Result<(), String> {
+    match bench {
+        "factorize" | "batch" | "decode" => {
+            for (i, row) in rows.iter().enumerate() {
+                nonneg(file, row, i, "corpus_bytes")?;
+                nonneg(file, row, i, "mb_per_s")?;
+            }
+            if bench == "decode" {
+                let pipelines = str_set(rows, "pipeline");
+                if pipelines != ["fused", "two-step"] {
+                    return Err(fail(file, &format!("pipelines {pipelines:?}")));
+                }
+                let mut codings = str_set(rows, "coding");
+                codings.sort();
+                if codings != ["UV", "UZ", "ZV", "ZZ"] {
+                    return Err(fail(file, &format!("codings {codings:?}")));
+                }
+            }
+        }
+        "serve" => {
+            for (i, row) in rows.iter().enumerate() {
+                for key in ["connections", "batch", "requests"] {
+                    let v = nonneg(file, row, i, key)?;
+                    if v < 1.0 {
+                        return Err(fail(file, &format!("row {i}: {key} must be >= 1")));
+                    }
+                }
+                nonneg(file, row, i, "payload_bytes")?;
+                let docs_per_s = nonneg(file, row, i, "docs_per_s")?;
+                if docs_per_s == 0.0 {
+                    return Err(fail(file, &format!("row {i}: docs_per_s is zero")));
+                }
+                nonneg(file, row, i, "mb_per_s")?;
+                let p50 = nonneg(file, row, i, "p50_us")?;
+                let p95 = nonneg(file, row, i, "p95_us")?;
+                let p99 = nonneg(file, row, i, "p99_us")?;
+                if !(p50 <= p95 && p95 <= p99) {
+                    return Err(fail(
+                        file,
+                        &format!("row {i}: percentiles not monotone ({p50} / {p95} / {p99})"),
+                    ));
+                }
+                for key in ["workload", "dist"] {
+                    row.get(key)
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| fail(file, &format!("row {i}: missing string {key:?}")))?;
+                }
+            }
+        }
+        other => {
+            // Unknown artifacts still had the generic shape checked; say so
+            // rather than silently passing.
+            println!("  note: no bench-specific schema for {other:?}, generic checks only");
+        }
+    }
+    Ok(())
+}
+
+fn validate(file: &Path) -> Result<(), String> {
+    let v = load(file)?;
+    let (bench, rows) = check_shape(file, &v)?;
+    check_bench(file, &bench, rows)?;
+    println!(
+        "{} ok: bench {bench:?}, {} rows",
+        file.display(),
+        rows.len()
+    );
+    Ok(())
+}
+
+/// A row's identity: every field that is not a trended measure, rendered
+/// `key=value` and joined. Rows match across runs when identities match.
+fn row_identity(row: &Value) -> String {
+    let Value::Obj(fields) = row else {
+        return String::new();
+    };
+    fields
+        .iter()
+        .filter(|(k, _)| !MEASURES.contains(&k.as_str()))
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Prints the before/after trend for one artifact pair. Informational
+/// only; never fails.
+fn compare(file: &Path, prev_dir: &Path) {
+    let name = file.file_name().map(Path::new).unwrap_or(file);
+    let prev_file = prev_dir.join(name);
+    if !prev_file.exists() {
+        println!("  (no previous {} to compare against)", name.display());
+        return;
+    }
+    let (Ok(curr), Ok(prev)) = (load(file), load(&prev_file)) else {
+        println!("  (previous {} unreadable; skipping trend)", name.display());
+        return;
+    };
+    let (Some(curr_rows), Some(prev_rows)) = (
+        curr.get("rows").and_then(Value::as_arr),
+        prev.get("rows").and_then(Value::as_arr),
+    ) else {
+        return;
+    };
+    println!("  trend vs previous run ({}):", name.display());
+    let mut matched = 0usize;
+    for row in curr_rows {
+        let identity = row_identity(row);
+        let Some(prev_row) = prev_rows.iter().find(|r| row_identity(r) == identity) else {
+            continue;
+        };
+        for measure in MEASURES {
+            let (Some(now), Some(before)) = (
+                row.get(measure).and_then(Value::as_f64),
+                prev_row.get(measure).and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            if before == 0.0 {
+                continue;
+            }
+            matched += 1;
+            let delta = (now - before) / before * 100.0;
+            let marker = if delta.abs() >= 10.0 {
+                "  <-- note"
+            } else {
+                ""
+            };
+            println!("    {identity} {measure}: {before:.1} -> {now:.1} ({delta:+.1}%){marker}");
+        }
+    }
+    if matched == 0 {
+        println!("    (no matching rows between runs)");
+    } else {
+        println!(
+            "    ({} measures compared; informational only — shared-runner noise \
+             makes hard thresholds meaningless)",
+            matched
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut compare_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--compare" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--compare needs a directory");
+                    return ExitCode::from(2);
+                };
+                compare_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: check_artifacts [--compare PREV_DIR] [FILES...]");
+                return ExitCode::from(2);
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        // Default: every BENCH_*.json in the working directory.
+        if let Ok(entries) = std::fs::read_dir(".") {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("BENCH_") && name.ends_with(".json") {
+                    files.push(entry.path());
+                }
+            }
+        }
+        files.sort();
+    }
+    if files.is_empty() {
+        eprintln!("check_artifacts: no BENCH_*.json artifacts found");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for file in &files {
+        if let Err(e) = validate(file) {
+            eprintln!("check_artifacts: FAIL {e}");
+            failed = true;
+        }
+        if let Some(dir) = &compare_dir {
+            compare(file, dir);
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("check_artifacts: all {} artifact(s) valid", files.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -81,4 +81,11 @@ fn main() {
     )
     .write(std::path::Path::new("BENCH_decode.json"))
     .expect("write BENCH_decode.json");
+    rlz_bench::serve::serve_table(
+        "Served retrieval — rlz-serve over loopback TCP (extension)",
+        &gov2,
+        &cfg,
+    )
+    .write(std::path::Path::new("BENCH_serve.json"))
+    .expect("write BENCH_serve.json");
 }

@@ -7,7 +7,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
 pub mod report;
+pub mod serve;
 pub mod tables;
 
 use rlz_core::{Dictionary, PairCoding, RlzCompressor, SampleStrategy};

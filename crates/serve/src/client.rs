@@ -1,0 +1,219 @@
+//! A small blocking client for the `rlz-serve` protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol itself allows pipelining; the load generator in
+//! `rlz-bench` drives many clients in parallel instead). Response buffers
+//! are reused across calls, so a warm `get_into` allocates only when a
+//! document outgrows every previous one.
+
+use crate::protocol::{self, MAX_RESPONSE_LEN, STATUS_OK};
+use rlz_store::StoreStats;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure (includes the server closing the connection).
+    Io(io::Error),
+    /// The byte stream violates the protocol.
+    Protocol(&'static str),
+    /// The server answered with an error frame.
+    Server {
+        /// The response status code (`STATUS_*`).
+        status: u8,
+        /// The server's UTF-8 message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "serve client I/O error: {e}"),
+            ClientError::Protocol(what) => write!(f, "serve protocol violation: {what}"),
+            ClientError::Server { status, message } => {
+                write!(f, "server error {status:#04x}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking protocol connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Reused request-encoding buffer.
+    req: Vec<u8>,
+    /// Reused response-body buffer.
+    resp: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            req: Vec::new(),
+            resp: Vec::new(),
+        })
+    }
+
+    /// Connects, retrying until `deadline` elapses — for driving a server
+    /// that is still starting up (the CI smoke flow).
+    pub fn connect_retry(addr: SocketAddr, deadline: Duration) -> io::Result<Self> {
+        let start = Instant::now();
+        loop {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Fetches document `id`.
+    pub fn get(&mut self, id: u32) -> Result<Vec<u8>, ClientError> {
+        let mut out = Vec::new();
+        self.get_into(id, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fetches document `id`, appending its bytes to `out`.
+    pub fn get_into(&mut self, id: u32, out: &mut Vec<u8>) -> Result<(), ClientError> {
+        self.req.clear();
+        protocol::write_get(&mut self.req, id);
+        self.stream.write_all(&self.req)?;
+        let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
+        check_ok(status, body)?;
+        out.extend_from_slice(body);
+        Ok(())
+    }
+
+    /// Fetches a batch of documents, in request order.
+    pub fn mget(&mut self, ids: &[u32]) -> Result<Vec<Vec<u8>>, ClientError> {
+        self.req.clear();
+        protocol::write_mget(&mut self.req, ids);
+        self.stream.write_all(&self.req)?;
+        let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
+        check_ok(status, body)?;
+        let mut at = 0usize;
+        let count = read_u32(body, &mut at)? as usize;
+        if count != ids.len() {
+            return Err(ClientError::Protocol("MGET answered a different count"));
+        }
+        let mut docs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = read_u32(body, &mut at)? as usize;
+            let doc = body
+                .get(at..at + len)
+                .ok_or(ClientError::Protocol("MGET document overruns frame"))?;
+            docs.push(doc.to_vec());
+            at += len;
+        }
+        if at != body.len() {
+            return Err(ClientError::Protocol("trailing bytes after MGET body"));
+        }
+        Ok(docs)
+    }
+
+    /// Fetches store statistics.
+    pub fn stat(&mut self) -> Result<StoreStats, ClientError> {
+        self.req.clear();
+        protocol::write_stat(&mut self.req);
+        self.stream.write_all(&self.req)?;
+        let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
+        check_ok(status, body)?;
+        if body.len() != 24 {
+            return Err(ClientError::Protocol("STAT body must be 24 bytes"));
+        }
+        let word = |i: usize| u64::from_le_bytes(body[i..i + 8].try_into().expect("8 bytes"));
+        Ok(StoreStats {
+            num_docs: word(0),
+            payload_bytes: word(8),
+            max_record_len: word(16),
+        })
+    }
+
+    /// Asks the server to exit cleanly. `Ok` means the server acknowledged
+    /// and is stopping.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.req.clear();
+        protocol::write_shutdown(&mut self.req);
+        self.stream.write_all(&self.req)?;
+        let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
+        check_ok(status, body)
+    }
+
+    /// Sends raw bytes and reads one response frame — the robustness tests
+    /// use this to deliver malformed frames. Returns `(status, body)`.
+    pub fn send_raw(&mut self, frame: &[u8]) -> Result<(u8, Vec<u8>), ClientError> {
+        self.stream.write_all(frame)?;
+        let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
+        Ok((status, body.to_vec()))
+    }
+
+    /// Sends raw bytes without waiting for any response — for tests that
+    /// tear the connection down mid-frame.
+    pub fn send_raw_no_response(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+}
+
+/// Reads one response frame into `buf`, returning `(status, body)`.
+fn read_response<'a>(
+    stream: &mut TcpStream,
+    buf: &'a mut Vec<u8>,
+) -> Result<(u8, &'a [u8]), ClientError> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header);
+    if len == 0 {
+        return Err(ClientError::Protocol("zero-length response frame"));
+    }
+    if len > MAX_RESPONSE_LEN {
+        return Err(ClientError::Protocol("response frame exceeds sanity cap"));
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    stream.read_exact(buf)?;
+    Ok((buf[0], &buf[1..]))
+}
+
+fn check_ok(status: u8, body: &[u8]) -> Result<(), ClientError> {
+    if status == STATUS_OK {
+        return Ok(());
+    }
+    Err(ClientError::Server {
+        status,
+        message: String::from_utf8_lossy(body).into_owned(),
+    })
+}
+
+fn read_u32(body: &[u8], at: &mut usize) -> Result<u32, ClientError> {
+    let bytes = body
+        .get(*at..*at + 4)
+        .ok_or(ClientError::Protocol("truncated integer in response"))?;
+    *at += 4;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}

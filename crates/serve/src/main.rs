@@ -1,0 +1,134 @@
+//! The `rlz-serve` binary: serve a built document store over TCP.
+//!
+//! ```text
+//! rlz-serve --store DIR [--addr 127.0.0.1:7641] [--threads N]
+//!           [--family auto|rlz|blocked|ascii] [--resident]
+//!           [--batch-threads N] [--no-shutdown-opcode]
+//! ```
+//!
+//! The store family is autodetected from the directory layout (`dict.bin`
+//! → RLZ, `blocks.bin` → blocked, `data.bin` → raw) unless `--family`
+//! forces one. `--resident` loads the payload into memory so retrieval
+//! does no disk I/O. The server runs until it receives the protocol's
+//! SHUTDOWN opcode (disable with `--no-shutdown-opcode`) or the process is
+//! signalled.
+
+use rlz_serve::{serve, ServeConfig};
+use rlz_store::{AsciiStore, BlockedStore, DocStore, RlzStore};
+use std::net::TcpListener;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rlz-serve --store DIR [--addr HOST:PORT] [--threads N]\n\
+         \x20                [--family auto|rlz|blocked|ascii] [--resident]\n\
+         \x20                [--batch-threads N] [--no-shutdown-opcode]"
+    );
+    std::process::exit(2)
+}
+
+fn open_store(dir: &Path, family: &str, resident: bool) -> Result<Arc<dyn DocStore>, String> {
+    let family = match family {
+        "auto" => {
+            if dir.join("dict.bin").exists() {
+                "rlz"
+            } else if dir.join("blocks.bin").exists() {
+                "blocked"
+            } else if dir.join("data.bin").exists() {
+                "ascii"
+            } else {
+                return Err(format!(
+                    "{}: no recognizable store layout (dict.bin / blocks.bin / data.bin)",
+                    dir.display()
+                ));
+            }
+        }
+        other => other,
+    };
+    let err = |e: rlz_store::StoreError| format!("open {} store at {}: {e}", family, dir.display());
+    Ok(match (family, resident) {
+        ("rlz", false) => Arc::new(RlzStore::open(dir).map_err(err)?),
+        ("rlz", true) => Arc::new(RlzStore::open_resident(dir).map_err(err)?),
+        ("blocked", false) => Arc::new(BlockedStore::open(dir).map_err(err)?),
+        ("blocked", true) => Arc::new(BlockedStore::open_resident(dir).map_err(err)?),
+        ("ascii", false) => Arc::new(AsciiStore::open(dir).map_err(err)?),
+        ("ascii", true) => Arc::new(AsciiStore::open_resident(dir).map_err(err)?),
+        (other, _) => return Err(format!("unknown store family {other:?}")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut store_dir: Option<String> = None;
+    let mut addr = "127.0.0.1:7641".to_string();
+    let mut family = "auto".to_string();
+    let mut resident = false;
+    let mut cfg = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--store" => store_dir = Some(value(&mut i)),
+            "--addr" => addr = value(&mut i),
+            "--family" => family = value(&mut i),
+            "--resident" => resident = true,
+            "--threads" => cfg.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--batch-threads" => {
+                cfg.batch_threads = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--no-shutdown-opcode" => cfg.allow_shutdown = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    let Some(store_dir) = store_dir else { usage() };
+
+    let store = match open_store(Path::new(&store_dir), &family, resident) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rlz-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = store.stats();
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("rlz-serve: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match serve(store, listener, cfg.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("rlz-serve: start workers: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "rlz-serve: {} docs ({} payload bytes, max record {} bytes) listening on {} \
+         ({} workers, shutdown opcode {})",
+        stats.num_docs,
+        stats.payload_bytes,
+        stats.max_record_len,
+        handle.addr(),
+        cfg.threads.max(1),
+        if cfg.allow_shutdown {
+            "enabled"
+        } else {
+            "disabled"
+        },
+    );
+    handle.join();
+    println!("rlz-serve: shutdown complete");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,423 @@
+//! The `rlz-serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every frame — request or response — is a little-endian `u32` length
+//! followed by exactly that many bytes. The length counts everything after
+//! itself: the opcode/status byte plus the body.
+//!
+//! ```text
+//! request  := len:u32le  opcode:u8  body:[u8; len-1]
+//! response := len:u32le  status:u8  body:[u8; len-1]
+//! ```
+//!
+//! Request opcodes:
+//!
+//! | opcode | name     | body                               |
+//! |-------:|----------|------------------------------------|
+//! | `0x01` | GET      | `id:u32le`                         |
+//! | `0x02` | MGET     | `count:u32le` then `count` × `id:u32le` |
+//! | `0x03` | STAT     | empty                              |
+//! | `0x7F` | SHUTDOWN | empty                              |
+//!
+//! Response statuses:
+//!
+//! | status | name             | body                                    |
+//! |-------:|------------------|-----------------------------------------|
+//! | `0x00` | OK               | opcode-specific (below)                  |
+//! | `0x01` | ERR_BAD_FRAME    | UTF-8 message; connection closes after   |
+//! | `0x02` | ERR_BAD_OPCODE   | UTF-8 message; connection stays open     |
+//! | `0x03` | ERR_OUT_OF_RANGE | UTF-8 message; connection stays open     |
+//! | `0x04` | ERR_INTERNAL     | UTF-8 message; connection stays open     |
+//!
+//! OK bodies: GET → the document bytes verbatim; MGET → `count:u32le` then
+//! `count` × (`len:u32le` + document bytes), in request order; STAT →
+//! `num_docs:u64le` + `payload_bytes:u64le` + `max_record_len:u64le`
+//! (see `rlz_store::StoreStats`); SHUTDOWN → empty.
+//!
+//! # Hardening
+//!
+//! The parser never trusts a length field before bounding it:
+//! request frames are capped at [`MAX_REQUEST_LEN`] (derived from the MGET
+//! cap [`MAX_MGET`]), so a hostile or corrupt length prefix cannot drive a
+//! large allocation — the frame is rejected as malformed before any buffer
+//! grows, mirroring the header hardening of the store decode path. An MGET
+//! whose count field disagrees with its body length is rejected without
+//! reading a single id.
+
+/// Fetch one document: body is `id:u32le`.
+pub const OP_GET: u8 = 0x01;
+/// Fetch a batch: body is `count:u32le` then `count` ids.
+pub const OP_MGET: u8 = 0x02;
+/// Store statistics: empty body.
+pub const OP_STAT: u8 = 0x03;
+/// Ask the server to exit cleanly (when enabled): empty body.
+pub const OP_SHUTDOWN: u8 = 0x7F;
+
+/// Success.
+pub const STATUS_OK: u8 = 0x00;
+/// Unparseable or oversized frame; the server closes the connection after
+/// sending this (the stream can no longer be framed).
+pub const STATUS_BAD_FRAME: u8 = 0x01;
+/// Well-framed request with an unknown or disabled opcode.
+pub const STATUS_BAD_OPCODE: u8 = 0x02;
+/// A requested document id is out of range.
+pub const STATUS_OUT_OF_RANGE: u8 = 0x03;
+/// The store failed to serve a valid request (I/O error, corrupt record).
+pub const STATUS_INTERNAL: u8 = 0x04;
+
+/// Maximum ids per MGET request.
+pub const MAX_MGET: usize = 1 << 16;
+
+/// Maximum legal value of a request frame's length field: opcode byte plus
+/// the largest MGET body.
+pub const MAX_REQUEST_LEN: u32 = (1 + 4 + 4 * MAX_MGET) as u32;
+
+/// Maximum response frame length (1 GiB), enforced on both sides: the
+/// server answers an error frame instead of a GET/MGET response whose
+/// body would exceed it (split the batch), and the client treats a longer
+/// length prefix as stream corruption. Shared, so a legal server response
+/// can never be rejected by a conforming client — and the length field
+/// can never wrap `u32`.
+pub const MAX_RESPONSE_LEN: u32 = 1 << 30;
+
+/// The ids of a parsed MGET request, borrowed from the receive buffer
+/// (decoded lazily so parsing allocates nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MGetIds<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> MGetIds<'a> {
+    /// Number of ids requested.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 4
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The requested ids, in request order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
+        self.bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request<'a> {
+    /// Fetch one document.
+    Get(u32),
+    /// Fetch a batch of documents.
+    MGet(MGetIds<'a>),
+    /// Store statistics.
+    Stat,
+    /// Clean server shutdown.
+    Shutdown,
+}
+
+/// Outcome of [`parse_request`] over a receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parsed<'a> {
+    /// Not enough bytes buffered for a whole frame yet.
+    Incomplete,
+    /// The stream cannot be framed (insane length prefix). The server
+    /// answers [`STATUS_BAD_FRAME`] and closes the connection.
+    Malformed(&'static str),
+    /// One complete frame occupying `consumed` buffer bytes. `request` is
+    /// `Err((status, message))` when the frame is well-delimited but its
+    /// content is invalid — the connection survives those.
+    Frame {
+        /// The decoded request, or the error frame to answer with.
+        request: Result<Request<'a>, (u8, &'static str)>,
+        /// Bytes this frame occupies at the head of the buffer.
+        consumed: usize,
+    },
+}
+
+/// Parses the frame at the head of `buf`, if complete. Never allocates and
+/// never reads past the frame it delimits.
+pub fn parse_request(buf: &[u8]) -> Parsed<'_> {
+    let Some(len_bytes) = buf.get(..4) else {
+        return Parsed::Incomplete;
+    };
+    let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes"));
+    if len == 0 {
+        return Parsed::Malformed("zero-length request frame");
+    }
+    if len > MAX_REQUEST_LEN {
+        return Parsed::Malformed("request frame exceeds protocol maximum");
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Parsed::Incomplete;
+    }
+    let opcode = buf[4];
+    let body = &buf[5..total];
+    let request = match opcode {
+        OP_GET => match body.try_into() {
+            Ok(id) => Ok(Request::Get(u32::from_le_bytes(id))),
+            Err(_) => Err((STATUS_BAD_FRAME, "GET body must be exactly 4 bytes")),
+        },
+        OP_MGET => parse_mget(body),
+        OP_STAT if body.is_empty() => Ok(Request::Stat),
+        OP_STAT => Err((STATUS_BAD_FRAME, "STAT carries no body")),
+        OP_SHUTDOWN if body.is_empty() => Ok(Request::Shutdown),
+        OP_SHUTDOWN => Err((STATUS_BAD_FRAME, "SHUTDOWN carries no body")),
+        _ => Err((STATUS_BAD_OPCODE, "unknown opcode")),
+    };
+    Parsed::Frame {
+        request,
+        consumed: total,
+    }
+}
+
+fn parse_mget(body: &[u8]) -> Result<Request<'_>, (u8, &'static str)> {
+    let Some(count_bytes) = body.get(..4) else {
+        return Err((STATUS_BAD_FRAME, "MGET body shorter than its count field"));
+    };
+    let count = u32::from_le_bytes(count_bytes.try_into().expect("4 bytes")) as usize;
+    if count > MAX_MGET {
+        return Err((STATUS_BAD_FRAME, "MGET count exceeds protocol maximum"));
+    }
+    if body.len() - 4 != 4 * count {
+        return Err((STATUS_BAD_FRAME, "MGET count disagrees with body length"));
+    }
+    Ok(Request::MGet(MGetIds { bytes: &body[4..] }))
+}
+
+/// Appends a GET request frame.
+pub fn write_get(out: &mut Vec<u8>, id: u32) {
+    out.extend_from_slice(&5u32.to_le_bytes());
+    out.push(OP_GET);
+    out.extend_from_slice(&id.to_le_bytes());
+}
+
+/// Appends an MGET request frame. Panics if `ids.len() > MAX_MGET` (the
+/// frame would be rejected by any conforming server).
+pub fn write_mget(out: &mut Vec<u8>, ids: &[u32]) {
+    assert!(ids.len() <= MAX_MGET, "MGET of {} ids", ids.len());
+    let len = (1 + 4 + 4 * ids.len()) as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(OP_MGET);
+    out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+    for &id in ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+}
+
+/// Appends a STAT request frame.
+pub fn write_stat(out: &mut Vec<u8>) {
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.push(OP_STAT);
+}
+
+/// Appends a SHUTDOWN request frame.
+pub fn write_shutdown(out: &mut Vec<u8>) {
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.push(OP_SHUTDOWN);
+}
+
+/// Reserves a response header at the end of `out` and returns the frame's
+/// start offset; append the body, then call [`finish_response`]. This
+/// two-step dance lets the server decode a document *directly* into the
+/// output buffer and patch the length afterwards — the warm GET path stays
+/// allocation-free.
+pub fn begin_response(out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 5]);
+    start
+}
+
+/// Patches the header of the response begun at `start` with the final
+/// length and `status`. Callers must keep bodies within
+/// [`MAX_RESPONSE_LEN`] (the server enforces this per opcode); the
+/// assertion makes a violation a loud failure instead of a silently
+/// wrapped length field.
+pub fn finish_response(out: &mut [u8], start: usize, status: u8) {
+    assert!(
+        out.len() - start - 4 <= MAX_RESPONSE_LEN as usize,
+        "response frame exceeds MAX_RESPONSE_LEN"
+    );
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    out[start + 4] = status;
+}
+
+/// Appends a complete error response frame.
+pub fn write_error(out: &mut Vec<u8>, status: u8, message: &str) {
+    debug_assert_ne!(status, STATUS_OK);
+    let start = begin_response(out);
+    out.extend_from_slice(message.as_bytes());
+    finish_response(out, start, status);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_roundtrip() {
+        let mut buf = Vec::new();
+        write_get(&mut buf, 42);
+        match parse_request(&buf) {
+            Parsed::Frame {
+                request: Ok(Request::Get(42)),
+                consumed,
+            } => assert_eq!(consumed, buf.len()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mget_roundtrip_and_pipelining() {
+        let ids = [7u32, 7, 0, 999_999];
+        let mut buf = Vec::new();
+        write_mget(&mut buf, &ids);
+        write_stat(&mut buf);
+        let Parsed::Frame {
+            request: Ok(Request::MGet(got)),
+            consumed,
+        } = parse_request(&buf)
+        else {
+            panic!("expected MGET frame")
+        };
+        assert_eq!(got.len(), 4);
+        assert!(!got.is_empty());
+        assert_eq!(got.iter().collect::<Vec<_>>(), ids);
+        // The second pipelined frame parses from the remainder.
+        match parse_request(&buf[consumed..]) {
+            Parsed::Frame {
+                request: Ok(Request::Stat),
+                consumed: c2,
+            } => assert_eq!(consumed + c2, buf.len()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_mget_is_valid() {
+        let mut buf = Vec::new();
+        write_mget(&mut buf, &[]);
+        let Parsed::Frame {
+            request: Ok(Request::MGet(ids)),
+            ..
+        } = parse_request(&buf)
+        else {
+            panic!("empty MGET must parse")
+        };
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn truncated_frames_are_incomplete() {
+        let mut buf = Vec::new();
+        write_mget(&mut buf, &[1, 2, 3]);
+        for cut in 0..buf.len() {
+            assert_eq!(
+                parse_request(&buf[..cut]),
+                Parsed::Incomplete,
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_malformed() {
+        assert!(matches!(
+            parse_request(&u32::MAX.to_le_bytes()),
+            Parsed::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_request(&(MAX_REQUEST_LEN + 1).to_le_bytes()),
+            Parsed::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_request(&0u32.to_le_bytes()),
+            Parsed::Malformed(_)
+        ));
+        // The cap itself is not malformed, merely incomplete.
+        assert_eq!(
+            parse_request(&MAX_REQUEST_LEN.to_le_bytes()),
+            Parsed::Incomplete
+        );
+    }
+
+    #[test]
+    fn invalid_content_keeps_the_frame_boundary() {
+        // Unknown opcode: 2-byte frame, opcode 0x6E + 1 body byte.
+        let mut buf = 2u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0x6E, 0xFF]);
+        write_get(&mut buf, 3); // pipelined valid frame after it
+        let Parsed::Frame {
+            request: Err((status, _)),
+            consumed,
+        } = parse_request(&buf)
+        else {
+            panic!("expected content error")
+        };
+        assert_eq!(status, STATUS_BAD_OPCODE);
+        assert!(matches!(
+            parse_request(&buf[consumed..]),
+            Parsed::Frame {
+                request: Ok(Request::Get(3)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn mget_count_must_match_body() {
+        // Frame says 3 ids but carries 2.
+        let body_len = 1 + 4 + 8;
+        let mut buf = (body_len as u32).to_le_bytes().to_vec();
+        buf.push(OP_MGET);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[0; 8]);
+        let Parsed::Frame {
+            request: Err((STATUS_BAD_FRAME, msg)),
+            ..
+        } = parse_request(&buf)
+        else {
+            panic!("count mismatch must be rejected")
+        };
+        assert!(msg.contains("count"));
+        // A count field claiming the maximum plus one is rejected even
+        // though the enclosing frame length is legal-looking.
+        let mut buf = MAX_REQUEST_LEN.to_le_bytes().to_vec();
+        buf.push(OP_MGET);
+        buf.extend_from_slice(&((MAX_MGET + 1) as u32).to_le_bytes());
+        buf.resize(4 + MAX_REQUEST_LEN as usize, 0);
+        assert!(matches!(
+            parse_request(&buf),
+            Parsed::Frame {
+                request: Err((STATUS_BAD_FRAME, _)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn response_header_patching() {
+        let mut out = b"prefix".to_vec();
+        let start = begin_response(&mut out);
+        out.extend_from_slice(b"abc");
+        finish_response(&mut out, start, STATUS_OK);
+        assert_eq!(&out[..6], b"prefix");
+        assert_eq!(u32::from_le_bytes(out[6..10].try_into().unwrap()), 4);
+        assert_eq!(out[10], STATUS_OK);
+        assert_eq!(&out[11..], b"abc");
+    }
+
+    #[test]
+    fn error_frames_carry_their_message() {
+        let mut out = Vec::new();
+        write_error(&mut out, STATUS_OUT_OF_RANGE, "doc 9 out of range");
+        let len = u32::from_le_bytes(out[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, out.len() - 4);
+        assert_eq!(out[4], STATUS_OUT_OF_RANGE);
+        assert_eq!(&out[5..], b"doc 9 out of range");
+    }
+}

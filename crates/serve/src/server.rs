@@ -1,0 +1,529 @@
+//! The serving engine: a thread-per-core accept loop over a nonblocking
+//! listener, with no external async runtime.
+//!
+//! Every worker thread holds a try-cloned handle of the same nonblocking
+//! `TcpListener` and runs a small event loop: accept whatever is pending,
+//! then tick every connection it owns — flush queued output, read available
+//! input, parse complete frames, append responses. The kernel's own accept
+//! queue balances connections across workers; a worker with nothing to do
+//! parks briefly instead of spinning.
+//!
+//! The hot path preserves the store layer's zero-allocation property end to
+//! end: frames are parsed in place from the connection's receive buffer
+//! (no copy, no allocation), and a GET decodes **directly into the
+//! connection's output buffer** through `DocStore::get_into` — once a
+//! connection's buffers and the worker thread's decode scratch are warm, a
+//! GET request performs zero heap allocations (asserted by the
+//! counting-allocator test in `tests/alloc_counting.rs`).
+
+use crate::protocol::{
+    self, Parsed, Request, STATUS_BAD_FRAME, STATUS_BAD_OPCODE, STATUS_INTERNAL, STATUS_OK,
+    STATUS_OUT_OF_RANGE,
+};
+use rlz_store::{DocStore, StoreError};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Stop reading from a connection while this much output is queued
+/// (backpressure against clients that pipeline faster than they drain).
+const OUT_HIGH_WATER: usize = 8 << 20;
+
+/// Read chunk size per `read()` call.
+const READ_CHUNK: usize = 64 << 10;
+
+/// How long an idle worker parks between polls.
+const IDLE_PARK: Duration = Duration::from_micros(250);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (each runs an accept + connection loop). Defaults to
+    /// the machine's available parallelism.
+    pub threads: usize,
+    /// Threads handed to `DocStore::get_batch` per MGET request. 1 keeps
+    /// MGET seek-aware and block-coalesced without spawning; raise it only
+    /// for stores on high-latency static storage.
+    pub batch_threads: usize,
+    /// Whether the SHUTDOWN opcode is honoured (on for the benchmark and
+    /// CI smoke flows; a production deployment would disable it and use
+    /// process signals).
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            batch_threads: 1,
+            allow_shutdown: true,
+        }
+    }
+}
+
+/// A running server: join or stop it through this handle.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once the server has stopped (SHUTDOWN opcode or [`stop`]).
+    ///
+    /// [`stop`]: ServerHandle::stop
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Signals every worker to exit after its current tick.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Blocks until every worker has exited (a SHUTDOWN frame, or a prior
+    /// [`stop`](ServerHandle::stop) call, triggers that).
+    pub fn join(self) {
+        for w in self.workers {
+            w.join().expect("serve worker panicked");
+        }
+    }
+
+    /// Signals shutdown and waits for the workers.
+    pub fn shutdown(self) {
+        self.stop();
+        self.join();
+    }
+}
+
+/// Starts serving `store` on `listener` with `cfg.threads` workers.
+///
+/// The listener is switched to nonblocking mode and try-cloned into every
+/// worker. Returns immediately; use the handle to join or stop.
+pub fn serve(
+    store: Arc<dyn DocStore>,
+    listener: TcpListener,
+    cfg: ServeConfig,
+) -> io::Result<ServerHandle> {
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads = cfg.threads.max(1);
+    let mut workers = Vec::with_capacity(threads);
+    for w in 0..threads {
+        let listener = listener.try_clone()?;
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let cfg = cfg.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("rlz-serve-{w}"))
+                .spawn(move || worker_loop(listener, store, stop, cfg))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        stop,
+        workers,
+    })
+}
+
+/// Per-request execution state shared by a worker's connections: the MGET
+/// id scratch lives here so decoding a batch request allocates at most once
+/// per worker lifetime, not once per frame.
+pub struct Responder {
+    batch_threads: usize,
+    allow_shutdown: bool,
+    ids: Vec<u32>,
+}
+
+/// What the connection should do after a response was appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep serving this connection.
+    Continue,
+    /// Flush what is queued, then close the connection.
+    Close,
+    /// Flush, close, and stop the whole server.
+    Shutdown,
+}
+
+impl Responder {
+    /// A responder for the given per-MGET thread count and shutdown policy.
+    pub fn new(batch_threads: usize, allow_shutdown: bool) -> Self {
+        Responder {
+            batch_threads: batch_threads.max(1),
+            allow_shutdown,
+            ids: Vec::new(),
+        }
+    }
+
+    /// Executes one well-formed request against `store`, appending exactly
+    /// one response frame to `out`. This is the whole per-request hot path:
+    /// for a GET it performs zero heap allocations once buffers are warm.
+    pub fn respond(
+        &mut self,
+        store: &dyn DocStore,
+        req: &Request<'_>,
+        out: &mut Vec<u8>,
+    ) -> Action {
+        // Largest legal response *body*: the length field counts the status
+        // byte plus the body and must stay within the cap the client also
+        // enforces.
+        const MAX_BODY: usize = protocol::MAX_RESPONSE_LEN as usize - 1;
+        match req {
+            Request::Get(id) => {
+                let start = protocol::begin_response(out);
+                match store.get_into(*id as usize, out) {
+                    Ok(()) if out.len() - start - 5 > MAX_BODY => {
+                        out.truncate(start);
+                        protocol::write_error(
+                            out,
+                            STATUS_INTERNAL,
+                            "document exceeds the response size cap",
+                        );
+                    }
+                    Ok(()) => protocol::finish_response(out, start, STATUS_OK),
+                    Err(e) => {
+                        out.truncate(start);
+                        write_store_error(out, &e);
+                    }
+                }
+                Action::Continue
+            }
+            Request::MGet(ids) => {
+                self.ids.clear();
+                self.ids.extend(ids.iter());
+                match store.get_batch(&self.ids, self.batch_threads) {
+                    Ok(docs) => {
+                        let body: usize = 4 + docs.iter().map(|d| 4 + d.len()).sum::<usize>();
+                        if body > MAX_BODY {
+                            protocol::write_error(
+                                out,
+                                STATUS_INTERNAL,
+                                "MGET response exceeds the size cap; split the batch",
+                            );
+                        } else {
+                            let start = protocol::begin_response(out);
+                            out.extend_from_slice(&(docs.len() as u32).to_le_bytes());
+                            for doc in &docs {
+                                out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
+                                out.extend_from_slice(doc);
+                            }
+                            protocol::finish_response(out, start, STATUS_OK);
+                        }
+                    }
+                    Err(e) => write_store_error(out, &e),
+                }
+                Action::Continue
+            }
+            Request::Stat => {
+                let stats = store.stats();
+                let start = protocol::begin_response(out);
+                out.extend_from_slice(&stats.num_docs.to_le_bytes());
+                out.extend_from_slice(&stats.payload_bytes.to_le_bytes());
+                out.extend_from_slice(&stats.max_record_len.to_le_bytes());
+                protocol::finish_response(out, start, STATUS_OK);
+                Action::Continue
+            }
+            Request::Shutdown => {
+                if self.allow_shutdown {
+                    let start = protocol::begin_response(out);
+                    protocol::finish_response(out, start, STATUS_OK);
+                    Action::Shutdown
+                } else {
+                    protocol::write_error(
+                        out,
+                        STATUS_BAD_OPCODE,
+                        "SHUTDOWN is disabled on this server",
+                    );
+                    Action::Continue
+                }
+            }
+        }
+    }
+}
+
+/// Maps a store failure onto a protocol error frame. Only the error path
+/// formats (and therefore allocates) a message.
+fn write_store_error(out: &mut Vec<u8>, e: &StoreError) {
+    let status = match e {
+        StoreError::DocOutOfRange(_) => STATUS_OUT_OF_RANGE,
+        _ => STATUS_INTERNAL,
+    };
+    protocol::write_error(out, status, &e.to_string());
+}
+
+/// One client connection owned by a worker.
+struct Conn {
+    stream: TcpStream,
+    /// Received-but-unparsed bytes; `in_start..` is the live region.
+    in_buf: Vec<u8>,
+    in_start: usize,
+    /// Queued-but-unsent response bytes; `out_start..` is the live region.
+    out_buf: Vec<u8>,
+    out_start: usize,
+    /// No more requests will be processed; close once `out_buf` drains.
+    closing: bool,
+    /// The peer half-closed its send side (read returned 0).
+    peer_eof: bool,
+}
+
+enum TickOutcome {
+    /// Made progress (accepted bytes either way).
+    Busy,
+    /// Nothing to do right now.
+    Idle,
+    /// Connection finished or failed; drop it.
+    Drop,
+    /// A SHUTDOWN request was honoured.
+    Shutdown,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            in_buf: Vec::new(),
+            in_start: 0,
+            out_buf: Vec::new(),
+            out_start: 0,
+            closing: false,
+            peer_eof: false,
+        })
+    }
+
+    /// Writes queued output until done or the socket refuses more.
+    /// Returns false when the connection is dead.
+    fn flush(&mut self, busy: &mut bool) -> bool {
+        while self.out_start < self.out_buf.len() {
+            match self.stream.write(&self.out_buf[self.out_start..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.out_start += n;
+                    *busy = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.out_start == self.out_buf.len() {
+            self.out_buf.clear();
+            self.out_start = 0;
+        }
+        true
+    }
+
+    /// Reads whatever is available, bounded by backpressure limits.
+    /// Returns false when the connection is dead.
+    fn fill(&mut self, chunk: &mut [u8], busy: &mut bool) -> bool {
+        // Bound buffered input: one maximal frame plus one read chunk is
+        // enough to make progress; beyond that the client is flooding.
+        let in_cap = protocol::MAX_REQUEST_LEN as usize + chunk.len();
+        loop {
+            if self.out_buf.len() - self.out_start >= OUT_HIGH_WATER
+                || self.in_buf.len() - self.in_start >= in_cap
+            {
+                return true;
+            }
+            match self.stream.read(chunk) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    return true;
+                }
+                Ok(n) => {
+                    self.in_buf.extend_from_slice(&chunk[..n]);
+                    *busy = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Parses and executes every complete frame currently buffered.
+    fn drain_frames(&mut self, store: &dyn DocStore, responder: &mut Responder) -> Action {
+        let mut action = Action::Continue;
+        while !self.closing {
+            // Backpressure on the output side too: a burst of pipelined
+            // requests must not materialize unbounded responses in one
+            // turn. Unhandled frames stay buffered and drain after the
+            // queued output flushes.
+            if self.out_buf.len() - self.out_start >= OUT_HIGH_WATER {
+                break;
+            }
+            match protocol::parse_request(&self.in_buf[self.in_start..]) {
+                Parsed::Incomplete => break,
+                Parsed::Malformed(msg) => {
+                    protocol::write_error(&mut self.out_buf, STATUS_BAD_FRAME, msg);
+                    self.closing = true;
+                }
+                Parsed::Frame { request, consumed } => {
+                    match request {
+                        Ok(req) => match responder.respond(store, &req, &mut self.out_buf) {
+                            Action::Continue => {}
+                            done => {
+                                self.closing = true;
+                                action = done;
+                            }
+                        },
+                        Err((status, msg)) => {
+                            protocol::write_error(&mut self.out_buf, status, msg);
+                            if status == STATUS_BAD_FRAME {
+                                // Content desync (e.g. an MGET whose count
+                                // lies): the boundary held this time, but
+                                // trust is gone.
+                                self.closing = true;
+                            }
+                        }
+                    }
+                    self.in_start += consumed;
+                }
+            }
+        }
+        // Compact the receive buffer without reallocating.
+        if self.in_start > 0 {
+            let len = self.in_buf.len();
+            self.in_buf.copy_within(self.in_start..len, 0);
+            self.in_buf.truncate(len - self.in_start);
+            self.in_start = 0;
+        }
+        action
+    }
+
+    /// One event-loop turn over this connection.
+    fn tick(
+        &mut self,
+        store: &dyn DocStore,
+        responder: &mut Responder,
+        chunk: &mut [u8],
+    ) -> TickOutcome {
+        let mut busy = false;
+        if !self.flush(&mut busy) {
+            return TickOutcome::Drop;
+        }
+        if self.closing {
+            return if self.out_buf.is_empty() {
+                TickOutcome::Drop
+            } else if busy {
+                TickOutcome::Busy
+            } else {
+                TickOutcome::Idle
+            };
+        }
+        if !self.fill(chunk, &mut busy) {
+            return TickOutcome::Drop;
+        }
+        let action = self.drain_frames(store, responder);
+        // After EOF no further bytes can arrive, so once every complete
+        // frame is drained the connection is done — any leftover partial
+        // frame can never complete and must not keep the socket alive.
+        if self.peer_eof && !self.closing && self.out_buf.len() - self.out_start < OUT_HIGH_WATER {
+            self.closing = true;
+        }
+        // Push out whatever the frames produced before yielding the slot.
+        if !self.flush(&mut busy) {
+            return TickOutcome::Drop;
+        }
+        if action == Action::Shutdown {
+            return TickOutcome::Shutdown;
+        }
+        if self.closing && self.out_buf.is_empty() {
+            return TickOutcome::Drop;
+        }
+        if busy {
+            TickOutcome::Busy
+        } else {
+            TickOutcome::Idle
+        }
+    }
+
+    /// Best-effort blocking drain of queued output, used when the server is
+    /// stopping so a final response (e.g. the SHUTDOWN ack) reaches the
+    /// peer.
+    fn final_flush(&mut self) {
+        if self.out_start >= self.out_buf.len() {
+            return;
+        }
+        let _ = self.stream.set_nonblocking(false);
+        let _ = self
+            .stream
+            .set_write_timeout(Some(Duration::from_millis(250)));
+        let _ = self.stream.write_all(&self.out_buf[self.out_start..]);
+        let _ = self.stream.flush();
+    }
+}
+
+fn worker_loop(
+    listener: TcpListener,
+    store: Arc<dyn DocStore>,
+    stop: Arc<AtomicBool>,
+    cfg: ServeConfig,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let mut responder = Responder::new(cfg.batch_threads, cfg.allow_shutdown);
+    while !stop.load(Ordering::Acquire) {
+        let mut busy = false;
+        // Accept everything pending; the listener is shared, so whichever
+        // worker polls first takes the connection.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => match Conn::new(stream) {
+                    Ok(conn) => {
+                        conns.push(conn);
+                        busy = true;
+                    }
+                    Err(_) => continue,
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (EMFILE, aborted handshakes):
+                // yield and retry next turn.
+                Err(_) => break,
+            }
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            match conns[i].tick(store.as_ref(), &mut responder, &mut chunk) {
+                TickOutcome::Busy => {
+                    busy = true;
+                    i += 1;
+                }
+                TickOutcome::Idle => i += 1,
+                TickOutcome::Drop => {
+                    conns.swap_remove(i);
+                }
+                TickOutcome::Shutdown => {
+                    conns[i].final_flush();
+                    conns.swap_remove(i);
+                    stop.store(true, Ordering::Release);
+                    busy = true;
+                }
+            }
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        if !busy {
+            std::thread::park_timeout(IDLE_PARK);
+        }
+    }
+    // Stopping: give every connection one last chance to receive queued
+    // responses before the sockets drop.
+    for conn in &mut conns {
+        conn.final_flush();
+    }
+}

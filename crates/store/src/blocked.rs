@@ -309,6 +309,16 @@ impl DocStore for BlockedStore {
         self.map.num_docs()
     }
 
+    fn stats(&self) -> crate::StoreStats {
+        crate::StoreStats {
+            num_docs: self.map.num_docs() as u64,
+            payload_bytes: self.stored_bytes,
+            // The blocked map delimits *uncompressed* documents, so this is
+            // the longest raw document in the collection.
+            max_record_len: self.map.max_extent_len(),
+        }
+    }
+
     fn record_offset(&self, id: usize) -> Option<u64> {
         // Position of the *block* holding the document: ordering a batch by
         // it both sweeps the payload forward and lands same-block ids next

@@ -12,9 +12,20 @@ use rlz_codecs::vbyte;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DocMap {
     offsets: Vec<u64>,
+    /// Largest single extent, precomputed so serving frontends can report
+    /// it without rescanning the map per STAT request.
+    max_extent: u64,
 }
 
 impl DocMap {
+    fn from_offsets(offsets: Vec<u64>) -> Self {
+        let max_extent = offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        DocMap {
+            offsets,
+            max_extent,
+        }
+    }
+
     /// Builds a map from document lengths.
     pub fn from_lens(lens: impl IntoIterator<Item = usize>) -> Self {
         let mut offsets = vec![0u64];
@@ -23,7 +34,7 @@ impl DocMap {
             at += len as u64;
             offsets.push(at);
         }
-        DocMap { offsets }
+        DocMap::from_offsets(offsets)
     }
 
     /// Number of documents.
@@ -41,6 +52,14 @@ impl DocMap {
         let start = *self.offsets.get(id)?;
         let end = *self.offsets.get(id + 1)?;
         Some((start, (end - start) as usize))
+    }
+
+    /// Length of the largest single extent (0 for an empty map). Extents
+    /// are deltas of the serialized offsets, so this is the longest *stored
+    /// record* — the raw document for stores keeping documents verbatim,
+    /// the encoded record for `RlzStore`.
+    pub fn max_extent_len(&self) -> u64 {
+        self.max_extent
     }
 
     /// Serializes as `vbyte(n+1)` then delta-vbyte offsets.
@@ -84,7 +103,7 @@ impl DocMap {
                 .ok_or(StoreError::Corrupt("document map offset overflow"))?;
             offsets.push(at);
         }
-        Ok(DocMap { offsets })
+        Ok(DocMap::from_offsets(offsets))
     }
 }
 
@@ -101,6 +120,16 @@ mod tests {
         assert_eq!(m.extent(1), Some((10, 0)));
         assert_eq!(m.extent(2), Some((10, 5)));
         assert_eq!(m.extent(3), None);
+    }
+
+    #[test]
+    fn max_extent_tracks_longest_record() {
+        assert_eq!(DocMap::from_lens(std::iter::empty()).max_extent_len(), 0);
+        assert_eq!(DocMap::from_lens([0usize, 0]).max_extent_len(), 0);
+        let m = DocMap::from_lens([10usize, 0, 5, 42, 7]);
+        assert_eq!(m.max_extent_len(), 42);
+        let round = DocMap::deserialize(&m.serialize()).unwrap();
+        assert_eq!(round.max_extent_len(), 42);
     }
 
     #[test]

@@ -144,6 +144,25 @@ impl From<rlz_lzlite::Error> for StoreError {
     }
 }
 
+/// Cheap aggregate statistics about an opened store.
+///
+/// Serving frontends (`rlz-serve`'s STAT opcode) and monitoring read these
+/// without touching the payload: every field comes from metadata already
+/// resident after `open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of documents stored.
+    pub num_docs: u64,
+    /// Stored payload bytes (compressed where the store compresses;
+    /// excludes dictionary/metadata). 0 when the store cannot say cheaply.
+    pub payload_bytes: u64,
+    /// Largest single record in the payload: the raw document for
+    /// [`AsciiStore`] and [`BlockedStore`], the *encoded* record for
+    /// [`RlzStore`] (decoded sizes are unknowable without decoding).
+    /// 0 when the store cannot say cheaply.
+    pub max_record_len: u64,
+}
+
 /// Random access to documents by ID, shareable across reader threads.
 ///
 /// All retrieval takes `&self`: implementations use positional I/O and
@@ -152,6 +171,16 @@ impl From<rlz_lzlite::Error> for StoreError {
 pub trait DocStore: Send + Sync {
     /// Number of documents stored.
     fn num_docs(&self) -> usize;
+
+    /// Cheap aggregate statistics (metadata only; never touches the
+    /// payload). The default reports the document count and leaves the
+    /// other fields 0; the concrete stores override with exact values.
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            num_docs: self.num_docs() as u64,
+            ..StoreStats::default()
+        }
+    }
 
     /// Appends document `id`'s bytes to `out`.
     fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError>;

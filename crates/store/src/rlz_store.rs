@@ -150,6 +150,15 @@ impl DocStore for RlzStore {
         self.map.num_docs()
     }
 
+    fn stats(&self) -> crate::StoreStats {
+        crate::StoreStats {
+            num_docs: self.map.num_docs() as u64,
+            payload_bytes: self.stored_bytes,
+            // Encoded records: the map delimits the compressed payload.
+            max_record_len: self.map.max_extent_len(),
+        }
+    }
+
     fn record_offset(&self, id: usize) -> Option<u64> {
         self.map.extent(id).map(|(offset, _)| offset)
     }

@@ -10,6 +10,8 @@
 //! * [`rlz`] — the paper's contribution: dictionary sampling, RLZ
 //!   factorization, factor coding, document compression.
 //! * [`store`] — document stores: raw, blocked-compressed, RLZ.
+//! * [`serve`] — the network front end: `rlz-serve` binary, wire
+//!   protocol, and a blocking client.
 //! * [`corpus`] — synthetic web collections and access patterns.
 //!
 //! See the repository `README.md` for a guided tour and `DESIGN.md` for the
@@ -19,6 +21,7 @@ pub use rlz_codecs as codecs;
 pub use rlz_core as rlz;
 pub use rlz_corpus as corpus;
 pub use rlz_lzlite as lzlite;
+pub use rlz_serve as serve;
 pub use rlz_store as store;
 pub use rlz_suffix as suffix;
 pub use rlz_zlite as zlite;

@@ -1,0 +1,226 @@
+//! End-to-end guard on the serving path: a real `rlz-serve` server on a
+//! loopback socket, driven by concurrent protocol clients, with every
+//! response checked byte-for-byte against direct `DocStore::get`. Also
+//! covers the protocol's failure surface (out-of-range, unknown opcode,
+//! malformed and oversized frames) and clean shutdown semantics.
+
+use rlz_repro::corpus::{access, generate_web, WebConfig};
+use rlz_repro::rlz::{Dictionary, PairCoding, SampleStrategy};
+use rlz_repro::serve::protocol::{self, STATUS_BAD_FRAME, STATUS_BAD_OPCODE, STATUS_OUT_OF_RANGE};
+use rlz_repro::serve::{serve, Client, ClientError, ServeConfig};
+use rlz_repro::store::{BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("rlz-serve-it-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn corpus_docs() -> Vec<Vec<u8>> {
+    let collection = generate_web(&WebConfig::gov2(512 * 1024, 0x5E17E));
+    collection.iter_docs().map(|d| d.to_vec()).collect()
+}
+
+fn build_rlz(dir: &std::path::Path, docs: &[Vec<u8>]) {
+    let all: Vec<u8> = docs.concat();
+    let dict = Dictionary::sample(&all, all.len() / 64, 512, SampleStrategy::Evenly);
+    let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+    RlzStoreBuilder::new(dict, PairCoding::ZV)
+        .threads(2)
+        .build(dir, &slices)
+        .unwrap();
+}
+
+fn start(store: Arc<dyn DocStore>, threads: usize) -> rlz_repro::serve::ServerHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    serve(
+        store,
+        listener,
+        ServeConfig {
+            threads,
+            batch_threads: 1,
+            allow_shutdown: true,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn concurrent_clients_roundtrip_byte_identical() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("roundtrip");
+    build_rlz(dir.path(), &docs);
+    let store = RlzStore::open(dir.path()).unwrap();
+    let handle = start(Arc::new(store.clone()), 2);
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 4;
+    let requests = access::query_log(docs.len(), CLIENTS * 300, 20, 0xFACE);
+    let shards = access::shards(&requests, CLIENTS);
+    std::thread::scope(|scope| {
+        for (t, shard) in shards.iter().enumerate() {
+            let docs = &docs;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut buf = Vec::new();
+                // Skewed single-GET stream, reusing the response buffer.
+                for &id in shard {
+                    buf.clear();
+                    client.get_into(id, &mut buf).unwrap();
+                    assert_eq!(&buf[..], docs[id as usize], "doc {id} (client {t})");
+                }
+                // The same stream as MGET batches through the seek-aware
+                // batch path.
+                for batch in shard.chunks(17) {
+                    let got = client.mget(batch).unwrap();
+                    for (doc, &id) in got.iter().zip(batch) {
+                        assert_eq!(doc, &docs[id as usize], "batched doc {id} (client {t})");
+                    }
+                }
+            });
+        }
+    });
+
+    // STAT agrees with the store's own accounting.
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stat().unwrap();
+    assert_eq!(stats, store.stats());
+    assert_eq!(stats.num_docs as usize, docs.len());
+    assert!(stats.payload_bytes > 0);
+    assert!(stats.max_record_len > 0);
+
+    client.shutdown_server().unwrap();
+    handle.join();
+}
+
+#[test]
+fn blocked_store_serves_identically() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("blocked");
+    BlockedStore::build(
+        dir.path(),
+        docs.iter().map(|d| d.as_slice()),
+        BlockCodec::Zlite(rlz_repro::zlite::Level::Default),
+        64 * 1024,
+        2,
+    )
+    .unwrap();
+    let store = BlockedStore::open(dir.path()).unwrap();
+    let handle = start(Arc::new(store), 1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Same-block ids in one MGET exercise the coalesced decode path.
+    let ids: Vec<u32> = (0..docs.len().min(40) as u32).collect();
+    let got = client.mget(&ids).unwrap();
+    for (doc, &id) in got.iter().zip(&ids) {
+        assert_eq!(doc, &docs[id as usize], "doc {id}");
+    }
+    assert_eq!(client.stat().unwrap().num_docs as usize, docs.len());
+    handle.shutdown();
+}
+
+#[test]
+fn error_frames_and_connection_policy() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("errors");
+    build_rlz(dir.path(), &docs);
+    let store = Arc::new(RlzStore::open(dir.path()).unwrap());
+    let handle = start(store, 1);
+    let addr = handle.addr();
+    let n = docs.len() as u32;
+
+    // Out-of-range GET: error frame, connection stays usable.
+    let mut client = Client::connect(addr).unwrap();
+    match client.get(n) {
+        Err(ClientError::Server { status, message }) => {
+            assert_eq!(status, STATUS_OUT_OF_RANGE);
+            assert!(message.contains("out of range"), "{message}");
+        }
+        other => panic!("expected out-of-range error, got {other:?}"),
+    }
+    assert_eq!(client.get(0).unwrap(), docs[0], "connection must survive");
+
+    // Out-of-range id inside an MGET fails the whole batch.
+    match client.mget(&[0, 1, n]) {
+        Err(ClientError::Server { status, .. }) => assert_eq!(status, STATUS_OUT_OF_RANGE),
+        other => panic!("expected out-of-range error, got {other:?}"),
+    }
+
+    // Unknown opcode: error frame, connection stays open.
+    let mut frame = 1u32.to_le_bytes().to_vec();
+    frame.push(0x6E);
+    let (status, _) = client.send_raw(&frame).unwrap();
+    assert_eq!(status, STATUS_BAD_OPCODE);
+    assert_eq!(client.get(1).unwrap(), docs[1]);
+
+    // Oversized length prefix: BAD_FRAME answer, then the server closes
+    // this connection.
+    let mut client = Client::connect(addr).unwrap();
+    let (status, _) = client.send_raw(&u32::MAX.to_le_bytes()).unwrap();
+    assert_eq!(status, STATUS_BAD_FRAME);
+    assert!(
+        client.get(0).is_err(),
+        "connection must be closed after a malformed frame"
+    );
+
+    // An MGET whose count field lies about the body also earns BAD_FRAME.
+    let mut client = Client::connect(addr).unwrap();
+    let mut frame = 13u32.to_le_bytes().to_vec(); // opcode + count + 2 ids
+    frame.push(protocol::OP_MGET);
+    frame.extend_from_slice(&9u32.to_le_bytes()); // claims 9 ids
+    frame.extend_from_slice(&[0u8; 8]); // carries 2
+    let (status, _) = client.send_raw(&frame).unwrap();
+    assert_eq!(status, STATUS_BAD_FRAME);
+
+    // A client vanishing mid-frame must not wedge the server.
+    {
+        let mut client = Client::connect(addr).unwrap();
+        let mut partial = 5u32.to_le_bytes().to_vec();
+        partial.push(protocol::OP_GET);
+        // Two of the four id bytes, then drop the socket.
+        partial.extend_from_slice(&[0u8; 2]);
+        let _ = client.send_raw_no_response(&partial);
+    }
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(
+        client.get(2).unwrap(),
+        docs[2],
+        "server survives torn frame"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_opcode_stops_every_worker() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("shutdown");
+    build_rlz(dir.path(), &docs);
+    let store = Arc::new(RlzStore::open(dir.path()).unwrap());
+    let handle = start(store, 3);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    // join() returning proves all workers exited; afterwards fresh
+    // connections must fail (nobody is accepting).
+    handle.join();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let refused =
+        Client::connect(addr).and_then(|mut c| c.get(0).map_err(|_| std::io::Error::other("dead")));
+    assert!(refused.is_err(), "server must stop serving after SHUTDOWN");
+}
