@@ -108,8 +108,18 @@ fn check_bench(file: &Path, bench: &str, rows: &[Value]) -> Result<(), String> {
             }
         }
         "serve" => {
+            // A single row is a schema regression: the serving matrix
+            // sweeps at least two configurations (backends, pipeline
+            // depths, cache on/off), so one row means the sweep was lost.
+            if rows.len() < 2 {
+                return Err(fail(
+                    file,
+                    "serve artifact has a single row; the matrix needs at least two \
+                     (sweep backends / pipeline depths / cache on+off, or --append)",
+                ));
+            }
             for (i, row) in rows.iter().enumerate() {
-                for key in ["connections", "batch", "requests"] {
+                for key in ["connections", "batch", "pipeline", "requests"] {
                     let v = nonneg(file, row, i, key)?;
                     if v < 1.0 {
                         return Err(fail(file, &format!("row {i}: {key} must be >= 1")));
@@ -134,6 +144,23 @@ fn check_bench(file: &Path, bench: &str, rows: &[Value]) -> Result<(), String> {
                     row.get(key)
                         .and_then(Value::as_str)
                         .ok_or_else(|| fail(file, &format!("row {i}: missing string {key:?}")))?;
+                }
+                let cache = row
+                    .get("cache")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| fail(file, &format!("row {i}: missing string \"cache\"")))?;
+                if !matches!(cache, "on" | "off") {
+                    return Err(fail(file, &format!("row {i}: cache must be on/off")));
+                }
+                let backend = row
+                    .get("backend")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| fail(file, &format!("row {i}: missing string \"backend\"")))?;
+                if !matches!(backend, "epoll" | "portable") {
+                    return Err(fail(
+                        file,
+                        &format!("row {i}: backend must be epoll/portable, got {backend:?}"),
+                    ));
                 }
             }
         }

@@ -6,19 +6,30 @@
 //!
 //! # Drive an external server (CI smoke flow):
 //! serve_load --addr 127.0.0.1:7641 --store DIR --smoke --verify \
-//!            [--connections N] [--batch N] [--requests N] [--shutdown]
+//!            [--connections N] [--batch N] [--pipeline N] [--requests N] \
+//!            [--append] [--shutdown]
+//!
+//! # Stop an external server without measuring anything:
+//! serve_load --addr 127.0.0.1:7641 --store DIR --shutdown-only
 //!
 //! # Self-contained: build, serve in-process, and measure:
-//! serve_load --store DIR --build [--connections N] [--rate R] ...
+//! serve_load --store DIR --build [--connections N] [--rate R] \
+//!            [--cache-bytes N] [--backend auto|epoll|portable] ...
 //! ```
 //!
 //! `--store` names the store directory; it doubles as the ground truth for
 //! `--verify`/`--smoke`, which compare every served byte against
 //! `DocStore::get`. `--smoke` first runs a scripted mixed GET / MGET /
-//! malformed-frame protocol exercise (any deviation exits nonzero), then
-//! the timed load. Results land in `BENCH_serve.json` (`--out` to move).
+//! pipelined / malformed-frame protocol exercise (any deviation exits
+//! nonzero), then the timed load. `--pipeline N` keeps N frames
+//! outstanding per connection in closed-loop mode. `--cache-bytes` and
+//! `--backend` configure the in-process server (external servers are
+//! configured by their own flags; rows are labelled from the live STAT
+//! response either way). Results land in `BENCH_serve.json` (`--out` to
+//! move, `--append` to keep an existing artifact's rows — how CI collects
+//! the epoll and portable runs into one matrix).
 
-use rlz_bench::serve::{self, Dist, LoadConfig};
+use rlz_bench::serve::{self, Dist, LoadConfig, ServerLabels};
 use rlz_bench::ScaledConfig;
 use rlz_core::{Dictionary, PairCoding, SampleStrategy};
 use rlz_serve::protocol::{self, STATUS_BAD_FRAME, STATUS_BAD_OPCODE, STATUS_OUT_OF_RANGE};
@@ -38,11 +49,16 @@ struct Args {
     smoke: bool,
     verify: bool,
     shutdown: bool,
+    shutdown_only: bool,
+    append: bool,
     connections: usize,
     batch: usize,
+    pipeline: usize,
     requests: usize,
     dist: Dist,
     rate: Option<f64>,
+    cache_bytes: usize,
+    backend: rlz_serve::Backend,
     out: PathBuf,
     wait_secs: u64,
     scaled: ScaledConfig,
@@ -51,9 +67,11 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: serve_load [--addr HOST:PORT] [--store DIR] [--build | --build-only]\n\
-         \x20                 [--size-mb N] [--connections N] [--batch N] [--requests N]\n\
-         \x20                 [--dist seq|zipf|querylog] [--rate R] [--smoke] [--verify]\n\
-         \x20                 [--shutdown] [--out FILE] [--wait-secs S] [--seed N]"
+         \x20                 [--size-mb N] [--connections N] [--batch N] [--pipeline N]\n\
+         \x20                 [--requests N] [--dist seq|zipf|querylog] [--rate R]\n\
+         \x20                 [--cache-bytes N] [--backend auto|epoll|portable]\n\
+         \x20                 [--smoke] [--verify] [--shutdown] [--shutdown-only]\n\
+         \x20                 [--append] [--out FILE] [--wait-secs S] [--seed N]"
     );
     std::process::exit(2)
 }
@@ -67,11 +85,16 @@ fn parse_args(raw: &[String]) -> Args {
         smoke: false,
         verify: false,
         shutdown: false,
+        shutdown_only: false,
+        append: false,
         connections: 4,
         batch: 1,
+        pipeline: 1,
         requests: 2000,
         dist: Dist::QueryLog,
         rate: None,
+        cache_bytes: 0,
+        backend: rlz_serve::Backend::Auto,
         out: PathBuf::from("BENCH_serve.json"),
         wait_secs: 15,
         scaled: ScaledConfig::from_args(raw),
@@ -101,11 +124,18 @@ fn parse_args(raw: &[String]) -> Args {
             }
             "--verify" => args.verify = true,
             "--shutdown" => args.shutdown = true,
+            "--shutdown-only" => args.shutdown_only = true,
+            "--append" => args.append = true,
             "--connections" => args.connections = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--batch" => args.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--pipeline" => args.pipeline = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--requests" => args.requests = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--dist" => args.dist = Dist::parse(&value(&mut i)).unwrap_or_else(|| usage()),
             "--rate" => args.rate = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--cache-bytes" => args.cache_bytes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--backend" => {
+                args.backend = rlz_serve::Backend::parse(&value(&mut i)).unwrap_or_else(|| usage())
+            }
             "--out" => args.out = PathBuf::from(value(&mut i)),
             "--wait-secs" => args.wait_secs = value(&mut i).parse().unwrap_or_else(|_| usage()),
             // ScaledConfig flags, already consumed by from_args above.
@@ -119,6 +149,10 @@ fn parse_args(raw: &[String]) -> Args {
             }
         }
         i += 1;
+    }
+    if args.pipeline < 1 {
+        eprintln!("serve_load: --pipeline must be >= 1");
+        usage()
     }
     args
 }
@@ -147,28 +181,46 @@ fn build_store(dir: &Path, cfg: &ScaledConfig) {
 }
 
 /// The scripted correctness mix: exercises every opcode, every error code,
-/// and the malformed-frame policy against ground truth. Panics (nonzero
-/// exit) on any deviation.
+/// pipelined frames, and the malformed-frame policy against ground truth.
+/// Panics (nonzero exit) on any deviation.
 fn smoke(addr: SocketAddr, truth: &dyn DocStore) {
     let n = truth.num_docs();
     assert!(n > 0, "smoke needs a non-empty store");
     let deadline = Duration::from_secs(5);
 
-    // STAT matches the store's own accounting.
+    // STAT matches the store's own accounting, and the extended fields are
+    // self-consistent.
     let mut client = Client::connect_retry(addr, deadline).expect("connect for smoke");
-    let stats = client.stat().expect("STAT");
-    assert_eq!(stats, truth.stats(), "served STAT disagrees with the store");
-
-    // Single GETs: a sweep plus a skewed sample, byte-identical.
-    let mut buf = Vec::new();
-    for id in (0..n).step_by((n / 256).max(1)).chain([0, n - 1]) {
-        buf.clear();
-        client.get_into(id as u32, &mut buf).expect("GET");
-        assert_eq!(
-            buf,
-            truth.get(id).expect("truth get"),
-            "GET {id} not byte-identical"
+    let stats = client.server_stat().expect("STAT");
+    assert_eq!(
+        stats.store,
+        truth.stats(),
+        "served STAT disagrees with the store"
+    );
+    assert_ne!(stats.backend_name(), "unknown", "backend tag must be known");
+    if stats.cache_budget_bytes > 0 {
+        assert!(
+            stats.cache_resident_bytes <= stats.cache_budget_bytes,
+            "cache resident bytes exceed the budget"
         );
+    } else {
+        assert_eq!(stats.cache_resident_bytes, 0);
+    }
+
+    // Single GETs: a sweep plus a skewed sample, byte-identical. The
+    // second pass re-reads the same ids so a cache-enabled server serves
+    // hits, which must be byte-identical too.
+    let mut buf = Vec::new();
+    for round in 0..2 {
+        for id in (0..n).step_by((n / 256).max(1)).chain([0, n - 1]) {
+            buf.clear();
+            client.get_into(id as u32, &mut buf).expect("GET");
+            assert_eq!(
+                buf,
+                truth.get(id).expect("truth get"),
+                "GET {id} not byte-identical (round {round})"
+            );
+        }
     }
 
     // MGETs: forward, reversed, duplicated, empty.
@@ -186,6 +238,23 @@ fn smoke(addr: SocketAddr, truth: &dyn DocStore) {
                 "MGET doc {id} not byte-identical"
             );
         }
+    }
+
+    // Pipelined GETs: a burst of frames written before any response is
+    // read must come back in request order, byte-identical — including
+    // repeated ids (the deduplicated batch path).
+    let pipelined: Vec<u32> = (0..48u32).map(|i| (i * 7) % n as u32).collect();
+    for &id in &pipelined {
+        client.send_get(id).expect("pipelined send");
+    }
+    for &id in &pipelined {
+        buf.clear();
+        client.recv_get_into(&mut buf).expect("pipelined recv");
+        assert_eq!(
+            buf,
+            truth.get(id as usize).expect("truth get"),
+            "pipelined GET {id} not byte-identical"
+        );
     }
 
     // Out-of-range: GET and MGET answer OUT_OF_RANGE error frames and the
@@ -250,7 +319,36 @@ fn smoke(addr: SocketAddr, truth: &dyn DocStore) {
         truth.get(0).unwrap()
     );
 
-    println!("serve_load: smoke ok (GET/MGET/STAT byte-identical, error frames correct)");
+    println!("serve_load: smoke ok (GET/MGET/STAT/pipelined byte-identical, error frames correct)");
+}
+
+/// Carries an existing artifact's rows into `report` so this run appends
+/// instead of replacing (CI collects the backend matrix this way).
+fn carry_over_rows(report: &mut rlz_bench::report::Report, path: &Path) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return; // nothing to append to
+    };
+    let Ok(parsed) = rlz_bench::json::parse(&text) else {
+        eprintln!(
+            "serve_load: existing {} is not valid JSON; replacing it",
+            path.display()
+        );
+        return;
+    };
+    if parsed.get("bench").and_then(rlz_bench::json::Value::as_str) != Some("serve") {
+        eprintln!(
+            "serve_load: existing {} is not a serve artifact; replacing it",
+            path.display()
+        );
+        return;
+    }
+    let Some(rows) = parsed.get("rows").and_then(rlz_bench::json::Value::as_arr) else {
+        return;
+    };
+    // Prepend in reverse so the carried rows keep their original order.
+    for row in rows.iter().rev() {
+        report.prepend_rendered(row.to_json());
+    }
 }
 
 fn main() -> ExitCode {
@@ -297,14 +395,42 @@ fn main() -> ExitCode {
             let handle = rlz_serve::serve(
                 Arc::clone(&truth),
                 listener,
-                rlz_serve::ServeConfig::default(),
+                rlz_serve::ServeConfig {
+                    backend: args.backend,
+                    cache_bytes: args.cache_bytes,
+                    ..rlz_serve::ServeConfig::default()
+                },
             )
             .expect("start in-process server");
             let addr = handle.addr();
-            println!("serve_load: started in-process server on {addr}");
+            println!(
+                "serve_load: started in-process server on {addr} ({} backend, cache {})",
+                handle.backend().name(),
+                if args.cache_bytes > 0 { "on" } else { "off" }
+            );
             in_process = Some(handle);
             addr
         }
+    };
+
+    if args.shutdown_only {
+        let mut client = Client::connect(addr).expect("connect for shutdown");
+        client
+            .shutdown_server()
+            .expect("SHUTDOWN must be acknowledged");
+        println!("serve_load: server acknowledged shutdown");
+        if let Some(handle) = in_process {
+            handle.join();
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Row labels come from the live server, so they are truthful for
+    // external servers too.
+    let labels = {
+        let mut client = Client::connect(addr).expect("connect for STAT");
+        let stats = client.server_stat().expect("server STAT");
+        ServerLabels::from_stat(&stats)
     };
 
     if args.smoke {
@@ -314,6 +440,7 @@ fn main() -> ExitCode {
     let load = LoadConfig {
         connections: args.connections,
         batch: args.batch,
+        pipeline: args.pipeline,
         frames: (args.requests / args.batch.max(1)).max(1),
         dist: args.dist,
         rate: args.rate,
@@ -323,7 +450,7 @@ fn main() -> ExitCode {
     // run_load verifies only when the config's verify flag asks for it.
     let truth_ref: Option<&dyn DocStore> = Some(truth.as_ref());
     println!(
-        "serve_load: {} load, {} connections, batch {}, {} frames, {} ids",
+        "serve_load: {} load, {} connections, batch {}, pipeline {}, {} frames, {} ids",
         if load.rate.is_some() {
             "open-loop"
         } else {
@@ -331,6 +458,7 @@ fn main() -> ExitCode {
         },
         load.connections,
         load.batch,
+        load.pipeline,
         load.frames,
         load.dist.name(),
     );
@@ -342,7 +470,7 @@ fn main() -> ExitCode {
         }
     };
     serve::print_serve_header();
-    serve::print_serve_row(&load, &result);
+    serve::print_serve_row(&load, &result, labels);
     println!(
         "serve_load: {} docs in {:.2}s = {:.0} docs/s, {:.1} MiB/s{}",
         result.docs,
@@ -361,7 +489,11 @@ fn main() -> ExitCode {
         &load,
         &result,
         truth.stats().payload_bytes,
+        labels,
     ));
+    if args.append {
+        carry_over_rows(&mut report, &args.out);
+    }
     report.write(&args.out).expect("write BENCH_serve.json");
 
     if args.shutdown {

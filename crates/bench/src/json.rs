@@ -60,6 +60,52 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Renders the value back to compact JSON (the writing complement of
+    /// [`parse`], used when an artifact is rewritten with appended rows).
+    /// Numbers that are whole render without a fraction so integer fields
+    /// survive a parse/render round trip unchanged.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => {
+                format!("{}", *n as i64)
+            }
+            Value::Num(n) => format!("{n}"),
+            Value::Str(s) => quote(s),
+            Value::Arr(items) => {
+                let body: Vec<String> = items.iter().map(Value::to_json).collect();
+                format!("[{}]", body.join(", "))
+            }
+            Value::Obj(fields) => {
+                let body: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", quote(k), v.to_json()))
+                    .collect();
+                format!("{{{}}}", body.join(", "))
+            }
+        }
+    }
+}
+
+/// Minimal JSON string quoting (mirrors the report writer's escaping).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Value {

@@ -13,10 +13,12 @@
 use std::io;
 use std::path::Path;
 
-/// One measurement row: ordered `(key, rendered JSON value)` pairs.
+/// One measurement row: ordered `(key, rendered JSON value)` pairs, or a
+/// pre-rendered object carried over from an existing artifact.
 #[derive(Debug, Clone, Default)]
 pub struct Row {
     fields: Vec<(String, String)>,
+    rendered: Option<String>,
 }
 
 impl Row {
@@ -50,6 +52,9 @@ impl Row {
     }
 
     fn render(&self) -> String {
+        if let Some(rendered) = &self.rendered {
+            return rendered.clone();
+        }
         let body: Vec<String> = self
             .fields
             .iter()
@@ -79,6 +84,18 @@ impl Report {
     /// Appends a measurement row.
     pub fn push(&mut self, row: Row) {
         self.rows.push(row);
+    }
+
+    /// Prepends an already-rendered JSON object row (used when an existing
+    /// artifact's rows are carried over before this run's rows append).
+    pub fn prepend_rendered(&mut self, rendered: String) {
+        self.rows.insert(
+            0,
+            Row {
+                fields: Vec::new(),
+                rendered: Some(rendered),
+            },
+        );
     }
 
     /// Number of rows recorded.

@@ -1,12 +1,15 @@
 //! A small blocking client for the `rlz-serve` protocol.
 //!
-//! One [`Client`] wraps one TCP connection and issues one request at a
-//! time (the protocol itself allows pipelining; the load generator in
-//! `rlz-bench` drives many clients in parallel instead). Response buffers
-//! are reused across calls, so a warm `get_into` allocates only when a
-//! document outgrows every previous one.
+//! One [`Client`] wraps one TCP connection. The convenience calls
+//! ([`get`](Client::get), [`mget`](Client::mget), …) issue one request at
+//! a time; the split `send_*` / `recv_*` pairs pipeline — write several
+//! request frames before reading the responses back **in request order**,
+//! which is how the `rlz-bench` load generator keeps a configurable number
+//! of frames outstanding per connection. Response buffers are reused
+//! across calls, so a warm `get_into` allocates only when a document
+//! outgrows every previous one.
 
-use crate::protocol::{self, MAX_RESPONSE_LEN, STATUS_OK};
+use crate::protocol::{self, MAX_RESPONSE_LEN, STATUS_OK, STAT_BODY_LEN};
 use rlz_store::StoreStats;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -56,6 +59,35 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Everything the extended STAT response reports: the store statistics
+/// plus the serving layer's hot-document cache counters and backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// The store-level statistics (first 24 body bytes).
+    pub store: StoreStats,
+    /// Hot-document cache byte budget; 0 when the cache is disabled.
+    pub cache_budget_bytes: u64,
+    /// Cache lookups served from memory.
+    pub cache_hits: u64,
+    /// Cache lookups that fell through to the store.
+    pub cache_misses: u64,
+    /// Decoded payload bytes currently resident in the cache.
+    pub cache_resident_bytes: u64,
+    /// The server's event backend (`protocol::BACKEND_*`).
+    pub backend: u8,
+}
+
+impl ServeStats {
+    /// The backend tag as the name used in logs and bench artifacts.
+    pub fn backend_name(&self) -> &'static str {
+        match self.backend {
+            protocol::BACKEND_EPOLL => "epoll",
+            protocol::BACKEND_PORTABLE => "portable",
+            _ => "unknown",
+        }
+    }
+}
+
 /// One blocking protocol connection.
 #[derive(Debug)]
 pub struct Client {
@@ -71,6 +103,18 @@ impl Client {
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        // A receive buffer sized above the largest common response keeps
+        // the TCP window ahead of multi-hundred-KB MGET bodies; with the
+        // kernel default (~128 KiB) against loopback's ~64 KiB MSS, a
+        // zero-window episode can suppress the reopening window update and
+        // park the server in 200 ms persist probes (see
+        // `event::set_socket_buffers`).
+        #[cfg(target_os = "linux")]
+        crate::event::set_socket_buffers(
+            std::os::unix::io::AsRawFd::as_raw_fd(&stream),
+            0,
+            4 << 20,
+        );
         Ok(Client {
             stream,
             req: Vec::new(),
@@ -100,9 +144,22 @@ impl Client {
 
     /// Fetches document `id`, appending its bytes to `out`.
     pub fn get_into(&mut self, id: u32, out: &mut Vec<u8>) -> Result<(), ClientError> {
+        self.send_get(id)?;
+        self.recv_get_into(out)
+    }
+
+    /// Writes a GET request frame without waiting for the response —
+    /// pair with [`recv_get_into`](Client::recv_get_into). Responses come
+    /// back in request order.
+    pub fn send_get(&mut self, id: u32) -> Result<(), ClientError> {
         self.req.clear();
         protocol::write_get(&mut self.req, id);
         self.stream.write_all(&self.req)?;
+        Ok(())
+    }
+
+    /// Reads one GET response, appending the document bytes to `out`.
+    pub fn recv_get_into(&mut self, out: &mut Vec<u8>) -> Result<(), ClientError> {
         let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
         check_ok(status, body)?;
         out.extend_from_slice(body);
@@ -111,14 +168,26 @@ impl Client {
 
     /// Fetches a batch of documents, in request order.
     pub fn mget(&mut self, ids: &[u32]) -> Result<Vec<Vec<u8>>, ClientError> {
+        self.send_mget(ids)?;
+        self.recv_mget(ids.len())
+    }
+
+    /// Writes an MGET request frame without waiting for the response —
+    /// pair with [`recv_mget`](Client::recv_mget).
+    pub fn send_mget(&mut self, ids: &[u32]) -> Result<(), ClientError> {
         self.req.clear();
         protocol::write_mget(&mut self.req, ids);
         self.stream.write_all(&self.req)?;
+        Ok(())
+    }
+
+    /// Reads one MGET response of `expected` documents, in request order.
+    pub fn recv_mget(&mut self, expected: usize) -> Result<Vec<Vec<u8>>, ClientError> {
         let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
         check_ok(status, body)?;
         let mut at = 0usize;
         let count = read_u32(body, &mut at)? as usize;
-        if count != ids.len() {
+        if count != expected {
             return Err(ClientError::Protocol("MGET answered a different count"));
         }
         let mut docs = Vec::with_capacity(count);
@@ -136,21 +205,35 @@ impl Client {
         Ok(docs)
     }
 
-    /// Fetches store statistics.
+    /// Fetches store statistics (the first 24 bytes of the STAT body; use
+    /// [`server_stat`](Client::server_stat) for the serving-layer fields).
     pub fn stat(&mut self) -> Result<StoreStats, ClientError> {
+        Ok(self.server_stat()?.store)
+    }
+
+    /// Fetches the full extended statistics: store accounting plus the
+    /// hot-document cache counters and the event backend.
+    pub fn server_stat(&mut self) -> Result<ServeStats, ClientError> {
         self.req.clear();
         protocol::write_stat(&mut self.req);
         self.stream.write_all(&self.req)?;
         let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
         check_ok(status, body)?;
-        if body.len() != 24 {
-            return Err(ClientError::Protocol("STAT body must be 24 bytes"));
+        if body.len() != STAT_BODY_LEN {
+            return Err(ClientError::Protocol("STAT body has the wrong length"));
         }
         let word = |i: usize| u64::from_le_bytes(body[i..i + 8].try_into().expect("8 bytes"));
-        Ok(StoreStats {
-            num_docs: word(0),
-            payload_bytes: word(8),
-            max_record_len: word(16),
+        Ok(ServeStats {
+            store: StoreStats {
+                num_docs: word(0),
+                payload_bytes: word(8),
+                max_record_len: word(16),
+            },
+            cache_budget_bytes: word(24),
+            cache_hits: word(32),
+            cache_misses: word(40),
+            cache_resident_bytes: word(48),
+            backend: body[56],
         })
     }
 

@@ -8,13 +8,20 @@
 //!
 //! * [`protocol`] — frame layout, opcodes, status codes, and a hardened
 //!   zero-copy parser (see its module docs for the full wire format);
-//! * [`server`] — a thread-per-core accept loop over a nonblocking
-//!   listener; no external async runtime. Each worker holds a clone of the
-//!   shared store and reuses per-connection buffers plus the store layer's
-//!   thread-local decode scratch, so a warm single-GET request performs
-//!   zero heap allocations end to end;
-//! * [`client`] — a blocking client used by the examples, the tests, and
-//!   the `serve_load` benchmark driver in `rlz-bench`.
+//! * [`server`] — readiness-driven worker threads over a shared
+//!   nonblocking listener; no external async runtime. On Linux the workers
+//!   block in the kernel via raw `epoll` bindings ([`event`]) — zero
+//!   busy-wait when idle — with a portable poll-loop fallback elsewhere
+//!   (or via `RLZ_SERVE_BACKEND=portable`). Frame draining is
+//!   pipelining-aware (buffered GET runs are batched through the
+//!   seek-aware `get_batch`), MGETs deduplicate repeated ids, and an
+//!   optional byte-budgeted hot-document cache serves popular documents
+//!   straight from memory. Each worker reuses per-connection buffers plus
+//!   the store layer's thread-local decode scratch, so a warm single-GET
+//!   request performs zero heap allocations end to end;
+//! * [`client`] — a blocking client (with split `send_*`/`recv_*`
+//!   pipelining calls) used by the examples, the tests, and the
+//!   `serve_load` benchmark driver in `rlz-bench`.
 //!
 //! # Example
 //!
@@ -45,12 +52,16 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is confined to the `event` module (raw epoll/eventfd
+// syscall bindings); everything else in the crate denies it.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(target_os = "linux")]
+pub mod event;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
-pub use server::{serve, Action, Responder, ServeConfig, ServerHandle};
+pub use client::{Client, ClientError, ServeStats};
+pub use server::{serve, Action, Backend, ResolvedBackend, Responder, ServeConfig, ServerHandle};

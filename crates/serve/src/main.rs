@@ -4,16 +4,19 @@
 //! rlz-serve --store DIR [--addr 127.0.0.1:7641] [--threads N]
 //!           [--family auto|rlz|blocked|ascii] [--resident]
 //!           [--batch-threads N] [--no-shutdown-opcode]
+//!           [--backend auto|epoll|portable] [--cache-bytes N]
 //! ```
 //!
 //! The store family is autodetected from the directory layout (`dict.bin`
 //! → RLZ, `blocks.bin` → blocked, `data.bin` → raw) unless `--family`
 //! forces one. `--resident` loads the payload into memory so retrieval
-//! does no disk I/O. The server runs until it receives the protocol's
-//! SHUTDOWN opcode (disable with `--no-shutdown-opcode`) or the process is
-//! signalled.
+//! does no disk I/O. `--backend` picks the event backend (`auto` follows
+//! `RLZ_SERVE_BACKEND`, then epoll on Linux); `--cache-bytes N` enables
+//! the hot-document cache with an N-byte budget. The server runs until it
+//! receives the protocol's SHUTDOWN opcode (disable with
+//! `--no-shutdown-opcode`) or the process is signalled.
 
-use rlz_serve::{serve, ServeConfig};
+use rlz_serve::{serve, Backend, ServeConfig};
 use rlz_store::{AsciiStore, BlockedStore, DocStore, RlzStore};
 use std::net::TcpListener;
 use std::path::Path;
@@ -24,7 +27,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: rlz-serve --store DIR [--addr HOST:PORT] [--threads N]\n\
          \x20                [--family auto|rlz|blocked|ascii] [--resident]\n\
-         \x20                [--batch-threads N] [--no-shutdown-opcode]"
+         \x20                [--batch-threads N] [--no-shutdown-opcode]\n\
+         \x20                [--backend auto|epoll|portable] [--cache-bytes N]"
     );
     std::process::exit(2)
 }
@@ -82,6 +86,8 @@ fn main() -> ExitCode {
                 cfg.batch_threads = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--no-shutdown-opcode" => cfg.allow_shutdown = false,
+            "--backend" => cfg.backend = Backend::parse(&value(&mut i)).unwrap_or_else(|| usage()),
+            "--cache-bytes" => cfg.cache_bytes = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -116,12 +122,18 @@ fn main() -> ExitCode {
     };
     println!(
         "rlz-serve: {} docs ({} payload bytes, max record {} bytes) listening on {} \
-         ({} workers, shutdown opcode {})",
+         ({} workers, {} backend, cache {}, shutdown opcode {})",
         stats.num_docs,
         stats.payload_bytes,
         stats.max_record_len,
         handle.addr(),
         cfg.threads.max(1),
+        handle.backend().name(),
+        if cfg.cache_bytes > 0 {
+            format!("{} bytes", cfg.cache_bytes)
+        } else {
+            "off".to_string()
+        },
         if cfg.allow_shutdown {
             "enabled"
         } else {

@@ -29,9 +29,18 @@
 //! | `0x04` | ERR_INTERNAL     | UTF-8 message; connection stays open     |
 //!
 //! OK bodies: GET → the document bytes verbatim; MGET → `count:u32le` then
-//! `count` × (`len:u32le` + document bytes), in request order; STAT →
-//! `num_docs:u64le` + `payload_bytes:u64le` + `max_record_len:u64le`
-//! (see `rlz_store::StoreStats`); SHUTDOWN → empty.
+//! `count` × (`len:u32le` + document bytes), in request order; SHUTDOWN →
+//! empty. STAT → the store statistics followed by serving statistics:
+//!
+//! ```text
+//! num_docs:u64le  payload_bytes:u64le  max_record_len:u64le      (store)
+//! cache_budget_bytes:u64le  cache_hits:u64le  cache_misses:u64le
+//! cache_resident_bytes:u64le  backend:u8                         (server)
+//! ```
+//!
+//! `cache_budget_bytes` is 0 when the hot-document cache is disabled;
+//! `backend` is one of the `BACKEND_*` tags. Clients that only care about
+//! the store may read the first 24 bytes and ignore the rest.
 //!
 //! # Hardening
 //!
@@ -63,6 +72,14 @@ pub const STATUS_BAD_OPCODE: u8 = 0x02;
 pub const STATUS_OUT_OF_RANGE: u8 = 0x03;
 /// The store failed to serve a valid request (I/O error, corrupt record).
 pub const STATUS_INTERNAL: u8 = 0x04;
+
+/// STAT backend tag: the portable poll-loop fallback.
+pub const BACKEND_PORTABLE: u8 = 0;
+/// STAT backend tag: kernel readiness notification (epoll).
+pub const BACKEND_EPOLL: u8 = 1;
+
+/// Length of the STAT OK body: 7 × `u64` + the backend tag byte.
+pub const STAT_BODY_LEN: usize = 7 * 8 + 1;
 
 /// Maximum ids per MGET request.
 pub const MAX_MGET: usize = 1 << 16;

@@ -1,31 +1,60 @@
-//! The serving engine: a thread-per-core accept loop over a nonblocking
+//! The serving engine: readiness-driven workers over a shared nonblocking
 //! listener, with no external async runtime.
 //!
-//! Every worker thread holds a try-cloned handle of the same nonblocking
-//! `TcpListener` and runs a small event loop: accept whatever is pending,
-//! then tick every connection it owns — flush queued output, read available
-//! input, parse complete frames, append responses. The kernel's own accept
-//! queue balances connections across workers; a worker with nothing to do
-//! parks briefly instead of spinning.
+//! Two interchangeable backends drive the same connection state machine:
 //!
-//! The hot path preserves the store layer's zero-allocation property end to
-//! end: frames are parsed in place from the connection's receive buffer
+//! * **epoll** (Linux, the default) — each worker owns an epoll instance;
+//!   the shared listener is registered `EPOLLEXCLUSIVE` (one readiness
+//!   event wakes one worker, no thundering herd) and every connection is
+//!   registered edge-triggered. Idle workers block **in the kernel** with
+//!   an infinite timeout — zero busy-wait, ~0% idle CPU — and wake in
+//!   microseconds when a socket turns readable. Write interest is armed
+//!   only while a connection's output is backed up, and a shared
+//!   `eventfd` wakes every worker immediately on shutdown.
+//! * **portable fallback** — the original poll-everything loop, kept for
+//!   non-Linux targets and as an ablation (`RLZ_SERVE_BACKEND=portable`).
+//!   Its idle park now uses a decaying backoff: any progress resets the
+//!   park interval to [`PARK_MIN`], so a request landing on a
+//!   recently-active worker is picked up within microseconds instead of a
+//!   full fixed park interval, while a long-idle worker backs off to
+//!   [`PARK_MAX`] between polls.
+//!
+//! The connection state machine is **pipelining-aware**: every complete
+//! frame buffered on a readable socket is drained in one pass, and runs of
+//! pipelined GET frames are batched through the store's seek-aware
+//! [`DocStore::get_batch`] (duplicate ids decoded once) before any
+//! response bytes are written. MGET requests deduplicate repeated ids the
+//! same way — query-log batches repeat hot documents — scattering the
+//! single decode back to every request position.
+//!
+//! An optional **hot-document cache** (a byte-budgeted
+//! [`rlz_store::ShardedLru`] shared by all workers, keyed by doc id)
+//! serves decoded payload bytes straight from memory; hit/miss/resident
+//! counters are surfaced through the STAT opcode.
+//!
+//! The hot path preserves the store layer's zero-allocation property end
+//! to end: frames are parsed in place from the connection's receive buffer
 //! (no copy, no allocation), and a GET decodes **directly into the
 //! connection's output buffer** through `DocStore::get_into` — once a
 //! connection's buffers and the worker thread's decode scratch are warm, a
-//! GET request performs zero heap allocations (asserted by the
-//! counting-allocator test in `tests/alloc_counting.rs`).
+//! GET request performs zero heap allocations, with or without a cache hit
+//! (asserted by the counting-allocator tests in `tests/`).
 
 use crate::protocol::{
-    self, Parsed, Request, STATUS_BAD_FRAME, STATUS_BAD_OPCODE, STATUS_INTERNAL, STATUS_OK,
-    STATUS_OUT_OF_RANGE,
+    self, Parsed, Request, BACKEND_EPOLL, BACKEND_PORTABLE, STATUS_BAD_FRAME, STATUS_BAD_OPCODE,
+    STATUS_INTERNAL, STATUS_OK, STATUS_OUT_OF_RANGE,
 };
-use rlz_store::{DocStore, StoreError};
+use rlz_store::{DocStore, ShardedLru, StoreError};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+use crate::event::{interest, Epoll, WakeFd};
+#[cfg(target_os = "linux")]
+use std::os::unix::io::AsRawFd;
 
 /// Stop reading from a connection while this much output is queued
 /// (backpressure against clients that pipeline faster than they drain).
@@ -34,8 +63,105 @@ const OUT_HIGH_WATER: usize = 8 << 20;
 /// Read chunk size per `read()` call.
 const READ_CHUNK: usize = 64 << 10;
 
-/// How long an idle worker parks between polls.
-const IDLE_PARK: Duration = Duration::from_micros(250);
+/// Fallback backend: shortest idle park (the interval immediately after
+/// any progress, so a fresh request is noticed quickly).
+const PARK_MIN: Duration = Duration::from_micros(20);
+
+/// Fallback backend: longest idle park (the decayed interval a long-idle
+/// worker settles at, bounding idle CPU).
+const PARK_MAX: Duration = Duration::from_millis(2);
+
+/// Pipelined GET frames batched per `get_batch` call before responses are
+/// written (bounds how much output one drain turn can materialize).
+const GET_RUN_MAX: usize = 512;
+
+/// Which event backend drives the workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// `RLZ_SERVE_BACKEND` env override if set, else epoll on Linux and
+    /// the portable fallback elsewhere.
+    #[default]
+    Auto,
+    /// OS readiness notification (Linux only; an error elsewhere).
+    Epoll,
+    /// The portable poll loop with decaying idle backoff.
+    Portable,
+}
+
+impl Backend {
+    /// Parses a CLI/env name.
+    pub fn parse(name: &str) -> Option<Backend> {
+        match name {
+            "auto" => Some(Backend::Auto),
+            "epoll" => Some(Backend::Epoll),
+            "portable" | "poll" => Some(Backend::Portable),
+            _ => None,
+        }
+    }
+
+    fn resolve(self) -> io::Result<ResolvedBackend> {
+        match self {
+            Backend::Portable => Ok(ResolvedBackend::Portable),
+            Backend::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    Ok(ResolvedBackend::Epoll)
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "the epoll backend requires Linux; use Backend::Portable",
+                    ))
+                }
+            }
+            Backend::Auto => match std::env::var("RLZ_SERVE_BACKEND") {
+                Ok(name) => match Backend::parse(&name) {
+                    Some(Backend::Auto) | None => Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("RLZ_SERVE_BACKEND={name:?} (expected \"epoll\" or \"portable\")"),
+                    )),
+                    Some(chosen) => chosen.resolve(),
+                },
+                Err(_) => {
+                    if cfg!(target_os = "linux") {
+                        Backend::Epoll.resolve()
+                    } else {
+                        Ok(ResolvedBackend::Portable)
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// The backend a running server actually uses (after [`Backend::Auto`]
+/// resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedBackend {
+    /// Kernel readiness notification.
+    Epoll,
+    /// Poll loop with decaying backoff.
+    Portable,
+}
+
+impl ResolvedBackend {
+    /// Human-readable name (matches the bench artifact labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            ResolvedBackend::Epoll => "epoll",
+            ResolvedBackend::Portable => "portable",
+        }
+    }
+
+    /// The wire tag reported in the extended STAT response.
+    pub fn tag(self) -> u8 {
+        match self {
+            ResolvedBackend::Epoll => BACKEND_EPOLL,
+            ResolvedBackend::Portable => BACKEND_PORTABLE,
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +177,12 @@ pub struct ServeConfig {
     /// CI smoke flows; a production deployment would disable it and use
     /// process signals).
     pub allow_shutdown: bool,
+    /// Event backend selection (see [`Backend`]).
+    pub backend: Backend,
+    /// Hot-document cache budget in bytes; 0 disables the cache. The cache
+    /// holds decoded payloads keyed by doc id, shared by all workers, and
+    /// reports hits/misses/resident bytes through STAT.
+    pub cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +191,8 @@ impl Default for ServeConfig {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             batch_threads: 1,
             allow_shutdown: true,
+            backend: Backend::Auto,
+            cache_bytes: 0,
         }
     }
 }
@@ -67,7 +201,10 @@ impl Default for ServeConfig {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
+    backend: ResolvedBackend,
     stop: Arc<AtomicBool>,
+    #[cfg(target_os = "linux")]
+    wake: Option<WakeFd>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -77,6 +214,11 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The event backend the workers run on.
+    pub fn backend(&self) -> ResolvedBackend {
+        self.backend
+    }
+
     /// True once the server has stopped (SHUTDOWN opcode or [`stop`]).
     ///
     /// [`stop`]: ServerHandle::stop
@@ -84,9 +226,14 @@ impl ServerHandle {
         self.stop.load(Ordering::Acquire)
     }
 
-    /// Signals every worker to exit after its current tick.
+    /// Signals every worker to exit after its current tick. Workers parked
+    /// in the kernel are woken immediately.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Release);
+        #[cfg(target_os = "linux")]
+        if let Some(wake) = &self.wake {
+            wake.wake();
+        }
     }
 
     /// Blocks until every worker has exited (a SHUTDOWN frame, or a prior
@@ -115,34 +262,80 @@ pub fn serve(
 ) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let backend = cfg.backend.resolve()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let cache: Option<Arc<ShardedLru>> =
+        (cfg.cache_bytes > 0).then(|| Arc::new(ShardedLru::with_byte_budget(cfg.cache_bytes)));
     let threads = cfg.threads.max(1);
     let mut workers = Vec::with_capacity(threads);
+    #[cfg(target_os = "linux")]
+    let wake = match backend {
+        ResolvedBackend::Epoll => Some(WakeFd::new()?),
+        ResolvedBackend::Portable => None,
+    };
     for w in 0..threads {
         let listener = listener.try_clone()?;
         let store = Arc::clone(&store);
         let stop = Arc::clone(&stop);
-        let cfg = cfg.clone();
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("rlz-serve-{w}"))
-                .spawn(move || worker_loop(listener, store, stop, cfg))?,
-        );
+        let mut responder =
+            Responder::new(cfg.batch_threads, cfg.allow_shutdown).with_backend_tag(backend.tag());
+        if let Some(cache) = &cache {
+            responder = responder.with_cache(Arc::clone(cache));
+        }
+        let builder = std::thread::Builder::new().name(format!("rlz-serve-{w}"));
+        let handle = match backend {
+            #[cfg(target_os = "linux")]
+            ResolvedBackend::Epoll => {
+                let ep = Epoll::new()?;
+                let wake = wake.clone().expect("epoll backend always has a wake fd");
+                builder
+                    .spawn(move || epoll_worker_loop(ep, listener, store, stop, responder, wake))?
+            }
+            #[cfg(not(target_os = "linux"))]
+            ResolvedBackend::Epoll => unreachable!("epoll backend never resolves off Linux"),
+            ResolvedBackend::Portable => {
+                builder.spawn(move || portable_worker_loop(listener, store, stop, responder))?
+            }
+        };
+        workers.push(handle);
     }
     Ok(ServerHandle {
         addr,
+        backend,
         stop,
+        #[cfg(target_os = "linux")]
+        wake,
         workers,
     })
 }
 
-/// Per-request execution state shared by a worker's connections: the MGET
-/// id scratch lives here so decoding a batch request allocates at most once
-/// per worker lifetime, not once per frame.
+/// Per-request execution state shared by a worker's connections: every
+/// scratch buffer the batching/dedup machinery needs lives here, so
+/// serving a request allocates at most once per high-water mark over the
+/// worker's lifetime, not once per frame.
 pub struct Responder {
     batch_threads: usize,
     allow_shutdown: bool,
+    backend_tag: u8,
+    /// Shared hot-document cache (decoded payloads keyed by doc id).
+    cache: Option<Arc<ShardedLru>>,
+    /// MGET/GET-run request ids, in request order.
     ids: Vec<u32>,
+    /// `(id, position)` sort scratch for deduplication.
+    order: Vec<(u32, u32)>,
+    /// Request position -> index into `uniq`.
+    slots: Vec<u32>,
+    /// Unique requested ids.
+    uniq: Vec<u32>,
+    /// Unique ids that missed the cache and need a store fetch.
+    fetch: Vec<u32>,
+    /// `fetch[i]`'s index into `uniq`/`docs`.
+    fetch_slots: Vec<u32>,
+    /// Per-unique-id payload (None until fetched; stays None for
+    /// out-of-range ids on the per-GET path).
+    docs: Vec<Option<Arc<Vec<u8>>>>,
+    /// Pipelined GET run buffered during a drain pass.
+    run: Vec<u32>,
 }
 
 /// What the connection should do after a response was appended.
@@ -162,67 +355,50 @@ impl Responder {
         Responder {
             batch_threads: batch_threads.max(1),
             allow_shutdown,
+            backend_tag: BACKEND_PORTABLE,
+            cache: None,
             ids: Vec::new(),
+            order: Vec::new(),
+            slots: Vec::new(),
+            uniq: Vec::new(),
+            fetch: Vec::new(),
+            fetch_slots: Vec::new(),
+            docs: Vec::new(),
+            run: Vec::new(),
         }
+    }
+
+    /// Attaches a shared hot-document cache.
+    pub fn with_cache(mut self, cache: Arc<ShardedLru>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets the backend tag reported through STAT.
+    pub fn with_backend_tag(mut self, tag: u8) -> Self {
+        self.backend_tag = tag;
+        self
     }
 
     /// Executes one well-formed request against `store`, appending exactly
     /// one response frame to `out`. This is the whole per-request hot path:
-    /// for a GET it performs zero heap allocations once buffers are warm.
+    /// for a GET it performs zero heap allocations once buffers are warm
+    /// (cache hit or miss-free store decode alike).
     pub fn respond(
         &mut self,
         store: &dyn DocStore,
         req: &Request<'_>,
         out: &mut Vec<u8>,
     ) -> Action {
-        // Largest legal response *body*: the length field counts the status
-        // byte plus the body and must stay within the cap the client also
-        // enforces.
-        const MAX_BODY: usize = protocol::MAX_RESPONSE_LEN as usize - 1;
         match req {
             Request::Get(id) => {
-                let start = protocol::begin_response(out);
-                match store.get_into(*id as usize, out) {
-                    Ok(()) if out.len() - start - 5 > MAX_BODY => {
-                        out.truncate(start);
-                        protocol::write_error(
-                            out,
-                            STATUS_INTERNAL,
-                            "document exceeds the response size cap",
-                        );
-                    }
-                    Ok(()) => protocol::finish_response(out, start, STATUS_OK),
-                    Err(e) => {
-                        out.truncate(start);
-                        write_store_error(out, &e);
-                    }
-                }
+                self.respond_get(store, *id, out);
                 Action::Continue
             }
             Request::MGet(ids) => {
                 self.ids.clear();
                 self.ids.extend(ids.iter());
-                match store.get_batch(&self.ids, self.batch_threads) {
-                    Ok(docs) => {
-                        let body: usize = 4 + docs.iter().map(|d| 4 + d.len()).sum::<usize>();
-                        if body > MAX_BODY {
-                            protocol::write_error(
-                                out,
-                                STATUS_INTERNAL,
-                                "MGET response exceeds the size cap; split the batch",
-                            );
-                        } else {
-                            let start = protocol::begin_response(out);
-                            out.extend_from_slice(&(docs.len() as u32).to_le_bytes());
-                            for doc in &docs {
-                                out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
-                                out.extend_from_slice(doc);
-                            }
-                            protocol::finish_response(out, start, STATUS_OK);
-                        }
-                    }
-                    Err(e) => write_store_error(out, &e),
-                }
+                self.respond_mget(store, out);
                 Action::Continue
             }
             Request::Stat => {
@@ -231,6 +407,20 @@ impl Responder {
                 out.extend_from_slice(&stats.num_docs.to_le_bytes());
                 out.extend_from_slice(&stats.payload_bytes.to_le_bytes());
                 out.extend_from_slice(&stats.max_record_len.to_le_bytes());
+                let (budget, hits, misses, resident) = match &self.cache {
+                    Some(c) => (
+                        c.byte_budget() as u64,
+                        c.hits(),
+                        c.misses(),
+                        c.resident_bytes() as u64,
+                    ),
+                    None => (0, 0, 0, 0),
+                };
+                out.extend_from_slice(&budget.to_le_bytes());
+                out.extend_from_slice(&hits.to_le_bytes());
+                out.extend_from_slice(&misses.to_le_bytes());
+                out.extend_from_slice(&resident.to_le_bytes());
+                out.push(self.backend_tag);
                 protocol::finish_response(out, start, STATUS_OK);
                 Action::Continue
             }
@@ -249,6 +439,221 @@ impl Responder {
                 }
             }
         }
+    }
+
+    /// Buffers a pipelined GET; the caller flushes the run via
+    /// [`flush_gets`](Responder::flush_gets) before any other response is
+    /// written.
+    pub fn push_get(&mut self, id: u32) {
+        self.run.push(id);
+    }
+
+    /// True when the buffered GET run must be flushed before more frames
+    /// are parsed.
+    pub fn get_run_full(&self) -> bool {
+        self.run.len() >= GET_RUN_MAX
+    }
+
+    /// Serves every buffered pipelined GET, in order. A single GET goes
+    /// down the zero-allocation direct path; longer runs deduplicate ids
+    /// and batch the store fetch through the seek-aware `get_batch` before
+    /// writing any response bytes. Out-of-range ids answer individual
+    /// error frames (per-GET semantics), exactly as if served one by one.
+    pub fn flush_gets(&mut self, store: &dyn DocStore, out: &mut Vec<u8>) {
+        match self.run.len() {
+            0 => {}
+            1 => {
+                let id = self.run[0];
+                self.run.clear();
+                self.respond_get(store, id, out);
+            }
+            _ => {
+                let run = std::mem::take(&mut self.run);
+                self.ids.clear();
+                self.ids.extend_from_slice(&run);
+                if self.fetch_unique(store, true).is_ok() {
+                    const MAX_BODY: usize = protocol::MAX_RESPONSE_LEN as usize - 1;
+                    for pos in 0..self.ids.len() {
+                        let slot = self.slots[pos] as usize;
+                        match &self.docs[slot] {
+                            Some(doc) if doc.len() > MAX_BODY => protocol::write_error(
+                                out,
+                                STATUS_INTERNAL,
+                                "document exceeds the response size cap",
+                            ),
+                            Some(doc) => {
+                                let start = protocol::begin_response(out);
+                                out.extend_from_slice(doc);
+                                protocol::finish_response(out, start, STATUS_OK);
+                            }
+                            None => write_store_error(
+                                out,
+                                &StoreError::DocOutOfRange(self.ids[pos] as usize),
+                            ),
+                        }
+                    }
+                } else {
+                    // A store-side failure (I/O, corrupt record) on the
+                    // batched path: fall back to serving each GET
+                    // individually so per-request error semantics hold.
+                    for &id in &run {
+                        self.respond_get(store, id, out);
+                    }
+                }
+                // Release the fetched payload Arcs now that the responses
+                // are written: scratch *capacity* is worth keeping across
+                // requests, decoded *documents* are not — an idle worker
+                // must not pin a whole batch of payloads.
+                self.docs.clear();
+                self.run = run;
+                self.run.clear();
+            }
+        }
+    }
+
+    /// One GET: cache hit copies straight from the cached payload; a miss
+    /// decodes directly into `out` (and populates the cache).
+    fn respond_get(&mut self, store: &dyn DocStore, id: u32, out: &mut Vec<u8>) {
+        // Largest legal response *body*: the length field counts the status
+        // byte plus the body and must stay within the cap the client also
+        // enforces.
+        const MAX_BODY: usize = protocol::MAX_RESPONSE_LEN as usize - 1;
+        if let Some(cache) = &self.cache {
+            if let Some(doc) = cache.get(id as usize) {
+                if doc.len() > MAX_BODY {
+                    protocol::write_error(
+                        out,
+                        STATUS_INTERNAL,
+                        "document exceeds the response size cap",
+                    );
+                } else {
+                    let start = protocol::begin_response(out);
+                    out.extend_from_slice(&doc);
+                    protocol::finish_response(out, start, STATUS_OK);
+                }
+                return;
+            }
+        }
+        let start = protocol::begin_response(out);
+        match store.get_into(id as usize, out) {
+            Ok(()) if out.len() - start - 5 > MAX_BODY => {
+                out.truncate(start);
+                protocol::write_error(
+                    out,
+                    STATUS_INTERNAL,
+                    "document exceeds the response size cap",
+                );
+            }
+            Ok(()) => {
+                protocol::finish_response(out, start, STATUS_OK);
+                if let Some(cache) = &self.cache {
+                    cache.insert(id as usize, Arc::new(out[start + 5..].to_vec()));
+                }
+            }
+            Err(e) => {
+                out.truncate(start);
+                write_store_error(out, &e);
+            }
+        }
+    }
+
+    /// One MGET over `self.ids`: repeated ids are deduplicated before the
+    /// seek-aware `get_batch`, the single decode scattered back to every
+    /// request position. Any out-of-range id fails the whole batch
+    /// (matching `get_batch` semantics).
+    fn respond_mget(&mut self, store: &dyn DocStore, out: &mut Vec<u8>) {
+        const MAX_BODY: usize = protocol::MAX_RESPONSE_LEN as usize - 1;
+        if let Some(&bad) = self.ids.iter().find(|&&id| id as usize >= store.num_docs()) {
+            write_store_error(out, &StoreError::DocOutOfRange(bad as usize));
+            return;
+        }
+        if let Err(e) = self.fetch_unique(store, false) {
+            write_store_error(out, &e);
+            return;
+        }
+        let body: usize = 4 + self
+            .slots
+            .iter()
+            .map(|&s| 4 + self.docs[s as usize].as_ref().map_or(0, |d| d.len()))
+            .sum::<usize>();
+        if body > MAX_BODY {
+            protocol::write_error(
+                out,
+                STATUS_INTERNAL,
+                "MGET response exceeds the size cap; split the batch",
+            );
+            // The payloads were fetched before the cap check; drop them.
+            self.docs.clear();
+            return;
+        }
+        let start = protocol::begin_response(out);
+        out.extend_from_slice(&(self.ids.len() as u32).to_le_bytes());
+        for &slot in &self.slots {
+            let doc = self.docs[slot as usize]
+                .as_ref()
+                .expect("in-range id fetched");
+            out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
+            out.extend_from_slice(doc);
+        }
+        protocol::finish_response(out, start, STATUS_OK);
+        // Release the payload Arcs: an idle worker must not pin the last
+        // batch's decoded documents (they can total far more than the
+        // response cap, since the fetch precedes the cap check).
+        self.docs.clear();
+    }
+
+    /// Deduplicates `self.ids` into `self.uniq` + `self.slots`, then fills
+    /// `self.docs` for every unique id — from the hot cache where
+    /// possible, the rest through one seek-aware `get_batch` call. With
+    /// `skip_out_of_range`, ids beyond the store are left as `None`
+    /// (per-GET error semantics) instead of failing the whole fetch.
+    fn fetch_unique(
+        &mut self,
+        store: &dyn DocStore,
+        skip_out_of_range: bool,
+    ) -> Result<(), StoreError> {
+        self.order.clear();
+        self.order
+            .extend(self.ids.iter().enumerate().map(|(p, &id)| (id, p as u32)));
+        self.order.sort_unstable();
+        self.uniq.clear();
+        self.slots.clear();
+        self.slots.resize(self.ids.len(), 0);
+        for &(id, pos) in &self.order {
+            if self.uniq.last() != Some(&id) {
+                self.uniq.push(id);
+            }
+            self.slots[pos as usize] = (self.uniq.len() - 1) as u32;
+        }
+        self.docs.clear();
+        self.docs.resize(self.uniq.len(), None);
+        self.fetch.clear();
+        self.fetch_slots.clear();
+        let num_docs = store.num_docs();
+        for (u, &id) in self.uniq.iter().enumerate() {
+            if skip_out_of_range && id as usize >= num_docs {
+                continue;
+            }
+            if let Some(cache) = &self.cache {
+                if let Some(doc) = cache.get(id as usize) {
+                    self.docs[u] = Some(doc);
+                    continue;
+                }
+            }
+            self.fetch.push(id);
+            self.fetch_slots.push(u as u32);
+        }
+        if !self.fetch.is_empty() {
+            let got = store.get_batch(&self.fetch, self.batch_threads)?;
+            for (doc, &u) in got.into_iter().zip(&self.fetch_slots) {
+                let doc = Arc::new(doc);
+                if let Some(cache) = &self.cache {
+                    cache.insert(self.uniq[u as usize] as usize, Arc::clone(&doc));
+                }
+                self.docs[u as usize] = Some(doc);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -275,6 +680,12 @@ struct Conn {
     closing: bool,
     /// The peer half-closed its send side (read returned 0).
     peer_eof: bool,
+    /// Write interest is currently armed in the epoll set.
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    want_write: bool,
+    /// Currently in the epoll worker's ready queue.
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    queued: bool,
 }
 
 enum TickOutcome {
@@ -288,10 +699,25 @@ enum TickOutcome {
     Shutdown,
 }
 
+/// Server-side send buffer for accepted connections: large enough that a
+/// typical multi-document response hands off to the kernel in one write
+/// (fewer write-readiness round trips; see
+/// [`event::set_socket_buffers`](crate::event::set_socket_buffers) for the
+/// TCP persist-stall rationale).
+#[cfg(target_os = "linux")]
+const CONN_SNDBUF: usize = 1 << 20;
+
+/// Server-side receive buffer: comfortably holds the largest request
+/// frame (a maximal MGET is ~256 KiB).
+#[cfg(target_os = "linux")]
+const CONN_RCVBUF: usize = 512 << 10;
+
 impl Conn {
     fn new(stream: TcpStream) -> io::Result<Self> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
+        #[cfg(target_os = "linux")]
+        crate::event::set_socket_buffers(stream.as_raw_fd(), CONN_SNDBUF, CONN_RCVBUF);
         Ok(Conn {
             stream,
             in_buf: Vec::new(),
@@ -300,7 +726,14 @@ impl Conn {
             out_start: 0,
             closing: false,
             peer_eof: false,
+            want_write: false,
+            queued: false,
         })
+    }
+
+    /// Bytes queued but not yet written to the socket.
+    fn out_pending(&self) -> bool {
+        self.out_start < self.out_buf.len()
     }
 
     /// Writes queued output until done or the socket refuses more.
@@ -353,7 +786,10 @@ impl Conn {
         }
     }
 
-    /// Parses and executes every complete frame currently buffered.
+    /// Parses and executes every complete frame currently buffered, in one
+    /// pass. Consecutive pipelined GET frames are buffered into a run and
+    /// flushed through the batched path before any non-GET response (or
+    /// the end of the pass), preserving response order.
     fn drain_frames(&mut self, store: &dyn DocStore, responder: &mut Responder) -> Action {
         let mut action = Action::Continue;
         while !self.closing {
@@ -367,19 +803,30 @@ impl Conn {
             match protocol::parse_request(&self.in_buf[self.in_start..]) {
                 Parsed::Incomplete => break,
                 Parsed::Malformed(msg) => {
+                    responder.flush_gets(store, &mut self.out_buf);
                     protocol::write_error(&mut self.out_buf, STATUS_BAD_FRAME, msg);
                     self.closing = true;
                 }
                 Parsed::Frame { request, consumed } => {
                     match request {
-                        Ok(req) => match responder.respond(store, &req, &mut self.out_buf) {
-                            Action::Continue => {}
-                            done => {
-                                self.closing = true;
-                                action = done;
+                        Ok(Request::Get(id)) => {
+                            responder.push_get(id);
+                            if responder.get_run_full() {
+                                responder.flush_gets(store, &mut self.out_buf);
                             }
-                        },
+                        }
+                        Ok(req) => {
+                            responder.flush_gets(store, &mut self.out_buf);
+                            match responder.respond(store, &req, &mut self.out_buf) {
+                                Action::Continue => {}
+                                done => {
+                                    self.closing = true;
+                                    action = done;
+                                }
+                            }
+                        }
                         Err((status, msg)) => {
+                            responder.flush_gets(store, &mut self.out_buf);
                             protocol::write_error(&mut self.out_buf, status, msg);
                             if status == STATUS_BAD_FRAME {
                                 // Content desync (e.g. an MGET whose count
@@ -393,6 +840,7 @@ impl Conn {
                 }
             }
         }
+        responder.flush_gets(store, &mut self.out_buf);
         // Compact the receive buffer without reallocating.
         if self.in_start > 0 {
             let len = self.in_buf.len();
@@ -403,30 +851,42 @@ impl Conn {
         action
     }
 
-    /// One event-loop turn over this connection.
+    /// One event-loop turn over this connection. The second return value
+    /// reports **input progress** (new bytes read or frames consumed) as
+    /// opposed to mere write progress: an event-driven caller must re-tick
+    /// only on input progress — re-ticking while a large response drains
+    /// would pin the worker to this one connection for the client's whole
+    /// read (starving every other socket), when arming write interest and
+    /// letting the kernel signal writability costs nothing.
     fn tick(
         &mut self,
         store: &dyn DocStore,
         responder: &mut Responder,
         chunk: &mut [u8],
-    ) -> TickOutcome {
+    ) -> (TickOutcome, bool) {
         let mut busy = false;
         if !self.flush(&mut busy) {
-            return TickOutcome::Drop;
+            return (TickOutcome::Drop, false);
         }
         if self.closing {
-            return if self.out_buf.is_empty() {
+            let outcome = if self.out_buf.is_empty() {
                 TickOutcome::Drop
             } else if busy {
                 TickOutcome::Busy
             } else {
                 TickOutcome::Idle
             };
+            return (outcome, false);
         }
+        let filled_before = self.in_buf.len();
         if !self.fill(chunk, &mut busy) {
-            return TickOutcome::Drop;
+            return (TickOutcome::Drop, false);
         }
+        let mut input = self.in_buf.len() != filled_before;
+        let in_before = self.in_buf.len() - self.in_start;
         let action = self.drain_frames(store, responder);
+        input |= self.in_buf.len() - self.in_start != in_before;
+        busy |= input;
         // After EOF no further bytes can arrive, so once every complete
         // frame is drained the connection is done — any leftover partial
         // frame can never complete and must not keep the socket alive.
@@ -435,19 +895,20 @@ impl Conn {
         }
         // Push out whatever the frames produced before yielding the slot.
         if !self.flush(&mut busy) {
-            return TickOutcome::Drop;
+            return (TickOutcome::Drop, false);
         }
         if action == Action::Shutdown {
-            return TickOutcome::Shutdown;
+            return (TickOutcome::Shutdown, input);
         }
         if self.closing && self.out_buf.is_empty() {
-            return TickOutcome::Drop;
+            return (TickOutcome::Drop, input);
         }
-        if busy {
+        let outcome = if busy {
             TickOutcome::Busy
         } else {
             TickOutcome::Idle
-        }
+        };
+        (outcome, input)
     }
 
     /// Best-effort blocking drain of queued output, used when the server is
@@ -466,15 +927,20 @@ impl Conn {
     }
 }
 
-fn worker_loop(
+/// The portable fallback: sweep accept + every connection, park briefly
+/// when a whole sweep makes no progress. The park interval decays: any
+/// progress resets it to [`PARK_MIN`] (a follow-up request is noticed in
+/// microseconds), consecutive idle sweeps double it up to [`PARK_MAX`]
+/// (bounding idle CPU without a fixed first-request latency tax).
+fn portable_worker_loop(
     listener: TcpListener,
     store: Arc<dyn DocStore>,
     stop: Arc<AtomicBool>,
-    cfg: ServeConfig,
+    mut responder: Responder,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut chunk = vec![0u8; READ_CHUNK];
-    let mut responder = Responder::new(cfg.batch_threads, cfg.allow_shutdown);
+    let mut park = PARK_MIN;
     while !stop.load(Ordering::Acquire) {
         let mut busy = false;
         // Accept everything pending; the listener is shared, so whichever
@@ -497,7 +963,7 @@ fn worker_loop(
         }
         let mut i = 0;
         while i < conns.len() {
-            match conns[i].tick(store.as_ref(), &mut responder, &mut chunk) {
+            match conns[i].tick(store.as_ref(), &mut responder, &mut chunk).0 {
                 TickOutcome::Busy => {
                     busy = true;
                     i += 1;
@@ -517,13 +983,225 @@ fn worker_loop(
                 break;
             }
         }
-        if !busy {
-            std::thread::park_timeout(IDLE_PARK);
+        if busy {
+            park = PARK_MIN;
+        } else {
+            std::thread::park_timeout(park);
+            park = (park * 2).min(PARK_MAX);
         }
     }
     // Stopping: give every connection one last chance to receive queued
     // responses before the sockets drop.
     for conn in &mut conns {
         conn.final_flush();
+    }
+}
+
+/// The epoll backend: block in the kernel until a registered fd is ready,
+/// then serve exactly the connections with work, round-robin. Connections
+/// are edge-triggered (the tick logic drains until `WouldBlock`); write
+/// interest is armed only while a connection has queued output the socket
+/// refused.
+///
+/// Fairness is load-bearing, not cosmetic: a connection is served **one
+/// tick per turn** through a ready queue, and re-enters at the tail while
+/// its input keeps progressing. Driving a connection until it went idle
+/// instead would let one closed-loop client capture the worker — each
+/// response it receives prompts its next request, which can land before
+/// the server's next read probe, extending the "progress" loop
+/// indefinitely while every other socket starves (observed as 100 ms+
+/// tail stalls before this queue existed).
+#[cfg(target_os = "linux")]
+fn epoll_worker_loop(
+    ep: Epoll,
+    listener: TcpListener,
+    store: Arc<dyn DocStore>,
+    stop: Arc<AtomicBool>,
+    mut responder: Responder,
+    wake: WakeFd,
+) {
+    const TOKEN_LISTENER: u64 = u64::MAX;
+    const TOKEN_WAKE: u64 = u64::MAX - 1;
+    if ep
+        .add(listener.as_raw_fd(), interest::LISTENER, TOKEN_LISTENER)
+        .is_err()
+        || ep.add(wake.fd(), interest::WAKE, TOKEN_WAKE).is_err()
+    {
+        // Registration failing at startup leaves this worker unable to
+        // serve; the remaining workers still own the listener.
+        return;
+    }
+    // Connection slab: token = slot index (always < TOKEN_WAKE).
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<crate::event::Event> = Vec::new();
+    let mut ready: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    while !stop.load(Ordering::Acquire) {
+        // With queued work pending, poll for new events without sleeping;
+        // with none, block in the kernel until readiness or the shutdown
+        // eventfd — an idle worker costs ~0% CPU and wakes in
+        // microseconds.
+        let timeout = if ready.is_empty() { -1 } else { 0 };
+        if ep.wait(&mut events, timeout).is_err() {
+            break;
+        }
+        for ev in events.iter().copied() {
+            match ev.token {
+                TOKEN_WAKE => {} // stop flag re-checked at the loop top
+                TOKEN_LISTENER => loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let Ok(conn) = Conn::new(stream) else {
+                                continue;
+                            };
+                            let slot = free.pop().unwrap_or_else(|| {
+                                conns.push(None);
+                                conns.len() - 1
+                            });
+                            if ep
+                                .add(conn.stream.as_raw_fd(), interest::CONN_READ, slot as u64)
+                                .is_err()
+                            {
+                                free.push(slot);
+                                continue;
+                            }
+                            conns[slot] = Some(conn);
+                            // Data may already be buffered (or the
+                            // handshake raced the registration): queue the
+                            // connection for a first serve turn.
+                            enqueue(&mut ready, &mut conns, slot);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        // Persistent accept failures (EMFILE, aborted
+                        // handshakes): the level-triggered listener stays
+                        // readable while the connection waits in the
+                        // queue, so bail out WITH a short sleep — breaking
+                        // alone would turn `epoll_wait` + failing
+                        // `accept` into a 100% CPU spin until an fd frees
+                        // up.
+                        Err(_) => {
+                            std::thread::sleep(Duration::from_millis(2));
+                            break;
+                        }
+                    }
+                },
+                token => enqueue(&mut ready, &mut conns, token as usize),
+            }
+        }
+        // One serve turn per queued connection, round-robin: a connection
+        // whose input is still flowing goes back to the tail instead of
+        // monopolizing the worker.
+        for _ in 0..ready.len() {
+            let Some(slot) = ready.pop_front() else { break };
+            if let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) {
+                conn.queued = false;
+            }
+            match serve_turn(
+                &ep,
+                &mut conns,
+                &mut free,
+                slot,
+                store.as_ref(),
+                &mut responder,
+                &mut chunk,
+            ) {
+                Turn::Again => enqueue(&mut ready, &mut conns, slot),
+                Turn::Parked => {}
+                Turn::Shutdown => {
+                    stop.store(true, Ordering::Release);
+                    wake.wake();
+                }
+            }
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+        }
+    }
+    for conn in conns.iter_mut().flatten() {
+        conn.final_flush();
+    }
+}
+
+/// Queues `slot` for a serve turn unless it is already queued (one queue
+/// entry per connection keeps turns fair and the queue bounded).
+#[cfg(target_os = "linux")]
+fn enqueue(ready: &mut std::collections::VecDeque<usize>, conns: &mut [Option<Conn>], slot: usize) {
+    if let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) {
+        if !conn.queued {
+            conn.queued = true;
+            ready.push_back(slot);
+        }
+    }
+}
+
+/// What a serve turn decided about the connection's future.
+#[cfg(target_os = "linux")]
+enum Turn {
+    /// Input is still flowing: give it another turn (at the queue tail).
+    Again,
+    /// Nothing more to do now; readiness events resume it.
+    Parked,
+    /// The SHUTDOWN opcode was honoured.
+    Shutdown,
+}
+
+/// One bounded serve turn: a single tick (flush + read-to-`WouldBlock` +
+/// drain every buffered frame + flush), then re-arm write interest to
+/// match whether output is backed up. Edge-triggered registration is safe
+/// because a turn that still saw input progress is re-queued by the
+/// caller until a tick finds nothing new.
+#[cfg(target_os = "linux")]
+fn serve_turn(
+    ep: &Epoll,
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    slot: usize,
+    store: &dyn DocStore,
+    responder: &mut Responder,
+    chunk: &mut [u8],
+) -> Turn {
+    let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
+        return Turn::Parked; // stale event for an already-dropped connection
+    };
+    let (outcome, input) = conn.tick(store, responder, chunk);
+    match outcome {
+        TickOutcome::Busy | TickOutcome::Idle => {
+            let want = conn.out_pending();
+            if want != conn.want_write {
+                let interest = if want {
+                    interest::CONN_READ_WRITE
+                } else {
+                    interest::CONN_READ
+                };
+                if ep
+                    .modify(conn.stream.as_raw_fd(), interest, slot as u64)
+                    .is_ok()
+                {
+                    conn.want_write = want;
+                }
+            }
+            if input {
+                Turn::Again
+            } else {
+                Turn::Parked
+            }
+        }
+        TickOutcome::Drop => {
+            let fd = conn.stream.as_raw_fd();
+            ep.delete(fd);
+            conns[slot] = None;
+            free.push(slot);
+            Turn::Parked
+        }
+        TickOutcome::Shutdown => {
+            conn.final_flush();
+            let fd = conn.stream.as_raw_fd();
+            ep.delete(fd);
+            conns[slot] = None;
+            free.push(slot);
+            Turn::Shutdown
+        }
     }
 }

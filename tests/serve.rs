@@ -1,13 +1,16 @@
 //! End-to-end guard on the serving path: a real `rlz-serve` server on a
 //! loopback socket, driven by concurrent protocol clients, with every
-//! response checked byte-for-byte against direct `DocStore::get`. Also
-//! covers the protocol's failure surface (out-of-range, unknown opcode,
-//! malformed and oversized frames) and clean shutdown semantics.
+//! response checked byte-for-byte against direct `DocStore::get`. Every
+//! scenario runs on **both event backends** (epoll and the portable
+//! fallback) so the two stay interchangeable. Also covers the protocol's
+//! failure surface (out-of-range, unknown opcode, malformed and oversized
+//! frames), pipelined request bursts, the hot-document cache, and clean
+//! shutdown semantics.
 
 use rlz_repro::corpus::{access, generate_web, WebConfig};
 use rlz_repro::rlz::{Dictionary, PairCoding, SampleStrategy};
 use rlz_repro::serve::protocol::{self, STATUS_BAD_FRAME, STATUS_BAD_OPCODE, STATUS_OUT_OF_RANGE};
-use rlz_repro::serve::{serve, Client, ClientError, ServeConfig};
+use rlz_repro::serve::{serve, Backend, Client, ClientError, ServeConfig};
 use rlz_repro::store::{BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder};
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -32,6 +35,15 @@ impl Drop for TempDir {
     }
 }
 
+/// Both event backends on Linux; just the portable fallback elsewhere.
+fn backends() -> Vec<Backend> {
+    if cfg!(target_os = "linux") {
+        vec![Backend::Epoll, Backend::Portable]
+    } else {
+        vec![Backend::Portable]
+    }
+}
+
 fn corpus_docs() -> Vec<Vec<u8>> {
     let collection = generate_web(&WebConfig::gov2(512 * 1024, 0x5E17E));
     collection.iter_docs().map(|d| d.to_vec()).collect()
@@ -47,7 +59,12 @@ fn build_rlz(dir: &std::path::Path, docs: &[Vec<u8>]) {
         .unwrap();
 }
 
-fn start(store: Arc<dyn DocStore>, threads: usize) -> rlz_repro::serve::ServerHandle {
+fn start_with(
+    store: Arc<dyn DocStore>,
+    threads: usize,
+    backend: Backend,
+    cache_bytes: usize,
+) -> rlz_repro::serve::ServerHandle {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     serve(
         store,
@@ -56,9 +73,19 @@ fn start(store: Arc<dyn DocStore>, threads: usize) -> rlz_repro::serve::ServerHa
             threads,
             batch_threads: 1,
             allow_shutdown: true,
+            backend,
+            cache_bytes,
         },
     )
     .unwrap()
+}
+
+fn start(
+    store: Arc<dyn DocStore>,
+    threads: usize,
+    backend: Backend,
+) -> rlz_repro::serve::ServerHandle {
+    start_with(store, threads, backend, 0)
 }
 
 #[test]
@@ -67,46 +94,143 @@ fn concurrent_clients_roundtrip_byte_identical() {
     let dir = TempDir::new("roundtrip");
     build_rlz(dir.path(), &docs);
     let store = RlzStore::open(dir.path()).unwrap();
-    let handle = start(Arc::new(store.clone()), 2);
-    let addr = handle.addr();
+    for backend in backends() {
+        let handle = start(Arc::new(store.clone()), 2, backend);
+        let addr = handle.addr();
 
-    const CLIENTS: usize = 4;
-    let requests = access::query_log(docs.len(), CLIENTS * 300, 20, 0xFACE);
-    let shards = access::shards(&requests, CLIENTS);
-    std::thread::scope(|scope| {
-        for (t, shard) in shards.iter().enumerate() {
-            let docs = &docs;
-            scope.spawn(move || {
-                let mut client = Client::connect(addr).unwrap();
-                let mut buf = Vec::new();
-                // Skewed single-GET stream, reusing the response buffer.
-                for &id in shard {
-                    buf.clear();
-                    client.get_into(id, &mut buf).unwrap();
-                    assert_eq!(&buf[..], docs[id as usize], "doc {id} (client {t})");
-                }
-                // The same stream as MGET batches through the seek-aware
-                // batch path.
-                for batch in shard.chunks(17) {
-                    let got = client.mget(batch).unwrap();
-                    for (doc, &id) in got.iter().zip(batch) {
-                        assert_eq!(doc, &docs[id as usize], "batched doc {id} (client {t})");
+        const CLIENTS: usize = 4;
+        let requests = access::query_log(docs.len(), CLIENTS * 300, 20, 0xFACE);
+        let shards = access::shards(&requests, CLIENTS);
+        std::thread::scope(|scope| {
+            for (t, shard) in shards.iter().enumerate() {
+                let docs = &docs;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut buf = Vec::new();
+                    // Skewed single-GET stream, reusing the response buffer.
+                    for &id in shard {
+                        buf.clear();
+                        client.get_into(id, &mut buf).unwrap();
+                        assert_eq!(&buf[..], docs[id as usize], "doc {id} (client {t})");
                     }
-                }
-            });
+                    // The same stream as MGET batches through the seek-aware
+                    // batch path.
+                    for batch in shard.chunks(17) {
+                        let got = client.mget(batch).unwrap();
+                        for (doc, &id) in got.iter().zip(batch) {
+                            assert_eq!(doc, &docs[id as usize], "batched doc {id} (client {t})");
+                        }
+                    }
+                });
+            }
+        });
+
+        // STAT agrees with the store's own accounting and reports the
+        // backend that is actually running.
+        let mut client = Client::connect(addr).unwrap();
+        let stats = client.server_stat().unwrap();
+        assert_eq!(stats.store, store.stats());
+        assert_eq!(stats.store.num_docs as usize, docs.len());
+        assert!(stats.store.payload_bytes > 0);
+        assert!(stats.store.max_record_len > 0);
+        assert_eq!(stats.backend_name(), handle.backend().name());
+        assert_eq!(stats.cache_budget_bytes, 0, "cache disabled by default");
+
+        client.shutdown_server().unwrap();
+        handle.join();
+    }
+}
+
+#[test]
+fn pipelined_bursts_answer_in_order() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("pipeline");
+    build_rlz(dir.path(), &docs);
+    let store = RlzStore::open(dir.path()).unwrap();
+    for backend in backends() {
+        let handle = start(Arc::new(store.clone()), 2, backend);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // A burst of pipelined GETs — with repeats, so the server's
+        // deduplicated batch path serves several positions from one
+        // decode — must answer in request order, byte-identical.
+        let ids: Vec<u32> = access::query_log(docs.len(), 600, 20, 0xBEEF);
+        for &id in &ids {
+            client.send_get(id).unwrap();
         }
-    });
+        let mut buf = Vec::new();
+        for &id in &ids {
+            buf.clear();
+            client.recv_get_into(&mut buf).unwrap();
+            assert_eq!(&buf[..], docs[id as usize], "pipelined doc {id}");
+        }
+        // Mixed pipelining: GET, MGET, STAT interleaved in one burst.
+        client.send_get(3).unwrap();
+        client.send_mget(&[5, 5, 1]).unwrap();
+        client.send_get(2).unwrap();
+        buf.clear();
+        client.recv_get_into(&mut buf).unwrap();
+        assert_eq!(&buf[..], docs[3]);
+        let got = client.recv_mget(3).unwrap();
+        assert_eq!(got[0], docs[5]);
+        assert_eq!(got[1], docs[5]);
+        assert_eq!(got[2], docs[1]);
+        buf.clear();
+        client.recv_get_into(&mut buf).unwrap();
+        assert_eq!(&buf[..], docs[2]);
+        handle.shutdown();
+    }
+}
 
-    // STAT agrees with the store's own accounting.
-    let mut client = Client::connect(addr).unwrap();
-    let stats = client.stat().unwrap();
-    assert_eq!(stats, store.stats());
-    assert_eq!(stats.num_docs as usize, docs.len());
-    assert!(stats.payload_bytes > 0);
-    assert!(stats.max_record_len > 0);
+#[test]
+fn hot_document_cache_is_byte_identical_and_counted() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("hotcache");
+    build_rlz(dir.path(), &docs);
+    let store = RlzStore::open(dir.path()).unwrap();
+    for backend in backends() {
+        let handle = start_with(Arc::new(store.clone()), 2, backend, 4 << 20);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // Two passes over a skewed stream: pass 2 is served largely from
+        // the cache and must stay byte-identical.
+        let ids = access::query_log(docs.len(), 400, 20, 0xCAFE);
+        let mut buf = Vec::new();
+        for round in 0..2 {
+            for &id in &ids {
+                buf.clear();
+                client.get_into(id, &mut buf).unwrap();
+                assert_eq!(&buf[..], docs[id as usize], "doc {id} round {round}");
+            }
+        }
+        let stats = client.server_stat().unwrap();
+        assert_eq!(stats.cache_budget_bytes, 4 << 20);
+        assert!(stats.cache_hits > 0, "repeated ids must hit the cache");
+        assert!(stats.cache_misses > 0, "first touches must miss");
+        assert!(stats.cache_resident_bytes > 0);
+        assert!(stats.cache_resident_bytes <= stats.cache_budget_bytes);
 
-    client.shutdown_server().unwrap();
-    handle.join();
+        // An MGET with heavy duplication: the dedup path decodes each
+        // unique id once. Lookups are counted per unique id, so the hit
+        // delta across a fully-warm repeat equals the unique count.
+        let unique: Vec<u32> = (0..8u32).collect();
+        let mut dup = Vec::new();
+        for _ in 0..5 {
+            dup.extend_from_slice(&unique);
+        }
+        let _ = client.mget(&dup).unwrap(); // warm every unique id
+        let before = client.server_stat().unwrap();
+        let got = client.mget(&dup).unwrap();
+        for (doc, &id) in got.iter().zip(&dup) {
+            assert_eq!(doc, &docs[id as usize], "dup MGET doc {id}");
+        }
+        let after = client.server_stat().unwrap();
+        assert_eq!(
+            after.cache_hits - before.cache_hits,
+            unique.len() as u64,
+            "a warm 5x-duplicated MGET must look up each unique id exactly once"
+        );
+        assert_eq!(after.cache_misses, before.cache_misses);
+        handle.shutdown();
+    }
 }
 
 #[test]
@@ -122,16 +246,18 @@ fn blocked_store_serves_identically() {
     )
     .unwrap();
     let store = BlockedStore::open(dir.path()).unwrap();
-    let handle = start(Arc::new(store), 1);
-    let mut client = Client::connect(handle.addr()).unwrap();
-    // Same-block ids in one MGET exercise the coalesced decode path.
-    let ids: Vec<u32> = (0..docs.len().min(40) as u32).collect();
-    let got = client.mget(&ids).unwrap();
-    for (doc, &id) in got.iter().zip(&ids) {
-        assert_eq!(doc, &docs[id as usize], "doc {id}");
+    for backend in backends() {
+        let handle = start(Arc::new(store.clone()), 1, backend);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // Same-block ids in one MGET exercise the coalesced decode path.
+        let ids: Vec<u32> = (0..docs.len().min(40) as u32).collect();
+        let got = client.mget(&ids).unwrap();
+        for (doc, &id) in got.iter().zip(&ids) {
+            assert_eq!(doc, &docs[id as usize], "doc {id}");
+        }
+        assert_eq!(client.stat().unwrap().num_docs as usize, docs.len());
+        handle.shutdown();
     }
-    assert_eq!(client.stat().unwrap().num_docs as usize, docs.len());
-    handle.shutdown();
 }
 
 #[test]
@@ -140,70 +266,91 @@ fn error_frames_and_connection_policy() {
     let dir = TempDir::new("errors");
     build_rlz(dir.path(), &docs);
     let store = Arc::new(RlzStore::open(dir.path()).unwrap());
-    let handle = start(store, 1);
-    let addr = handle.addr();
-    let n = docs.len() as u32;
+    for backend in backends() {
+        let handle = start(Arc::clone(&store) as Arc<dyn DocStore>, 1, backend);
+        let addr = handle.addr();
+        let n = docs.len() as u32;
 
-    // Out-of-range GET: error frame, connection stays usable.
-    let mut client = Client::connect(addr).unwrap();
-    match client.get(n) {
-        Err(ClientError::Server { status, message }) => {
-            assert_eq!(status, STATUS_OUT_OF_RANGE);
-            assert!(message.contains("out of range"), "{message}");
-        }
-        other => panic!("expected out-of-range error, got {other:?}"),
-    }
-    assert_eq!(client.get(0).unwrap(), docs[0], "connection must survive");
-
-    // Out-of-range id inside an MGET fails the whole batch.
-    match client.mget(&[0, 1, n]) {
-        Err(ClientError::Server { status, .. }) => assert_eq!(status, STATUS_OUT_OF_RANGE),
-        other => panic!("expected out-of-range error, got {other:?}"),
-    }
-
-    // Unknown opcode: error frame, connection stays open.
-    let mut frame = 1u32.to_le_bytes().to_vec();
-    frame.push(0x6E);
-    let (status, _) = client.send_raw(&frame).unwrap();
-    assert_eq!(status, STATUS_BAD_OPCODE);
-    assert_eq!(client.get(1).unwrap(), docs[1]);
-
-    // Oversized length prefix: BAD_FRAME answer, then the server closes
-    // this connection.
-    let mut client = Client::connect(addr).unwrap();
-    let (status, _) = client.send_raw(&u32::MAX.to_le_bytes()).unwrap();
-    assert_eq!(status, STATUS_BAD_FRAME);
-    assert!(
-        client.get(0).is_err(),
-        "connection must be closed after a malformed frame"
-    );
-
-    // An MGET whose count field lies about the body also earns BAD_FRAME.
-    let mut client = Client::connect(addr).unwrap();
-    let mut frame = 13u32.to_le_bytes().to_vec(); // opcode + count + 2 ids
-    frame.push(protocol::OP_MGET);
-    frame.extend_from_slice(&9u32.to_le_bytes()); // claims 9 ids
-    frame.extend_from_slice(&[0u8; 8]); // carries 2
-    let (status, _) = client.send_raw(&frame).unwrap();
-    assert_eq!(status, STATUS_BAD_FRAME);
-
-    // A client vanishing mid-frame must not wedge the server.
-    {
+        // Out-of-range GET: error frame, connection stays usable.
         let mut client = Client::connect(addr).unwrap();
-        let mut partial = 5u32.to_le_bytes().to_vec();
-        partial.push(protocol::OP_GET);
-        // Two of the four id bytes, then drop the socket.
-        partial.extend_from_slice(&[0u8; 2]);
-        let _ = client.send_raw_no_response(&partial);
-    }
-    let mut client = Client::connect(addr).unwrap();
-    assert_eq!(
-        client.get(2).unwrap(),
-        docs[2],
-        "server survives torn frame"
-    );
+        match client.get(n) {
+            Err(ClientError::Server { status, message }) => {
+                assert_eq!(status, STATUS_OUT_OF_RANGE);
+                assert!(message.contains("out of range"), "{message}");
+            }
+            other => panic!("expected out-of-range error, got {other:?}"),
+        }
+        assert_eq!(client.get(0).unwrap(), docs[0], "connection must survive");
 
-    handle.shutdown();
+        // Out-of-range ids inside a pipelined GET burst answer per-request
+        // error frames without disturbing neighbours.
+        client.send_get(1).unwrap();
+        client.send_get(n).unwrap();
+        client.send_get(2).unwrap();
+        let mut buf = Vec::new();
+        client.recv_get_into(&mut buf).unwrap();
+        assert_eq!(&buf[..], docs[1]);
+        match client.recv_get_into(&mut Vec::new()) {
+            Err(ClientError::Server { status, message }) => {
+                assert_eq!(status, STATUS_OUT_OF_RANGE);
+                assert!(message.contains("out of range"), "{message}");
+            }
+            other => panic!("pipelined out-of-range must error, got {other:?}"),
+        }
+        buf.clear();
+        client.recv_get_into(&mut buf).unwrap();
+        assert_eq!(&buf[..], docs[2]);
+
+        // Out-of-range id inside an MGET fails the whole batch.
+        match client.mget(&[0, 1, n]) {
+            Err(ClientError::Server { status, .. }) => assert_eq!(status, STATUS_OUT_OF_RANGE),
+            other => panic!("expected out-of-range error, got {other:?}"),
+        }
+
+        // Unknown opcode: error frame, connection stays open.
+        let mut frame = 1u32.to_le_bytes().to_vec();
+        frame.push(0x6E);
+        let (status, _) = client.send_raw(&frame).unwrap();
+        assert_eq!(status, STATUS_BAD_OPCODE);
+        assert_eq!(client.get(1).unwrap(), docs[1]);
+
+        // Oversized length prefix: BAD_FRAME answer, then the server closes
+        // this connection.
+        let mut client = Client::connect(addr).unwrap();
+        let (status, _) = client.send_raw(&u32::MAX.to_le_bytes()).unwrap();
+        assert_eq!(status, STATUS_BAD_FRAME);
+        assert!(
+            client.get(0).is_err(),
+            "connection must be closed after a malformed frame"
+        );
+
+        // An MGET whose count field lies about the body also earns BAD_FRAME.
+        let mut client = Client::connect(addr).unwrap();
+        let mut frame = 13u32.to_le_bytes().to_vec(); // opcode + count + 2 ids
+        frame.push(protocol::OP_MGET);
+        frame.extend_from_slice(&9u32.to_le_bytes()); // claims 9 ids
+        frame.extend_from_slice(&[0u8; 8]); // carries 2
+        let (status, _) = client.send_raw(&frame).unwrap();
+        assert_eq!(status, STATUS_BAD_FRAME);
+
+        // A client vanishing mid-frame must not wedge the server.
+        {
+            let mut client = Client::connect(addr).unwrap();
+            let mut partial = 5u32.to_le_bytes().to_vec();
+            partial.push(protocol::OP_GET);
+            // Two of the four id bytes, then drop the socket.
+            partial.extend_from_slice(&[0u8; 2]);
+            let _ = client.send_raw_no_response(&partial);
+        }
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(
+            client.get(2).unwrap(),
+            docs[2],
+            "server survives torn frame"
+        );
+
+        handle.shutdown();
+    }
 }
 
 #[test]
@@ -212,15 +359,17 @@ fn shutdown_opcode_stops_every_worker() {
     let dir = TempDir::new("shutdown");
     build_rlz(dir.path(), &docs);
     let store = Arc::new(RlzStore::open(dir.path()).unwrap());
-    let handle = start(store, 3);
-    let addr = handle.addr();
-    let mut client = Client::connect(addr).unwrap();
-    client.shutdown_server().unwrap();
-    // join() returning proves all workers exited; afterwards fresh
-    // connections must fail (nobody is accepting).
-    handle.join();
-    std::thread::sleep(std::time::Duration::from_millis(50));
-    let refused =
-        Client::connect(addr).and_then(|mut c| c.get(0).map_err(|_| std::io::Error::other("dead")));
-    assert!(refused.is_err(), "server must stop serving after SHUTDOWN");
+    for backend in backends() {
+        let handle = start(Arc::clone(&store) as Arc<dyn DocStore>, 3, backend);
+        let addr = handle.addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown_server().unwrap();
+        // join() returning proves all workers exited; afterwards fresh
+        // connections must fail (nobody is accepting).
+        handle.join();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let refused = Client::connect(addr)
+            .and_then(|mut c| c.get(0).map_err(|_| std::io::Error::other("dead")));
+        assert!(refused.is_err(), "server must stop serving after SHUTDOWN");
+    }
 }
