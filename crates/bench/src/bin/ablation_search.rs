@@ -4,7 +4,7 @@
 //! pipeline vs the two-step oracle, so both hot-path speedups stay
 //! recorded side by side.
 use rlz_bench::{gov2_collection, ScaledConfig};
-use rlz_core::{Dictionary, PairCoding, SampleStrategy};
+use rlz_core::{Coder, Dictionary, PairCoding, SampleStrategy};
 use rlz_suffix::Matcher;
 use std::time::Instant;
 
@@ -103,6 +103,49 @@ fn main() {
                 if fused { "fused" } else { "two-step" },
                 m.mb_per_s,
                 speedup
+            );
+        }
+    }
+
+    // Entropy-stage ablation (PR 6): the same factor position and length
+    // streams pushed through each whole-stream codec in isolation —
+    // dictionary-backed zlib (Z) vs order-0 tANS (F) vs the LZ4-style
+    // fast-literal coder (L). Bytes/value shows where each family pays:
+    // zlib's LZ layer catches repeated dictionary offsets in the position
+    // stream, which order-0 entropy coding cannot.
+    println!("\nAblation — entropy stage, per-stream size and decode speed\n");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>14}",
+        "stream", "coder", "bytes", "bytes/val", "Mvals/s"
+    );
+    let mut positions: Vec<u32> = Vec::new();
+    let mut lengths: Vec<u32> = Vec::new();
+    for doc in c.iter_docs() {
+        for f in rlz_core::factorize_to_vec(&dict, doc) {
+            positions.push(f.pos);
+            lengths.push(f.len);
+        }
+    }
+    for (stream_name, values) in [("pos", &positions), ("len", &lengths)] {
+        for coder in [Coder::Zlib, Coder::Fse, Coder::Lz4] {
+            let mut enc = Vec::new();
+            coder.encode_stream(values, &mut enc);
+            let t = Instant::now();
+            let mut rounds = 0u32;
+            while t.elapsed() < std::time::Duration::from_millis(500) {
+                let decoded = coder.decode_stream(&enc, values.len()).unwrap();
+                assert_eq!(decoded.len(), values.len());
+                rounds += 1;
+            }
+            let mvals_per_s =
+                (values.len() as u64 * u64::from(rounds)) as f64 / t.elapsed().as_secs_f64() / 1e6;
+            println!(
+                "{:>8} {:>8} {:>12} {:>12.3} {:>14.1}",
+                stream_name,
+                coder.letter(),
+                enc.len(),
+                enc.len() as f64 / values.len() as f64,
+                mvals_per_s
             );
         }
     }

@@ -100,10 +100,26 @@ fn check_bench(file: &Path, bench: &str, rows: &[Value]) -> Result<(), String> {
                 if pipelines != ["fused", "two-step"] {
                     return Err(fail(file, &format!("pipelines {pipelines:?}")));
                 }
-                let mut codings = str_set(rows, "coding");
-                codings.sort();
-                if codings != ["UV", "UZ", "ZV", "ZZ"] {
+                // The full matrix: paper-era codings plus the entropy-coded
+                // (F*) and fast-literal (L*) families.
+                let codings = str_set(rows, "coding");
+                if codings != ["FF", "FV", "LL", "LV", "UV", "UZ", "ZV", "ZZ"] {
                     return Err(fail(file, &format!("codings {codings:?}")));
+                }
+                for (i, row) in rows.iter().enumerate() {
+                    let docs_per_s = nonneg(file, row, i, "docs_per_s")?;
+                    if docs_per_s == 0.0 {
+                        return Err(fail(file, &format!("row {i}: docs_per_s is zero")));
+                    }
+                    // Encoded share of the corpus (encoded streams + dict):
+                    // must be a ratio, not a byte count.
+                    let enc_pct = nonneg(file, row, i, "enc_pct")?;
+                    if enc_pct == 0.0 || enc_pct > 100.0 {
+                        return Err(fail(
+                            file,
+                            &format!("row {i}: enc_pct out of range ({enc_pct})"),
+                        ));
+                    }
                 }
             }
         }

@@ -620,11 +620,15 @@ fn batch_rate(
 
 /// Decode-throughput table (read path; extension beyond the paper):
 /// docs/second and MiB/second of factor decoding + expansion for every
-/// paper pair coding, comparing the two-step oracle
+/// pair coding in the extended set (the paper's four plus the post-paper
+/// `F`/`L` entropy codecs), comparing the two-step oracle
 /// (`decode_document` + `expand`, allocating per document) against the
 /// fused zero-allocation pipeline (`decode_and_expand_scratch` with one
-/// reused [`rlz_core::DecodeScratch`]). Verifies byte-identical output on
-/// a corpus sample before timing anything.
+/// reused [`rlz_core::DecodeScratch`]). Each coding row also carries its
+/// encoding percentage (encoded streams + dictionary, relative to the raw
+/// corpus) so the ratio-vs-speed tradeoff is visible in one table.
+/// Verifies byte-identical output on a corpus sample before timing
+/// anything.
 ///
 /// Returns the machine-readable report (`BENCH_decode.json`).
 pub fn decode_table(
@@ -640,11 +644,12 @@ pub fn decode_table(
         collection.total_bytes() >> 20,
         dict_label(dict_size),
     );
-    let widths = [8usize, 10, 12, 10, 9];
+    let widths = [8usize, 10, 9, 12, 10, 9];
     print_row(
         &[
             "Pos-Len".into(),
             "Pipeline".into(),
+            "Enc.(%)".into(),
             "docs/s".into(),
             "MiB/s".into(),
             "speedup".into(),
@@ -663,11 +668,14 @@ pub fn decode_table(
         .iter_docs()
         .map(|doc| rlz_core::factorize_to_vec(&dict, doc))
         .collect();
-    for coding in PairCoding::PAPER_SET {
+    for coding in PairCoding::EXTENDED_SET {
         let encoded: Vec<Vec<u8>> = parses
             .iter()
             .map(|f| rlz_core::coding::encode_document(f, coding))
             .collect();
+        let encoded_bytes: u64 = encoded.iter().map(|e| e.len() as u64).sum();
+        let enc_pct =
+            (encoded_bytes + dict_size as u64) as f64 * 100.0 / collection.total_bytes() as f64;
         // Byte-identical check on a corpus sample before any timing.
         let mut scratch = rlz_core::DecodeScratch::new();
         for enc in encoded.iter().step_by((encoded.len() / 32).max(1)) {
@@ -698,6 +706,7 @@ pub fn decode_table(
                 &[
                     coding.name(),
                     pipeline.into(),
+                    format!("{enc_pct:.2}"),
                     format!("{:.0}", m.docs_per_s),
                     format!("{:.1}", m.mb_per_s),
                     speedup,
@@ -711,6 +720,7 @@ pub fn decode_table(
                     .int("dict_bytes", dict_size as u64)
                     .str("coding", &coding.name())
                     .str("pipeline", pipeline)
+                    .num("enc_pct", enc_pct)
                     .num("docs_per_s", m.docs_per_s)
                     .num("mb_per_s", m.mb_per_s),
             );

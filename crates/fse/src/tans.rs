@@ -1,0 +1,407 @@
+//! Tabled asymmetric numeral system (tANS/FSE) entropy coder over bytes.
+//!
+//! The coder is order-0: it models the input as independent draws from a
+//! byte histogram, normalizes that histogram to a power-of-two total, and
+//! walks a state machine whose table realizes fractional-bit codes. Two
+//! interleaved states hide the serial dependency of the state update behind
+//! the bit-IO, the trick FSE/zstd use to keep the decode loop superscalar.
+//!
+//! ## Container format
+//!
+//! ```text
+//! [mode u8]                       0 = stored, 1 = tANS
+//! stored: [vbyte raw_len] [raw bytes]
+//! tANS:   [vbyte raw_len]         number of symbols, >= 1
+//!         [table_log u8]          MIN_TABLE_LOG ..= MAX_TABLE_LOG
+//!         [k-1 u8]                distinct symbols minus one
+//!         k * [sym u8][vbyte f-1] strictly increasing syms; sum f == size
+//!         [vbyte state0][vbyte state1]   decoder start states, < size
+//!         [bitstream][4 bytes padding]
+//! ```
+//!
+//! The frequency table is exact (it is the normalized table, not the raw
+//! histogram), so the decoder rebuilds the identical state table. The
+//! table log adapts to the input length: a short stream gets a small table
+//! so the per-stream table build — the analogue of inflate's per-block
+//! Huffman build, and the dominant start-up cost — stays proportional to
+//! the data actually coded.
+
+use crate::{FseScratch, Result};
+use rlz_codecs::bitio::{BitReader, BitWriter};
+use rlz_codecs::{vbyte, CodecError};
+
+/// Smallest state table: 32 entries.
+pub const MIN_TABLE_LOG: u32 = 5;
+/// Largest state table: 2048 entries (16 KiB of decode entries), small
+/// enough to build per document and live in L1.
+pub const MAX_TABLE_LOG: u32 = 11;
+
+const MODE_STORED: u8 = 0;
+const MODE_TANS: u8 = 1;
+
+/// Inputs shorter than this are always stored: the table header alone
+/// would dominate.
+const MIN_COMPRESS_LEN: usize = 32;
+
+/// One decode-table entry: emit `sym`, then `state = base + next(nbits)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DecodeEntry {
+    pub(crate) base: u16,
+    pub(crate) sym: u8,
+    pub(crate) nbits: u8,
+}
+
+/// Compresses `input` into `out` (contents replaced). Falls back to stored
+/// mode whenever the coded form would not be smaller.
+pub fn compress(input: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    if input.len() >= MIN_COMPRESS_LEN && try_compress(input, out) {
+        return;
+    }
+    out.clear();
+    out.push(MODE_STORED);
+    vbyte::write_u64(input.len() as u64, out);
+    out.extend_from_slice(input);
+}
+
+/// Attempts a tANS encode of `input` into `out`; returns false (leaving
+/// `out` in an unspecified state) when stored mode would be smaller.
+fn try_compress(input: &[u8], out: &mut Vec<u8>) -> bool {
+    let stored_len = 1 + vbyte::encoded_len_u64(input.len() as u64) + input.len();
+    let mut hist = [0u32; 256];
+    for &b in input {
+        hist[b as usize] += 1;
+    }
+    let k = hist.iter().filter(|&&f| f > 0).count() as u32;
+    let table_log = choose_table_log(input.len(), k);
+    let size = 1u32 << table_log;
+    let norm = normalize(&hist, input.len() as u64, table_log);
+
+    // Header: length, table log, normalized frequency table.
+    out.push(MODE_TANS);
+    vbyte::write_u64(input.len() as u64, out);
+    out.push(table_log as u8);
+    out.push((k - 1) as u8);
+    let mut cumul = [0u32; 257];
+    for s in 0..256 {
+        cumul[s + 1] = cumul[s] + norm[s];
+        if norm[s] > 0 {
+            out.push(s as u8);
+            vbyte::write_u32(norm[s] - 1, out);
+        }
+    }
+
+    // Encode table: maps (symbol, scaled state) to the next full state.
+    // Slots are assigned in spread order on both sides, so no spread array
+    // is materialized.
+    let mut enc_table = vec![0u16; size as usize];
+    let step = spread_step(size);
+    let mask = size - 1;
+    let mut pos = 0u32;
+    for s in 0..256 {
+        for j in 0..norm[s] {
+            enc_table[(cumul[s] + j) as usize] = (size + pos) as u16;
+            pos = (pos + step) & mask;
+        }
+    }
+
+    // Walk the input backwards so the decoder, reading forwards, sees the
+    // states in emission order. Bits are staged per symbol and written in
+    // reverse at the end.
+    let mut pairs: Vec<(u16, u8)> = Vec::with_capacity(input.len());
+    let mut states = [size; 2];
+    for (i, &b) in input.iter().enumerate().rev() {
+        let s = b as usize;
+        let f = norm[s];
+        let st = states[i & 1];
+        let mut nb = 0u32;
+        let mut sub = st;
+        while sub >= 2 * f {
+            sub >>= 1;
+            nb += 1;
+        }
+        pairs.push(((st & ((1u32 << nb) - 1)) as u16, nb as u8));
+        states[i & 1] = enc_table[(cumul[s] + (sub - f)) as usize] as u32;
+    }
+    vbyte::write_u32(states[0] - size, out);
+    vbyte::write_u32(states[1] - size, out);
+
+    let mut w = BitWriter::new();
+    for &(bits, nb) in pairs.iter().rev() {
+        w.write_bits(bits as u64, nb as u32);
+    }
+    w.finish_into(out);
+    // Padding so refills near the end of the stream never see EOF.
+    out.extend_from_slice(&[0u8; 4]);
+    out.len() < stored_len
+}
+
+/// Decompresses into `out` (contents replaced, capacity reused), using
+/// `scratch` for the decode table so a warm caller allocates nothing.
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>, scratch: &mut FseScratch) -> Result<()> {
+    out.clear();
+    let Some((&mode, rest)) = data.split_first() else {
+        return Err(CodecError::UnexpectedEof);
+    };
+    let mut pos = 0usize;
+    let raw_len = vbyte::read_u64(rest, &mut pos)? as usize;
+    match mode {
+        MODE_STORED => {
+            let end = pos
+                .checked_add(raw_len)
+                .ok_or(CodecError::Corrupt("stored length overflows"))?;
+            let body = rest.get(pos..end).ok_or(CodecError::Corrupt(
+                "stored data shorter than header claims",
+            ))?;
+            out.extend_from_slice(body);
+            Ok(())
+        }
+        MODE_TANS => decompress_tans(&rest[pos..], raw_len, out, scratch),
+        _ => Err(CodecError::Corrupt("unknown fse container mode")),
+    }
+}
+
+fn decompress_tans(
+    data: &[u8],
+    raw_len: usize,
+    out: &mut Vec<u8>,
+    scratch: &mut FseScratch,
+) -> Result<()> {
+    let mut pos = 0usize;
+    let next = |pos: &mut usize| -> Result<u8> {
+        let b = *data.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+        *pos += 1;
+        Ok(b)
+    };
+    let table_log = next(&mut pos)? as u32;
+    if !(MIN_TABLE_LOG..=MAX_TABLE_LOG).contains(&table_log) {
+        return Err(CodecError::Corrupt("fse table log out of range"));
+    }
+    let size = 1u32 << table_log;
+    let k = next(&mut pos)? as usize + 1;
+
+    // Frequency table: strictly increasing symbols, frequencies >= 1
+    // summing exactly to the table size. Anything else is corrupt, and the
+    // checks run before any length-proportional work happens.
+    let mut norm = [0u32; 256];
+    let mut syms = [0u8; 256];
+    let mut prev: i32 = -1;
+    let mut sum: u64 = 0;
+    for slot in syms.iter_mut().take(k) {
+        let s = next(&mut pos)?;
+        if s as i32 <= prev {
+            return Err(CodecError::Corrupt("fse symbols not strictly increasing"));
+        }
+        prev = s as i32;
+        let f = vbyte::read_u32(data, &mut pos)?
+            .checked_add(1)
+            .ok_or(CodecError::Corrupt("fse frequency overflows"))?;
+        if f > size {
+            return Err(CodecError::Corrupt("fse frequency exceeds table size"));
+        }
+        norm[s as usize] = f;
+        sum += f as u64;
+        *slot = s;
+    }
+    if sum != size as u64 {
+        return Err(CodecError::Corrupt("fse frequencies do not sum to table"));
+    }
+
+    let mut state0 = vbyte::read_u32(data, &mut pos)?;
+    let mut state1 = vbyte::read_u32(data, &mut pos)?;
+    if state0 >= size || state1 >= size {
+        return Err(CodecError::Corrupt("fse start state out of range"));
+    }
+
+    // Decode table, filled in the same spread order the encoder used.
+    let table = scratch.table_mut(size as usize);
+    let step = spread_step(size);
+    let mask = size - 1;
+    let mut spread_pos = 0u32;
+    for &s in syms.iter().take(k) {
+        let f = norm[s as usize];
+        for j in 0..f {
+            let x = f + j; // scaled state in [f, 2f)
+            let nbits = table_log - (31 - x.leading_zeros());
+            table[spread_pos as usize] = DecodeEntry {
+                base: ((x << nbits) - size) as u16,
+                sym: s,
+                nbits: nbits as u8,
+            };
+            spread_pos = (spread_pos + step) & mask;
+        }
+    }
+
+    // Grow progressively rather than trusting the header outright.
+    out.reserve(raw_len.min(1 << 20));
+    let mut r = BitReader::new(&data[pos..]);
+    let mut i = 0usize;
+    while i + 1 < raw_len {
+        // Both state updates are known before either needs its bits, so
+        // one combined read serves the pair (symbol 0's bits are the lower
+        // ones — the writer staged them first): half the refill overhead
+        // and no serial dependency between the two table walks.
+        let e0 = table[state0 as usize];
+        let e1 = table[state1 as usize];
+        out.push(e0.sym);
+        out.push(e1.sym);
+        let bits = r.read_bits(e0.nbits as u32 + e1.nbits as u32)?;
+        state0 = e0.base as u32 + (bits & ((1u64 << e0.nbits) - 1)) as u32;
+        state1 = e1.base as u32 + (bits >> e0.nbits) as u32;
+        i += 2;
+    }
+    if i < raw_len {
+        out.push(table[state0 as usize].sym);
+    }
+    Ok(())
+}
+
+/// Zstd's spread step: coprime with every power-of-two table size, and
+/// scattering each symbol's slots roughly evenly.
+#[inline]
+fn spread_step(size: u32) -> u32 {
+    (size >> 1) + (size >> 3) + 3
+}
+
+/// Adapts the table size to the input: roughly one table slot per four
+/// input bytes, clamped so every distinct symbol gets a slot and the table
+/// never exceeds [`MAX_TABLE_LOG`].
+fn choose_table_log(len: usize, k: u32) -> u32 {
+    let floor_log = usize::BITS - 1 - len.leading_zeros(); // len >= MIN_COMPRESS_LEN
+    let ideal = floor_log.saturating_sub(2);
+    let min_log = (32 - (k - 1).leading_zeros()).max(MIN_TABLE_LOG);
+    ideal.clamp(min_log, MAX_TABLE_LOG)
+}
+
+/// Scales the histogram so it sums to `1 << table_log` with every present
+/// symbol keeping a frequency of at least one (largest-remainder style:
+/// floor-scale, then settle the residue against the largest entries).
+fn normalize(hist: &[u32; 256], total: u64, table_log: u32) -> [u32; 256] {
+    let size = 1u64 << table_log;
+    let mut norm = [0u32; 256];
+    let mut sum: i64 = 0;
+    for s in 0..256 {
+        if hist[s] > 0 {
+            let scaled = ((hist[s] as u64 * size) / total).max(1) as u32;
+            norm[s] = scaled;
+            sum += scaled as i64;
+        }
+    }
+    let mut diff = size as i64 - sum; // > 0: hand out slots; < 0: take back
+    while diff != 0 {
+        let (s, _) = norm
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 1 || (diff > 0 && f > 0))
+            .max_by_key(|&(_, &f)| f)
+            .expect("normalization always has an adjustable symbol");
+        if diff > 0 {
+            norm[s] += diff as u32;
+            diff = 0;
+        } else {
+            let take = (-diff).min(norm[s] as i64 - 1);
+            norm[s] -= take as u32;
+            diff += take;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(input: &[u8]) -> Vec<u8> {
+        let mut comp = Vec::new();
+        compress(input, &mut comp);
+        let mut out = Vec::new();
+        let mut scratch = FseScratch::default();
+        decompress_into(&comp, &mut out, &mut scratch).expect("decode");
+        out
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_round_trip() {
+        assert_eq!(roundtrip(b""), b"");
+        assert_eq!(roundtrip(b"a"), b"a");
+        assert_eq!(roundtrip(b"hello world"), b"hello world");
+    }
+
+    #[test]
+    fn single_symbol_run_compresses_to_header_only() {
+        let input = vec![0x41u8; 100_000];
+        let mut comp = Vec::new();
+        compress(&input, &mut comp);
+        assert!(comp.len() < 32, "run compressed to {} bytes", comp.len());
+        assert_eq!(roundtrip(&input), input);
+    }
+
+    #[test]
+    fn skewed_text_beats_stored() {
+        let input: Vec<u8> = b"the quick brown fox jumps over the lazy dog "
+            .repeat(200)
+            .to_vec();
+        let mut comp = Vec::new();
+        compress(&input, &mut comp);
+        assert!(comp.len() < input.len() * 7 / 10);
+        assert_eq!(roundtrip(&input), input);
+    }
+
+    #[test]
+    fn incompressible_input_falls_back_to_stored() {
+        // A 256-byte permutation repeated keeps the histogram flat; coded
+        // size ~= raw size, so stored mode must win.
+        let input: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let mut comp = Vec::new();
+        compress(&input, &mut comp);
+        assert_eq!(comp[0], MODE_STORED);
+        assert_eq!(roundtrip(&input), input);
+    }
+
+    #[test]
+    fn all_byte_values_round_trip() {
+        let mut input = Vec::new();
+        for i in 0..=255u8 {
+            input.extend(std::iter::repeat(i).take(1 + (i as usize % 37)));
+        }
+        assert_eq!(roundtrip(&input), input);
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        // Two equiprobable symbols cost exactly one bit each, so removing
+        // any real payload byte (the last 4 are padding) starves the
+        // decoder and must surface as an error.
+        let input = b"ab".repeat(160);
+        let mut comp = Vec::new();
+        compress(&input, &mut comp);
+        assert_eq!(comp[0], MODE_TANS);
+        let mut scratch = FseScratch::default();
+        let mut out = Vec::new();
+        for cut in 0..comp.len().saturating_sub(5) {
+            assert!(
+                decompress_into(&comp[..cut], &mut out, &mut scratch).is_err(),
+                "truncation at {cut} did not error"
+            );
+        }
+    }
+
+    #[test]
+    fn normalization_is_exact_for_adversarial_histograms() {
+        // One dominant symbol plus many rare ones forces the residue logic.
+        let mut hist = [0u32; 256];
+        hist[0] = 1_000_000;
+        for s in 1..20 {
+            hist[s] = 1;
+        }
+        let total: u64 = hist.iter().map(|&f| f as u64).sum();
+        for log in MIN_TABLE_LOG..=MAX_TABLE_LOG {
+            let norm = normalize(&hist, total, log);
+            let sum: u64 = norm.iter().map(|&f| f as u64).sum();
+            assert_eq!(sum, 1u64 << log, "table_log {log}");
+            for s in 0..256 {
+                assert_eq!(hist[s] > 0, norm[s] > 0, "symbol {s} presence");
+            }
+        }
+    }
+}

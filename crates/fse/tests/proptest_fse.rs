@@ -1,0 +1,131 @@
+//! Property tests for the tANS and LZ4-style codecs: roundtrip identity on
+//! arbitrary byte streams, and hardened decoders that error on corrupt or
+//! truncated containers instead of panicking or over-allocating.
+
+use proptest::prelude::*;
+use rlz_fse::{lz4, tans, FseScratch};
+
+/// Decoding garbage must never hand back a buffer wildly larger than the
+/// input could honestly describe: a container of `n` bytes can claim at
+/// most a vbyte-encoded raw length, but a *successful* decode must produce
+/// exactly that many bytes, all reconstructed from the payload. Stored
+/// mode bounds output by input size; coded modes can expand, but the
+/// decoders validate counts before copying, so output stays equal to the
+/// claimed length or the decode errors.
+fn decode_is_sane(out: &[u8], claimed_ok: bool) {
+    if !claimed_ok {
+        assert!(out.len() <= 1 << 30, "implausible expansion: {}", out.len());
+    }
+}
+
+proptest! {
+    #[test]
+    fn tans_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        let mut comp = Vec::new();
+        tans::compress(&data, &mut comp);
+        let mut out = Vec::new();
+        let mut scratch = FseScratch::default();
+        tans::decompress_into(&comp, &mut out, &mut scratch).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn tans_roundtrips_skewed_streams(
+        data in proptest::collection::vec(0u8..4, 0..4000),
+    ) {
+        // Tiny alphabets exercise the degenerate one-symbol table and the
+        // low table-log clamp.
+        let mut comp = Vec::new();
+        tans::compress(&data, &mut comp);
+        let mut out = Vec::new();
+        let mut scratch = FseScratch::default();
+        tans::decompress_into(&comp, &mut out, &mut scratch).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn lz4_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        let mut comp = Vec::new();
+        lz4::compress(&data, &mut comp);
+        let mut out = Vec::new();
+        lz4::decompress_into(&comp, &mut out).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn lz4_roundtrips_repetitive_streams(
+        unit in proptest::collection::vec(any::<u8>(), 1..12),
+        reps in 1usize..400,
+    ) {
+        // Periodic data drives the overlap-copy path (match offset shorter
+        // than match length).
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let mut comp = Vec::new();
+        lz4::compress(&data, &mut comp);
+        let mut out = Vec::new();
+        lz4::decompress_into(&comp, &mut out).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let mut out = Vec::new();
+        let mut scratch = FseScratch::default();
+        let tans_ok = tans::decompress_into(&data, &mut out, &mut scratch).is_ok();
+        decode_is_sane(&out, tans_ok);
+        out.clear();
+        let lz4_ok = lz4::decompress_into(&data, &mut out).is_ok();
+        decode_is_sane(&out, lz4_ok);
+    }
+
+    #[test]
+    fn truncated_containers_error_or_shrink(
+        data in proptest::collection::vec(any::<u8>(), 64..2000),
+        cut_pct in 5usize..95,
+    ) {
+        // Chopping the tail off a valid container must never yield the
+        // original input back: either the decoder errors, or (for heavily
+        // padded containers) it returns something, but never a silent
+        // full-length wrong answer that equals the roundtrip.
+        for which in 0..2 {
+            let mut comp = Vec::new();
+            if which == 0 {
+                tans::compress(&data, &mut comp);
+            } else {
+                lz4::compress(&data, &mut comp);
+            }
+            let cut = comp.len() * cut_pct / 100;
+            let truncated = &comp[..cut];
+            let mut out = Vec::new();
+            let mut scratch = FseScratch::default();
+            let res = if which == 0 {
+                tans::decompress_into(truncated, &mut out, &mut scratch)
+            } else {
+                lz4::decompress_into(truncated, &mut out)
+            };
+            if res.is_ok() {
+                prop_assert!(out != data, "truncated container decoded to the original");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_never_over_allocate(
+        prefix in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        // A short buffer whose header claims a huge raw length must error
+        // during validation, not reserve gigabytes up front. The decoders
+        // reserve progressively (capped per step), so a failing decode on
+        // a dozen input bytes leaves only a small buffer behind.
+        let mut data = prefix.clone();
+        // Force a worst-case vbyte raw-length claim right after the mode byte.
+        data.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]);
+        let mut out = Vec::new();
+        let mut scratch = FseScratch::default();
+        let _ = tans::decompress_into(&data, &mut out, &mut scratch);
+        prop_assert!(out.capacity() <= 1 << 21, "tans reserved {}", out.capacity());
+        let mut out = Vec::new();
+        let _ = lz4::decompress_into(&data, &mut out);
+        prop_assert!(out.capacity() <= 1 << 21, "lz4 reserved {}", out.capacity());
+    }
+}

@@ -12,7 +12,15 @@
 //!
 //! giving `ZZ`, `ZV`, `UZ`, `UV`. The future-work codecs Simple-9,
 //! PForDelta and Elias γ/δ are also wired in (`S`, `P`, `G`, `D`) for the
-//! ablation benchmarks.
+//! ablation benchmarks, and two post-paper codecs extend the family where
+//! modern entropy coding has moved since 2011:
+//!
+//! * `F` — FSE/tANS entropy coding of the stream's variable-byte image
+//!   (`rlz_fse::tans`): Z-class ratio with a table-driven decode loop that
+//!   replaces zlib's per-bit Huffman walk,
+//! * `L` — LZ4-style fast-literal compression of the raw 32-bit image
+//!   (`rlz_fse::lz4`): decode at memcpy-class speed, ratio between `U`
+//!   and `Z`.
 //!
 //! Wire format per document:
 //! `vbyte(n_factors) · vbyte(|pos|) · pos bytes · vbyte(|len|) · len bytes`.
@@ -49,6 +57,7 @@
 use crate::factor::Factor;
 use rlz_codecs::{elias, fixed, pfor, simple9, vbyte, CodecError, IntCodec};
 use std::cell::RefCell;
+use std::fmt;
 
 /// Coder for a single integer stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,34 +77,80 @@ pub enum Coder {
     Gamma,
     /// `D`: Elias delta.
     Delta,
+    /// `F`: FSE/tANS entropy coding of the variable-byte image.
+    Fse,
+    /// `L`: LZ4-style fast-literal compression of the raw 32-bit image.
+    Lz4,
 }
 
+/// The single source of truth for coder letters: every parse, letter
+/// lookup and error message derives from this table.
+const CODERS: [(char, Coder); 9] = [
+    ('U', Coder::U32),
+    ('V', Coder::VByte),
+    ('Z', Coder::Zlib),
+    ('S', Coder::Simple9),
+    ('P', Coder::PFor),
+    ('G', Coder::Gamma),
+    ('D', Coder::Delta),
+    ('F', Coder::Fse),
+    ('L', Coder::Lz4),
+];
+
+/// Error from parsing a coder letter or a two-letter pair-coding name.
+///
+/// The display form names the valid letters, so a CLI typo surfaces as an
+/// actionable message instead of a silent `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseCodingError {
+    /// The character does not name a coder.
+    UnknownLetter(char),
+    /// A pair-coding name must be exactly two letters; this was the actual
+    /// character count.
+    BadLength(usize),
+}
+
+impl fmt::Display for ParseCodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCodingError::UnknownLetter(c) => {
+                write!(f, "unknown coder letter {c:?}; valid letters are ")?;
+                for (i, (letter, _)) in CODERS.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{letter}")?;
+                }
+                Ok(())
+            }
+            ParseCodingError::BadLength(n) => {
+                write!(f, "pair coding names are two letters, got {n} character(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseCodingError {}
+
 impl Coder {
-    /// Parses the single-letter name used in the paper's tables.
-    pub fn parse(letter: char) -> Option<Coder> {
-        Some(match letter.to_ascii_uppercase() {
-            'U' => Coder::U32,
-            'V' => Coder::VByte,
-            'Z' => Coder::Zlib,
-            'S' => Coder::Simple9,
-            'P' => Coder::PFor,
-            'G' => Coder::Gamma,
-            'D' => Coder::Delta,
-            _ => return None,
-        })
+    /// Parses the single-letter name used in the paper's tables
+    /// (case-insensitive).
+    pub fn parse(letter: char) -> Result<Coder, ParseCodingError> {
+        let up = letter.to_ascii_uppercase();
+        CODERS
+            .iter()
+            .find(|&&(l, _)| l == up)
+            .map(|&(_, coder)| coder)
+            .ok_or(ParseCodingError::UnknownLetter(letter))
     }
 
     /// The single-letter name.
     pub fn letter(&self) -> char {
-        match self {
-            Coder::U32 => 'U',
-            Coder::VByte => 'V',
-            Coder::Zlib => 'Z',
-            Coder::Simple9 => 'S',
-            Coder::PFor => 'P',
-            Coder::Gamma => 'G',
-            Coder::Delta => 'D',
-        }
+        CODERS
+            .iter()
+            .find(|&&(_, c)| c == *self)
+            .expect("every coder is in the letter table")
+            .0
     }
 
     /// Encodes a value stream, appending to `out`.
@@ -107,15 +162,29 @@ impl Coder {
             Coder::PFor => pfor::PForDelta::default().encode(values, out),
             Coder::Gamma => elias::EliasGamma.encode(values, out),
             Coder::Delta => elias::EliasDelta.encode(values, out),
-            Coder::Zlib => ZLIB_RAW_SCRATCH.with(|cell| {
+            Coder::Zlib => ENCODE_STAGE_SCRATCH.with(|cell| {
                 // The raw u32 staging buffer is per-thread scratch: bulk
                 // compression encodes millions of documents, and a fresh
                 // `Vec` per document showed up as pure allocator traffic.
-                let mut raw = cell.borrow_mut();
+                let (raw, _) = &mut *cell.borrow_mut();
                 raw.clear();
-                fixed::FixedU32.encode(values, &mut raw);
-                let compressed = rlz_zlite::compress(&raw, rlz_zlite::Level::Best);
+                fixed::FixedU32.encode(values, raw);
+                let compressed = rlz_zlite::compress(raw, rlz_zlite::Level::Best);
                 out.extend_from_slice(&compressed);
+            }),
+            Coder::Fse => ENCODE_STAGE_SCRATCH.with(|cell| {
+                let (raw, comp) = &mut *cell.borrow_mut();
+                raw.clear();
+                vbyte::VByte.encode(values, raw);
+                rlz_fse::tans::compress(raw, comp);
+                out.extend_from_slice(comp);
+            }),
+            Coder::Lz4 => ENCODE_STAGE_SCRATCH.with(|cell| {
+                let (raw, comp) = &mut *cell.borrow_mut();
+                raw.clear();
+                fixed::FixedU32.encode(values, raw);
+                rlz_fse::lz4::compress(raw, comp);
+                out.extend_from_slice(comp);
             }),
         }
     }
@@ -124,14 +193,16 @@ impl Coder {
     pub fn decode_stream(&self, data: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
         let mut out = Vec::new();
         let mut inflate = Vec::new();
-        self.decode_stream_into(data, n, &mut out, &mut inflate)?;
+        let mut fse = rlz_fse::FseScratch::default();
+        self.decode_stream_into(data, n, &mut out, &mut inflate, &mut fse)?;
         Ok(out)
     }
 
     /// Decodes exactly `n` values from `data` into `out`, **replacing** its
     /// contents while reusing its capacity. `inflate` is the staging buffer
-    /// the `Z` coder decompresses into (reused the same way); the other
-    /// coders leave it untouched. The zero-allocation entry point of the
+    /// the `Z`, `F` and `L` coders decompress into and `fse` holds the `F`
+    /// coder's reusable state table (both reused the same way); the other
+    /// coders leave them untouched. The zero-allocation entry point of the
     /// fused decode pipeline (see the module docs).
     pub fn decode_stream_into(
         &self,
@@ -139,6 +210,7 @@ impl Coder {
         n: usize,
         out: &mut Vec<u32>,
         inflate: &mut Vec<u8>,
+        fse: &mut rlz_fse::FseScratch,
     ) -> Result<(), CodecError> {
         match self {
             Coder::U32 => fixed::FixedU32.decode_into(data, n, out).map(drop),
@@ -156,14 +228,33 @@ impl Coder {
                 }
                 fixed::FixedU32.decode_into(inflate, n, out).map(drop)
             }
+            Coder::Fse => {
+                rlz_fse::tans::decompress_into(data, inflate, fse)?;
+                // The inflate buffer holds the vbyte image; requiring the
+                // decode to consume it exactly pins the value count.
+                let consumed = vbyte::VByte.decode_into(inflate, n, out)?;
+                if consumed != inflate.len() {
+                    return Err(CodecError::Corrupt("F stream count mismatch"));
+                }
+                Ok(())
+            }
+            Coder::Lz4 => {
+                rlz_fse::lz4::decompress_into(data, inflate)?;
+                if Some(inflate.len()) != n.checked_mul(4) {
+                    return Err(CodecError::Corrupt("L stream count mismatch"));
+                }
+                fixed::FixedU32.decode_into(inflate, n, out).map(drop)
+            }
         }
     }
 }
 
 thread_local! {
-    /// Per-thread staging buffer for [`Coder::Zlib`]'s `encode_stream`: the
-    /// raw little-endian u32 image of the stream being compressed.
-    static ZLIB_RAW_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread staging buffers for `encode_stream`'s compressing coders:
+    /// the raw integer image of the stream being compressed, and the coded
+    /// form before it is appended to the record.
+    static ENCODE_STAGE_SCRATCH: RefCell<(Vec<u8>, Vec<u8>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// A position/length coder pair, e.g. `ZV` = zlib positions, vbyte lengths.
@@ -197,15 +288,53 @@ impl PairCoding {
         len: Coder::VByte,
     };
 
+    /// FSE positions, FSE lengths — the modern-entropy answer to `ZZ`.
+    pub const FF: PairCoding = PairCoding {
+        pos: Coder::Fse,
+        len: Coder::Fse,
+    };
+    /// FSE positions, vbyte lengths.
+    pub const FV: PairCoding = PairCoding {
+        pos: Coder::Fse,
+        len: Coder::VByte,
+    };
+    /// LZ4 positions, LZ4 lengths — the fast-literal answer to `ZZ`.
+    pub const LL: PairCoding = PairCoding {
+        pos: Coder::Lz4,
+        len: Coder::Lz4,
+    };
+    /// LZ4 positions, vbyte lengths.
+    pub const LV: PairCoding = PairCoding {
+        pos: Coder::Lz4,
+        len: Coder::VByte,
+    };
+
     /// The four combinations evaluated in Tables 4, 5 and 8.
     pub const PAPER_SET: [PairCoding; 4] = [Self::ZZ, Self::ZV, Self::UZ, Self::UV];
 
+    /// The paper's set plus the post-paper F/L codecs — what the decode
+    /// benchmark and the oracle-equality tests sweep.
+    pub const EXTENDED_SET: [PairCoding; 8] = [
+        Self::ZZ,
+        Self::ZV,
+        Self::UZ,
+        Self::UV,
+        Self::FF,
+        Self::FV,
+        Self::LL,
+        Self::LV,
+    ];
+
     /// Parses a two-letter name such as `"ZV"`.
-    pub fn parse(name: &str) -> Option<PairCoding> {
+    pub fn parse(name: &str) -> Result<PairCoding, ParseCodingError> {
         let mut chars = name.chars();
-        let pos = Coder::parse(chars.next()?)?;
-        let len = Coder::parse(chars.next()?)?;
-        chars.next().is_none().then_some(PairCoding { pos, len })
+        match (chars.next(), chars.next(), chars.next()) {
+            (Some(p), Some(l), None) => Ok(PairCoding {
+                pos: Coder::parse(p)?,
+                len: Coder::parse(l)?,
+            }),
+            _ => Err(ParseCodingError::BadLength(name.chars().count())),
+        }
     }
 
     /// The two-letter name used in the paper's tables.
@@ -252,16 +381,37 @@ pub fn decode_document(data: &[u8], coding: PairCoding) -> Result<Vec<Factor>, C
 /// count before it drives any allocation or decoding.
 const MAX_VALUES_PER_STREAM_BYTE: u64 = 1024;
 
+impl Coder {
+    /// Per-coder bound on decoded values per encoded stream byte, used by
+    /// the record-header pre-pass. The `F` and `L` containers are exempt:
+    /// an FSE symbol can cost a fraction of a bit (a constant stream codes
+    /// in `~0` bits/value), so no useful static density bound exists —
+    /// instead their decoders inflate with progressive reservation and the
+    /// value count is validated against the container's own raw length.
+    fn max_values_per_stream_byte(&self) -> u64 {
+        match self {
+            Coder::Fse | Coder::Lz4 => u64::MAX,
+            _ => MAX_VALUES_PER_STREAM_BYTE,
+        }
+    }
+}
+
 /// Parses the record header, returning `(n_factors, pos bytes, len bytes)`.
 ///
 /// Hardened against corrupt records: the `at + stream_len` offsets are
 /// `checked_add`-guarded so huge declared lengths cannot wrap, both stream
 /// extents must lie inside the record, and `n` is rejected when it exceeds
-/// the maximum density any coder can achieve on a stream of that size.
-fn split_streams(data: &[u8]) -> Result<(usize, &[u8], &[u8]), CodecError> {
-    fn stream<'a>(data: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8], CodecError> {
+/// the maximum density the stream's coder can achieve on a stream of that
+/// size.
+fn split_streams(data: &[u8], coding: PairCoding) -> Result<(usize, &[u8], &[u8]), CodecError> {
+    fn stream<'a>(
+        data: &'a [u8],
+        at: &mut usize,
+        n: usize,
+        coder: Coder,
+    ) -> Result<&'a [u8], CodecError> {
         let stream_len = vbyte::read_u32(data, at)? as usize;
-        if n as u64 > (stream_len as u64).saturating_mul(MAX_VALUES_PER_STREAM_BYTE) {
+        if n as u64 > (stream_len as u64).saturating_mul(coder.max_values_per_stream_byte()) {
             return Err(CodecError::Corrupt("factor count exceeds stream capacity"));
         }
         let end = at
@@ -274,14 +424,14 @@ fn split_streams(data: &[u8]) -> Result<(usize, &[u8], &[u8]), CodecError> {
     }
     let mut at = 0usize;
     let n = vbyte::read_u32(data, &mut at)? as usize;
-    let pos_bytes = stream(data, &mut at, n)?;
-    let len_bytes = stream(data, &mut at, n)?;
+    let pos_bytes = stream(data, &mut at, n, coding.pos)?;
+    let len_bytes = stream(data, &mut at, n, coding.len)?;
     Ok((n, pos_bytes, len_bytes))
 }
 
 /// Decodes the two value streams of an encoded document.
 pub fn decode_streams(data: &[u8], coding: PairCoding) -> Result<(Vec<u32>, Vec<u32>), CodecError> {
-    let (n, pos_bytes, len_bytes) = split_streams(data)?;
+    let (n, pos_bytes, len_bytes) = split_streams(data, coding)?;
     let positions = coding.pos.decode_stream(pos_bytes, n)?;
     let lengths = coding.len.decode_stream(len_bytes, n)?;
     Ok((positions, lengths))
@@ -300,6 +450,7 @@ pub struct DecodeScratch {
     positions: Vec<u32>,
     lengths: Vec<u32>,
     inflate: Vec<u8>,
+    fse: rlz_fse::FseScratch,
 }
 
 impl DecodeScratch {
@@ -315,13 +466,21 @@ impl DecodeScratch {
         data: &[u8],
         coding: PairCoding,
     ) -> Result<(&[u32], &[u32]), CodecError> {
-        let (n, pos_bytes, len_bytes) = split_streams(data)?;
-        coding
-            .pos
-            .decode_stream_into(pos_bytes, n, &mut self.positions, &mut self.inflate)?;
-        coding
-            .len
-            .decode_stream_into(len_bytes, n, &mut self.lengths, &mut self.inflate)?;
+        let (n, pos_bytes, len_bytes) = split_streams(data, coding)?;
+        coding.pos.decode_stream_into(
+            pos_bytes,
+            n,
+            &mut self.positions,
+            &mut self.inflate,
+            &mut self.fse,
+        )?;
+        coding.len.decode_stream_into(
+            len_bytes,
+            n,
+            &mut self.lengths,
+            &mut self.inflate,
+            &mut self.fse,
+        )?;
         Ok((&self.positions, &self.lengths))
     }
 }
@@ -425,7 +584,10 @@ mod tests {
     #[test]
     fn all_pair_codings_roundtrip() {
         let factors = sample_factors();
-        for name in ["ZZ", "ZV", "UZ", "UV", "SS", "PP", "GV", "DV", "SV", "PV"] {
+        for name in [
+            "ZZ", "ZV", "UZ", "UV", "SS", "PP", "GV", "DV", "SV", "PV", "FF", "FV", "LL", "LV",
+            "FZ", "LF",
+        ] {
             let coding = PairCoding::parse(name).unwrap();
             assert_eq!(coding.name(), name.to_uppercase());
             let enc = encode_document(&factors, coding);
@@ -436,19 +598,42 @@ mod tests {
 
     #[test]
     fn empty_document_roundtrips() {
-        for coding in PairCoding::PAPER_SET {
+        for coding in PairCoding::EXTENDED_SET {
             let enc = encode_document(&[], coding);
             assert!(decode_document(&enc, coding).unwrap().is_empty());
         }
     }
 
     #[test]
-    fn parse_rejects_garbage() {
-        assert_eq!(PairCoding::parse("Q"), None);
-        assert_eq!(PairCoding::parse("ZZZ"), None);
-        assert_eq!(PairCoding::parse(""), None);
-        assert_eq!(PairCoding::parse("XY"), None);
-        assert!(PairCoding::parse("zv").is_some(), "case-insensitive");
+    fn parse_rejects_garbage_with_typed_errors() {
+        assert_eq!(PairCoding::parse("Q"), Err(ParseCodingError::BadLength(1)));
+        assert_eq!(
+            PairCoding::parse("ZZZ"),
+            Err(ParseCodingError::BadLength(3))
+        );
+        assert_eq!(PairCoding::parse(""), Err(ParseCodingError::BadLength(0)));
+        assert_eq!(
+            PairCoding::parse("XY"),
+            Err(ParseCodingError::UnknownLetter('X'))
+        );
+        assert_eq!(
+            PairCoding::parse("Ux"),
+            Err(ParseCodingError::UnknownLetter('x'))
+        );
+        assert!(PairCoding::parse("zv").is_ok(), "case-insensitive");
+        assert!(PairCoding::parse("fl").is_ok(), "case-insensitive");
+        let msg = ParseCodingError::UnknownLetter('x').to_string();
+        for (letter, _) in super::CODERS {
+            assert!(msg.contains(letter), "error message names {letter}: {msg}");
+        }
+    }
+
+    #[test]
+    fn every_coder_letter_parses_back() {
+        for (letter, coder) in super::CODERS {
+            assert_eq!(Coder::parse(letter), Ok(coder));
+            assert_eq!(coder.letter(), letter);
+        }
     }
 
     #[test]
@@ -460,7 +645,7 @@ mod tests {
             Factor::copy(10, 11), // " dictionary"
         ];
         let mut scratch = DecodeScratch::new();
-        for coding in PairCoding::PAPER_SET {
+        for coding in PairCoding::EXTENDED_SET {
             let enc = encode_document(&factors, coding);
             let mut fast = Vec::new();
             decode_and_expand(&enc, coding, &dict, &mut fast).unwrap();
@@ -498,7 +683,9 @@ mod tests {
             ],
         ];
         let mut scratch = DecodeScratch::new();
-        for name in ["ZZ", "ZV", "UZ", "UV", "SS", "PP", "GV", "DV"] {
+        for name in [
+            "ZZ", "ZV", "UZ", "UV", "SS", "PP", "GV", "DV", "FF", "FV", "LL", "LV",
+        ] {
             let coding = PairCoding::parse(name).unwrap();
             for factors in &shapes {
                 let enc = encode_document(factors, coding);
@@ -553,12 +740,34 @@ mod tests {
                 Err(CodecError::Corrupt("factor count exceeds stream capacity"))
             ));
         }
+        // The F/L containers are exempt from the static density bound (an
+        // FSE symbol can cost a fraction of a bit), but the same record
+        // must still error: the container's own raw length pins the count.
+        for coding in [PairCoding::FF, PairCoding::LL, PairCoding::FV] {
+            assert!(decode_streams(&enc, coding).is_err(), "{}", coding.name());
+        }
+    }
+
+    #[test]
+    fn fse_coding_handles_streams_denser_than_the_static_bound() {
+        // 200k identical positions cost ~0 bits each under F — far beyond
+        // the 1024 values/byte bound the other coders are held to. The
+        // pre-pass must not reject it, and the roundtrip must hold.
+        let factors: Vec<Factor> = (0..200_000).map(|_| Factor::copy(7, 5)).collect();
+        let enc = encode_document(&factors, PairCoding::FF);
+        assert!(
+            enc.len() < factors.len() / 64,
+            "constant factors should code near zero bits ({} bytes)",
+            enc.len()
+        );
+        let dec = decode_document(&enc, PairCoding::FF).unwrap();
+        assert_eq!(dec, factors);
     }
 
     #[test]
     fn truncated_documents_error() {
         let factors = sample_factors();
-        for coding in PairCoding::PAPER_SET {
+        for coding in PairCoding::EXTENDED_SET {
             let enc = encode_document(&factors, coding);
             for cut in [0, 1, enc.len() / 2, enc.len() - 1] {
                 assert!(

@@ -84,7 +84,7 @@ proptest! {
                 }
             })
             .collect();
-        for name in ["ZZ", "ZV", "UZ", "UV", "SS", "PP", "GG", "DD", "SV", "PZ"] {
+        for name in ["ZZ", "ZV", "UZ", "UV", "SS", "PP", "GG", "DD", "SV", "PZ", "FF", "FV", "LL", "LV", "FZ", "LF"] {
             let coding = PairCoding::parse(name).unwrap();
             let enc = encode_document(&factors, coding);
             prop_assert_eq!(decode_document(&enc, coding).unwrap(), factors.clone(), "{}", name);
@@ -111,7 +111,7 @@ proptest! {
         let dict = Dictionary::from_bytes(b"some dictionary".to_vec());
         let mut scratch = DecodeScratch::new();
         let mut out = Vec::new();
-        for coding in PairCoding::PAPER_SET {
+        for coding in PairCoding::EXTENDED_SET {
             let comp = RlzCompressor::new(dict.clone(), coding);
             let _ = comp.decompress(&data);
             out.clear();
@@ -130,7 +130,7 @@ proptest! {
         let dict = Dictionary::from_bytes(dict_bytes);
         let mut scratch = DecodeScratch::new();
         let mut fused = Vec::new();
-        for coding in PairCoding::PAPER_SET {
+        for coding in PairCoding::EXTENDED_SET {
             let comp = RlzCompressor::new(dict.clone(), coding);
             let enc = comp.compress(&doc);
             let mut oracle = Vec::new();

@@ -6,6 +6,17 @@
 //! against access latency (bigger = slower), the exact trade-off of
 //! Tables 6, 7 and 9. A block size of zero puts one document per block
 //! (the paper's "0.0MB" rows).
+//!
+//! # Self-describing block format
+//!
+//! The metadata is a per-block offset table whose entries mark each block
+//! *compressed* or *stored*: at build time a block whose coded form would
+//! not be smaller than the raw bytes is written verbatim, and reads pass
+//! it through with a plain copy instead of a trial decompression. Any
+//! block codec is therefore random-accessible (the table gives exact
+//! extents) and incompressible data costs memcpy speed, not codec speed.
+//! The previous metadata layout (leading codec tag, no stored flags) is
+//! still readable.
 
 use crate::backend::{FileBackend, MemBackend, StorageBackend};
 use crate::cache::ShardedLru;
@@ -31,6 +42,10 @@ pub enum BlockCodec {
     Zlite(rlz_zlite::Level),
     /// LZMA-class (the paper's lzma baseline).
     Lzlite(rlz_lzlite::Level),
+    /// FSE/tANS entropy coding (order-0; post-paper comparison point).
+    Fse,
+    /// LZ4-style fast-literal compression (post-paper comparison point).
+    Lz4,
 }
 
 impl BlockCodec {
@@ -39,6 +54,8 @@ impl BlockCodec {
         match self {
             BlockCodec::Zlite(_) => "zlib",
             BlockCodec::Lzlite(_) => "lzma",
+            BlockCodec::Fse => "fse",
+            BlockCodec::Lz4 => "lz4",
         }
     }
 
@@ -46,6 +63,16 @@ impl BlockCodec {
         match *self {
             BlockCodec::Zlite(level) => rlz_zlite::compress(data, level),
             BlockCodec::Lzlite(level) => rlz_lzlite::compress(data, level),
+            BlockCodec::Fse => {
+                let mut out = Vec::new();
+                rlz_fse::tans::compress(data, &mut out);
+                out
+            }
+            BlockCodec::Lz4 => {
+                let mut out = Vec::new();
+                rlz_fse::lz4::compress(data, &mut out);
+                out
+            }
         }
     }
 
@@ -55,6 +82,11 @@ impl BlockCodec {
         match self {
             BlockCodec::Zlite(_) => Ok(rlz_zlite::decompress_into(data, out)?),
             BlockCodec::Lzlite(_) => Ok(rlz_lzlite::decompress_into(data, out)?),
+            BlockCodec::Fse => {
+                let mut scratch = rlz_fse::FseScratch::default();
+                Ok(rlz_fse::tans::decompress_into(data, out, &mut scratch)?)
+            }
+            BlockCodec::Lz4 => Ok(rlz_fse::lz4::decompress_into(data, out)?),
         }
     }
 
@@ -62,6 +94,8 @@ impl BlockCodec {
         match self {
             BlockCodec::Zlite(_) => 0,
             BlockCodec::Lzlite(_) => 1,
+            BlockCodec::Fse => 2,
+            BlockCodec::Lz4 => 3,
         }
     }
 
@@ -69,22 +103,32 @@ impl BlockCodec {
         match tag {
             0 => Ok(BlockCodec::Zlite(rlz_zlite::Level::Default)),
             1 => Ok(BlockCodec::Lzlite(rlz_lzlite::Level::Default)),
+            2 => Ok(BlockCodec::Fse),
+            3 => Ok(BlockCodec::Lz4),
             _ => Err(StoreError::Corrupt("unknown block codec tag")),
         }
     }
 }
 
+/// Marks the self-describing metadata layout (codec tag + per-block stored
+/// flags). Chosen outside the codec-tag range so the legacy layout — whose
+/// first byte is the codec tag itself — stays distinguishable.
+const META_VERSION_SELF_DESCRIBING: u8 = 0xF5;
+
 /// One block's location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BlockEntry {
-    /// Offset of the compressed block in `blocks.bin`.
+    /// Offset of the block's bytes in `blocks.bin`.
     file_offset: u64,
-    /// Compressed size.
+    /// On-disk size (compressed size, or raw size for stored blocks).
     comp_len: u32,
     /// First document stored in this block.
     first_doc: u32,
     /// Uncompressed offset of the block's first byte in the collection.
     raw_start: u64,
+    /// Stored verbatim: the codec could not shrink this block, so reads
+    /// pass it through without decompression.
+    stored: bool,
 }
 
 /// Blocked store reader. Clones are cheap handles sharing the backend,
@@ -148,26 +192,35 @@ impl BlockedStore {
             raw_starts.push(block_start);
         }
 
-        // Compress blocks in parallel.
+        // Compress blocks in parallel; a block the codec cannot shrink is
+        // marked stored and written verbatim.
         let compressed = crate::parallel_map(&raw_blocks, threads, |raw| codec.compress(raw));
 
         // Write payload and metadata.
         let mut payload = std::io::BufWriter::new(File::create(dir.join(BLOCKS_FILE))?);
         let mut entries = Vec::with_capacity(compressed.len());
         let mut file_at = 0u64;
-        for ((comp, &first), &raw_start) in compressed.iter().zip(&firsts).zip(&raw_starts) {
-            payload.write_all(comp)?;
+        for ((comp, raw), (&first, &raw_start)) in compressed
+            .iter()
+            .zip(&raw_blocks)
+            .zip(firsts.iter().zip(&raw_starts))
+        {
+            let stored = comp.len() >= raw.len() && !raw.is_empty();
+            let bytes: &[u8] = if stored { raw } else { comp };
+            payload.write_all(bytes)?;
             entries.push(BlockEntry {
                 file_offset: file_at,
-                comp_len: comp.len() as u32,
+                comp_len: bytes.len() as u32,
                 first_doc: first,
                 raw_start,
+                stored,
             });
-            file_at += comp.len() as u64;
+            file_at += bytes.len() as u64;
         }
         payload.flush()?;
 
         let mut meta = Vec::new();
+        meta.push(META_VERSION_SELF_DESCRIBING);
         meta.push(codec.tag());
         vbyte::write_u64(entries.len() as u64, &mut meta);
         for e in &entries {
@@ -175,6 +228,7 @@ impl BlockedStore {
             vbyte::write_u32(e.comp_len, &mut meta);
             vbyte::write_u32(e.first_doc, &mut meta);
             vbyte::write_u64(e.raw_start, &mut meta);
+            meta.push(e.stored as u8);
         }
         std::fs::write(dir.join(META_FILE), meta)?;
         std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
@@ -195,19 +249,49 @@ impl BlockedStore {
     fn with_backend(dir: &Path, payload: Arc<dyn StorageBackend>) -> Result<Self, StoreError> {
         let meta = read_file(&dir.join(META_FILE))?;
         let mut pos = 0usize;
-        let Some(&tag) = meta.first() else {
+        let Some(&first_byte) = meta.first() else {
             return Err(StoreError::Corrupt("empty blocked-store metadata"));
         };
         pos += 1;
+        // Self-describing layout leads with a version byte; the legacy
+        // layout leads directly with the codec tag (no stored flags).
+        let self_describing = first_byte == META_VERSION_SELF_DESCRIBING;
+        let tag = if self_describing {
+            let Some(&tag) = meta.get(pos) else {
+                return Err(StoreError::Corrupt("truncated blocked-store metadata"));
+            };
+            pos += 1;
+            tag
+        } else {
+            first_byte
+        };
         let codec = BlockCodec::from_tag(tag)?;
         let n = vbyte::read_u64(&meta, &mut pos)? as usize;
-        let mut blocks = Vec::with_capacity(n);
+        let mut blocks = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
+            let file_offset = vbyte::read_u64(&meta, &mut pos)?;
+            let comp_len = vbyte::read_u32(&meta, &mut pos)?;
+            let first_doc = vbyte::read_u32(&meta, &mut pos)?;
+            let raw_start = vbyte::read_u64(&meta, &mut pos)?;
+            let stored = if self_describing {
+                let Some(&flag) = meta.get(pos) else {
+                    return Err(StoreError::Corrupt("truncated blocked-store metadata"));
+                };
+                pos += 1;
+                match flag {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(StoreError::Corrupt("invalid stored-block flag")),
+                }
+            } else {
+                false
+            };
             blocks.push(BlockEntry {
-                file_offset: vbyte::read_u64(&meta, &mut pos)?,
-                comp_len: vbyte::read_u32(&meta, &mut pos)?,
-                first_doc: vbyte::read_u32(&meta, &mut pos)?,
-                raw_start: vbyte::read_u64(&meta, &mut pos)?,
+                file_offset,
+                comp_len,
+                first_doc,
+                raw_start,
+                stored,
             });
         }
         let map = Arc::new(DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?);
@@ -253,12 +337,20 @@ impl BlockedStore {
     }
 
     /// Reads and decompresses block `b` into `out` (no cache involvement),
-    /// replacing `out`'s contents while reusing its capacity.
+    /// replacing `out`'s contents while reusing its capacity. Stored
+    /// blocks pass straight from the backend into `out` — no codec, no
+    /// staging copy.
     fn decompress_block_into(
         &self,
         entry: BlockEntry,
         out: &mut Vec<u8>,
     ) -> Result<(), StoreError> {
+        if entry.stored {
+            out.clear();
+            out.resize(entry.comp_len as usize, 0);
+            self.payload.read_exact_at(out, entry.file_offset)?;
+            return Ok(());
+        }
         crate::with_scratch(entry.comp_len as usize, |comp| {
             self.payload.read_exact_at(comp, entry.file_offset)?;
             self.codec.decompress_into(comp, out)
@@ -435,6 +527,97 @@ mod tests {
     #[test]
     fn lzlite_fixed_blocks() {
         check_store(BlockCodec::Lzlite(rlz_lzlite::Level::Default), 8192);
+    }
+
+    #[test]
+    fn fse_blocks() {
+        check_store(BlockCodec::Fse, 0);
+        check_store(BlockCodec::Fse, 8192);
+    }
+
+    #[test]
+    fn lz4_blocks() {
+        check_store(BlockCodec::Lz4, 0);
+        check_store(BlockCodec::Lz4, 8192);
+    }
+
+    #[test]
+    fn incompressible_blocks_are_stored_verbatim() {
+        // A xorshift byte stream defeats every codec, so each block must be
+        // marked stored and the payload must be exactly the raw collection.
+        let mut state = 0x2545_F491u32;
+        let d: Vec<Vec<u8>> = (0..16)
+            .map(|_| {
+                (0..1500)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 17;
+                        state ^= state << 5;
+                        state as u8
+                    })
+                    .collect()
+            })
+            .collect();
+        let raw_total: u64 = d.iter().map(|v| v.len() as u64).sum();
+        for codec in [
+            BlockCodec::Zlite(rlz_zlite::Level::Default),
+            BlockCodec::Fse,
+            BlockCodec::Lz4,
+        ] {
+            let dir = TestDir::new(&format!("blocked-stored-{}", codec.name()));
+            BlockedStore::build(dir.path(), d.iter().map(|v| v.as_slice()), codec, 4096, 2)
+                .unwrap();
+            let store = BlockedStore::open(dir.path()).unwrap();
+            assert_eq!(
+                store.stored_bytes(),
+                raw_total,
+                "{}: stored blocks should be written verbatim",
+                codec.name()
+            );
+            for (i, doc) in d.iter().enumerate() {
+                assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_meta_format_still_opens() {
+        // Stores written before the self-describing layout lead directly
+        // with the codec tag and carry no stored flags. Rewrite the
+        // metadata of a fresh (fully compressed) store into that layout and
+        // check it still reads.
+        let dir = TestDir::new("blocked-legacy-meta");
+        let d = docs();
+        BlockedStore::build(
+            dir.path(),
+            d.iter().map(|v| v.as_slice()),
+            BlockCodec::Zlite(rlz_zlite::Level::Default),
+            4096,
+            2,
+        )
+        .unwrap();
+        let meta = read_file(&dir.path().join(META_FILE)).unwrap();
+        assert_eq!(meta[0], META_VERSION_SELF_DESCRIBING);
+        let mut pos = 2usize; // skip version + tag
+        let n = vbyte::read_u64(&meta, &mut pos).unwrap() as usize;
+        let mut legacy = vec![meta[1]];
+        vbyte::write_u64(n as u64, &mut legacy);
+        for _ in 0..n {
+            let start = pos;
+            vbyte::read_u64(&meta, &mut pos).unwrap();
+            vbyte::read_u32(&meta, &mut pos).unwrap();
+            vbyte::read_u32(&meta, &mut pos).unwrap();
+            vbyte::read_u64(&meta, &mut pos).unwrap();
+            assert_eq!(meta[pos], 0, "legacy layout cannot express stored blocks");
+            legacy.extend_from_slice(&meta[start..pos]);
+            pos += 1; // drop the stored flag
+        }
+        std::fs::write(dir.path().join(META_FILE), legacy).unwrap();
+        let store = BlockedStore::open(dir.path()).unwrap();
+        assert_eq!(store.num_docs(), d.len());
+        for (i, doc) in d.iter().enumerate() {
+            assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+        }
     }
 
     #[test]

@@ -107,7 +107,7 @@ impl RlzStore {
         let name = std::str::from_utf8(&meta)
             .map_err(|_| StoreError::Corrupt("pair-coding name is not UTF-8"))?;
         let coding = PairCoding::parse(name)
-            .ok_or(StoreError::Corrupt("unknown pair coding in metadata"))?;
+            .map_err(|_| StoreError::Corrupt("unknown pair coding in metadata"))?;
         let dict_bytes = Arc::new(read_file(&dir.join(DICT_FILE))?);
         let map = Arc::new(DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?);
         let payload = make(&dir.join(PAYLOAD_FILE))?;

@@ -48,6 +48,15 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn warm_get_into_performs_zero_allocations() {
+    // One store per coding family with its own scratch shape: byte-aligned
+    // (UV), tANS entropy-coded (FF) and LZ4-style (LL) factor streams must
+    // all hit the allocation-free warm path.
+    for coding in [PairCoding::UV, PairCoding::FF, PairCoding::LL] {
+        check_coding(coding);
+    }
+}
+
+fn check_coding(coding: PairCoding) {
     let docs: Vec<Vec<u8>> = (0..64)
         .map(|i| {
             format!(
@@ -60,9 +69,13 @@ fn warm_get_into_performs_zero_allocations() {
         .collect();
     let all: Vec<u8> = docs.concat();
     let dict = Dictionary::sample(&all, 2048, 256, SampleStrategy::Evenly);
-    let dir = std::env::temp_dir().join(format!("rlz-alloc-test-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!(
+        "rlz-alloc-test-{}-{}",
+        coding.name(),
+        std::process::id()
+    ));
     let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
-    RlzStoreBuilder::new(dict, PairCoding::UV)
+    RlzStoreBuilder::new(dict, coding)
         .build(&dir, &slices)
         .unwrap();
     // Resident payload: reads are memcpys, so the loop below exercises
@@ -91,7 +104,8 @@ fn warm_get_into_performs_zero_allocations() {
     assert_eq!(
         after - before,
         0,
-        "warm RlzStore::get_into allocated {} time(s) over {} gets",
+        "warm RlzStore::get_into({}) allocated {} time(s) over {} gets",
+        coding.name(),
         after - before,
         docs.len()
     );
