@@ -180,6 +180,80 @@ fn check_bench(file: &Path, bench: &str, rows: &[Value]) -> Result<(), String> {
                 }
             }
         }
+        "faults" => {
+            // Three row groups, all required: a run that lost its scrub,
+            // integrity-tax or overload section is a harness regression.
+            let ops = str_set(rows, "op");
+            if ops != ["overload", "scrub", "warm_get"] {
+                return Err(fail(file, &format!("ops {ops:?}")));
+            }
+            for (i, row) in rows.iter().enumerate() {
+                let op = row
+                    .get("op")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| fail(file, &format!("row {i}: missing string \"op\"")))?;
+                match op {
+                    "scrub" => {
+                        nonneg(file, row, i, "payload_bytes")?;
+                        if nonneg(file, row, i, "mb_per_s")? == 0.0 {
+                            return Err(fail(file, &format!("row {i}: scrub rate is zero")));
+                        }
+                        let integrity = row.get("integrity").and_then(Value::as_str);
+                        if integrity != Some("crc32c") {
+                            return Err(fail(
+                                file,
+                                &format!("row {i}: scrubbed stores must report crc32c"),
+                            ));
+                        }
+                    }
+                    "warm_get" => {
+                        if nonneg(file, row, i, "docs_per_s")? == 0.0 {
+                            return Err(fail(file, &format!("row {i}: warm_get rate is zero")));
+                        }
+                        let integrity = row.get("integrity").and_then(Value::as_str);
+                        if !matches!(integrity, Some("crc32c" | "none")) {
+                            return Err(fail(
+                                file,
+                                &format!("row {i}: integrity must be crc32c/none"),
+                            ));
+                        }
+                    }
+                    "overload" => {
+                        let shedding = row.get("shedding").and_then(Value::as_str);
+                        let shed = nonneg(file, row, i, "shed")?;
+                        match shedding {
+                            Some("off") if shed != 0.0 => {
+                                return Err(fail(
+                                    file,
+                                    &format!("row {i}: shed {shed} with shedding off"),
+                                ))
+                            }
+                            Some("off" | "on") => {}
+                            _ => {
+                                return Err(fail(
+                                    file,
+                                    &format!("row {i}: shedding must be on/off"),
+                                ))
+                            }
+                        }
+                        let p50 = nonneg(file, row, i, "p50_us")?;
+                        let p95 = nonneg(file, row, i, "p95_us")?;
+                        let p99 = nonneg(file, row, i, "p99_us")?;
+                        if !(p50 <= p95 && p95 <= p99) {
+                            return Err(fail(
+                                file,
+                                &format!(
+                                    "row {i}: percentiles not monotone ({p50} / {p95} / {p99})"
+                                ),
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(fail(file, &format!("row {i}: unknown op {other:?}")));
+                    }
+                }
+            }
+        }
         other => {
             // Unknown artifacts still had the generic shape checked; say so
             // rather than silently passing.

@@ -131,6 +131,10 @@ pub struct LoadResult {
     pub p95_us: u64,
     /// 99th percentile.
     pub p99_us: u64,
+    /// Request frames the server answered with ERR_BUSY (load shedding or
+    /// the connection cap); these complete the protocol exchange but
+    /// deliver no documents and are excluded from the latency percentiles.
+    pub shed: u64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -195,6 +199,7 @@ pub fn run_load(
     struct ConnStats {
         latencies: Vec<u64>,
         bytes: u64,
+        shed: u64,
         end: Duration,
     }
 
@@ -246,6 +251,7 @@ pub fn run_load(
                     let start = *start_cell.get_or_init(Instant::now);
                     let mut latencies = Vec::new();
                     let mut bytes = 0u64;
+                    let mut shed = 0u64;
                     let mut buf = Vec::new();
                     // Frame f goes to connection f % connections; with a
                     // rate, frame f is due at start + f/rate globally.
@@ -288,24 +294,33 @@ pub fn run_load(
                         let due = sent.pop_front().expect("a sent frame per pending recv");
                         if batch.len() == 1 {
                             buf.clear();
-                            client
-                                .recv_get_into(&mut buf)
-                                .map_err(|e| format!("GET {}: {e}", batch[0]))?;
-                            latencies.push(due.elapsed().as_micros() as u64);
-                            bytes += buf.len() as u64;
-                            if let Some(store) = truth {
-                                verify_doc(store, &mut truth_cache, batch[0], &buf)?;
+                            match client.recv_get_into(&mut buf) {
+                                Ok(()) => {
+                                    latencies.push(due.elapsed().as_micros() as u64);
+                                    bytes += buf.len() as u64;
+                                    if let Some(store) = truth {
+                                        verify_doc(store, &mut truth_cache, batch[0], &buf)?;
+                                    }
+                                }
+                                // An ERR_BUSY answer is the server shedding
+                                // load as designed, not a failed run: count
+                                // it and keep going on the same connection.
+                                Err(e) if e.is_busy() => shed += 1,
+                                Err(e) => return Err(format!("GET {}: {e}", batch[0])),
                             }
                         } else {
-                            let docs = client
-                                .recv_mget(batch.len())
-                                .map_err(|e| format!("MGET ({} ids): {e}", batch.len()))?;
-                            latencies.push(due.elapsed().as_micros() as u64);
-                            for (doc, &id) in docs.iter().zip(batch) {
-                                bytes += doc.len() as u64;
-                                if let Some(store) = truth {
-                                    verify_doc(store, &mut truth_cache, id, doc)?;
+                            match client.recv_mget(batch.len()) {
+                                Ok(docs) => {
+                                    latencies.push(due.elapsed().as_micros() as u64);
+                                    for (doc, &id) in docs.iter().zip(batch) {
+                                        bytes += doc.len() as u64;
+                                        if let Some(store) = truth {
+                                            verify_doc(store, &mut truth_cache, id, doc)?;
+                                        }
+                                    }
                                 }
+                                Err(e) if e.is_busy() => shed += 1,
+                                Err(e) => return Err(format!("MGET ({} ids): {e}", batch.len())),
                             }
                         }
                         recv += cfg.connections;
@@ -313,6 +328,7 @@ pub fn run_load(
                     Ok(ConnStats {
                         latencies,
                         bytes,
+                        shed,
                         end: start.elapsed(),
                     })
                 })
@@ -326,11 +342,13 @@ pub fn run_load(
 
     let mut latencies = Vec::with_capacity(frames.len());
     let mut bytes = 0u64;
+    let mut shed = 0u64;
     let mut elapsed = Duration::ZERO;
     for r in results {
         let stats = r?;
         latencies.extend_from_slice(&stats.latencies);
         bytes += stats.bytes;
+        shed += stats.shed;
         elapsed = elapsed.max(stats.end);
     }
     latencies.sort_unstable();
@@ -346,6 +364,7 @@ pub fn run_load(
         p50_us: percentile(&latencies, 50.0),
         p95_us: percentile(&latencies, 95.0),
         p99_us: percentile(&latencies, 99.0),
+        shed,
     })
 }
 
@@ -402,9 +421,10 @@ pub fn result_row(
         .int("p50_us", result.p50_us)
         .int("p95_us", result.p95_us)
         .int("p99_us", result.p99_us)
+        .int("shed", result.shed)
 }
 
-const SERVE_WIDTHS: [usize; 11] = [8, 9, 6, 6, 5, 6, 8, 10, 9, 8, 8];
+const SERVE_WIDTHS: [usize; 12] = [8, 9, 6, 6, 5, 6, 8, 10, 9, 8, 8, 6];
 
 /// Prints the serve-table header.
 pub fn print_serve_header() {
@@ -421,6 +441,7 @@ pub fn print_serve_header() {
             "p50(us)".into(),
             "p95(us)".into(),
             "p99(us)".into(),
+            "shed".into(),
         ],
         &SERVE_WIDTHS,
     );
@@ -441,6 +462,7 @@ pub fn print_serve_row(cfg: &LoadConfig, result: &LoadResult, labels: ServerLabe
             result.p50_us.to_string(),
             result.p95_us.to_string(),
             result.p99_us.to_string(),
+            result.shed.to_string(),
         ],
         &SERVE_WIDTHS,
     );
@@ -493,6 +515,9 @@ pub fn serve_table(
                 allow_shutdown: true,
                 backend: rlz_serve::Backend::Auto,
                 cache_bytes,
+                max_connections: 0,
+                idle_timeout: None,
+                shed_queue_depth: 0,
             },
         )
         .expect("start in-process server");

@@ -1,0 +1,160 @@
+//! Fast pure-rust CRC32C (Castagnoli) for store integrity checking.
+//!
+//! The store layer stamps a CRC32C over every compressed block and encoded
+//! record it writes, and verifies it on every read, so a flipped bit in a
+//! long-lived archive surfaces as a typed corruption error instead of
+//! garbage bytes or a decoder panic. CRC32C is the right tool here: the
+//! Castagnoli polynomial has better error-detection properties than the
+//! zlib polynomial at these lengths, it is the checksum used by similar
+//! storage systems (LevelDB/RocksDB block trailers, iSCSI, ext4), and a
+//! slicing-by-8 software implementation keeps scrubbing in the GB/s range
+//! without any platform intrinsics (the crate is `forbid(unsafe_code)`).
+//!
+//! The implementation is table-driven slicing-by-8 (Kounavis & Berry 2005):
+//! eight 256-entry tables are derived from the bit-reflected polynomial at
+//! first use, then the hot loop folds 8 input bytes per iteration with
+//! eight independent table lookups. A byte-at-a-time tail handles the
+//! remainder and short inputs.
+
+use std::sync::OnceLock;
+
+/// Bit-reflected CRC32C (Castagnoli) polynomial, 0x1EDC6F41 reversed.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Eight slicing tables: `TABLES[0]` is the classic byte-at-a-time table,
+/// `TABLES[k][b]` extends `TABLES[k-1][b]` by one zero byte.
+type Tables = [[u32; 256]; 8];
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (b, slot) in t[0].iter_mut().enumerate() {
+            let mut crc = b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        for k in 1..8 {
+            for b in 0..256 {
+                let prev = t[k - 1][b];
+                t[k][b] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
+        }
+        t
+    })
+}
+
+/// CRC32C of `data` in one shot.
+///
+/// ```
+/// // The canonical check vector for the Castagnoli polynomial.
+/// assert_eq!(rlz_codecs::hash::crc32c(b"123456789"), 0xE306_9283);
+/// ```
+#[inline]
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Extends a running CRC32C with more data (`crc32c_append(crc32c(a), b) ==
+/// crc32c(a ++ b)`), so callers can checksum streamed or scattered input
+/// without concatenating it.
+pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    let t = tables();
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        // Fold the CRC into the first word, then look all 8 bytes up in
+        // their position-specific tables; XOR order is associative so the
+        // eight lookups have no serial dependency between them.
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ crc;
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][ch[4] as usize]
+            ^ t[2][ch[5] as usize]
+            ^ t[1][ch[6] as usize]
+            ^ t[0][ch[7] as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Byte-at-a-time reference implementation straight off the polynomial.
+    fn reference(data: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    }
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / iSCSI test vectors for CRC32C.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+    }
+
+    #[test]
+    fn slicing_matches_reference_at_all_alignments() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 31 % 251) as u8).collect();
+        for start in 0..9 {
+            for len in [0, 1, 7, 8, 9, 63, 64, 65, 500, 1000] {
+                if start + len > data.len() {
+                    continue;
+                }
+                let slice = &data[start..start + len];
+                assert_eq!(crc32c(slice), reference(slice), "start={start} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_is_concatenation() {
+        let a = b"hello, ";
+        let b = b"world";
+        let whole = [&a[..], &b[..]].concat();
+        assert_eq!(crc32c_append(crc32c(a), b), crc32c(&whole));
+        for split in 0..whole.len() {
+            let (x, y) = whole.split_at(split);
+            assert_eq!(crc32c_append(crc32c(x), y), crc32c(&whole));
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data: Vec<u8> = (0..256u32).map(|i| (i % 251) as u8).collect();
+        let good = crc32c(&data);
+        let mut tampered = data.clone();
+        for bit in [0usize, 1, 777, 2047] {
+            tampered[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32c(&tampered), good, "bit {bit} flip went undetected");
+            tampered[bit / 8] ^= 1 << (bit % 8);
+        }
+        assert_eq!(crc32c(&tampered), good);
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`elias`] — Elias γ and δ codes, bit-oriented baselines.
 //! * [`bitio`] — LSB-first bit reader/writer shared with the `zlite`
 //!   compressor.
+//! * [`hash`] — CRC32C (Castagnoli, slicing-by-8) used by the store layer
+//!   for block/record integrity checksums.
 //!
 //! All coders implement [`IntCodec`] and round-trip arbitrary `u32` slices;
 //! decoding is fully bounds-checked and returns [`CodecError`] on truncated
@@ -27,6 +29,7 @@
 pub mod bitio;
 pub mod elias;
 pub mod fixed;
+pub mod hash;
 pub mod pfor;
 pub mod simple9;
 pub mod vbyte;

@@ -362,7 +362,7 @@ mod tests {
     fn all_byte_values_round_trip() {
         let mut input = Vec::new();
         for i in 0..=255u8 {
-            input.extend(std::iter::repeat(i).take(1 + (i as usize % 37)));
+            input.extend(std::iter::repeat_n(i, 1 + (i as usize % 37)));
         }
         assert_eq!(roundtrip(&input), input);
     }
@@ -391,8 +391,8 @@ mod tests {
         // One dominant symbol plus many rare ones forces the residue logic.
         let mut hist = [0u32; 256];
         hist[0] = 1_000_000;
-        for s in 1..20 {
-            hist[s] = 1;
+        for h in hist.iter_mut().take(20).skip(1) {
+            *h = 1;
         }
         let total: u64 = hist.iter().map(|&f| f as u64).sum();
         for log in MIN_TABLE_LOG..=MAX_TABLE_LOG {

@@ -9,8 +9,10 @@
 //! across calls, so a warm `get_into` allocates only when a document
 //! outgrows every previous one.
 
-use crate::protocol::{self, MAX_RESPONSE_LEN, STATUS_OK, STAT_BODY_LEN};
-use rlz_store::StoreStats;
+use crate::protocol::{
+    self, MAX_RESPONSE_LEN, MGET_ENTRY_ERR, STATUS_BUSY, STATUS_OK, STAT_BODY_LEN,
+};
+use rlz_store::{Integrity, StoreStats};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -30,6 +32,31 @@ pub enum ClientError {
         /// The server's UTF-8 message.
         message: String,
     },
+    /// [`Client::connect_retry`] exhausted its deadline without reaching a
+    /// server that would take the connection.
+    ConnectTimedOut {
+        /// The address that never answered.
+        addr: SocketAddr,
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The failure of the last attempt.
+        last: Box<ClientError>,
+    },
+}
+
+impl ClientError {
+    /// True when the server answered `ERR_BUSY` — the request was shed
+    /// (or the connection refused at the cap) and a backoff-retry is the
+    /// right response.
+    pub fn is_busy(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                status: STATUS_BUSY,
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -40,6 +67,14 @@ impl fmt::Display for ClientError {
             ClientError::Server { status, message } => {
                 write!(f, "server error {status:#04x}: {message}")
             }
+            ClientError::ConnectTimedOut {
+                addr,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "no server at {addr} after {attempts} connection attempts (last error: {last})"
+            ),
         }
     }
 }
@@ -48,6 +83,7 @@ impl std::error::Error for ClientError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClientError::Io(e) => Some(e),
+            ClientError::ConnectTimedOut { last, .. } => Some(last),
             _ => None,
         }
     }
@@ -122,16 +158,54 @@ impl Client {
         })
     }
 
-    /// Connects, retrying until `deadline` elapses — for driving a server
-    /// that is still starting up (the CI smoke flow).
-    pub fn connect_retry(addr: SocketAddr, deadline: Duration) -> io::Result<Self> {
+    /// Connects with jittered exponential backoff, retrying until
+    /// `deadline` elapses — for driving a server that is still starting up
+    /// (the CI smoke flow) or one that is momentarily overloaded.
+    ///
+    /// Each attempt that reaches a server is confirmed with a STAT probe,
+    /// so an `ERR_BUSY` rejection (the server is at its connection cap)
+    /// counts as a retryable failure instead of handing back a connection
+    /// that is already closing. The backoff starts at ~10 ms, doubles to a
+    /// 500 ms cap, and is uniformly jittered so a fleet of retrying
+    /// clients does not stampede in lockstep. Gives up with
+    /// [`ClientError::ConnectTimedOut`] once the deadline passes.
+    pub fn connect_retry(addr: SocketAddr, deadline: Duration) -> Result<Self, ClientError> {
+        const BASE: Duration = Duration::from_millis(10);
+        const CAP: Duration = Duration::from_millis(500);
         let start = Instant::now();
+        // Deterministic per-process jitter stream; mixing the port keeps
+        // two clients racing for different servers out of phase.
+        let mut rng =
+            (0x9E37_79B9_7F4A_7C15u64 ^ ((addr.port() as u64) << 32) ^ std::process::id() as u64)
+                | 1;
+        let mut attempts = 0u32;
         loop {
-            match Self::connect(addr) {
-                Ok(c) => return Ok(c),
-                Err(e) if start.elapsed() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            attempts += 1;
+            let failure = match Self::connect(addr) {
+                Ok(mut client) => match client.server_stat() {
+                    Ok(_) => return Ok(client),
+                    Err(e) => e,
+                },
+                Err(e) => ClientError::Io(e),
+            };
+            if start.elapsed() >= deadline {
+                return Err(ClientError::ConnectTimedOut {
+                    addr,
+                    attempts,
+                    last: Box::new(failure),
+                });
             }
+            // Full jitter: uniform in [delay/2, delay], exponentially
+            // growing and capped.
+            let delay = CAP.min(BASE.saturating_mul(1u32 << attempts.min(10).saturating_sub(1)));
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let nanos = delay.as_nanos() as u64;
+            let jittered = Duration::from_nanos(nanos / 2 + rng % (nanos / 2 + 1));
+            // Never sleep past the deadline itself.
+            let remaining = deadline.saturating_sub(start.elapsed());
+            std::thread::sleep(jittered.min(remaining).max(Duration::from_millis(1)));
         }
     }
 
@@ -166,10 +240,28 @@ impl Client {
         Ok(())
     }
 
-    /// Fetches a batch of documents, in request order.
+    /// Fetches a batch of documents, in request order. Any failed entry
+    /// (a corrupt document, for instance) fails the whole call with that
+    /// entry's error; use [`mget_results`](Client::mget_results) for
+    /// per-entry containment.
     pub fn mget(&mut self, ids: &[u32]) -> Result<Vec<Vec<u8>>, ClientError> {
         self.send_mget(ids)?;
         self.recv_mget(ids.len())
+    }
+
+    /// Fetches a batch with **per-entry** error containment: each slot is
+    /// either the document bytes or the server's `(status, message)` for
+    /// that entry — one corrupt document does not cost the rest of the
+    /// batch. The outer `Err` covers whole-response failures (transport,
+    /// protocol, an error frame such as `ERR_BUSY` or a whole-batch
+    /// out-of-range rejection).
+    #[allow(clippy::type_complexity)]
+    pub fn mget_results(
+        &mut self,
+        ids: &[u32],
+    ) -> Result<Vec<Result<Vec<u8>, (u8, String)>>, ClientError> {
+        self.send_mget(ids)?;
+        self.recv_mget_results(ids.len())
     }
 
     /// Writes an MGET request frame without waiting for the response —
@@ -182,7 +274,26 @@ impl Client {
     }
 
     /// Reads one MGET response of `expected` documents, in request order.
+    /// A failed entry fails the call with that entry's server error.
     pub fn recv_mget(&mut self, expected: usize) -> Result<Vec<Vec<u8>>, ClientError> {
+        let entries = self.recv_mget_results(expected)?;
+        let mut docs = Vec::with_capacity(entries.len());
+        for entry in entries {
+            match entry {
+                Ok(doc) => docs.push(doc),
+                Err((status, message)) => return Err(ClientError::Server { status, message }),
+            }
+        }
+        Ok(docs)
+    }
+
+    /// Reads one MGET response of `expected` entries with per-entry error
+    /// containment — pair with [`send_mget`](Client::send_mget).
+    #[allow(clippy::type_complexity)]
+    pub fn recv_mget_results(
+        &mut self,
+        expected: usize,
+    ) -> Result<Vec<Result<Vec<u8>, (u8, String)>>, ClientError> {
         let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
         check_ok(status, body)?;
         let mut at = 0usize;
@@ -190,19 +301,31 @@ impl Client {
         if count != expected {
             return Err(ClientError::Protocol("MGET answered a different count"));
         }
-        let mut docs = Vec::with_capacity(count);
+        let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
-            let len = read_u32(body, &mut at)? as usize;
-            let doc = body
+            let elen = read_u32(body, &mut at)?;
+            let failed = elen & MGET_ENTRY_ERR != 0;
+            let len = (elen & !MGET_ENTRY_ERR) as usize;
+            let payload = body
                 .get(at..at + len)
-                .ok_or(ClientError::Protocol("MGET document overruns frame"))?;
-            docs.push(doc.to_vec());
+                .ok_or(ClientError::Protocol("MGET entry overruns frame"))?;
             at += len;
+            if failed {
+                let (&entry_status, message) = payload
+                    .split_first()
+                    .ok_or(ClientError::Protocol("MGET error entry without a status"))?;
+                entries.push(Err((
+                    entry_status,
+                    String::from_utf8_lossy(message).into_owned(),
+                )));
+            } else {
+                entries.push(Ok(payload.to_vec()));
+            }
         }
         if at != body.len() {
             return Err(ClientError::Protocol("trailing bytes after MGET body"));
         }
-        Ok(docs)
+        Ok(entries)
     }
 
     /// Fetches store statistics (the first 24 bytes of the STAT body; use
@@ -223,11 +346,15 @@ impl Client {
             return Err(ClientError::Protocol("STAT body has the wrong length"));
         }
         let word = |i: usize| u64::from_le_bytes(body[i..i + 8].try_into().expect("8 bytes"));
+        let integrity = Integrity::from_tag(body[57]).ok_or(ClientError::Protocol(
+            "STAT reports an unknown integrity tag",
+        ))?;
         Ok(ServeStats {
             store: StoreStats {
                 num_docs: word(0),
                 payload_bytes: word(8),
                 max_record_len: word(16),
+                integrity,
             },
             cache_budget_bytes: word(24),
             cache_hits: word(32),

@@ -5,6 +5,8 @@
 //!           [--family auto|rlz|blocked|ascii] [--resident]
 //!           [--batch-threads N] [--no-shutdown-opcode]
 //!           [--backend auto|epoll|portable] [--cache-bytes N]
+//!           [--max-connections N] [--idle-timeout-ms N]
+//!           [--shed-queue-depth N]
 //! ```
 //!
 //! The store family is autodetected from the directory layout (`dict.bin`
@@ -15,6 +17,12 @@
 //! the hot-document cache with an N-byte budget. The server runs until it
 //! receives the protocol's SHUTDOWN opcode (disable with
 //! `--no-shutdown-opcode`) or the process is signalled.
+//!
+//! Overload controls: `--max-connections N` rejects connections past N
+//! with a single ERR_BUSY frame, `--idle-timeout-ms N` drops connections
+//! silent for N ms, and `--shed-queue-depth N` answers GET/MGET with
+//! ERR_BUSY while more than N connections are queued behind the current
+//! turn, keeping tail latency bounded instead of collapsing.
 
 use rlz_serve::{serve, Backend, ServeConfig};
 use rlz_store::{AsciiStore, BlockedStore, DocStore, RlzStore};
@@ -28,7 +36,9 @@ fn usage() -> ! {
         "usage: rlz-serve --store DIR [--addr HOST:PORT] [--threads N]\n\
          \x20                [--family auto|rlz|blocked|ascii] [--resident]\n\
          \x20                [--batch-threads N] [--no-shutdown-opcode]\n\
-         \x20                [--backend auto|epoll|portable] [--cache-bytes N]"
+         \x20                [--backend auto|epoll|portable] [--cache-bytes N]\n\
+         \x20                [--max-connections N] [--idle-timeout-ms N]\n\
+         \x20                [--shed-queue-depth N]"
     );
     std::process::exit(2)
 }
@@ -88,6 +98,16 @@ fn main() -> ExitCode {
             "--no-shutdown-opcode" => cfg.allow_shutdown = false,
             "--backend" => cfg.backend = Backend::parse(&value(&mut i)).unwrap_or_else(|| usage()),
             "--cache-bytes" => cfg.cache_bytes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-connections" => {
+                cfg.max_connections = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| usage());
+                cfg.idle_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--shed-queue-depth" => {
+                cfg.shed_queue_depth = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -140,6 +160,25 @@ fn main() -> ExitCode {
             "disabled"
         },
     );
+    if cfg.max_connections > 0 || cfg.idle_timeout.is_some() || cfg.shed_queue_depth > 0 {
+        println!(
+            "rlz-serve: overload controls: max-connections {}, idle-timeout {}, shed-queue-depth {}",
+            if cfg.max_connections > 0 {
+                cfg.max_connections.to_string()
+            } else {
+                "off".to_string()
+            },
+            match cfg.idle_timeout {
+                Some(t) => format!("{} ms", t.as_millis()),
+                None => "off".to_string(),
+            },
+            if cfg.shed_queue_depth > 0 {
+                cfg.shed_queue_depth.to_string()
+            } else {
+                "off".to_string()
+            },
+        );
+    }
     handle.join();
     println!("rlz-serve: shutdown complete");
     ExitCode::SUCCESS

@@ -27,20 +27,38 @@
 //! | `0x02` | ERR_BAD_OPCODE   | UTF-8 message; connection stays open     |
 //! | `0x03` | ERR_OUT_OF_RANGE | UTF-8 message; connection stays open     |
 //! | `0x04` | ERR_INTERNAL     | UTF-8 message; connection stays open     |
+//! | `0x05` | ERR_BUSY         | UTF-8 message; see below                 |
+//! | `0x06` | ERR_CORRUPT      | UTF-8 message; connection stays open     |
+//!
+//! `ERR_BUSY` is the overload-shedding answer: a server past its queue
+//! budget answers GET/MGET with it (connection stays open — back off and
+//! retry), and a server at its connection cap sends one unsolicited
+//! `ERR_BUSY` frame right after accepting, then closes. `ERR_CORRUPT`
+//! reports a document the store detected as corrupt (checksum mismatch,
+//! quarantined id) — the document is unreadable but the server, the
+//! connection, and every other document are fine.
 //!
 //! OK bodies: GET → the document bytes verbatim; MGET → `count:u32le` then
-//! `count` × (`len:u32le` + document bytes), in request order; SHUTDOWN →
-//! empty. STAT → the store statistics followed by serving statistics:
+//! `count` entries, in request order; SHUTDOWN → empty. Each MGET entry is
+//! `elen:u32le` followed by `elen & 0x7FFF_FFFF` payload bytes. With the
+//! top bit of `elen` clear the payload is the document verbatim; with it
+//! **set** ([`MGET_ENTRY_ERR`]) this entry failed and the payload is
+//! `status:u8` + UTF-8 message instead — per-entry containment, so one
+//! corrupt document fails its slot while the rest of the batch is served.
+//! (Legal because document lengths are bounded by [`MAX_RESPONSE_LEN`],
+//! which never sets bit 31.) STAT → the store statistics followed by
+//! serving statistics:
 //!
 //! ```text
 //! num_docs:u64le  payload_bytes:u64le  max_record_len:u64le      (store)
 //! cache_budget_bytes:u64le  cache_hits:u64le  cache_misses:u64le
-//! cache_resident_bytes:u64le  backend:u8                         (server)
+//! cache_resident_bytes:u64le  backend:u8  integrity:u8           (server)
 //! ```
 //!
 //! `cache_budget_bytes` is 0 when the hot-document cache is disabled;
-//! `backend` is one of the `BACKEND_*` tags. Clients that only care about
-//! the store may read the first 24 bytes and ignore the rest.
+//! `backend` is one of the `BACKEND_*` tags; `integrity` is the store's
+//! `rlz_store::Integrity` tag (0 = none, 1 = crc32c). Clients that only
+//! care about the store may read the first 24 bytes and ignore the rest.
 //!
 //! # Hardening
 //!
@@ -70,16 +88,28 @@ pub const STATUS_BAD_FRAME: u8 = 0x01;
 pub const STATUS_BAD_OPCODE: u8 = 0x02;
 /// A requested document id is out of range.
 pub const STATUS_OUT_OF_RANGE: u8 = 0x03;
-/// The store failed to serve a valid request (I/O error, corrupt record).
+/// The store failed to serve a valid request (I/O error).
 pub const STATUS_INTERNAL: u8 = 0x04;
+/// The server is shedding load (queue budget exceeded) or refusing the
+/// connection (connection cap). Back off and retry.
+pub const STATUS_BUSY: u8 = 0x05;
+/// The requested document is corrupt (checksum mismatch or quarantined):
+/// permanently unreadable until the store is repaired, but the connection
+/// and every other document are unaffected.
+pub const STATUS_CORRUPT: u8 = 0x06;
 
 /// STAT backend tag: the portable poll-loop fallback.
 pub const BACKEND_PORTABLE: u8 = 0;
 /// STAT backend tag: kernel readiness notification (epoll).
 pub const BACKEND_EPOLL: u8 = 1;
 
-/// Length of the STAT OK body: 7 × `u64` + the backend tag byte.
-pub const STAT_BODY_LEN: usize = 7 * 8 + 1;
+/// Length of the STAT OK body: 7 × `u64` + the backend tag byte + the
+/// store integrity tag byte.
+pub const STAT_BODY_LEN: usize = 7 * 8 + 2;
+
+/// Top bit of an MGET entry's `elen` field: set when the entry is an
+/// error record (`status:u8` + message) rather than document bytes.
+pub const MGET_ENTRY_ERR: u32 = 1 << 31;
 
 /// Maximum ids per MGET request.
 pub const MAX_MGET: usize = 1 << 16;

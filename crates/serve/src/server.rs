@@ -42,14 +42,14 @@
 
 use crate::protocol::{
     self, Parsed, Request, BACKEND_EPOLL, BACKEND_PORTABLE, STATUS_BAD_FRAME, STATUS_BAD_OPCODE,
-    STATUS_INTERNAL, STATUS_OK, STATUS_OUT_OF_RANGE,
+    STATUS_BUSY, STATUS_CORRUPT, STATUS_INTERNAL, STATUS_OK, STATUS_OUT_OF_RANGE,
 };
 use rlz_store::{DocStore, ShardedLru, StoreError};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 #[cfg(target_os = "linux")]
 use crate::event::{interest, Epoll, WakeFd};
@@ -183,6 +183,24 @@ pub struct ServeConfig {
     /// holds decoded payloads keyed by doc id, shared by all workers, and
     /// reports hits/misses/resident bytes through STAT.
     pub cache_bytes: usize,
+    /// Server-wide connection cap; 0 = unlimited. Above the cap an
+    /// accepted connection is answered with one `ERR_BUSY` frame and
+    /// closed immediately, so a flood of connections degrades into fast
+    /// typed rejections instead of unbounded per-connection state. (The
+    /// cap is checked without cross-worker locking, so a simultaneous
+    /// accept burst can briefly overshoot it by at most the worker count.)
+    pub max_connections: usize,
+    /// Close a connection that has made no progress for this long; `None`
+    /// disables the sweep. Bounds how long abandoned or wedged peers can
+    /// pin per-connection buffers (and slots under the connection cap).
+    pub idle_timeout: Option<Duration>,
+    /// Queue-depth load-shedding budget; 0 disables shedding. When more
+    /// than this many connections are waiting for service on a worker,
+    /// GET/MGET requests are answered with `ERR_BUSY` (the connection
+    /// stays open; clients back off and retry) while STAT and SHUTDOWN
+    /// still pass — bounded tail latency under overload instead of a
+    /// collapsing queue.
+    pub shed_queue_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -193,8 +211,53 @@ impl Default for ServeConfig {
             allow_shutdown: true,
             backend: Backend::Auto,
             cache_bytes: 0,
+            max_connections: 0,
+            idle_timeout: None,
+            shed_queue_depth: 0,
         }
     }
+}
+
+/// The overload-containment knobs a worker enforces, plus the shared
+/// connection counter they act on.
+#[derive(Debug, Clone)]
+struct Overload {
+    /// Live accepted connections across all workers.
+    conn_count: Arc<AtomicUsize>,
+    max_connections: usize,
+    idle_timeout: Option<Duration>,
+    shed_queue_depth: usize,
+}
+
+impl Overload {
+    fn from_config(cfg: &ServeConfig) -> Self {
+        Overload {
+            conn_count: Arc::new(AtomicUsize::new(0)),
+            max_connections: cfg.max_connections,
+            idle_timeout: cfg.idle_timeout,
+            shed_queue_depth: cfg.shed_queue_depth,
+        }
+    }
+
+    /// True when accepting one more connection would exceed the cap.
+    fn at_capacity(&self) -> bool {
+        self.max_connections > 0 && self.conn_count.load(Ordering::Acquire) >= self.max_connections
+    }
+}
+
+/// Answers a connection the cap rejected with one `ERR_BUSY` frame, then
+/// drops it. Best-effort and bounded: the peer may already be gone, and a
+/// peer that refuses to read must not wedge the accept loop.
+fn reject_busy(stream: TcpStream) {
+    let mut stream = stream;
+    let mut frame = Vec::with_capacity(64);
+    protocol::write_error(
+        &mut frame,
+        STATUS_BUSY,
+        "connection limit reached; retry later",
+    );
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.write_all(&frame);
 }
 
 /// A running server: join or stop it through this handle.
@@ -264,6 +327,7 @@ pub fn serve(
     let addr = listener.local_addr()?;
     let backend = cfg.backend.resolve()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let overload = Overload::from_config(&cfg);
     let cache: Option<Arc<ShardedLru>> =
         (cfg.cache_bytes > 0).then(|| Arc::new(ShardedLru::with_byte_budget(cfg.cache_bytes)));
     let threads = cfg.threads.max(1);
@@ -283,19 +347,20 @@ pub fn serve(
             responder = responder.with_cache(Arc::clone(cache));
         }
         let builder = std::thread::Builder::new().name(format!("rlz-serve-{w}"));
+        let overload = overload.clone();
         let handle = match backend {
             #[cfg(target_os = "linux")]
             ResolvedBackend::Epoll => {
                 let ep = Epoll::new()?;
                 let wake = wake.clone().expect("epoll backend always has a wake fd");
-                builder
-                    .spawn(move || epoll_worker_loop(ep, listener, store, stop, responder, wake))?
+                builder.spawn(move || {
+                    epoll_worker_loop(ep, listener, store, stop, responder, wake, overload)
+                })?
             }
             #[cfg(not(target_os = "linux"))]
             ResolvedBackend::Epoll => unreachable!("epoll backend never resolves off Linux"),
-            ResolvedBackend::Portable => {
-                builder.spawn(move || portable_worker_loop(listener, store, stop, responder))?
-            }
+            ResolvedBackend::Portable => builder
+                .spawn(move || portable_worker_loop(listener, store, stop, responder, overload))?,
         };
         workers.push(handle);
     }
@@ -332,8 +397,12 @@ pub struct Responder {
     /// `fetch[i]`'s index into `uniq`/`docs`.
     fetch_slots: Vec<u32>,
     /// Per-unique-id payload (None until fetched; stays None for
-    /// out-of-range ids on the per-GET path).
+    /// out-of-range ids on the per-GET path and for ids whose fetch
+    /// failed, whose error lands in `errs`).
     docs: Vec<Option<Arc<Vec<u8>>>>,
+    /// Per-unique-id fetch failure (a corrupt block, an I/O error) —
+    /// per-entry containment for the batched paths.
+    errs: Vec<Option<StoreError>>,
     /// Pipelined GET run buffered during a drain pass.
     run: Vec<u32>,
 }
@@ -364,6 +433,7 @@ impl Responder {
             fetch: Vec::new(),
             fetch_slots: Vec::new(),
             docs: Vec::new(),
+            errs: Vec::new(),
             run: Vec::new(),
         }
     }
@@ -421,6 +491,7 @@ impl Responder {
                 out.extend_from_slice(&misses.to_le_bytes());
                 out.extend_from_slice(&resident.to_le_bytes());
                 out.push(self.backend_tag);
+                out.push(stats.integrity.tag());
                 protocol::finish_response(out, start, STATUS_OK);
                 Action::Continue
             }
@@ -471,33 +542,29 @@ impl Responder {
                 let run = std::mem::take(&mut self.run);
                 self.ids.clear();
                 self.ids.extend_from_slice(&run);
-                if self.fetch_unique(store, true).is_ok() {
-                    const MAX_BODY: usize = protocol::MAX_RESPONSE_LEN as usize - 1;
-                    for pos in 0..self.ids.len() {
-                        let slot = self.slots[pos] as usize;
-                        match &self.docs[slot] {
-                            Some(doc) if doc.len() > MAX_BODY => protocol::write_error(
-                                out,
-                                STATUS_INTERNAL,
-                                "document exceeds the response size cap",
-                            ),
-                            Some(doc) => {
-                                let start = protocol::begin_response(out);
-                                out.extend_from_slice(doc);
-                                protocol::finish_response(out, start, STATUS_OK);
-                            }
-                            None => write_store_error(
-                                out,
-                                &StoreError::DocOutOfRange(self.ids[pos] as usize),
-                            ),
+                self.fetch_unique(store, true);
+                const MAX_BODY: usize = protocol::MAX_RESPONSE_LEN as usize - 1;
+                for pos in 0..self.ids.len() {
+                    let slot = self.slots[pos] as usize;
+                    match (&self.docs[slot], &self.errs[slot]) {
+                        (Some(doc), _) if doc.len() > MAX_BODY => protocol::write_error(
+                            out,
+                            STATUS_INTERNAL,
+                            "document exceeds the response size cap",
+                        ),
+                        (Some(doc), _) => {
+                            let start = protocol::begin_response(out);
+                            out.extend_from_slice(doc);
+                            protocol::finish_response(out, start, STATUS_OK);
                         }
-                    }
-                } else {
-                    // A store-side failure (I/O, corrupt record) on the
-                    // batched path: fall back to serving each GET
-                    // individually so per-request error semantics hold.
-                    for &id in &run {
-                        self.respond_get(store, id, out);
+                        // A per-id store failure (corrupt block, I/O
+                        // error) answers its own error frame, exactly as
+                        // if the GET had been served alone.
+                        (None, Some(e)) => write_store_error(out, e),
+                        (None, None) => write_store_error(
+                            out,
+                            &StoreError::DocOutOfRange(self.ids[pos] as usize),
+                        ),
                     }
                 }
                 // Release the fetched payload Arcs now that the responses
@@ -505,6 +572,7 @@ impl Responder {
                 // requests, decoded *documents* are not — an idle worker
                 // must not pin a whole batch of payloads.
                 self.docs.clear();
+                self.errs.clear();
                 self.run = run;
                 self.run.clear();
             }
@@ -558,23 +626,31 @@ impl Responder {
     }
 
     /// One MGET over `self.ids`: repeated ids are deduplicated before the
-    /// seek-aware `get_batch`, the single decode scattered back to every
-    /// request position. Any out-of-range id fails the whole batch
-    /// (matching `get_batch` semantics).
+    /// seek-aware batched fetch, the single decode scattered back to every
+    /// request position. Any out-of-range id fails the whole batch (the
+    /// request itself is wrong); a document the *store* fails to produce —
+    /// a corrupt block, an I/O error — fails only its own entries, encoded
+    /// with the [`protocol::MGET_ENTRY_ERR`] length bit, while the rest of
+    /// the batch is served normally.
     fn respond_mget(&mut self, store: &dyn DocStore, out: &mut Vec<u8>) {
         const MAX_BODY: usize = protocol::MAX_RESPONSE_LEN as usize - 1;
         if let Some(&bad) = self.ids.iter().find(|&&id| id as usize >= store.num_docs()) {
             write_store_error(out, &StoreError::DocOutOfRange(bad as usize));
             return;
         }
-        if let Err(e) = self.fetch_unique(store, false) {
-            write_store_error(out, &e);
-            return;
-        }
+        self.fetch_unique(store, false);
+        // Failed entries carry `status + message` payloads; render the
+        // messages once per unique failure (the error path may allocate).
         let body: usize = 4 + self
             .slots
             .iter()
-            .map(|&s| 4 + self.docs[s as usize].as_ref().map_or(0, |d| d.len()))
+            .map(|&s| {
+                4 + match (&self.docs[s as usize], &self.errs[s as usize]) {
+                    (Some(doc), _) => doc.len(),
+                    (None, Some(e)) => 1 + e.to_string().len(),
+                    (None, None) => unreachable!("in-range id neither fetched nor failed"),
+                }
+            })
             .sum::<usize>();
         if body > MAX_BODY {
             protocol::write_error(
@@ -584,34 +660,44 @@ impl Responder {
             );
             // The payloads were fetched before the cap check; drop them.
             self.docs.clear();
+            self.errs.clear();
             return;
         }
         let start = protocol::begin_response(out);
         out.extend_from_slice(&(self.ids.len() as u32).to_le_bytes());
         for &slot in &self.slots {
-            let doc = self.docs[slot as usize]
-                .as_ref()
-                .expect("in-range id fetched");
-            out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
-            out.extend_from_slice(doc);
+            match (&self.docs[slot as usize], &self.errs[slot as usize]) {
+                (Some(doc), _) => {
+                    out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
+                    out.extend_from_slice(doc);
+                }
+                (None, Some(e)) => {
+                    let message = e.to_string();
+                    let elen = (1 + message.len()) as u32 | protocol::MGET_ENTRY_ERR;
+                    out.extend_from_slice(&elen.to_le_bytes());
+                    out.push(store_error_status(e));
+                    out.extend_from_slice(message.as_bytes());
+                }
+                (None, None) => unreachable!("in-range id neither fetched nor failed"),
+            }
         }
         protocol::finish_response(out, start, STATUS_OK);
         // Release the payload Arcs: an idle worker must not pin the last
         // batch's decoded documents (they can total far more than the
         // response cap, since the fetch precedes the cap check).
         self.docs.clear();
+        self.errs.clear();
     }
 
     /// Deduplicates `self.ids` into `self.uniq` + `self.slots`, then fills
     /// `self.docs` for every unique id — from the hot cache where
-    /// possible, the rest through one seek-aware `get_batch` call. With
-    /// `skip_out_of_range`, ids beyond the store are left as `None`
-    /// (per-GET error semantics) instead of failing the whole fetch.
-    fn fetch_unique(
-        &mut self,
-        store: &dyn DocStore,
-        skip_out_of_range: bool,
-    ) -> Result<(), StoreError> {
+    /// possible, the rest through one seek-aware `get_batch_results` call
+    /// with **per-id containment**: an id the store cannot produce (a
+    /// corrupt block, an I/O error) records its error in `self.errs`
+    /// instead of failing the whole fetch. With `skip_out_of_range`, ids
+    /// beyond the store are left as `None` in `self.docs` (per-GET error
+    /// semantics).
+    fn fetch_unique(&mut self, store: &dyn DocStore, skip_out_of_range: bool) {
         self.order.clear();
         self.order
             .extend(self.ids.iter().enumerate().map(|(p, &id)| (id, p as u32)));
@@ -627,6 +713,8 @@ impl Responder {
         }
         self.docs.clear();
         self.docs.resize(self.uniq.len(), None);
+        self.errs.clear();
+        self.errs.resize_with(self.uniq.len(), || None);
         self.fetch.clear();
         self.fetch_slots.clear();
         let num_docs = store.num_docs();
@@ -644,27 +732,39 @@ impl Responder {
             self.fetch_slots.push(u as u32);
         }
         if !self.fetch.is_empty() {
-            let got = store.get_batch(&self.fetch, self.batch_threads)?;
-            for (doc, &u) in got.into_iter().zip(&self.fetch_slots) {
-                let doc = Arc::new(doc);
-                if let Some(cache) = &self.cache {
-                    cache.insert(self.uniq[u as usize] as usize, Arc::clone(&doc));
+            let got = store.get_batch_results(&self.fetch, self.batch_threads);
+            for (result, &u) in got.into_iter().zip(&self.fetch_slots) {
+                match result {
+                    Ok(doc) => {
+                        let doc = Arc::new(doc);
+                        if let Some(cache) = &self.cache {
+                            cache.insert(self.uniq[u as usize] as usize, Arc::clone(&doc));
+                        }
+                        self.docs[u as usize] = Some(doc);
+                    }
+                    Err(e) => self.errs[u as usize] = Some(e),
                 }
-                self.docs[u as usize] = Some(doc);
             }
         }
-        Ok(())
+    }
+}
+
+/// The protocol status a store failure maps to: detected corruption gets
+/// its own typed status (the document is permanently unreadable until the
+/// store is repaired; the server is fine) rather than the generic
+/// internal-error bucket.
+fn store_error_status(e: &StoreError) -> u8 {
+    match e {
+        StoreError::DocOutOfRange(_) => STATUS_OUT_OF_RANGE,
+        StoreError::Corrupt { .. } => STATUS_CORRUPT,
+        _ => STATUS_INTERNAL,
     }
 }
 
 /// Maps a store failure onto a protocol error frame. Only the error path
 /// formats (and therefore allocates) a message.
 fn write_store_error(out: &mut Vec<u8>, e: &StoreError) {
-    let status = match e {
-        StoreError::DocOutOfRange(_) => STATUS_OUT_OF_RANGE,
-        _ => STATUS_INTERNAL,
-    };
-    protocol::write_error(out, status, &e.to_string());
+    protocol::write_error(out, store_error_status(e), &e.to_string());
 }
 
 /// One client connection owned by a worker.
@@ -686,6 +786,9 @@ struct Conn {
     /// Currently in the epoll worker's ready queue.
     #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
     queued: bool,
+    /// Last instant this connection made any progress (bytes either way);
+    /// the idle-timeout sweep closes connections stuck past the limit.
+    idle_since: Instant,
 }
 
 enum TickOutcome {
@@ -728,7 +831,14 @@ impl Conn {
             peer_eof: false,
             want_write: false,
             queued: false,
+            idle_since: Instant::now(),
         })
+    }
+
+    /// True when the connection has made no progress for longer than
+    /// `timeout`.
+    fn idle_expired(&self, timeout: Duration) -> bool {
+        self.idle_since.elapsed() > timeout
     }
 
     /// Bytes queued but not yet written to the socket.
@@ -789,8 +899,16 @@ impl Conn {
     /// Parses and executes every complete frame currently buffered, in one
     /// pass. Consecutive pipelined GET frames are buffered into a run and
     /// flushed through the batched path before any non-GET response (or
-    /// the end of the pass), preserving response order.
-    fn drain_frames(&mut self, store: &dyn DocStore, responder: &mut Responder) -> Action {
+    /// the end of the pass), preserving response order. With `shed`, the
+    /// worker is past its queue budget: GET/MGET answer `ERR_BUSY`
+    /// without touching the store (the connection stays open), while
+    /// STAT and SHUTDOWN still pass.
+    fn drain_frames(
+        &mut self,
+        store: &dyn DocStore,
+        responder: &mut Responder,
+        shed: bool,
+    ) -> Action {
         let mut action = Action::Continue;
         while !self.closing {
             // Backpressure on the output side too: a burst of pipelined
@@ -809,6 +927,14 @@ impl Conn {
                 }
                 Parsed::Frame { request, consumed } => {
                     match request {
+                        Ok(Request::Get(_) | Request::MGet(_)) if shed => {
+                            responder.flush_gets(store, &mut self.out_buf);
+                            protocol::write_error(
+                                &mut self.out_buf,
+                                STATUS_BUSY,
+                                "server overloaded; retry with backoff",
+                            );
+                        }
                         Ok(Request::Get(id)) => {
                             responder.push_get(id);
                             if responder.get_run_full() {
@@ -863,6 +989,7 @@ impl Conn {
         store: &dyn DocStore,
         responder: &mut Responder,
         chunk: &mut [u8],
+        shed: bool,
     ) -> (TickOutcome, bool) {
         let mut busy = false;
         if !self.flush(&mut busy) {
@@ -884,7 +1011,7 @@ impl Conn {
         }
         let mut input = self.in_buf.len() != filled_before;
         let in_before = self.in_buf.len() - self.in_start;
-        let action = self.drain_frames(store, responder);
+        let action = self.drain_frames(store, responder, shed);
         input |= self.in_buf.len() - self.in_start != in_before;
         busy |= input;
         // After EOF no further bytes can arrive, so once every complete
@@ -896,6 +1023,9 @@ impl Conn {
         // Push out whatever the frames produced before yielding the slot.
         if !self.flush(&mut busy) {
             return (TickOutcome::Drop, false);
+        }
+        if busy {
+            self.idle_since = Instant::now();
         }
         if action == Action::Shutdown {
             return (TickOutcome::Shutdown, input);
@@ -937,23 +1067,36 @@ fn portable_worker_loop(
     store: Arc<dyn DocStore>,
     stop: Arc<AtomicBool>,
     mut responder: Responder,
+    ov: Overload,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut chunk = vec![0u8; READ_CHUNK];
     let mut park = PARK_MIN;
+    // The fallback's queue-depth proxy: how many connections were actively
+    // progressing in the previous sweep (the epoll backend reads its ready
+    // queue directly).
+    let mut busy_prev = 0usize;
     while !stop.load(Ordering::Acquire) {
         let mut busy = false;
         // Accept everything pending; the listener is shared, so whichever
         // worker polls first takes the connection.
         loop {
             match listener.accept() {
-                Ok((stream, _)) => match Conn::new(stream) {
-                    Ok(conn) => {
-                        conns.push(conn);
+                Ok((stream, _)) => {
+                    if ov.at_capacity() {
+                        reject_busy(stream);
                         busy = true;
+                        continue;
                     }
-                    Err(_) => continue,
-                },
+                    match Conn::new(stream) {
+                        Ok(conn) => {
+                            ov.conn_count.fetch_add(1, Ordering::AcqRel);
+                            conns.push(conn);
+                            busy = true;
+                        }
+                        Err(_) => continue,
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 // Transient accept failures (EMFILE, aborted handshakes):
@@ -961,19 +1104,33 @@ fn portable_worker_loop(
                 Err(_) => break,
             }
         }
+        let mut busy_now = 0usize;
         let mut i = 0;
         while i < conns.len() {
-            match conns[i].tick(store.as_ref(), &mut responder, &mut chunk).0 {
+            // Queue-depth proxy: connections progressing in the previous
+            // sweep, or already progressed in this one — whichever is
+            // larger. The in-sweep count matters for a cold burst: six
+            // connections arriving at once must start shedding mid-sweep,
+            // not one lagged sweep later when their input is already
+            // drained.
+            let shed = ov.shed_queue_depth > 0 && busy_prev.max(busy_now) > ov.shed_queue_depth;
+            match conns[i]
+                .tick(store.as_ref(), &mut responder, &mut chunk, shed)
+                .0
+            {
                 TickOutcome::Busy => {
                     busy = true;
+                    busy_now += 1;
                     i += 1;
                 }
                 TickOutcome::Idle => i += 1,
                 TickOutcome::Drop => {
+                    ov.conn_count.fetch_sub(1, Ordering::AcqRel);
                     conns.swap_remove(i);
                 }
                 TickOutcome::Shutdown => {
                     conns[i].final_flush();
+                    ov.conn_count.fetch_sub(1, Ordering::AcqRel);
                     conns.swap_remove(i);
                     stop.store(true, Ordering::Release);
                     busy = true;
@@ -982,6 +1139,16 @@ fn portable_worker_loop(
             if stop.load(Ordering::Acquire) {
                 break;
             }
+        }
+        busy_prev = busy_now;
+        if let Some(timeout) = ov.idle_timeout {
+            conns.retain(|conn| {
+                let keep = !conn.idle_expired(timeout);
+                if !keep {
+                    ov.conn_count.fetch_sub(1, Ordering::AcqRel);
+                }
+                keep
+            });
         }
         if busy {
             park = PARK_MIN;
@@ -1019,6 +1186,7 @@ fn epoll_worker_loop(
     stop: Arc<AtomicBool>,
     mut responder: Responder,
     wake: WakeFd,
+    ov: Overload,
 ) {
     const TOKEN_LISTENER: u64 = u64::MAX;
     const TOKEN_WAKE: u64 = u64::MAX - 1;
@@ -1037,14 +1205,36 @@ fn epoll_worker_loop(
     let mut events: Vec<crate::event::Event> = Vec::new();
     let mut ready: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
     let mut chunk = vec![0u8; READ_CHUNK];
+    // With an idle timeout, the kernel wait is bounded so the sweep runs
+    // even on a silent socket set; without one, park indefinitely.
+    let idle_wait: i32 = match ov.idle_timeout {
+        Some(t) => (t.as_millis() as i64 / 2).clamp(10, 1000) as i32,
+        None => -1,
+    };
+    let mut last_idle_scan = Instant::now();
     while !stop.load(Ordering::Acquire) {
         // With queued work pending, poll for new events without sleeping;
         // with none, block in the kernel until readiness or the shutdown
         // eventfd — an idle worker costs ~0% CPU and wakes in
         // microseconds.
-        let timeout = if ready.is_empty() { -1 } else { 0 };
+        let timeout = if ready.is_empty() { idle_wait } else { 0 };
         if ep.wait(&mut events, timeout).is_err() {
             break;
+        }
+        if let Some(timeout) = ov.idle_timeout {
+            // Sweep at most every half-timeout: O(slab) but amortized.
+            if last_idle_scan.elapsed() * 2 >= timeout {
+                last_idle_scan = Instant::now();
+                for (slot, entry) in conns.iter_mut().enumerate() {
+                    let expired = entry.as_ref().is_some_and(|c| c.idle_expired(timeout));
+                    if expired {
+                        let conn = entry.take().expect("checked Some above");
+                        ep.delete(conn.stream.as_raw_fd());
+                        free.push(slot);
+                        ov.conn_count.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }
         }
         for ev in events.iter().copied() {
             match ev.token {
@@ -1052,6 +1242,10 @@ fn epoll_worker_loop(
                 TOKEN_LISTENER => loop {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            if ov.at_capacity() {
+                                reject_busy(stream);
+                                continue;
+                            }
                             let Ok(conn) = Conn::new(stream) else {
                                 continue;
                             };
@@ -1067,6 +1261,7 @@ fn epoll_worker_loop(
                                 continue;
                             }
                             conns[slot] = Some(conn);
+                            ov.conn_count.fetch_add(1, Ordering::AcqRel);
                             // Data may already be buffered (or the
                             // handshake raced the registration): queue the
                             // connection for a first serve turn.
@@ -1098,6 +1293,10 @@ fn epoll_worker_loop(
             if let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) {
                 conn.queued = false;
             }
+            // The shed signal IS the ready-queue depth: with more than
+            // the budget still waiting behind this turn, answer BUSY
+            // instead of queueing more decode work.
+            let shed = ov.shed_queue_depth > 0 && ready.len() > ov.shed_queue_depth;
             match serve_turn(
                 &ep,
                 &mut conns,
@@ -1106,6 +1305,8 @@ fn epoll_worker_loop(
                 store.as_ref(),
                 &mut responder,
                 &mut chunk,
+                shed,
+                &ov,
             ) {
                 Turn::Again => enqueue(&mut ready, &mut conns, slot),
                 Turn::Parked => {}
@@ -1153,6 +1354,7 @@ enum Turn {
 /// because a turn that still saw input progress is re-queued by the
 /// caller until a tick finds nothing new.
 #[cfg(target_os = "linux")]
+#[allow(clippy::too_many_arguments)]
 fn serve_turn(
     ep: &Epoll,
     conns: &mut [Option<Conn>],
@@ -1161,11 +1363,13 @@ fn serve_turn(
     store: &dyn DocStore,
     responder: &mut Responder,
     chunk: &mut [u8],
+    shed: bool,
+    ov: &Overload,
 ) -> Turn {
     let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
         return Turn::Parked; // stale event for an already-dropped connection
     };
-    let (outcome, input) = conn.tick(store, responder, chunk);
+    let (outcome, input) = conn.tick(store, responder, chunk, shed);
     match outcome {
         TickOutcome::Busy | TickOutcome::Idle => {
             let want = conn.out_pending();
@@ -1193,6 +1397,7 @@ fn serve_turn(
             ep.delete(fd);
             conns[slot] = None;
             free.push(slot);
+            ov.conn_count.fetch_sub(1, Ordering::AcqRel);
             Turn::Parked
         }
         TickOutcome::Shutdown => {
@@ -1201,6 +1406,7 @@ fn serve_turn(
             ep.delete(fd);
             conns[slot] = None;
             free.push(slot);
+            ov.conn_count.fetch_sub(1, Ordering::AcqRel);
             Turn::Shutdown
         }
     }

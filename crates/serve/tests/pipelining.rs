@@ -64,6 +64,9 @@ fn servers() -> &'static Vec<(Backend, SocketAddr)> {
                     allow_shutdown: false,
                     backend,
                     cache_bytes: 0,
+                    max_connections: 0,
+                    idle_timeout: None,
+                    shed_queue_depth: 0,
                 },
             )
             .unwrap();

@@ -1,10 +1,18 @@
 //! The uncompressed baseline store: "simply a raw concatenation of
 //! uncompressed documents with a map specifying offsets to each document
 //! location" (§4, Systems Tested).
+//!
+//! The data file is headerless raw bytes, so integrity rides in the
+//! self-describing `sums.bin` sidecar (one CRC32C per document, written at
+//! build time and verified on every read). A store without the sidecar —
+//! anything built by an earlier version — opens fine and reports
+//! `integrity: none`.
 
 use crate::backend::{FileBackend, MemBackend, StorageBackend};
 use crate::docmap::DocMap;
-use crate::{read_file, DocStore, StoreError};
+use crate::verify::{encode_sums, load_quarantine, load_sums, BadUnit, ScrubReport, SUMS_FILE};
+use crate::{read_file, DocStore, Integrity, StoreError};
+use rlz_codecs::hash::crc32c;
 use std::fs::File;
 use std::io::Write;
 use std::path::Path;
@@ -19,6 +27,11 @@ const MAP_FILE: &str = "docmap.bin";
 pub struct AsciiStore {
     data: Arc<dyn StorageBackend>,
     map: Arc<DocMap>,
+    /// Per-document CRC32C, verified on every read; `None` for stores
+    /// built before the checksum sidecar existed.
+    sums: Option<Arc<Vec<u32>>>,
+    /// Sorted doc ids quarantined by `rlz-verify`.
+    quarantine: Arc<Vec<u32>>,
 }
 
 impl AsciiStore {
@@ -27,12 +40,15 @@ impl AsciiStore {
         std::fs::create_dir_all(dir)?;
         let mut data = std::io::BufWriter::new(File::create(dir.join(DATA_FILE))?);
         let mut lens = Vec::new();
+        let mut sums = Vec::new();
         for doc in docs {
             data.write_all(doc)?;
             lens.push(doc.len());
+            sums.push(crc32c(doc));
         }
         data.flush()?;
         std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
+        std::fs::write(dir.join(SUMS_FILE), encode_sums(&sums))?;
         Ok(())
     }
 
@@ -47,14 +63,63 @@ impl AsciiStore {
         Self::with_backend(dir, Arc::new(MemBackend::load(&dir.join(DATA_FILE))?))
     }
 
+    /// Opens a previously built store over a caller-supplied backend
+    /// (fault-injection harnesses, custom storage layers).
+    pub fn open_with_backend(
+        dir: &Path,
+        data: Arc<dyn StorageBackend>,
+    ) -> Result<Self, StoreError> {
+        Self::with_backend(dir, data)
+    }
+
     fn with_backend(dir: &Path, data: Arc<dyn StorageBackend>) -> Result<Self, StoreError> {
         let map = Arc::new(DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?);
-        Ok(AsciiStore { data, map })
+        let sums = load_sums(dir, map.num_docs())?.map(Arc::new);
+        let quarantine = Arc::new(load_quarantine(dir)?);
+        Ok(AsciiStore {
+            data,
+            map,
+            sums,
+            quarantine,
+        })
     }
 
     /// Total stored payload bytes (equals the collection size).
     pub fn stored_bytes(&self) -> u64 {
         self.map.total_bytes()
+    }
+
+    /// Whether document reads are CRC-verified.
+    pub fn integrity(&self) -> Integrity {
+        if self.sums.is_some() {
+            Integrity::Crc32c
+        } else {
+            Integrity::None
+        }
+    }
+
+    /// Walks every document verifying its checksum (or just its
+    /// readability, for stores without a sidecar) and reports the
+    /// unreadable doc ids. Never panics on corrupt input; used by
+    /// `rlz-verify`.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut report = ScrubReport::new(self.integrity());
+        let mut buf = Vec::new();
+        for id in 0..self.map.num_docs() {
+            report.units += 1;
+            if let Some((_, len)) = self.map.extent(id) {
+                report.bytes += len as u64;
+            }
+            buf.clear();
+            if let Err(error) = self.get_into(id, &mut buf) {
+                report.bad.push(BadUnit {
+                    block: None,
+                    doc_ids: vec![id as u32],
+                    error,
+                });
+            }
+        }
+        report
     }
 }
 
@@ -68,6 +133,7 @@ impl DocStore for AsciiStore {
             num_docs: self.map.num_docs() as u64,
             payload_bytes: self.map.total_bytes(),
             max_record_len: self.map.max_extent_len(),
+            integrity: self.integrity(),
         }
     }
 
@@ -77,15 +143,35 @@ impl DocStore for AsciiStore {
 
     fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
         let (offset, len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
+        if id <= u32::MAX as usize && self.quarantine.binary_search(&(id as u32)).is_ok() {
+            return Err(StoreError::Corrupt {
+                what: "document quarantined by rlz-verify",
+                block: None,
+                doc_id: Some(id as u32),
+            });
+        }
         let start = out.len();
         out.resize(start + len, 0);
-        match self.data.read_exact_at(&mut out[start..], offset) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                out.truncate(start);
-                Err(e)
-            }
+        let result = self
+            .data
+            .read_exact_at(&mut out[start..], offset)
+            .and_then(|()| {
+                if let Some(sums) = &self.sums {
+                    if crc32c(&out[start..]) != sums[id] {
+                        return Err(StoreError::Corrupt {
+                            what: "record checksum mismatch",
+                            block: None,
+                            doc_id: Some(id as u32),
+                        });
+                    }
+                }
+                Ok(())
+            });
+        if let Err(e) = result {
+            out.truncate(start);
+            return Err(e);
         }
+        Ok(())
     }
 }
 
@@ -150,6 +236,49 @@ mod tests {
         let mut out = b"prefix".to_vec();
         assert!(store.get_into(0, &mut out).is_err());
         assert_eq!(out, b"prefix", "failed read must not leave partial bytes");
+    }
+
+    #[test]
+    fn checksums_catch_flips_and_legacy_stores_open_without_them() {
+        let dir = TestDir::new("ascii-crc");
+        let docs: Vec<Vec<u8>> = (0..20)
+            .map(|i| format!("document {i} {}", "payload ".repeat(10)).into_bytes())
+            .collect();
+        AsciiStore::build(dir.path(), docs.iter().map(|d| d.as_slice())).unwrap();
+        let store = AsciiStore::open(dir.path()).unwrap();
+        assert_eq!(store.stats().integrity, crate::Integrity::Crc32c);
+
+        // Flip a bit in doc 7's bytes: exactly that doc must fail.
+        let path = dir.path().join(super::DATA_FILE);
+        let mut data = std::fs::read(&path).unwrap();
+        let (off, _) = store.map.extent(7).unwrap();
+        data[off as usize + 3] ^= 0x02;
+        std::fs::write(&path, &data).unwrap();
+        let store = AsciiStore::open(dir.path()).unwrap();
+        for (i, doc) in docs.iter().enumerate() {
+            if i == 7 {
+                assert!(matches!(
+                    store.get(i),
+                    Err(StoreError::Corrupt {
+                        what: "record checksum mismatch",
+                        doc_id: Some(7),
+                        ..
+                    })
+                ));
+            } else {
+                assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+            }
+        }
+        let report = store.scrub();
+        assert_eq!(report.bad_doc_ids(), vec![7]);
+
+        // Without the sidecar (a legacy store) the flip goes unnoticed but
+        // the store still opens and serves.
+        std::fs::remove_file(dir.path().join(super::SUMS_FILE)).unwrap();
+        let store = AsciiStore::open(dir.path()).unwrap();
+        assert_eq!(store.stats().integrity, crate::Integrity::None);
+        assert_eq!(store.get(0).unwrap(), docs[0]);
+        assert_ne!(store.get(7).unwrap(), docs[7]);
     }
 
     #[test]

@@ -131,7 +131,7 @@ impl StorageBackend for MemBackend {
 
     fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
         let start = usize::try_from(offset)
-            .map_err(|_| StoreError::Corrupt("offset exceeds resident payload"))?;
+            .map_err(|_| StoreError::corrupt("offset exceeds resident payload"))?;
         let chunk = start
             .checked_add(buf.len())
             .and_then(|end| self.data.get(start..end))

@@ -15,13 +15,24 @@
 //! it through with a plain copy instead of a trial decompression. Any
 //! block codec is therefore random-accessible (the table gives exact
 //! extents) and incompressible data costs memcpy speed, not codec speed.
-//! The previous metadata layout (leading codec tag, no stored flags) is
-//! still readable.
+//! The previous metadata layouts (leading codec tag with no stored flags;
+//! stored flags but no checksums) are still readable.
+//!
+//! # Integrity
+//!
+//! Stores written by this version carry a CRC32C per block, computed over
+//! the exact bytes on disk (compressed or stored) and verified on every
+//! read before any decompression runs. A mismatch surfaces as
+//! [`StoreError::Corrupt`] naming the block — and through
+//! [`DocStore::get_batch_results`], only the documents living in that
+//! block fail; every other id in the batch still decodes.
 
 use crate::backend::{FileBackend, MemBackend, StorageBackend};
 use crate::cache::ShardedLru;
 use crate::docmap::DocMap;
-use crate::{read_file, DocStore, StoreError};
+use crate::verify::{load_quarantine, BadUnit, ScrubReport};
+use crate::{read_file, DocStore, Integrity, StoreError};
+use rlz_codecs::hash::crc32c;
 use rlz_codecs::vbyte;
 use std::fs::File;
 use std::io::Write;
@@ -105,7 +116,7 @@ impl BlockCodec {
             1 => Ok(BlockCodec::Lzlite(rlz_lzlite::Level::Default)),
             2 => Ok(BlockCodec::Fse),
             3 => Ok(BlockCodec::Lz4),
-            _ => Err(StoreError::Corrupt("unknown block codec tag")),
+            _ => Err(StoreError::corrupt("unknown block codec tag")),
         }
     }
 }
@@ -114,6 +125,11 @@ impl BlockCodec {
 /// flags). Chosen outside the codec-tag range so the legacy layout — whose
 /// first byte is the codec tag itself — stays distinguishable.
 const META_VERSION_SELF_DESCRIBING: u8 = 0xF5;
+
+/// Marks the checksummed metadata layout: self-describing, plus a CRC32C
+/// per block entry (little-endian, after the stored flag) computed over the
+/// block's exact on-disk bytes.
+const META_VERSION_CHECKSUMMED: u8 = 0xF6;
 
 /// One block's location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +145,9 @@ struct BlockEntry {
     /// Stored verbatim: the codec could not shrink this block, so reads
     /// pass it through without decompression.
     stored: bool,
+    /// CRC32C over the block's on-disk bytes; only meaningful when the
+    /// store's integrity level is [`Integrity::Crc32c`].
+    crc: u32,
 }
 
 /// Blocked store reader. Clones are cheap handles sharing the backend,
@@ -146,6 +165,11 @@ pub struct BlockedStore {
     /// clones of this store.
     cache: Option<Arc<ShardedLru>>,
     stored_bytes: u64,
+    /// Whether block reads are CRC-verified (checksummed layout only).
+    integrity: Integrity,
+    /// Sorted doc ids quarantined by `rlz-verify`; gets pre-fail with a
+    /// typed corruption error instead of touching known-bad blocks.
+    quarantine: Arc<Vec<u32>>,
 }
 
 impl BlockedStore {
@@ -214,13 +238,14 @@ impl BlockedStore {
                 first_doc: first,
                 raw_start,
                 stored,
+                crc: crc32c(bytes),
             });
             file_at += bytes.len() as u64;
         }
         payload.flush()?;
 
         let mut meta = Vec::new();
-        meta.push(META_VERSION_SELF_DESCRIBING);
+        meta.push(META_VERSION_CHECKSUMMED);
         meta.push(codec.tag());
         vbyte::write_u64(entries.len() as u64, &mut meta);
         for e in &entries {
@@ -229,6 +254,7 @@ impl BlockedStore {
             vbyte::write_u32(e.first_doc, &mut meta);
             vbyte::write_u64(e.raw_start, &mut meta);
             meta.push(e.stored as u8);
+            meta.extend_from_slice(&e.crc.to_le_bytes());
         }
         std::fs::write(dir.join(META_FILE), meta)?;
         std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
@@ -246,19 +272,29 @@ impl BlockedStore {
         Self::with_backend(dir, Arc::new(MemBackend::load(&dir.join(BLOCKS_FILE))?))
     }
 
+    /// Opens a previously built store over a caller-supplied backend
+    /// (fault-injection harnesses, custom storage layers).
+    pub fn open_with_backend(
+        dir: &Path,
+        payload: Arc<dyn StorageBackend>,
+    ) -> Result<Self, StoreError> {
+        Self::with_backend(dir, payload)
+    }
+
     fn with_backend(dir: &Path, payload: Arc<dyn StorageBackend>) -> Result<Self, StoreError> {
         let meta = read_file(&dir.join(META_FILE))?;
         let mut pos = 0usize;
         let Some(&first_byte) = meta.first() else {
-            return Err(StoreError::Corrupt("empty blocked-store metadata"));
+            return Err(StoreError::corrupt("empty blocked-store metadata"));
         };
         pos += 1;
-        // Self-describing layout leads with a version byte; the legacy
+        // Self-describing layouts lead with a version byte; the legacy
         // layout leads directly with the codec tag (no stored flags).
-        let self_describing = first_byte == META_VERSION_SELF_DESCRIBING;
+        let checksummed = first_byte == META_VERSION_CHECKSUMMED;
+        let self_describing = checksummed || first_byte == META_VERSION_SELF_DESCRIBING;
         let tag = if self_describing {
             let Some(&tag) = meta.get(pos) else {
-                return Err(StoreError::Corrupt("truncated blocked-store metadata"));
+                return Err(StoreError::corrupt("truncated blocked-store metadata"));
             };
             pos += 1;
             tag
@@ -267,7 +303,15 @@ impl BlockedStore {
         };
         let codec = BlockCodec::from_tag(tag)?;
         let n = vbyte::read_u64(&meta, &mut pos)? as usize;
-        let mut blocks = Vec::with_capacity(n.min(1 << 20));
+        // Every entry takes at least 5 bytes, so a count claiming more
+        // entries than the metadata could possibly hold is corrupt — and
+        // must be rejected *before* it sizes an allocation.
+        if n > meta.len() {
+            return Err(StoreError::corrupt(
+                "blocked-store block count exceeds metadata size",
+            ));
+        }
+        let mut blocks = Vec::with_capacity(n);
         for _ in 0..n {
             let file_offset = vbyte::read_u64(&meta, &mut pos)?;
             let comp_len = vbyte::read_u32(&meta, &mut pos)?;
@@ -275,16 +319,25 @@ impl BlockedStore {
             let raw_start = vbyte::read_u64(&meta, &mut pos)?;
             let stored = if self_describing {
                 let Some(&flag) = meta.get(pos) else {
-                    return Err(StoreError::Corrupt("truncated blocked-store metadata"));
+                    return Err(StoreError::corrupt("truncated blocked-store metadata"));
                 };
                 pos += 1;
                 match flag {
                     0 => false,
                     1 => true,
-                    _ => return Err(StoreError::Corrupt("invalid stored-block flag")),
+                    _ => return Err(StoreError::corrupt("invalid stored-block flag")),
                 }
             } else {
                 false
+            };
+            let crc = if checksummed {
+                let Some(bytes) = meta.get(pos..pos + 4) else {
+                    return Err(StoreError::corrupt("truncated blocked-store metadata"));
+                };
+                pos += 4;
+                u32::from_le_bytes(bytes.try_into().expect("4-byte slice"))
+            } else {
+                0
             };
             blocks.push(BlockEntry {
                 file_offset,
@@ -292,17 +345,56 @@ impl BlockedStore {
                 first_doc,
                 raw_start,
                 stored,
+                crc,
             });
         }
+        // Structural validation before any read can trust the table:
+        // `block_of_doc` indexes `partition_point(..) - 1`, which is only
+        // safe when block 0 covers doc 0; extents must stay inside the
+        // payload and blocks must be laid out in order.
+        let payload_len = payload.len();
+        let mut prev_first = 0u32;
+        let mut prev_end = 0u64;
+        for (i, b) in blocks.iter().enumerate() {
+            if i == 0 && b.first_doc != 0 {
+                return Err(StoreError::corrupt("first block does not start at doc 0"));
+            }
+            if b.first_doc < prev_first {
+                return Err(StoreError::corrupt("block table doc ids not monotone"));
+            }
+            if b.file_offset < prev_end {
+                return Err(StoreError::corrupt("block table offsets not monotone"));
+            }
+            let end = b
+                .file_offset
+                .checked_add(b.comp_len as u64)
+                .ok_or_else(|| StoreError::corrupt("block extent overflows"))?;
+            if end > payload_len {
+                return Err(StoreError::corrupt("block extent exceeds payload"));
+            }
+            prev_first = b.first_doc;
+            prev_end = end;
+        }
         let map = Arc::new(DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?);
-        let stored_bytes = payload.len();
+        if map.num_docs() > 0 && blocks.is_empty() {
+            return Err(StoreError::corrupt(
+                "document map names docs but block table is empty",
+            ));
+        }
+        let quarantine = Arc::new(load_quarantine(dir)?);
         Ok(BlockedStore {
             payload,
             codec,
             blocks: Arc::new(blocks),
             map,
             cache: None,
-            stored_bytes,
+            stored_bytes: payload_len,
+            integrity: if checksummed {
+                Integrity::Crc32c
+            } else {
+                Integrity::None
+            },
+            quarantine,
         })
     }
 
@@ -332,35 +424,48 @@ impl BlockedStore {
     }
 
     fn block_of_doc(&self, id: usize) -> usize {
-        // Last block whose first_doc <= id.
+        // Last block whose first_doc <= id; open-time validation pins
+        // block 0's first_doc to 0, so the subtraction cannot underflow for
+        // any id the document map accepted.
         self.blocks.partition_point(|b| b.first_doc as usize <= id) - 1
     }
 
-    /// Reads and decompresses block `b` into `out` (no cache involvement),
-    /// replacing `out`'s contents while reusing its capacity. Stored
-    /// blocks pass straight from the backend into `out` — no codec, no
-    /// staging copy.
-    fn decompress_block_into(
-        &self,
-        entry: BlockEntry,
-        out: &mut Vec<u8>,
-    ) -> Result<(), StoreError> {
+    /// CRC-checks block `b`'s on-disk bytes against its table entry
+    /// (checksummed layout only; legacy stores have nothing to verify).
+    fn verify_block_bytes(&self, b: usize, bytes: &[u8]) -> Result<(), StoreError> {
+        if self.integrity == Integrity::Crc32c && crc32c(bytes) != self.blocks[b].crc {
+            return Err(StoreError::Corrupt {
+                what: "block checksum mismatch",
+                block: Some(b as u32),
+                doc_id: None,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads, CRC-verifies and decompresses block `b` into `out` (no cache
+    /// involvement), replacing `out`'s contents while reusing its capacity.
+    /// Stored blocks pass straight from the backend into `out` — no codec,
+    /// no staging copy.
+    fn decompress_block_into(&self, b: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
+        let entry = self.blocks[b];
         if entry.stored {
             out.clear();
             out.resize(entry.comp_len as usize, 0);
             self.payload.read_exact_at(out, entry.file_offset)?;
-            return Ok(());
+            return self.verify_block_bytes(b, out);
         }
         crate::with_scratch(entry.comp_len as usize, |comp| {
             self.payload.read_exact_at(comp, entry.file_offset)?;
+            self.verify_block_bytes(b, comp)?;
             self.codec.decompress_into(comp, out)
         })
     }
 
     /// Reads and decompresses block `b` into a fresh buffer.
-    fn decompress_block(&self, entry: BlockEntry) -> Result<Vec<u8>, StoreError> {
+    fn decompress_block(&self, b: usize) -> Result<Vec<u8>, StoreError> {
         let mut out = Vec::new();
-        self.decompress_block_into(entry, &mut out)?;
+        self.decompress_block_into(b, &mut out)?;
         Ok(out)
     }
 
@@ -368,16 +473,55 @@ impl BlockedStore {
     /// is enabled.
     fn load_block(&self, b: usize) -> Result<Arc<Vec<u8>>, StoreError> {
         let Some(cache) = &self.cache else {
-            return Ok(Arc::new(self.decompress_block(self.blocks[b])?));
+            return Ok(Arc::new(self.decompress_block(b)?));
         };
         match cache.get(b) {
             Some(hit) => Ok(hit),
             None => {
-                let raw = Arc::new(self.decompress_block(self.blocks[b])?);
+                let raw = Arc::new(self.decompress_block(b)?);
                 cache.insert(b, Arc::clone(&raw));
                 Ok(raw)
             }
         }
+    }
+
+    /// Pre-fails a doc id quarantined by `rlz-verify`.
+    fn check_quarantine(&self, id: usize) -> Result<(), StoreError> {
+        if id <= u32::MAX as usize && self.quarantine.binary_search(&(id as u32)).is_ok() {
+            return Err(StoreError::Corrupt {
+                what: "document quarantined by rlz-verify",
+                block: None,
+                doc_id: Some(id as u32),
+            });
+        }
+        Ok(())
+    }
+
+    /// Walks every block, verifying checksums (checksummed layout) or
+    /// attempting a full decompression (legacy layouts), and reports the
+    /// blocks that fail along with the doc ids they take down. Never
+    /// panics on corrupt input; used by the `rlz-verify` scrub bin.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut report = ScrubReport::new(self.integrity);
+        let num_docs = self.map.num_docs() as u32;
+        let mut raw = Vec::new();
+        for (b, entry) in self.blocks.iter().enumerate() {
+            report.units += 1;
+            report.bytes += entry.comp_len as u64;
+            if let Err(e) = self.decompress_block_into(b, &mut raw) {
+                let first = entry.first_doc;
+                let end = self
+                    .blocks
+                    .get(b + 1)
+                    .map_or(num_docs, |next| next.first_doc);
+                report.bad.push(BadUnit {
+                    block: Some(b as u32),
+                    doc_ids: (first..end.max(first)).collect(),
+                    error: e,
+                });
+            }
+        }
+        report
     }
 
     fn slice_doc(
@@ -387,10 +531,11 @@ impl BlockedStore {
         doc_len: usize,
         out: &mut Vec<u8>,
     ) -> Result<(), StoreError> {
-        let start = (doc_off - entry.raw_start) as usize;
-        let chunk = raw
-            .get(start..start + doc_len)
-            .ok_or(StoreError::Corrupt("document extent exceeds block"))?;
+        let chunk = doc_off
+            .checked_sub(entry.raw_start)
+            .map(|s| s as usize)
+            .and_then(|start| raw.get(start..)?.get(..doc_len))
+            .ok_or_else(|| StoreError::corrupt("document extent exceeds block"))?;
         out.extend_from_slice(chunk);
         Ok(())
     }
@@ -408,6 +553,7 @@ impl DocStore for BlockedStore {
             // The blocked map delimits *uncompressed* documents, so this is
             // the longest raw document in the collection.
             max_record_len: self.map.max_extent_len(),
+            integrity: self.integrity,
         }
     }
 
@@ -421,6 +567,7 @@ impl DocStore for BlockedStore {
 
     fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
         let (doc_off, doc_len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
+        self.check_quarantine(id)?;
         let b = self.block_of_doc(id);
         let entry = self.blocks[b];
         if self.cache.is_some() {
@@ -430,7 +577,7 @@ impl DocStore for BlockedStore {
         // Uncached (the paper's baseline): inflate into the thread's block
         // scratch instead of allocating a block-sized buffer per get.
         crate::with_block_scratch(|raw| {
-            self.decompress_block_into(entry, raw)?;
+            self.decompress_block_into(b, raw)?;
             Self::slice_doc(raw, entry, doc_off, doc_len, out)
         })
     }
@@ -449,6 +596,7 @@ impl DocStore for BlockedStore {
         for (slot, &id) in ids.iter().enumerate() {
             let id = id as usize;
             let (doc_off, doc_len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
+            self.check_quarantine(id)?;
             reqs.push((slot, self.block_of_doc(id), doc_off, doc_len));
         }
         // Blocks are written to the payload in index order, so sorting by
@@ -468,6 +616,67 @@ impl DocStore for BlockedStore {
                 })
                 .collect()
         })
+    }
+
+    /// Per-id containment with the same block coalescing as
+    /// [`get_batch`](DocStore::get_batch): a block that fails its checksum
+    /// (or its read, or its decompression) is still touched only **once**,
+    /// and its failure is fanned out to exactly the ids living in it —
+    /// every other id in the batch decodes normally.
+    fn get_batch_results(&self, ids: &[u32], threads: usize) -> Vec<Result<Vec<u8>, StoreError>> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        // (request slot, id, block, doc offset, doc len); ids that fail up
+        // front (out of range, quarantined) go to a pseudo-run keyed by
+        // usize::MAX so the scatter still fills every slot.
+        let mut reqs = Vec::with_capacity(ids.len());
+        for (slot, &id) in ids.iter().enumerate() {
+            let idx = id as usize;
+            let b = match self.map.extent(idx) {
+                Some(_) => self.block_of_doc(idx),
+                None => usize::MAX,
+            };
+            reqs.push((slot, id, b));
+        }
+        reqs.sort_by_key(|&(_, id, b)| (b, id));
+        let runs: Vec<&[(usize, u32, usize)]> = reqs.chunk_by(|a, b| a.2 == b.2).collect();
+        let threads = threads.max(1).min(runs.len());
+        crate::scatter_chunks(ids.len(), &runs, threads, |run| {
+            let b = run[0].2;
+            if b == usize::MAX {
+                // Out-of-range pseudo-run.
+                return Ok(run
+                    .iter()
+                    .map(|&(slot, id, _)| (slot, Err(StoreError::DocOutOfRange(id as usize))))
+                    .collect());
+            }
+            // One decode attempt per block; on failure, the error fans out
+            // to every id in the run, each tagged with its own doc id.
+            let entry = self.blocks[b];
+            let shared = self.load_block(b);
+            Ok(run
+                .iter()
+                .map(|&(slot, id, _)| {
+                    let idx = id as usize;
+                    let r = (|| {
+                        let (doc_off, doc_len) =
+                            self.map.extent(idx).ok_or(StoreError::DocOutOfRange(idx))?;
+                        self.check_quarantine(idx)?;
+                        let raw = match &shared {
+                            Ok(raw) => raw,
+                            Err(e) => return Err(e.duplicate()),
+                        };
+                        let mut out = Vec::with_capacity(doc_len);
+                        Self::slice_doc(raw, entry, doc_off, doc_len, &mut out)?;
+                        Ok(out)
+                    })()
+                    .map_err(|e| e.for_doc(id));
+                    (slot, r)
+                })
+                .collect())
+        })
+        .expect("per-id tasks are infallible")
     }
 }
 
@@ -580,13 +789,67 @@ mod tests {
         }
     }
 
+    /// Re-encodes a freshly built (checksummed, 0xF6) metadata file into an
+    /// older layout: `0xF5` keeps stored flags but drops CRCs; `legacy`
+    /// leads with the codec tag and drops both.
+    fn downgrade_meta(meta: &[u8], to_self_describing: bool) -> Vec<u8> {
+        assert_eq!(meta[0], META_VERSION_CHECKSUMMED);
+        let mut pos = 2usize; // skip version + tag
+        let n = vbyte::read_u64(meta, &mut pos).unwrap() as usize;
+        let mut out = if to_self_describing {
+            vec![META_VERSION_SELF_DESCRIBING, meta[1]]
+        } else {
+            vec![meta[1]]
+        };
+        vbyte::write_u64(n as u64, &mut out);
+        for _ in 0..n {
+            let start = pos;
+            vbyte::read_u64(meta, &mut pos).unwrap();
+            vbyte::read_u32(meta, &mut pos).unwrap();
+            vbyte::read_u32(meta, &mut pos).unwrap();
+            vbyte::read_u64(meta, &mut pos).unwrap();
+            out.extend_from_slice(&meta[start..pos]);
+            if to_self_describing {
+                out.push(meta[pos]);
+            } else {
+                assert_eq!(meta[pos], 0, "legacy layout cannot express stored blocks");
+            }
+            pos += 5; // drop the stored flag + 4 CRC bytes
+        }
+        out
+    }
+
     #[test]
-    fn legacy_meta_format_still_opens() {
-        // Stores written before the self-describing layout lead directly
-        // with the codec tag and carry no stored flags. Rewrite the
-        // metadata of a fresh (fully compressed) store into that layout and
-        // check it still reads.
-        let dir = TestDir::new("blocked-legacy-meta");
+    fn older_meta_formats_still_open() {
+        // Stores written before the checksummed layout must keep opening:
+        // both the 0xF5 self-describing layout and the tag-first legacy
+        // layout, each reporting `integrity: none`.
+        let d = docs();
+        for to_self_describing in [true, false] {
+            let dir = TestDir::new(&format!("blocked-older-meta-{to_self_describing}"));
+            BlockedStore::build(
+                dir.path(),
+                d.iter().map(|v| v.as_slice()),
+                BlockCodec::Zlite(rlz_zlite::Level::Default),
+                4096,
+                2,
+            )
+            .unwrap();
+            let meta = read_file(&dir.path().join(META_FILE)).unwrap();
+            let older = downgrade_meta(&meta, to_self_describing);
+            std::fs::write(dir.path().join(META_FILE), older).unwrap();
+            let store = BlockedStore::open(dir.path()).unwrap();
+            assert_eq!(store.num_docs(), d.len());
+            assert_eq!(store.stats().integrity, crate::Integrity::None);
+            for (i, doc) in d.iter().enumerate() {
+                assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn checksummed_store_reports_integrity_and_detects_flips() {
+        let dir = TestDir::new("blocked-crc");
         let d = docs();
         BlockedStore::build(
             dir.path(),
@@ -596,28 +859,61 @@ mod tests {
             2,
         )
         .unwrap();
-        let meta = read_file(&dir.path().join(META_FILE)).unwrap();
-        assert_eq!(meta[0], META_VERSION_SELF_DESCRIBING);
-        let mut pos = 2usize; // skip version + tag
-        let n = vbyte::read_u64(&meta, &mut pos).unwrap() as usize;
-        let mut legacy = vec![meta[1]];
-        vbyte::write_u64(n as u64, &mut legacy);
-        for _ in 0..n {
-            let start = pos;
-            vbyte::read_u64(&meta, &mut pos).unwrap();
-            vbyte::read_u32(&meta, &mut pos).unwrap();
-            vbyte::read_u32(&meta, &mut pos).unwrap();
-            vbyte::read_u64(&meta, &mut pos).unwrap();
-            assert_eq!(meta[pos], 0, "legacy layout cannot express stored blocks");
-            legacy.extend_from_slice(&meta[start..pos]);
-            pos += 1; // drop the stored flag
-        }
-        std::fs::write(dir.path().join(META_FILE), legacy).unwrap();
         let store = BlockedStore::open(dir.path()).unwrap();
-        assert_eq!(store.num_docs(), d.len());
+        assert_eq!(store.stats().integrity, crate::Integrity::Crc32c);
+
+        // Flip one bit in the middle of the payload: the block holding it
+        // must fail with a typed error naming the block, and every id in
+        // other blocks must still decode.
+        let path = dir.path().join(BLOCKS_FILE);
+        let mut payload = std::fs::read(&path).unwrap();
+        let victim = payload.len() / 2;
+        payload[victim] ^= 0x10;
+        std::fs::write(&path, payload).unwrap();
+        let store = BlockedStore::open(dir.path()).unwrap();
+
+        let bad_block = store
+            .blocks
+            .partition_point(|b| b.file_offset <= victim as u64)
+            - 1;
+        let mut bad_ids = 0;
         for (i, doc) in d.iter().enumerate() {
-            assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+            match store.get(i) {
+                Ok(bytes) => {
+                    assert_ne!(store.block_of_doc(i), bad_block);
+                    assert_eq!(&bytes, doc, "doc {i}");
+                }
+                Err(StoreError::Corrupt { what, block, .. }) => {
+                    assert_eq!(what, "block checksum mismatch");
+                    assert_eq!(block, Some(bad_block as u32));
+                    assert_eq!(store.block_of_doc(i), bad_block);
+                    bad_ids += 1;
+                }
+                Err(other) => panic!("doc {i}: unexpected error {other}"),
+            }
         }
+        assert!(bad_ids > 0, "the flipped bit must land in some block");
+
+        // Per-id batch semantics: one call, same containment.
+        let ids: Vec<u32> = (0..d.len() as u32).collect();
+        let results = store.get_batch_results(&ids, 2);
+        for (i, r) in results.iter().enumerate() {
+            if store.block_of_doc(i) == bad_block {
+                assert!(
+                    matches!(
+                        r,
+                        Err(StoreError::Corrupt {
+                            doc_id: Some(did), ..
+                        }) if *did == i as u32
+                    ),
+                    "doc {i} should carry its own id in the corruption error"
+                );
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &d[i], "doc {i}");
+            }
+        }
+        // Whole-batch get_batch, by contrast, must refuse the batch.
+        assert!(store.get_batch(&ids, 2).is_err());
     }
 
     #[test]

@@ -93,14 +93,22 @@ impl DocMap {
         let mut pos = 0usize;
         let n = vbyte::read_u64(data, &mut pos)? as usize;
         if n == 0 {
-            return Err(StoreError::Corrupt("document map has no offsets"));
+            return Err(StoreError::corrupt("document map has no offsets"));
+        }
+        // Every delta costs at least one byte, so an offset count larger
+        // than the input is corrupt; reject it before it sizes the
+        // allocation below (an untrusted vbyte can claim up to 2^64).
+        if n > data.len() {
+            return Err(StoreError::corrupt(
+                "document map offset count exceeds input",
+            ));
         }
         let mut offsets = Vec::with_capacity(n);
         let mut at = 0u64;
         for _ in 0..n {
             at = at
                 .checked_add(vbyte::read_u64(data, &mut pos)?)
-                .ok_or(StoreError::Corrupt("document map offset overflow"))?;
+                .ok_or_else(|| StoreError::corrupt("document map offset overflow"))?;
             offsets.push(at);
         }
         Ok(DocMap::from_offsets(offsets))

@@ -72,16 +72,20 @@ mod backend;
 mod blocked;
 mod cache;
 mod docmap;
+mod fault;
 mod rlz_store;
 #[cfg(test)]
 pub(crate) mod testutil;
+mod verify;
 
 pub use ascii::AsciiStore;
 pub use backend::{FileBackend, MemBackend, StorageBackend};
 pub use blocked::{BlockCodec, BlockedStore};
 pub use cache::ShardedLru;
 pub use docmap::DocMap;
+pub use fault::{FaultBackend, FaultPlan};
 pub use rlz_store::{RlzStore, RlzStoreBuilder};
+pub use verify::{write_quarantine, BadUnit, ScrubReport, QUARANTINE_FILE};
 
 use std::cell::RefCell;
 use std::fmt;
@@ -97,10 +101,74 @@ pub enum StoreError {
     Codec(rlz_codecs::CodecError),
     /// An lzlite block failed to decode.
     Lz(rlz_lzlite::Error),
-    /// Structural corruption in store metadata.
-    Corrupt(&'static str),
+    /// Structural corruption or checksum mismatch in store data.
+    ///
+    /// `block` and `doc_id` bound the blast radius when it is known: a
+    /// failed block checksum names the block, a failed record verification
+    /// names the document. Open-time metadata corruption carries neither.
+    /// Construct via [`StoreError::corrupt`] when no context is known.
+    Corrupt {
+        /// Which invariant or checksum failed.
+        what: &'static str,
+        /// Compressed block containing the corruption, when known.
+        block: Option<u32>,
+        /// Document id whose bytes are unreadable, when known.
+        doc_id: Option<u32>,
+    },
     /// Requested document does not exist.
     DocOutOfRange(usize),
+}
+
+impl StoreError {
+    /// Structural corruption with no localized blast radius (open-time
+    /// metadata failures, unknown codec tags, and the like).
+    pub fn corrupt(what: &'static str) -> Self {
+        StoreError::Corrupt {
+            what,
+            block: None,
+            doc_id: None,
+        }
+    }
+
+    /// Attaches a document id to a corruption error that does not already
+    /// name one, so per-id containment paths can report which document a
+    /// shared failure (e.g. one bad block) took down. Other variants pass
+    /// through unchanged.
+    pub fn for_doc(self, doc_id: u32) -> Self {
+        match self {
+            StoreError::Corrupt {
+                what,
+                block,
+                doc_id: None,
+            } => StoreError::Corrupt {
+                what,
+                block,
+                doc_id: Some(doc_id),
+            },
+            other => other,
+        }
+    }
+
+    /// Structural copy of this error, for fanning one failure out to every
+    /// document it affects (`io::Error` is not `Clone`; the `Io` variant is
+    /// rebuilt from its kind and message).
+    pub fn duplicate(&self) -> Self {
+        match self {
+            StoreError::Io(e) => StoreError::Io(io::Error::new(e.kind(), e.to_string())),
+            StoreError::Codec(e) => StoreError::Codec(e.clone()),
+            StoreError::Lz(e) => StoreError::Lz(e.clone()),
+            StoreError::Corrupt {
+                what,
+                block,
+                doc_id,
+            } => StoreError::Corrupt {
+                what,
+                block: *block,
+                doc_id: *doc_id,
+            },
+            StoreError::DocOutOfRange(id) => StoreError::DocOutOfRange(*id),
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -109,7 +177,20 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
             StoreError::Codec(e) => write!(f, "store codec error: {e}"),
             StoreError::Lz(e) => write!(f, "store lzlite error: {e}"),
-            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+            StoreError::Corrupt {
+                what,
+                block,
+                doc_id,
+            } => {
+                write!(f, "corrupt store: {what}")?;
+                if let Some(b) = block {
+                    write!(f, " [block {b}]")?;
+                }
+                if let Some(d) = doc_id {
+                    write!(f, " [doc {d}]")?;
+                }
+                Ok(())
+            }
             StoreError::DocOutOfRange(id) => write!(f, "document {id} out of range"),
         }
     }
@@ -144,6 +225,51 @@ impl From<rlz_lzlite::Error> for StoreError {
     }
 }
 
+/// Integrity protection level of a store's on-disk layout.
+///
+/// Reported in [`StoreStats`] (and over the wire in `rlz-serve`'s STAT
+/// frame) so operators can see whether a store's reads are
+/// checksum-verified. Legacy layouts open fine and report
+/// [`Integrity::None`]; stores written by this version carry per-block /
+/// per-record CRC32C sums that are verified on every read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrity {
+    /// Legacy layout without checksums; corruption may surface as decoder
+    /// errors or silently wrong bytes.
+    #[default]
+    None,
+    /// CRC32C over every compressed block / encoded record, verified
+    /// before bytes are returned.
+    Crc32c,
+}
+
+impl Integrity {
+    /// Short label for STAT output and benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Integrity::None => "none",
+            Integrity::Crc32c => "crc32c",
+        }
+    }
+
+    /// One-byte wire encoding for the STAT frame.
+    pub fn tag(self) -> u8 {
+        match self {
+            Integrity::None => 0,
+            Integrity::Crc32c => 1,
+        }
+    }
+
+    /// Inverse of [`Integrity::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Integrity::None),
+            1 => Some(Integrity::Crc32c),
+            _ => None,
+        }
+    }
+}
+
 /// Cheap aggregate statistics about an opened store.
 ///
 /// Serving frontends (`rlz-serve`'s STAT opcode) and monitoring read these
@@ -161,6 +287,8 @@ pub struct StoreStats {
     /// [`RlzStore`] (decoded sizes are unknowable without decoding).
     /// 0 when the store cannot say cheaply.
     pub max_record_len: u64,
+    /// Whether reads from this store are checksum-verified.
+    pub integrity: Integrity,
 }
 
 /// Random access to documents by ID, shareable across reader threads.
@@ -216,6 +344,20 @@ pub trait DocStore: Send + Sync {
     fn get_batch(&self, ids: &[u32], threads: usize) -> Result<Vec<Vec<u8>>, StoreError> {
         get_batch_ordered(self, ids, threads)
     }
+
+    /// Fetches every document in `ids` with **per-id** error containment:
+    /// one unreadable document (a corrupt block, an I/O error, an
+    /// out-of-range id) yields an `Err` in its slot while every other slot
+    /// still carries its bytes. Results are in request order.
+    ///
+    /// This is the fault-containment counterpart of
+    /// [`get_batch`](DocStore::get_batch), which fails the whole batch on
+    /// the first error. [`BlockedStore`] overrides this so a block that
+    /// fails its checksum fails exactly the ids living in that block — and
+    /// is still decompressed only once per batch.
+    fn get_batch_results(&self, ids: &[u32], threads: usize) -> Vec<Result<Vec<u8>, StoreError>> {
+        get_batch_results_ordered(self, ids, threads)
+    }
 }
 
 /// Seek-aware multi-get: orders requests by payload offset, fans contiguous
@@ -241,6 +383,32 @@ pub fn get_batch_ordered<S: DocStore + ?Sized>(
             .map(|&(slot, id)| Ok((slot, store.get(id as usize)?)))
             .collect()
     })
+}
+
+/// Seek-aware multi-get with per-id error containment: like
+/// [`get_batch_ordered`], but an id that cannot be served puts a
+/// [`StoreError`] in its own slot instead of failing the batch. This is the
+/// default [`DocStore::get_batch_results`].
+pub fn get_batch_results_ordered<S: DocStore + ?Sized>(
+    store: &S,
+    ids: &[u32],
+    threads: usize,
+) -> Vec<Result<Vec<u8>, StoreError>> {
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<(usize, u32)> = ids.iter().copied().enumerate().collect();
+    order.sort_by_cached_key(|&(_, id)| store.record_offset(id as usize));
+    let threads = threads.max(1).min(ids.len());
+    let chunk = order.len().div_ceil(threads);
+    let tasks: Vec<&[(usize, u32)]> = order.chunks(chunk).collect();
+    scatter_chunks(ids.len(), &tasks, threads, |part| {
+        Ok(part
+            .iter()
+            .map(|&(slot, id)| (slot, store.get(id as usize).map_err(|e| e.for_doc(id))))
+            .collect())
+    })
+    .expect("per-id tasks are infallible")
 }
 
 /// Request-order multi-get without seek awareness: every worker pulls the

@@ -11,7 +11,9 @@
 
 use crate::backend::{FileBackend, MemBackend, StorageBackend};
 use crate::docmap::DocMap;
-use crate::{read_file, DocStore, StoreError};
+use crate::verify::{encode_sums, load_quarantine, load_sums, BadUnit, ScrubReport, SUMS_FILE};
+use crate::{read_file, DocStore, Integrity, StoreError};
+use rlz_codecs::hash::crc32c;
 use rlz_core::{Dictionary, PairCoding, RlzCompressor};
 use std::fs::File;
 use std::io::Write;
@@ -22,6 +24,11 @@ const DICT_FILE: &str = "dict.bin";
 const PAYLOAD_FILE: &str = "payload.bin";
 const MAP_FILE: &str = "docmap.bin";
 const META_FILE: &str = "meta.bin";
+
+/// Leads the checksummed metadata layout: `[0xF6, integrity tag, coding
+/// name…]`. Legacy metadata is the bare ASCII coding name, whose first
+/// byte can never be `0xF6`, so the two layouts stay distinguishable.
+const META_VERSION_CHECKSUMMED: u8 = 0xF6;
 
 /// Builds RLZ stores.
 #[derive(Debug)]
@@ -57,17 +64,19 @@ impl RlzStoreBuilder {
         let encoded = crate::parallel_map(docs, self.threads, |doc| self.compressor.compress(doc));
         let mut payload = std::io::BufWriter::new(File::create(dir.join(PAYLOAD_FILE))?);
         let mut lens = Vec::with_capacity(encoded.len());
+        let mut sums = Vec::with_capacity(encoded.len());
         for e in &encoded {
             payload.write_all(e)?;
             lens.push(e.len());
+            sums.push(crc32c(e));
         }
         payload.flush()?;
         std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
         std::fs::write(dir.join(DICT_FILE), self.compressor.dict().bytes())?;
-        std::fs::write(
-            dir.join(META_FILE),
-            self.compressor.coding().name().as_bytes(),
-        )?;
+        std::fs::write(dir.join(SUMS_FILE), encode_sums(&sums))?;
+        let mut meta = vec![META_VERSION_CHECKSUMMED, Integrity::Crc32c.tag()];
+        meta.extend_from_slice(self.compressor.coding().name().as_bytes());
+        std::fs::write(dir.join(META_FILE), meta)?;
         Ok(())
     }
 }
@@ -83,33 +92,72 @@ pub struct RlzStore {
     map: Arc<DocMap>,
     stored_bytes: u64,
     map_bytes: u64,
+    /// Per-record CRC32C over the *encoded* bytes, verified on every read;
+    /// `None` for legacy stores without a checksum sidecar.
+    sums: Option<Arc<Vec<u32>>>,
+    /// Sorted doc ids quarantined by `rlz-verify`.
+    quarantine: Arc<Vec<u32>>,
 }
 
 impl RlzStore {
     /// Opens a previously built store; encoded records are read from disk
     /// per request (the paper's configuration).
     pub fn open(dir: &Path) -> Result<Self, StoreError> {
-        Self::with_backend(dir, |p| Ok(Arc::new(FileBackend::open(p)?)))
+        Self::with_backend_fn(dir, |p| Ok(Arc::new(FileBackend::open(p)?)))
     }
 
     /// Opens a previously built store with the encoded payload fully
     /// resident in memory alongside the dictionary: retrieval does no disk
     /// I/O at all.
     pub fn open_resident(dir: &Path) -> Result<Self, StoreError> {
-        Self::with_backend(dir, |p| Ok(Arc::new(MemBackend::load(p)?)))
+        Self::with_backend_fn(dir, |p| Ok(Arc::new(MemBackend::load(p)?)))
     }
 
-    fn with_backend(
+    /// Opens a previously built store over a caller-supplied backend
+    /// (fault-injection harnesses, custom storage layers).
+    pub fn open_with_backend(
+        dir: &Path,
+        payload: Arc<dyn StorageBackend>,
+    ) -> Result<Self, StoreError> {
+        Self::with_backend_fn(dir, |_| Ok(payload))
+    }
+
+    fn with_backend_fn(
         dir: &Path,
         make: impl FnOnce(&Path) -> Result<Arc<dyn StorageBackend>, StoreError>,
     ) -> Result<Self, StoreError> {
         let meta = read_file(&dir.join(META_FILE))?;
-        let name = std::str::from_utf8(&meta)
-            .map_err(|_| StoreError::Corrupt("pair-coding name is not UTF-8"))?;
+        // Checksummed layout: version byte + integrity tag + coding name.
+        // Legacy layout: the bare coding name.
+        let (integrity, name_bytes) = match meta.split_first() {
+            Some((&META_VERSION_CHECKSUMMED, rest)) => {
+                let (&tag, name) = rest
+                    .split_first()
+                    .ok_or_else(|| StoreError::corrupt("truncated RLZ metadata"))?;
+                let integrity = Integrity::from_tag(tag)
+                    .ok_or_else(|| StoreError::corrupt("unknown integrity tag in metadata"))?;
+                (integrity, name)
+            }
+            _ => (Integrity::None, &meta[..]),
+        };
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| StoreError::corrupt("pair-coding name is not UTF-8"))?;
         let coding = PairCoding::parse(name)
-            .map_err(|_| StoreError::Corrupt("unknown pair coding in metadata"))?;
+            .map_err(|_| StoreError::corrupt("unknown pair coding in metadata"))?;
         let dict_bytes = Arc::new(read_file(&dir.join(DICT_FILE))?);
         let map = Arc::new(DocMap::deserialize(&read_file(&dir.join(MAP_FILE))?)?);
+        let sums = match integrity {
+            Integrity::Crc32c => match load_sums(dir, map.num_docs())? {
+                Some(sums) => Some(Arc::new(sums)),
+                None => {
+                    return Err(StoreError::corrupt(
+                        "metadata promises checksums but sums sidecar is missing",
+                    ))
+                }
+            },
+            Integrity::None => None,
+        };
+        let quarantine = Arc::new(load_quarantine(dir)?);
         let payload = make(&dir.join(PAYLOAD_FILE))?;
         let stored_bytes = payload.len();
         let map_bytes = map.serialized_len() as u64;
@@ -120,6 +168,8 @@ impl RlzStore {
             map,
             stored_bytes,
             map_bytes,
+            sums,
+            quarantine,
         })
     }
 
@@ -143,6 +193,58 @@ impl RlzStore {
     pub fn coding(&self) -> PairCoding {
         self.coding
     }
+
+    /// Whether record reads are CRC-verified.
+    pub fn integrity(&self) -> Integrity {
+        if self.sums.is_some() {
+            Integrity::Crc32c
+        } else {
+            Integrity::None
+        }
+    }
+
+    /// Walks every record, verifying its checksum (checksummed stores) or
+    /// attempting a full decode (legacy stores), and reports the unreadable
+    /// doc ids. Never panics on corrupt input; used by `rlz-verify`.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut report = ScrubReport::new(self.integrity());
+        let mut decoded = Vec::new();
+        for id in 0..self.map.num_docs() {
+            let Some((offset, len)) = self.map.extent(id) else {
+                continue;
+            };
+            report.units += 1;
+            report.bytes += len as u64;
+            let result = match &self.sums {
+                // Checksum scrub: read + CRC, no decode — this is what
+                // makes scrubbing run at I/O speed rather than decode
+                // speed.
+                Some(sums) => crate::with_scratch(len, |enc| {
+                    self.payload.read_exact_at(enc, offset)?;
+                    if crc32c(enc) != sums[id] {
+                        return Err(StoreError::Corrupt {
+                            what: "record checksum mismatch",
+                            block: None,
+                            doc_id: Some(id as u32),
+                        });
+                    }
+                    Ok(())
+                }),
+                None => {
+                    decoded.clear();
+                    self.get_into(id, &mut decoded)
+                }
+            };
+            if let Err(error) = result {
+                report.bad.push(BadUnit {
+                    block: None,
+                    doc_ids: vec![id as u32],
+                    error,
+                });
+            }
+        }
+        report
+    }
 }
 
 impl DocStore for RlzStore {
@@ -156,6 +258,7 @@ impl DocStore for RlzStore {
             payload_bytes: self.stored_bytes,
             // Encoded records: the map delimits the compressed payload.
             max_record_len: self.map.max_extent_len(),
+            integrity: self.integrity(),
         }
     }
 
@@ -165,12 +268,30 @@ impl DocStore for RlzStore {
 
     fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
         let (offset, len) = self.map.extent(id).ok_or(StoreError::DocOutOfRange(id))?;
+        if id <= u32::MAX as usize && self.quarantine.binary_search(&(id as u32)).is_ok() {
+            return Err(StoreError::Corrupt {
+                what: "document quarantined by rlz-verify",
+                block: None,
+                doc_id: Some(id as u32),
+            });
+        }
         let start = out.len();
         // Fused decode against the thread's scratch buffers: a warm get
         // performs zero heap allocations (asserted by the counting-
-        // allocator test in `tests/alloc_counting.rs`).
+        // allocator test in `tests/alloc_counting.rs`) — the checksum is
+        // verified over the encoded bytes already sitting in the scratch,
+        // before the decoder sees them.
         let result = crate::with_scratch(len, |enc| {
             self.payload.read_exact_at(enc, offset)?;
+            if let Some(sums) = &self.sums {
+                if crc32c(enc) != sums[id] {
+                    return Err(StoreError::Corrupt {
+                        what: "record checksum mismatch",
+                        block: None,
+                        doc_id: Some(id as u32),
+                    });
+                }
+            }
             crate::with_decode_scratch(|scratch| {
                 rlz_core::coding::decode_and_expand_scratch(
                     enc,
@@ -351,5 +472,96 @@ mod tests {
             .unwrap();
         std::fs::write(dir.path().join(super::META_FILE), b"??").unwrap();
         assert!(RlzStore::open(dir.path()).is_err());
+        // A checksummed header with a bogus integrity tag must also fail.
+        std::fs::write(
+            dir.path().join(super::META_FILE),
+            [super::META_VERSION_CHECKSUMMED, 9, b'U', b'V'],
+        )
+        .unwrap();
+        assert!(RlzStore::open(dir.path()).is_err());
+    }
+
+    #[test]
+    fn legacy_meta_without_checksums_still_opens() {
+        let docs = collection();
+        let all: Vec<u8> = docs.concat();
+        let dict = Dictionary::sample(&all, 2048, 256, SampleStrategy::Evenly);
+        let dir = TestDir::new("rlzstore-legacy-meta");
+        let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+        RlzStoreBuilder::new(dict, PairCoding::ZV)
+            .build(dir.path(), &slices)
+            .unwrap();
+        // Rewrite the metadata the way the previous version wrote it: the
+        // bare coding name, no sums sidecar.
+        std::fs::write(dir.path().join(super::META_FILE), b"ZV").unwrap();
+        std::fs::remove_file(dir.path().join(super::SUMS_FILE)).unwrap();
+        let store = RlzStore::open(dir.path()).unwrap();
+        assert_eq!(store.integrity(), crate::Integrity::None);
+        assert_eq!(store.stats().integrity, crate::Integrity::None);
+        for (i, doc) in docs.iter().enumerate() {
+            assert_eq!(&store.get(i).unwrap(), doc, "doc {i}");
+        }
+    }
+
+    #[test]
+    fn checksums_catch_bit_flips_per_record() {
+        let docs = collection();
+        let all: Vec<u8> = docs.concat();
+        let dict = Dictionary::sample(&all, 2048, 256, SampleStrategy::Evenly);
+        let dir = TestDir::new("rlzstore-crc");
+        let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+        RlzStoreBuilder::new(dict, PairCoding::UV)
+            .build(dir.path(), &slices)
+            .unwrap();
+        let path = dir.path().join(super::PAYLOAD_FILE);
+        let mut payload = std::fs::read(&path).unwrap();
+        let victim = payload.len() / 2;
+        payload[victim] ^= 0x40;
+        std::fs::write(&path, payload).unwrap();
+
+        let store = RlzStore::open(dir.path()).unwrap();
+        assert_eq!(store.integrity(), crate::Integrity::Crc32c);
+        let mut bad = Vec::new();
+        for (i, doc) in docs.iter().enumerate() {
+            match store.get(i) {
+                Ok(bytes) => assert_eq!(&bytes, doc, "doc {i}"),
+                Err(StoreError::Corrupt {
+                    what,
+                    doc_id: Some(did),
+                    ..
+                }) => {
+                    assert_eq!(what, "record checksum mismatch");
+                    assert_eq!(did, i as u32);
+                    bad.push(i as u32);
+                }
+                Err(other) => panic!("doc {i}: unexpected error {other}"),
+            }
+        }
+        // A single flipped bit lives in exactly one record.
+        assert_eq!(bad.len(), 1, "one flipped bit must fail exactly one record");
+
+        // The scrub finds the same record, and quarantining it makes the
+        // store pre-fail that id with a typed error.
+        let report = store.scrub();
+        assert_eq!(report.bad_doc_ids(), bad);
+        assert_eq!(report.units, docs.len() as u64);
+        crate::write_quarantine(dir.path(), &report.bad_doc_ids()).unwrap();
+        let store = RlzStore::open(dir.path()).unwrap();
+        assert!(matches!(
+            store.get(bad[0] as usize),
+            Err(StoreError::Corrupt {
+                what: "document quarantined by rlz-verify",
+                ..
+            })
+        ));
+        // Per-id batch: only the corrupt record errors.
+        let ids: Vec<u32> = (0..docs.len() as u32).collect();
+        for (i, r) in store.get_batch_results(&ids, 2).iter().enumerate() {
+            if i as u32 == bad[0] {
+                assert!(r.is_err());
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &docs[i], "doc {i}");
+            }
+        }
     }
 }

@@ -1,0 +1,252 @@
+//! Offline integrity scrubbing and corruption quarantine.
+//!
+//! A long-lived archive accumulates silent faults: bit rot in a payload,
+//! a truncated file after a crash, a bad sector. The scrub path
+//! ([`BlockedStore::scrub`](crate::BlockedStore::scrub),
+//! [`RlzStore::scrub`](crate::RlzStore::scrub),
+//! [`AsciiStore::scrub`](crate::AsciiStore::scrub), and the `rlz-verify`
+//! bin over all three) walks a store's payload verifying every checksum —
+//! or, on legacy layouts without checksums, attempting a full decode — and
+//! reports exactly which blocks and documents are unreadable.
+//!
+//! The report can be **quarantined**: `rlz-verify --quarantine` writes the
+//! bad doc ids to a `quarantine.bin` sidecar that every store family loads
+//! on open. Quarantined ids pre-fail with a typed
+//! [`StoreError::Corrupt`](crate::StoreError) before any I/O, so a known-bad
+//! region stops costing reads (and re-reporting checksum work) until the
+//! store is repaired and the sidecar removed.
+//!
+//! Sidecar formats (both little-endian, hardened against untrusted input):
+//!
+//! * `sums.bin` — `"RLZS"`, version byte `1`, vbyte record count, then one
+//!   `u32` CRC32C per record. Used by [`AsciiStore`](crate::AsciiStore)
+//!   (whose data file has no headers to version) and `RlzStore`.
+//! * `quarantine.bin` — `"RLZQ"`, version byte `1`, vbyte count, then
+//!   strictly-increasing doc ids as vbyte deltas.
+
+use crate::{Integrity, StoreError};
+use rlz_codecs::vbyte;
+use std::path::Path;
+
+/// Per-record checksum sidecar (`AsciiStore`, `RlzStore`).
+pub(crate) const SUMS_FILE: &str = "sums.bin";
+/// Quarantined-doc sidecar written by `rlz-verify --quarantine`.
+pub const QUARANTINE_FILE: &str = "quarantine.bin";
+
+const SUMS_MAGIC: &[u8; 4] = b"RLZS";
+const QUARANTINE_MAGIC: &[u8; 4] = b"RLZQ";
+
+/// One corrupt unit found by a scrub: a block (blocked stores) or a single
+/// record (ascii / RLZ stores), plus every doc id it makes unreadable.
+#[derive(Debug)]
+pub struct BadUnit {
+    /// Block index for blocked stores; `None` for per-record stores.
+    pub block: Option<u32>,
+    /// Doc ids that cannot be served while this unit is corrupt.
+    pub doc_ids: Vec<u32>,
+    /// What failed.
+    pub error: StoreError,
+}
+
+/// Outcome of scrubbing one store.
+#[derive(Debug)]
+pub struct ScrubReport {
+    /// Integrity level of the scanned store (checksummed stores verify
+    /// CRCs; legacy stores fall back to trial decodes).
+    pub integrity: Integrity,
+    /// Units (blocks or records) scanned.
+    pub units: u64,
+    /// Payload bytes read and verified.
+    pub bytes: u64,
+    /// Corrupt units, in payload order.
+    pub bad: Vec<BadUnit>,
+}
+
+impl ScrubReport {
+    pub(crate) fn new(integrity: Integrity) -> Self {
+        ScrubReport {
+            integrity,
+            units: 0,
+            bytes: 0,
+            bad: Vec::new(),
+        }
+    }
+
+    /// True when every unit verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.bad.is_empty()
+    }
+
+    /// All unreadable doc ids, sorted and deduplicated — the set
+    /// `--quarantine` writes.
+    pub fn bad_doc_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .bad
+            .iter()
+            .flat_map(|u| u.doc_ids.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Serializes per-record CRCs into the `sums.bin` sidecar format.
+pub(crate) fn encode_sums(sums: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + 5 + sums.len() * 4);
+    out.extend_from_slice(SUMS_MAGIC);
+    out.push(1);
+    vbyte::write_u64(sums.len() as u64, &mut out);
+    for &s in sums {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Parses a `sums.bin` sidecar, requiring exactly `expect` records.
+pub(crate) fn decode_sums(data: &[u8], expect: usize) -> Result<Vec<u32>, StoreError> {
+    let rest = data
+        .strip_prefix(SUMS_MAGIC.as_slice())
+        .ok_or_else(|| StoreError::corrupt("checksum sidecar has wrong magic"))?;
+    let (&version, rest) = rest
+        .split_first()
+        .ok_or_else(|| StoreError::corrupt("truncated checksum sidecar"))?;
+    if version != 1 {
+        return Err(StoreError::corrupt("unknown checksum sidecar version"));
+    }
+    let mut pos = 0usize;
+    let n = vbyte::read_u64(rest, &mut pos)? as usize;
+    if n != expect {
+        return Err(StoreError::corrupt(
+            "checksum sidecar count mismatches document map",
+        ));
+    }
+    // Exact-size check before the allocation: n u32s need 4n bytes.
+    let body = rest
+        .get(pos..)
+        .filter(|b| b.len() == n.saturating_mul(4))
+        .ok_or_else(|| StoreError::corrupt("checksum sidecar length mismatches its count"))?;
+    Ok(body
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect())
+}
+
+/// Loads the optional `sums.bin` sidecar from a store directory. Absent
+/// file → `Ok(None)` (a legacy store without checksums).
+pub(crate) fn load_sums(dir: &Path, expect: usize) -> Result<Option<Vec<u32>>, StoreError> {
+    match std::fs::read(dir.join(SUMS_FILE)) {
+        Ok(data) => Ok(Some(decode_sums(&data, expect)?)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}
+
+/// Writes the quarantine sidecar listing `ids` (sorted ascending,
+/// duplicates removed by the caller — [`ScrubReport::bad_doc_ids`] already
+/// returns that shape). An empty list removes any existing sidecar.
+pub fn write_quarantine(dir: &Path, ids: &[u32]) -> Result<(), StoreError> {
+    let path = dir.join(QUARANTINE_FILE);
+    if ids.is_empty() {
+        match std::fs::remove_file(&path) {
+            Ok(()) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(StoreError::Io(e)),
+        }
+    }
+    let mut out = Vec::with_capacity(5 + 5 + ids.len());
+    out.extend_from_slice(QUARANTINE_MAGIC);
+    out.push(1);
+    vbyte::write_u64(ids.len() as u64, &mut out);
+    let mut prev = 0u32;
+    for (i, &id) in ids.iter().enumerate() {
+        let delta = if i == 0 { id } else { id - prev - 1 };
+        vbyte::write_u32(delta, &mut out);
+        prev = id;
+    }
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+/// Loads the quarantine sidecar from a store directory, returning a sorted
+/// doc-id list (empty when no sidecar exists). Corrupt sidecars are an
+/// open error — a store must not silently serve ids an operator
+/// quarantined.
+pub(crate) fn load_quarantine(dir: &Path) -> Result<Vec<u32>, StoreError> {
+    let data = match std::fs::read(dir.join(QUARANTINE_FILE)) {
+        Ok(data) => data,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let rest = data
+        .strip_prefix(QUARANTINE_MAGIC.as_slice())
+        .ok_or_else(|| StoreError::corrupt("quarantine sidecar has wrong magic"))?;
+    let (&version, rest) = rest
+        .split_first()
+        .ok_or_else(|| StoreError::corrupt("truncated quarantine sidecar"))?;
+    if version != 1 {
+        return Err(StoreError::corrupt("unknown quarantine sidecar version"));
+    }
+    let mut pos = 0usize;
+    let n = vbyte::read_u64(rest, &mut pos)? as usize;
+    // Each delta costs at least one byte.
+    if n > rest.len() {
+        return Err(StoreError::corrupt(
+            "quarantine sidecar count exceeds input",
+        ));
+    }
+    let mut ids = Vec::with_capacity(n);
+    let mut at = 0u32;
+    for i in 0..n {
+        let delta = vbyte::read_u32(rest, &mut pos)?;
+        at = at
+            .checked_add(delta)
+            .and_then(|v| if i == 0 { Some(v) } else { v.checked_add(1) })
+            .ok_or_else(|| StoreError::corrupt("quarantine sidecar doc id overflow"))?;
+        ids.push(at);
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestDir;
+
+    #[test]
+    fn sums_roundtrip_and_reject_corruption() {
+        let sums = vec![0u32, 0xDEAD_BEEF, 7, u32::MAX];
+        let enc = encode_sums(&sums);
+        assert_eq!(decode_sums(&enc, 4).unwrap(), sums);
+        assert!(decode_sums(&enc, 3).is_err(), "count mismatch");
+        assert!(decode_sums(&enc[..enc.len() - 1], 4).is_err(), "truncated");
+        assert!(decode_sums(b"XXXX\x01\x00", 0).is_err(), "bad magic");
+        let mut huge = enc.clone();
+        huge[5] = 0xFF; // count vbyte now claims far more entries
+        assert!(decode_sums(&huge, 4).is_err());
+    }
+
+    #[test]
+    fn quarantine_roundtrip() {
+        let dir = TestDir::new("verify-quarantine");
+        assert!(load_quarantine(dir.path()).unwrap().is_empty());
+        let ids = vec![0u32, 3, 4, 1000, u32::MAX];
+        write_quarantine(dir.path(), &ids).unwrap();
+        assert_eq!(load_quarantine(dir.path()).unwrap(), ids);
+        // Empty list removes the sidecar.
+        write_quarantine(dir.path(), &[]).unwrap();
+        assert!(load_quarantine(dir.path()).unwrap().is_empty());
+        assert!(!dir.path().join(QUARANTINE_FILE).exists());
+    }
+
+    #[test]
+    fn corrupt_quarantine_is_an_open_error() {
+        let dir = TestDir::new("verify-quarantine-bad");
+        std::fs::write(
+            dir.path().join(QUARANTINE_FILE),
+            b"RLZQ\x01\xFF\xFF\xFF\xFF\xFF\x01",
+        )
+        .unwrap();
+        assert!(load_quarantine(dir.path()).is_err());
+    }
+}

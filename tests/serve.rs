@@ -9,11 +9,17 @@
 
 use rlz_repro::corpus::{access, generate_web, WebConfig};
 use rlz_repro::rlz::{Dictionary, PairCoding, SampleStrategy};
-use rlz_repro::serve::protocol::{self, STATUS_BAD_FRAME, STATUS_BAD_OPCODE, STATUS_OUT_OF_RANGE};
+use rlz_repro::serve::protocol::{
+    self, STATUS_BAD_FRAME, STATUS_BAD_OPCODE, STATUS_CORRUPT, STATUS_OUT_OF_RANGE,
+};
 use rlz_repro::serve::{serve, Backend, Client, ClientError, ServeConfig};
-use rlz_repro::store::{BlockCodec, BlockedStore, DocStore, RlzStore, RlzStoreBuilder};
+use rlz_repro::store::{
+    BlockCodec, BlockedStore, DocStore, FaultBackend, FaultPlan, FileBackend, RlzStore,
+    RlzStoreBuilder, StorageBackend,
+};
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct TempDir(std::path::PathBuf);
 
@@ -59,25 +65,30 @@ fn build_rlz(dir: &std::path::Path, docs: &[Vec<u8>]) {
         .unwrap();
 }
 
+fn start_cfg(store: Arc<dyn DocStore>, cfg: ServeConfig) -> rlz_repro::serve::ServerHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    serve(store, listener, cfg).unwrap()
+}
+
 fn start_with(
     store: Arc<dyn DocStore>,
     threads: usize,
     backend: Backend,
     cache_bytes: usize,
 ) -> rlz_repro::serve::ServerHandle {
-    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    serve(
+    start_cfg(
         store,
-        listener,
         ServeConfig {
             threads,
             batch_threads: 1,
             allow_shutdown: true,
             backend,
             cache_bytes,
+            max_connections: 0,
+            idle_timeout: None,
+            shed_queue_depth: 0,
         },
     )
-    .unwrap()
 }
 
 fn start(
@@ -349,6 +360,252 @@ fn error_frames_and_connection_policy() {
             "server survives torn frame"
         );
 
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn corrupt_block_fails_only_its_mget_entries_over_the_wire() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("corrupt-mget");
+    BlockedStore::build(
+        dir.path(),
+        docs.iter().map(|d| d.as_slice()),
+        BlockCodec::Zlite(rlz_repro::zlite::Level::Default),
+        16 * 1024,
+        2,
+    )
+    .unwrap();
+    // A seeded single-byte flip in the middle of the compressed payload:
+    // exactly one block's checksum breaks, and only that block's documents
+    // may fail.
+    let payload_len = std::fs::metadata(dir.path().join("blocks.bin"))
+        .unwrap()
+        .len();
+    let fault = FaultBackend::new(Arc::new(
+        FileBackend::open(&dir.path().join("blocks.bin")).unwrap(),
+    ));
+    let store =
+        BlockedStore::open_with_backend(dir.path(), Arc::clone(&fault) as Arc<dyn StorageBackend>)
+            .unwrap();
+    fault.set_plan(FaultPlan {
+        bit_flips: vec![(payload_len / 2, 0x10)],
+        ..FaultPlan::default()
+    });
+    // Ground truth through the same faulted store: which ids must fail.
+    let local = store.clone();
+    let ids: Vec<u32> = (0..docs.len() as u32).collect();
+    let expect: Vec<Result<Vec<u8>, _>> = ids.iter().map(|&id| local.get(id as usize)).collect();
+    let corrupt: Vec<u32> = ids
+        .iter()
+        .zip(&expect)
+        .filter_map(|(&id, r)| r.is_err().then_some(id))
+        .collect();
+    assert!(
+        !corrupt.is_empty() && corrupt.len() < docs.len(),
+        "the flip must break some but not all documents (broke {})",
+        corrupt.len()
+    );
+
+    for backend in backends() {
+        let handle = start(Arc::new(store.clone()), 1, backend);
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        // MGET across the whole store: per-entry containment. Corrupt ids
+        // answer typed ERR_CORRUPT entries; every other entry is
+        // byte-identical to the clean document.
+        let got = client.mget_results(&ids).unwrap();
+        assert_eq!(got.len(), ids.len());
+        for ((&id, entry), want) in ids.iter().zip(&got).zip(&expect) {
+            match (entry, want) {
+                (Ok(doc), Ok(want)) => {
+                    assert_eq!(doc, want, "doc {id}");
+                    assert_eq!(doc, &docs[id as usize], "doc {id} vs source");
+                }
+                (Err((status, message)), Err(_)) => {
+                    assert_eq!(*status, STATUS_CORRUPT, "doc {id}: {message}");
+                }
+                other => panic!("doc {id}: wire and local outcomes disagree: {other:?}"),
+            }
+        }
+
+        // A single GET of a corrupt id earns the same typed status, and the
+        // connection survives to serve clean documents afterwards.
+        match client.get(corrupt[0]) {
+            Err(ClientError::Server { status, .. }) => assert_eq!(status, STATUS_CORRUPT),
+            other => panic!("GET of a corrupt doc must fail typed, got {other:?}"),
+        }
+        let clean = ids
+            .iter()
+            .find(|id| !corrupt.contains(id))
+            .copied()
+            .unwrap();
+        assert_eq!(
+            client.get(clean).unwrap(),
+            docs[clean as usize],
+            "connection must survive a corrupt response"
+        );
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn connection_cap_rejects_with_busy_and_recovers() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("conn-cap");
+    build_rlz(dir.path(), &docs);
+    let store = Arc::new(RlzStore::open(dir.path()).unwrap());
+    for backend in backends() {
+        let handle = start_cfg(
+            Arc::clone(&store) as Arc<dyn DocStore>,
+            ServeConfig {
+                threads: 1,
+                batch_threads: 1,
+                allow_shutdown: true,
+                backend,
+                cache_bytes: 0,
+                max_connections: 1,
+                idle_timeout: None,
+                shed_queue_depth: 0,
+            },
+        );
+        let addr = handle.addr();
+
+        // First connection occupies the only slot.
+        let mut first = Client::connect(addr).unwrap();
+        assert_eq!(first.get(0).unwrap(), docs[0]);
+
+        // The second is accepted just long enough to hear ERR_BUSY.
+        let mut second = Client::connect(addr).unwrap();
+        match second.get(0) {
+            Err(e) if e.is_busy() => {}
+            other => panic!("over-cap connection must get ERR_BUSY, got {other:?}"),
+        }
+
+        // Once the slot frees, a retrying connect gets in and is served.
+        drop(first);
+        let mut retried = Client::connect_retry(addr, Duration::from_secs(10))
+            .expect("capacity must free after the first client disconnects");
+        assert_eq!(retried.get(1).unwrap(), docs[1]);
+        retried.shutdown_server().unwrap();
+        handle.join();
+    }
+}
+
+#[test]
+fn connect_retry_times_out_with_typed_error() {
+    // A port that was listening and no longer is: every attempt fails fast,
+    // and the retry loop must give up with the typed timeout error.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    match Client::connect_retry(addr, Duration::from_millis(300)) {
+        Err(ClientError::ConnectTimedOut { attempts, .. }) => {
+            assert!(attempts >= 2, "must retry before timing out ({attempts})")
+        }
+        other => panic!("expected ConnectTimedOut, got {other:?}"),
+    }
+}
+
+#[test]
+fn idle_timeout_reaps_silent_connections() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("idle");
+    build_rlz(dir.path(), &docs);
+    let store = Arc::new(RlzStore::open(dir.path()).unwrap());
+    for backend in backends() {
+        let handle = start_cfg(
+            Arc::clone(&store) as Arc<dyn DocStore>,
+            ServeConfig {
+                threads: 1,
+                batch_threads: 1,
+                allow_shutdown: true,
+                backend,
+                cache_bytes: 0,
+                max_connections: 0,
+                idle_timeout: Some(Duration::from_millis(150)),
+                shed_queue_depth: 0,
+            },
+        );
+        let addr = handle.addr();
+        let mut idle = Client::connect(addr).unwrap();
+        assert_eq!(idle.get(0).unwrap(), docs[0]);
+        std::thread::sleep(Duration::from_millis(700));
+        assert!(
+            idle.get(0).is_err(),
+            "a connection silent past the idle timeout must be dropped ({backend:?})"
+        );
+        // The server itself is healthy: fresh connections are served.
+        let mut fresh = Client::connect(addr).unwrap();
+        assert_eq!(fresh.get(0).unwrap(), docs[0]);
+        fresh.shutdown_server().unwrap();
+        handle.join();
+    }
+}
+
+#[test]
+fn overloaded_server_sheds_with_busy_instead_of_stalling() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("shed");
+    build_rlz(dir.path(), &docs);
+    let store = RlzStore::open(dir.path()).unwrap();
+    for backend in backends() {
+        let handle = start_cfg(
+            Arc::new(store.clone()),
+            ServeConfig {
+                threads: 1,
+                batch_threads: 1,
+                allow_shutdown: true,
+                backend,
+                cache_bytes: 0,
+                max_connections: 0,
+                idle_timeout: None,
+                shed_queue_depth: 1,
+            },
+        );
+        let addr = handle.addr();
+        // Six connections hammer one worker with pipelined bursts: with a
+        // queue budget of 1 the server must shed. Every response is either
+        // the byte-correct document or a typed ERR_BUSY — never a stall,
+        // never a wrong document.
+        let (ok, busy) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6u64)
+                .map(|t| {
+                    let docs = &docs;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        let ids = access::query_log(docs.len(), 150, 20, 0xD00D + t);
+                        for &id in &ids {
+                            client.send_get(id).unwrap();
+                        }
+                        let (mut ok, mut busy) = (0u64, 0u64);
+                        let mut buf = Vec::new();
+                        for &id in &ids {
+                            buf.clear();
+                            match client.recv_get_into(&mut buf) {
+                                Ok(()) => {
+                                    assert_eq!(&buf[..], docs[id as usize], "shed-run doc {id}");
+                                    ok += 1;
+                                }
+                                Err(e) if e.is_busy() => busy += 1,
+                                Err(e) => panic!("overload must answer, not fail: {e}"),
+                            }
+                        }
+                        (ok, busy)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .fold((0u64, 0u64), |a, b| (a.0 + b.0, a.1 + b.1))
+        });
+        assert!(
+            busy > 0,
+            "a 1-worker server under 6-way pipelined load must shed \
+             ({backend:?}: ok {ok}, busy {busy})"
+        );
         handle.shutdown();
     }
 }
