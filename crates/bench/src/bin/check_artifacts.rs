@@ -254,6 +254,92 @@ fn check_bench(file: &Path, bench: &str, rows: &[Value]) -> Result<(), String> {
                 }
             }
         }
+        "ingest" => {
+            // Three row groups, all required: acked-write rates per fsync
+            // policy, recovery time against WAL length, and the read tail
+            // with the write path idle vs under a concurrent writer.
+            let ops = str_set(rows, "op");
+            if ops != ["ingest", "mixed", "recovery"] {
+                return Err(fail(file, &format!("ops {ops:?}")));
+            }
+            let fsyncs = str_set(rows, "fsync");
+            if fsyncs != ["always", "interval", "never"] {
+                return Err(fail(file, &format!("fsync policies {fsyncs:?}")));
+            }
+            let mut p99_baseline = None;
+            let mut p99_ingest = None;
+            for (i, row) in rows.iter().enumerate() {
+                let op = row
+                    .get("op")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| fail(file, &format!("row {i}: missing string \"op\"")))?;
+                match op {
+                    "ingest" => {
+                        if nonneg(file, row, i, "docs_per_s")? == 0.0 {
+                            return Err(fail(file, &format!("row {i}: ingest rate is zero")));
+                        }
+                        nonneg(file, row, i, "mb_per_s")?;
+                    }
+                    "recovery" => {
+                        // The acceptance bar: recovery time is measured
+                        // and tied to the WAL length it replayed.
+                        if nonneg(file, row, i, "wal_frames")? == 0.0 {
+                            return Err(fail(
+                                file,
+                                &format!("row {i}: recovery replayed an empty WAL"),
+                            ));
+                        }
+                        nonneg(file, row, i, "wal_bytes")?;
+                        if nonneg(file, row, i, "recover_ms")? == 0.0 {
+                            return Err(fail(file, &format!("row {i}: recover_ms is zero")));
+                        }
+                    }
+                    "mixed" => {
+                        let p50 = nonneg(file, row, i, "p50_us")?;
+                        let p95 = nonneg(file, row, i, "p95_us")?;
+                        let p99 = nonneg(file, row, i, "p99_us")?;
+                        if !(p50 <= p95 && p95 <= p99) {
+                            return Err(fail(
+                                file,
+                                &format!(
+                                    "row {i}: percentiles not monotone ({p50} / {p95} / {p99})"
+                                ),
+                            ));
+                        }
+                        match row.get("phase").and_then(Value::as_str) {
+                            Some("baseline") => p99_baseline = Some(p99),
+                            Some("ingest") => p99_ingest = Some(p99),
+                            _ => {
+                                return Err(fail(
+                                    file,
+                                    &format!("row {i}: phase must be baseline/ingest"),
+                                ))
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(fail(file, &format!("row {i}: unknown op {other:?}")));
+                    }
+                }
+            }
+            // Read tail under trickle ingest stays within 2x of idle
+            // (same small absolute floor as the bench, for loopback
+            // microsecond noise).
+            match (p99_baseline, p99_ingest) {
+                (Some(base), Some(under)) => {
+                    let allowed = (2.0 * base).max(base + 500.0);
+                    if under > allowed {
+                        return Err(fail(
+                            file,
+                            &format!(
+                                "read p99 under ingest ({under} us) exceeds 2x idle ({base} us)"
+                            ),
+                        ));
+                    }
+                }
+                _ => return Err(fail(file, "mixed rows must cover baseline and ingest")),
+            }
+        }
         other => {
             // Unknown artifacts still had the generic shape checked; say so
             // rather than silently passing.

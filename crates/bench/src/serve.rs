@@ -518,6 +518,7 @@ pub fn serve_table(
                 max_connections: 0,
                 idle_timeout: None,
                 shed_queue_depth: 0,
+                writer: None,
             },
         )
         .expect("start in-process server");

@@ -12,6 +12,7 @@
 use crate::protocol::{
     self, MAX_RESPONSE_LEN, MGET_ENTRY_ERR, STATUS_BUSY, STATUS_OK, STAT_BODY_LEN,
 };
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use rlz_store::{Integrity, StoreStats};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -95,6 +96,67 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// The jittered exponential backoff behind [`Client::connect_retry`],
+/// split out so tests can drive it deterministically from a seed.
+///
+/// Delay `n` (1-based) is drawn uniformly from `[d/2, d]` where
+/// `d = min(cap, base · 2^(n-1))` — "equal jitter", which keeps a floor
+/// under the delay (unlike full jitter) while still spreading a fleet of
+/// retrying clients apart. The growth exponent saturates so long outages
+/// cannot overflow the doubling.
+#[derive(Debug)]
+pub struct RetrySchedule {
+    rng: StdRng,
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl RetrySchedule {
+    /// The first delay is drawn around this. 10 ms rides out the common
+    /// case of a server mid-startup without hammering it.
+    pub const BASE: Duration = Duration::from_millis(10);
+    /// Delays never exceed this.
+    pub const CAP: Duration = Duration::from_millis(500);
+
+    /// A schedule with the production bounds and an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_bounds(seed, Self::BASE, Self::CAP)
+    }
+
+    /// A schedule with custom bounds (`base` must not be zero).
+    pub fn with_bounds(seed: u64, base: Duration, cap: Duration) -> Self {
+        assert!(base > Duration::ZERO, "backoff base must be positive");
+        RetrySchedule {
+            rng: StdRng::seed_from_u64(seed),
+            base,
+            cap,
+            attempt: 0,
+        }
+    }
+
+    /// The uncapped-growth delay for the next draw — the upper jitter
+    /// bound. Exposed so tests can assert the jitter window exactly.
+    pub fn peek_raw_delay(&self) -> Duration {
+        let exp = self.attempt.min(20);
+        self.cap.min(self.base.saturating_mul(1u32 << exp))
+    }
+
+    /// Draws the next delay: uniform in `[raw/2, raw]`, then advances the
+    /// exponential growth.
+    pub fn next_delay(&mut self) -> Duration {
+        let raw = self.peek_raw_delay();
+        self.attempt = self.attempt.saturating_add(1);
+        let nanos = raw.as_nanos() as u64;
+        Duration::from_nanos(self.rng.random_range(nanos / 2..=nanos))
+    }
+
+    /// How many delays have been drawn so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
 /// Everything the extended STAT response reports: the store statistics
 /// plus the serving layer's hot-document cache counters and backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,19 +227,25 @@ impl Client {
     /// Each attempt that reaches a server is confirmed with a STAT probe,
     /// so an `ERR_BUSY` rejection (the server is at its connection cap)
     /// counts as a retryable failure instead of handing back a connection
-    /// that is already closing. The backoff starts at ~10 ms, doubles to a
-    /// 500 ms cap, and is uniformly jittered so a fleet of retrying
-    /// clients does not stampede in lockstep. Gives up with
+    /// that is already closing. The backoff is a [`RetrySchedule`] seeded
+    /// per-process (mixing the port keeps two clients racing for different
+    /// servers out of phase) so a fleet of retrying clients does not
+    /// stampede in lockstep. Gives up with
     /// [`ClientError::ConnectTimedOut`] once the deadline passes.
     pub fn connect_retry(addr: SocketAddr, deadline: Duration) -> Result<Self, ClientError> {
-        const BASE: Duration = Duration::from_millis(10);
-        const CAP: Duration = Duration::from_millis(500);
+        let seed =
+            0x9E37_79B9_7F4A_7C15u64 ^ ((addr.port() as u64) << 32) ^ std::process::id() as u64;
+        Self::connect_retry_with_schedule(addr, deadline, RetrySchedule::new(seed))
+    }
+
+    /// [`connect_retry`](Client::connect_retry) with a caller-supplied
+    /// schedule — the deterministic-backoff tests seed their own.
+    pub fn connect_retry_with_schedule(
+        addr: SocketAddr,
+        deadline: Duration,
+        mut schedule: RetrySchedule,
+    ) -> Result<Self, ClientError> {
         let start = Instant::now();
-        // Deterministic per-process jitter stream; mixing the port keeps
-        // two clients racing for different servers out of phase.
-        let mut rng =
-            (0x9E37_79B9_7F4A_7C15u64 ^ ((addr.port() as u64) << 32) ^ std::process::id() as u64)
-                | 1;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
@@ -195,15 +263,10 @@ impl Client {
                     last: Box::new(failure),
                 });
             }
-            // Full jitter: uniform in [delay/2, delay], exponentially
-            // growing and capped.
-            let delay = CAP.min(BASE.saturating_mul(1u32 << attempts.min(10).saturating_sub(1)));
-            rng ^= rng << 13;
-            rng ^= rng >> 7;
-            rng ^= rng << 17;
-            let nanos = delay.as_nanos() as u64;
-            let jittered = Duration::from_nanos(nanos / 2 + rng % (nanos / 2 + 1));
-            // Never sleep past the deadline itself.
+            let jittered = schedule.next_delay();
+            // Never sleep past the deadline itself: the last sleep is
+            // clamped to what remains, so total wall time stays within
+            // one failed-attempt latency of the deadline.
             let remaining = deadline.saturating_sub(start.elapsed());
             std::thread::sleep(jittered.min(remaining).max(Duration::from_millis(1)));
         }
@@ -328,6 +391,49 @@ impl Client {
         Ok(entries)
     }
 
+    /// Stores a new document, returning the id the server assigned. An
+    /// `Ok` means the write is acked under the server's fsync policy (see
+    /// the README durability matrix); `ERR_BUSY` / `ERR_WAL_FULL` mean
+    /// nothing was written and the call is safe to retry after backoff.
+    pub fn put(&mut self, doc: &[u8]) -> Result<u32, ClientError> {
+        self.req.clear();
+        protocol::write_put(&mut self.req, doc);
+        self.stream.write_all(&self.req)?;
+        let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
+        check_ok(status, body)?;
+        if body.len() != 4 {
+            return Err(ClientError::Protocol("PUT answered without a document id"));
+        }
+        let mut at = 0usize;
+        read_u32(body, &mut at)
+    }
+
+    /// Appends `bytes` to document `id`.
+    pub fn append(&mut self, id: u32, bytes: &[u8]) -> Result<(), ClientError> {
+        self.req.clear();
+        protocol::write_append(&mut self.req, id, bytes);
+        self.stream.write_all(&self.req)?;
+        self.recv_empty_ok("APPEND")
+    }
+
+    /// Deletes document `id` (reads of it answer `ERR_RANGE` afterwards).
+    pub fn delete(&mut self, id: u32) -> Result<(), ClientError> {
+        self.req.clear();
+        protocol::write_delete(&mut self.req, id);
+        self.stream.write_all(&self.req)?;
+        self.recv_empty_ok("DELETE")
+    }
+
+    /// Reads one response that must be an empty-bodied OK.
+    fn recv_empty_ok(&mut self, _what: &'static str) -> Result<(), ClientError> {
+        let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
+        check_ok(status, body)?;
+        if !body.is_empty() {
+            return Err(ClientError::Protocol("write ack carries unexpected bytes"));
+        }
+        Ok(())
+    }
+
     /// Fetches store statistics (the first 24 bytes of the STAT body; use
     /// [`server_stat`](Client::server_stat) for the serving-layer fields).
     pub fn stat(&mut self) -> Result<StoreStats, ClientError> {
@@ -426,4 +532,76 @@ fn read_u32(body: &[u8], at: &mut usize) -> Result<u32, ClientError> {
         .ok_or(ClientError::Protocol("truncated integer in response"))?;
     *at += 4;
     Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn retry_schedule_delays_stay_inside_the_jitter_window() {
+        let mut sched = RetrySchedule::new(7);
+        let mut raws = Vec::new();
+        for _ in 0..12 {
+            let raw = sched.peek_raw_delay();
+            let d = sched.next_delay();
+            assert!(
+                d >= raw / 2 && d <= raw,
+                "delay {d:?} outside [{:?}, {raw:?}]",
+                raw / 2
+            );
+            raws.push(raw);
+        }
+        // Exponential growth from BASE, clamped at CAP.
+        assert_eq!(raws[0], RetrySchedule::BASE);
+        assert_eq!(raws[1], RetrySchedule::BASE * 2);
+        assert_eq!(raws[2], RetrySchedule::BASE * 4);
+        assert!(raws.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*raws.last().unwrap(), RetrySchedule::CAP);
+        assert_eq!(sched.attempts(), 12);
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_per_seed() {
+        let draw = |seed: u64| -> Vec<Duration> {
+            let mut s = RetrySchedule::new(seed);
+            (0..16).map(|_| s.next_delay()).collect()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn connect_retry_honors_the_total_deadline() {
+        // Bind-then-drop yields a port that refuses connections fast.
+        let port = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").port()
+        };
+        let addr: SocketAddr = format!("127.0.0.1:{port}").parse().expect("addr");
+        let deadline = Duration::from_millis(80);
+        let sched =
+            RetrySchedule::with_bounds(9, Duration::from_millis(5), Duration::from_millis(20));
+        let start = Instant::now();
+        let err = Client::connect_retry_with_schedule(addr, deadline, sched)
+            .expect_err("nothing listens there");
+        let elapsed = start.elapsed();
+        match err {
+            ClientError::ConnectTimedOut {
+                addr: a, attempts, ..
+            } => {
+                assert_eq!(a, addr);
+                assert!(attempts >= 2, "only {attempts} attempts in {elapsed:?}");
+            }
+            other => panic!("expected ConnectTimedOut, got {other}"),
+        }
+        // The giving-up check runs right after a failed attempt, and no
+        // sleep extends past the deadline — generous slack for CI jitter.
+        assert!(elapsed >= deadline, "gave up early at {elapsed:?}");
+        assert!(
+            elapsed < deadline + Duration::from_millis(500),
+            "overshot deadline: {elapsed:?}"
+        );
+    }
 }

@@ -2,16 +2,23 @@
 //!
 //! ```text
 //! rlz-serve --store DIR [--addr 127.0.0.1:7641] [--threads N]
-//!           [--family auto|rlz|blocked|ascii] [--resident]
+//!           [--family auto|live|rlz|blocked|ascii] [--resident]
 //!           [--batch-threads N] [--no-shutdown-opcode]
 //!           [--backend auto|epoll|portable] [--cache-bytes N]
 //!           [--max-connections N] [--idle-timeout-ms N]
-//!           [--shed-queue-depth N]
+//!           [--shed-queue-depth N] [--fsync always|interval:<ms>|never]
+//!           [--seal-bytes N] [--wal-soft-bytes N] [--wal-max-bytes N]
 //! ```
 //!
-//! The store family is autodetected from the directory layout (`dict.bin`
-//! → RLZ, `blocks.bin` → blocked, `data.bin` → raw) unless `--family`
-//! forces one. `--resident` loads the payload into memory so retrieval
+//! The store family is autodetected from the directory layout (`MANIFEST`
+//! → live, `dict.bin` → RLZ, `blocks.bin` → blocked, `data.bin` → raw)
+//! unless `--family` forces one. A live store accepts the PUT / APPEND /
+//! DELETE opcodes; every other family serves read-only and answers writes
+//! with ERR_READONLY. `--fsync` sets the WAL durability policy for acked
+//! writes, `--seal-bytes` the tail size that triggers sealing a segment,
+//! and `--wal-soft-bytes` / `--wal-max-bytes` the backlog bounds past
+//! which writes shed with ERR_BUSY / fail with ERR_WAL_FULL.
+//! `--resident` loads the payload into memory so retrieval
 //! does no disk I/O. `--backend` picks the event backend (`auto` follows
 //! `RLZ_SERVE_BACKEND`, then epoll on Linux); `--cache-bytes N` enables
 //! the hot-document cache with an N-byte budget. The server runs until it
@@ -25,7 +32,10 @@
 //! turn, keeping tail latency bounded instead of collapsing.
 
 use rlz_serve::{serve, Backend, ServeConfig};
-use rlz_store::{AsciiStore, BlockedStore, DocStore, RlzStore};
+use rlz_store::{
+    AsciiStore, BlockedStore, DocStore, FsyncPolicy, LiveConfig, LiveStore, RlzStore, WriteStore,
+    MANIFEST_FILE,
+};
 use std::net::TcpListener;
 use std::path::Path;
 use std::process::ExitCode;
@@ -34,19 +44,37 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: rlz-serve --store DIR [--addr HOST:PORT] [--threads N]\n\
-         \x20                [--family auto|rlz|blocked|ascii] [--resident]\n\
+         \x20                [--family auto|live|rlz|blocked|ascii] [--resident]\n\
          \x20                [--batch-threads N] [--no-shutdown-opcode]\n\
          \x20                [--backend auto|epoll|portable] [--cache-bytes N]\n\
          \x20                [--max-connections N] [--idle-timeout-ms N]\n\
-         \x20                [--shed-queue-depth N]"
+         \x20                [--shed-queue-depth N]\n\
+         \x20                [--fsync always|interval:<ms>|never] [--seal-bytes N]\n\
+         \x20                [--wal-soft-bytes N] [--wal-max-bytes N]"
     );
     std::process::exit(2)
 }
 
-fn open_store(dir: &Path, family: &str, resident: bool) -> Result<Arc<dyn DocStore>, String> {
+/// The opened store plus, for the live family, its write handle and the
+/// recovery accounting worth reporting at startup.
+struct OpenedStore {
+    store: Arc<dyn DocStore>,
+    writer: Option<Arc<dyn WriteStore>>,
+    recovery: Option<rlz_store::RecoveryInfo>,
+}
+
+fn open_store(
+    dir: &Path,
+    family: &str,
+    resident: bool,
+    live_cfg: LiveConfig,
+) -> Result<OpenedStore, String> {
     let family = match family {
         "auto" => {
-            if dir.join("dict.bin").exists() {
+            // A live directory also carries dict.bin, so MANIFEST wins.
+            if dir.join(MANIFEST_FILE).exists() {
+                "live"
+            } else if dir.join("dict.bin").exists() {
                 "rlz"
             } else if dir.join("blocks.bin").exists() {
                 "blocked"
@@ -54,7 +82,7 @@ fn open_store(dir: &Path, family: &str, resident: bool) -> Result<Arc<dyn DocSto
                 "ascii"
             } else {
                 return Err(format!(
-                    "{}: no recognizable store layout (dict.bin / blocks.bin / data.bin)",
+                    "{}: no recognizable store layout (MANIFEST / dict.bin / blocks.bin / data.bin)",
                     dir.display()
                 ));
             }
@@ -62,13 +90,32 @@ fn open_store(dir: &Path, family: &str, resident: bool) -> Result<Arc<dyn DocSto
         other => other,
     };
     let err = |e: rlz_store::StoreError| format!("open {} store at {}: {e}", family, dir.display());
+    let read_only = |store: Arc<dyn DocStore>| OpenedStore {
+        store,
+        writer: None,
+        recovery: None,
+    };
     Ok(match (family, resident) {
-        ("rlz", false) => Arc::new(RlzStore::open(dir).map_err(err)?),
-        ("rlz", true) => Arc::new(RlzStore::open_resident(dir).map_err(err)?),
-        ("blocked", false) => Arc::new(BlockedStore::open(dir).map_err(err)?),
-        ("blocked", true) => Arc::new(BlockedStore::open_resident(dir).map_err(err)?),
-        ("ascii", false) => Arc::new(AsciiStore::open(dir).map_err(err)?),
-        ("ascii", true) => Arc::new(AsciiStore::open_resident(dir).map_err(err)?),
+        ("live", false) => {
+            let live = LiveStore::open(dir, live_cfg).map_err(err)?;
+            let recovery = live.recovery();
+            OpenedStore {
+                store: Arc::new(live.clone()),
+                writer: Some(Arc::new(live)),
+                recovery: Some(recovery),
+            }
+        }
+        ("live", true) => {
+            return Err("--resident is not supported for the live family \
+                        (its write tail already lives in memory)"
+                .to_string())
+        }
+        ("rlz", false) => read_only(Arc::new(RlzStore::open(dir).map_err(err)?)),
+        ("rlz", true) => read_only(Arc::new(RlzStore::open_resident(dir).map_err(err)?)),
+        ("blocked", false) => read_only(Arc::new(BlockedStore::open(dir).map_err(err)?)),
+        ("blocked", true) => read_only(Arc::new(BlockedStore::open_resident(dir).map_err(err)?)),
+        ("ascii", false) => read_only(Arc::new(AsciiStore::open(dir).map_err(err)?)),
+        ("ascii", true) => read_only(Arc::new(AsciiStore::open_resident(dir).map_err(err)?)),
         (other, _) => return Err(format!("unknown store family {other:?}")),
     })
 }
@@ -80,6 +127,7 @@ fn main() -> ExitCode {
     let mut family = "auto".to_string();
     let mut resident = false;
     let mut cfg = ServeConfig::default();
+    let mut live_cfg = LiveConfig::default();
     let mut i = 0;
     while i < args.len() {
         let value = |i: &mut usize| -> String {
@@ -108,6 +156,18 @@ fn main() -> ExitCode {
             "--shed-queue-depth" => {
                 cfg.shed_queue_depth = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--fsync" => {
+                live_cfg.fsync = FsyncPolicy::parse(&value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--seal-bytes" => {
+                live_cfg.seal_bytes = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--wal-soft-bytes" => {
+                live_cfg.wal_soft_bytes = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--wal-max-bytes" => {
+                live_cfg.wal_max_bytes = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -118,13 +178,19 @@ fn main() -> ExitCode {
     }
     let Some(store_dir) = store_dir else { usage() };
 
-    let store = match open_store(Path::new(&store_dir), &family, resident) {
+    let opened = match open_store(Path::new(&store_dir), &family, resident, live_cfg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("rlz-serve: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let OpenedStore {
+        store,
+        writer,
+        recovery,
+    } = opened;
+    cfg.writer = writer;
     let stats = store.stats();
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
@@ -177,6 +243,20 @@ fn main() -> ExitCode {
             } else {
                 "off".to_string()
             },
+        );
+    }
+    if let Some(r) = recovery {
+        println!(
+            "rlz-serve: live write path: fsync {}, seal {} bytes, wal bounds {}/{} bytes; \
+             recovery replayed {} frames ({} WAL bytes, {} torn bytes dropped, {} debris removed)",
+            live_cfg.fsync.name(),
+            live_cfg.seal_bytes,
+            live_cfg.wal_soft_bytes,
+            live_cfg.wal_max_bytes,
+            r.replayed_frames,
+            r.wal_bytes,
+            r.torn_bytes_dropped,
+            r.debris_removed,
         );
     }
     handle.join();

@@ -16,6 +16,9 @@
 //! | `0x01` | GET      | `id:u32le`                         |
 //! | `0x02` | MGET     | `count:u32le` then `count` × `id:u32le` |
 //! | `0x03` | STAT     | empty                              |
+//! | `0x10` | PUT      | the document bytes, verbatim       |
+//! | `0x11` | APPEND   | `id:u32le` then the bytes to append |
+//! | `0x12` | DELETE   | `id:u32le`                         |
 //! | `0x7F` | SHUTDOWN | empty                              |
 //!
 //! Response statuses:
@@ -29,16 +32,27 @@
 //! | `0x04` | ERR_INTERNAL     | UTF-8 message; connection stays open     |
 //! | `0x05` | ERR_BUSY         | UTF-8 message; see below                 |
 //! | `0x06` | ERR_CORRUPT      | UTF-8 message; connection stays open     |
+//! | `0x07` | ERR_READONLY     | UTF-8 message; connection stays open     |
+//! | `0x08` | ERR_WAL_FULL     | UTF-8 message; connection stays open     |
 //!
 //! `ERR_BUSY` is the overload-shedding answer: a server past its queue
 //! budget answers GET/MGET with it (connection stays open — back off and
-//! retry), and a server at its connection cap sends one unsolicited
-//! `ERR_BUSY` frame right after accepting, then closes. `ERR_CORRUPT`
-//! reports a document the store detected as corrupt (checksum mismatch,
-//! quarantined id) — the document is unreadable but the server, the
-//! connection, and every other document are fine.
+//! retry), a server at its connection cap sends one unsolicited `ERR_BUSY`
+//! frame right after accepting, then closes, and a server whose write-
+//! ahead-log backlog passed its bound answers *writes* with it while reads
+//! keep serving at full speed. `ERR_CORRUPT` reports a document the store
+//! detected as corrupt (checksum mismatch, quarantined id) — the document
+//! is unreadable but the server, the connection, and every other document
+//! are fine. `ERR_READONLY` answers any write sent to a server without a
+//! writable store; `ERR_WAL_FULL` means the write-ahead log hit its hard
+//! bound — durable, but writes fail until a seal drains it.
 //!
-//! OK bodies: GET → the document bytes verbatim; MGET → `count:u32le` then
+//! Writes are acknowledged only after the store call returns: under the
+//! `always` fsync policy an OK to PUT/APPEND/DELETE means the mutation is
+//! on stable storage and will survive `kill -9` of the server.
+//!
+//! OK bodies: GET → the document bytes verbatim; PUT → the assigned
+//! `id:u32le`; APPEND / DELETE → empty; MGET → `count:u32le` then
 //! `count` entries, in request order; SHUTDOWN → empty. Each MGET entry is
 //! `elen:u32le` followed by `elen & 0x7FFF_FFFF` payload bytes. With the
 //! top bit of `elen` clear the payload is the document verbatim; with it
@@ -76,6 +90,13 @@ pub const OP_GET: u8 = 0x01;
 pub const OP_MGET: u8 = 0x02;
 /// Store statistics: empty body.
 pub const OP_STAT: u8 = 0x03;
+/// Store a new document: body is the document bytes. OK body: assigned
+/// `id:u32le`.
+pub const OP_PUT: u8 = 0x10;
+/// Append to a document: body is `id:u32le` + the bytes. OK body: empty.
+pub const OP_APPEND: u8 = 0x11;
+/// Delete a document: body is `id:u32le`. OK body: empty.
+pub const OP_DELETE: u8 = 0x12;
 /// Ask the server to exit cleanly (when enabled): empty body.
 pub const OP_SHUTDOWN: u8 = 0x7F;
 
@@ -97,6 +118,12 @@ pub const STATUS_BUSY: u8 = 0x05;
 /// permanently unreadable until the store is repaired, but the connection
 /// and every other document are unaffected.
 pub const STATUS_CORRUPT: u8 = 0x06;
+/// A write opcode reached a server that has no write path (every store
+/// family except the live store).
+pub const STATUS_READONLY: u8 = 0x07;
+/// The write-ahead log hit its hard bound; writes fail until a segment
+/// seal drains it. Back off longer than for `ERR_BUSY`.
+pub const STATUS_WAL_FULL: u8 = 0x08;
 
 /// STAT backend tag: the portable poll-loop fallback.
 pub const BACKEND_PORTABLE: u8 = 0;
@@ -114,9 +141,22 @@ pub const MGET_ENTRY_ERR: u32 = 1 << 31;
 /// Maximum ids per MGET request.
 pub const MAX_MGET: usize = 1 << 16;
 
+/// Maximum document bytes in one PUT (or appended bytes in one APPEND).
+/// Bounds the largest write frame a server must buffer.
+pub const MAX_PUT_LEN: usize = 4 << 20;
+
 /// Maximum legal value of a request frame's length field: opcode byte plus
-/// the largest MGET body.
-pub const MAX_REQUEST_LEN: u32 = (1 + 4 + 4 * MAX_MGET) as u32;
+/// the largest body (an MGET id list or an APPEND payload, whichever is
+/// larger).
+pub const MAX_REQUEST_LEN: u32 = {
+    let mget = (1 + 4 + 4 * MAX_MGET) as u32;
+    let append = (1 + 4 + MAX_PUT_LEN) as u32;
+    if mget > append {
+        mget
+    } else {
+        append
+    }
+};
 
 /// Maximum response frame length (1 GiB), enforced on both sides: the
 /// server answers an error frame instead of a GET/MGET response whose
@@ -161,6 +201,12 @@ pub enum Request<'a> {
     MGet(MGetIds<'a>),
     /// Store statistics.
     Stat,
+    /// Store a new document (body borrowed from the receive buffer).
+    Put(&'a [u8]),
+    /// Append bytes to document `id`.
+    Append(u32, &'a [u8]),
+    /// Delete a document.
+    Delete(u32),
     /// Clean server shutdown.
     Shutdown,
 }
@@ -209,6 +255,19 @@ pub fn parse_request(buf: &[u8]) -> Parsed<'_> {
             Err(_) => Err((STATUS_BAD_FRAME, "GET body must be exactly 4 bytes")),
         },
         OP_MGET => parse_mget(body),
+        OP_PUT if body.len() <= MAX_PUT_LEN => Ok(Request::Put(body)),
+        OP_PUT => Err((STATUS_BAD_FRAME, "PUT body exceeds protocol maximum")),
+        OP_APPEND => match body.split_first_chunk::<4>() {
+            Some((id, bytes)) if bytes.len() <= MAX_PUT_LEN => {
+                Ok(Request::Append(u32::from_le_bytes(*id), bytes))
+            }
+            Some(_) => Err((STATUS_BAD_FRAME, "APPEND body exceeds protocol maximum")),
+            None => Err((STATUS_BAD_FRAME, "APPEND body shorter than its id field")),
+        },
+        OP_DELETE => match body.try_into() {
+            Ok(id) => Ok(Request::Delete(u32::from_le_bytes(id))),
+            Err(_) => Err((STATUS_BAD_FRAME, "DELETE body must be exactly 4 bytes")),
+        },
         OP_STAT if body.is_empty() => Ok(Request::Stat),
         OP_STAT => Err((STATUS_BAD_FRAME, "STAT carries no body")),
         OP_SHUTDOWN if body.is_empty() => Ok(Request::Shutdown),
@@ -253,6 +312,36 @@ pub fn write_mget(out: &mut Vec<u8>, ids: &[u32]) {
     for &id in ids {
         out.extend_from_slice(&id.to_le_bytes());
     }
+}
+
+/// Appends a PUT request frame. Panics if the document exceeds
+/// [`MAX_PUT_LEN`] (any conforming server would reject the frame).
+pub fn write_put(out: &mut Vec<u8>, doc: &[u8]) {
+    assert!(doc.len() <= MAX_PUT_LEN, "PUT of {} bytes", doc.len());
+    out.extend_from_slice(&((1 + doc.len()) as u32).to_le_bytes());
+    out.push(OP_PUT);
+    out.extend_from_slice(doc);
+}
+
+/// Appends an APPEND request frame. Panics if the appended bytes exceed
+/// [`MAX_PUT_LEN`].
+pub fn write_append(out: &mut Vec<u8>, id: u32, bytes: &[u8]) {
+    assert!(
+        bytes.len() <= MAX_PUT_LEN,
+        "APPEND of {} bytes",
+        bytes.len()
+    );
+    out.extend_from_slice(&((1 + 4 + bytes.len()) as u32).to_le_bytes());
+    out.push(OP_APPEND);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a DELETE request frame.
+pub fn write_delete(out: &mut Vec<u8>, id: u32) {
+    out.extend_from_slice(&5u32.to_le_bytes());
+    out.push(OP_DELETE);
+    out.extend_from_slice(&id.to_le_bytes());
 }
 
 /// Appends a STAT request frame.
@@ -437,6 +526,58 @@ mod tests {
         buf.push(OP_MGET);
         buf.extend_from_slice(&((MAX_MGET + 1) as u32).to_le_bytes());
         buf.resize(4 + MAX_REQUEST_LEN as usize, 0);
+        assert!(matches!(
+            parse_request(&buf),
+            Parsed::Frame {
+                request: Err((STATUS_BAD_FRAME, _)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn write_opcodes_roundtrip() {
+        let mut buf = Vec::new();
+        write_put(&mut buf, b"new document bytes");
+        write_append(&mut buf, 7, b" more");
+        write_delete(&mut buf, 9);
+        let Parsed::Frame {
+            request: Ok(Request::Put(doc)),
+            consumed,
+        } = parse_request(&buf)
+        else {
+            panic!("PUT must parse")
+        };
+        assert_eq!(doc, b"new document bytes");
+        let Parsed::Frame {
+            request: Ok(Request::Append(7, bytes)),
+            consumed: c2,
+        } = parse_request(&buf[consumed..])
+        else {
+            panic!("APPEND must parse")
+        };
+        assert_eq!(bytes, b" more");
+        match parse_request(&buf[consumed + c2..]) {
+            Parsed::Frame {
+                request: Ok(Request::Delete(9)),
+                consumed: c3,
+            } => assert_eq!(consumed + c2 + c3, buf.len()),
+            other => panic!("{other:?}"),
+        }
+        // Empty PUT bodies and APPEND payloads are legal frames.
+        let mut buf = Vec::new();
+        write_put(&mut buf, b"");
+        assert!(matches!(
+            parse_request(&buf),
+            Parsed::Frame {
+                request: Ok(Request::Put(b"")),
+                ..
+            }
+        ));
+        // APPEND shorter than its id field is a content error that keeps
+        // the frame boundary.
+        let mut buf = 3u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[OP_APPEND, 0, 0]);
         assert!(matches!(
             parse_request(&buf),
             Parsed::Frame {

@@ -42,9 +42,10 @@
 
 use crate::protocol::{
     self, Parsed, Request, BACKEND_EPOLL, BACKEND_PORTABLE, STATUS_BAD_FRAME, STATUS_BAD_OPCODE,
-    STATUS_BUSY, STATUS_CORRUPT, STATUS_INTERNAL, STATUS_OK, STATUS_OUT_OF_RANGE,
+    STATUS_BUSY, STATUS_CORRUPT, STATUS_INTERNAL, STATUS_OK, STATUS_OUT_OF_RANGE, STATUS_READONLY,
+    STATUS_WAL_FULL,
 };
-use rlz_store::{DocStore, ShardedLru, StoreError};
+use rlz_store::{DocStore, ShardedLru, StoreError, WriteStore};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -164,7 +165,7 @@ impl ResolvedBackend {
 }
 
 /// Server configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Worker threads (each runs an accept + connection loop). Defaults to
     /// the machine's available parallelism.
@@ -201,6 +202,30 @@ pub struct ServeConfig {
     /// still pass — bounded tail latency under overload instead of a
     /// collapsing queue.
     pub shed_queue_depth: usize,
+    /// Write path for the PUT/APPEND/DELETE opcodes. `None` (every
+    /// read-only store family) answers writes with `ERR_READONLY`. When
+    /// set, writes past the store's WAL-backlog bound are shed with
+    /// `ERR_BUSY` while reads keep serving at full speed.
+    pub writer: Option<Arc<dyn WriteStore>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("threads", &self.threads)
+            .field("batch_threads", &self.batch_threads)
+            .field("allow_shutdown", &self.allow_shutdown)
+            .field("backend", &self.backend)
+            .field("cache_bytes", &self.cache_bytes)
+            .field("max_connections", &self.max_connections)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("shed_queue_depth", &self.shed_queue_depth)
+            .field(
+                "writer",
+                &self.writer.as_ref().map(|_| "Arc<dyn WriteStore>"),
+            )
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -214,6 +239,7 @@ impl Default for ServeConfig {
             max_connections: 0,
             idle_timeout: None,
             shed_queue_depth: 0,
+            writer: None,
         }
     }
 }
@@ -346,6 +372,9 @@ pub fn serve(
         if let Some(cache) = &cache {
             responder = responder.with_cache(Arc::clone(cache));
         }
+        if let Some(writer) = &cfg.writer {
+            responder = responder.with_writer(Arc::clone(writer));
+        }
         let builder = std::thread::Builder::new().name(format!("rlz-serve-{w}"));
         let overload = overload.clone();
         let handle = match backend {
@@ -405,6 +434,8 @@ pub struct Responder {
     errs: Vec<Option<StoreError>>,
     /// Pipelined GET run buffered during a drain pass.
     run: Vec<u32>,
+    /// Write path for PUT/APPEND/DELETE; `None` answers `ERR_READONLY`.
+    writer: Option<Arc<dyn WriteStore>>,
 }
 
 /// What the connection should do after a response was appended.
@@ -435,6 +466,7 @@ impl Responder {
             docs: Vec::new(),
             errs: Vec::new(),
             run: Vec::new(),
+            writer: None,
         }
     }
 
@@ -447,6 +479,12 @@ impl Responder {
     /// Sets the backend tag reported through STAT.
     pub fn with_backend_tag(mut self, tag: u8) -> Self {
         self.backend_tag = tag;
+        self
+    }
+
+    /// Attaches a write path for the PUT/APPEND/DELETE opcodes.
+    pub fn with_writer(mut self, writer: Arc<dyn WriteStore>) -> Self {
+        self.writer = Some(writer);
         self
     }
 
@@ -495,6 +533,18 @@ impl Responder {
                 protocol::finish_response(out, start, STATUS_OK);
                 Action::Continue
             }
+            Request::Put(doc) => {
+                self.respond_write(out, |w| w.put(doc).map(Some));
+                Action::Continue
+            }
+            Request::Append(id, bytes) => {
+                self.respond_write(out, |w| w.append(*id, bytes).map(|()| None));
+                Action::Continue
+            }
+            Request::Delete(id) => {
+                self.respond_write(out, |w| w.delete(*id).map(|()| None));
+                Action::Continue
+            }
             Request::Shutdown => {
                 if self.allow_shutdown {
                     let start = protocol::begin_response(out);
@@ -509,6 +559,44 @@ impl Responder {
                     Action::Continue
                 }
             }
+        }
+    }
+
+    /// Executes one write through the attached write path, appending the
+    /// response frame. No writer → `ERR_READONLY`; a WAL backlog past its
+    /// soft bound sheds the write with `ERR_BUSY` *before* it touches the
+    /// store (reads are never shed by write pressure). An acked write —
+    /// the OK frame — is durable per the store's fsync policy.
+    fn respond_write(
+        &mut self,
+        out: &mut Vec<u8>,
+        op: impl FnOnce(&dyn WriteStore) -> Result<Option<u32>, StoreError>,
+    ) {
+        let Some(writer) = &self.writer else {
+            protocol::write_error(
+                out,
+                STATUS_READONLY,
+                "server has no write path; store is read-only",
+            );
+            return;
+        };
+        if writer.write_pressure() {
+            protocol::write_error(
+                out,
+                STATUS_BUSY,
+                "write backlog past bound; back off and retry",
+            );
+            return;
+        }
+        match op(writer.as_ref()) {
+            Ok(id) => {
+                let start = protocol::begin_response(out);
+                if let Some(id) = id {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                protocol::finish_response(out, start, STATUS_OK);
+            }
+            Err(e) => write_store_error(out, &e),
         }
     }
 
@@ -757,6 +845,8 @@ fn store_error_status(e: &StoreError) -> u8 {
     match e {
         StoreError::DocOutOfRange(_) => STATUS_OUT_OF_RANGE,
         StoreError::Corrupt { .. } => STATUS_CORRUPT,
+        StoreError::ReadOnly => STATUS_READONLY,
+        StoreError::WalFull => STATUS_WAL_FULL,
         _ => STATUS_INTERNAL,
     }
 }

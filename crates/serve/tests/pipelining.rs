@@ -67,6 +67,7 @@ fn servers() -> &'static Vec<(Backend, SocketAddr)> {
                     max_connections: 0,
                     idle_timeout: None,
                     shed_queue_depth: 0,
+                    writer: None,
                 },
             )
             .unwrap();

@@ -7,11 +7,15 @@
 //! sidecar so subsequent opens pre-fail them with a typed error instead of
 //! re-reading known-bad bytes.
 //!
+//! Live stores (detected by their `MANIFEST`) are scrubbed end to end:
+//! every WAL frame is re-parsed and CRC-checked and every sealed-segment
+//! record is CRC-verified, so one tool audits the whole directory.
+//!
 //! ```text
-//! rlz-verify --store DIR [--family rlz|blocked|ascii] [--resident] [--quarantine]
+//! rlz-verify --store DIR [--family rlz|blocked|ascii|live] [--resident] [--quarantine]
 //! ```
 
-use rlz_store::{AsciiStore, BlockedStore, RlzStore, ScrubReport};
+use rlz_store::{scrub_live, AsciiStore, BlockedStore, RlzStore, ScrubReport};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -24,7 +28,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rlz-verify --store DIR [--family rlz|blocked|ascii] [--resident] [--quarantine]\n\
+        "usage: rlz-verify --store DIR [--family rlz|blocked|ascii|live] [--resident] [--quarantine]\n\
          \n\
          Scrubs a store offline: verifies every block/record checksum (legacy\n\
          layouts fall back to trial decodes), prints what is corrupt, and exits\n\
@@ -62,8 +66,11 @@ fn parse_args() -> Args {
 }
 
 /// Store family by directory content, mirroring `rlz-serve`'s autodetect.
+/// Live stores also carry `dict.bin`, so the `MANIFEST` probe comes first.
 fn detect_family(dir: &Path) -> &'static str {
-    if dir.join("dict.bin").exists() {
+    if dir.join(rlz_store::MANIFEST_FILE).exists() {
+        "live"
+    } else if dir.join("dict.bin").exists() {
         "rlz"
     } else if dir.join("blocks.bin").exists() {
         "blocked"
@@ -95,6 +102,9 @@ fn scrub(args: &Args) -> Result<ScrubReport, rlz_store::StoreError> {
         } else {
             AsciiStore::open(dir)?.scrub()
         }),
+        // Read-only scrub of WAL + sealed segments; never truncates or
+        // repairs (that is recovery's job, on open).
+        "live" => scrub_live(dir),
         other => {
             eprintln!("unknown store family: {other}");
             usage();

@@ -30,6 +30,15 @@ pub struct FaultPlan {
     /// `[start, end)` byte ranges where reads fail with an injected I/O
     /// error (a bad sector returning EIO).
     pub eio_ranges: Vec<(u64, u64)>,
+    /// Write-side crash point, honored by [`FaultMedia`]: the process
+    /// "dies" on the Nth WAL append (0-based) — that append persists only
+    /// its first [`torn_write_bytes`](FaultPlan::torn_write_bytes) bytes
+    /// and every later append or sync fails without persisting anything,
+    /// so the surviving file is exactly what a real `kill -9` would leave.
+    pub crash_after_appends: Option<u64>,
+    /// How many bytes of the crashing append reach the media before the
+    /// simulated crash (a torn write). 0 = the frame vanishes whole.
+    pub torn_write_bytes: usize,
 }
 
 impl FaultPlan {
@@ -97,6 +106,82 @@ impl FaultBackend {
     /// Disarms every fault: subsequent reads pass through unchanged.
     pub fn clear(&self) {
         self.set_plan(FaultPlan::default());
+    }
+}
+
+/// A [`WalMedia`](crate::WalMedia) decorator injecting the write-side
+/// faults of a [`FaultPlan`]: a crash point (by append count) and a torn
+/// final write. After the simulated crash the wrapped file holds exactly
+/// the bytes a `kill -9` at that instant would have left, so a test
+/// reopens the directory normally and exercises the true recovery path.
+pub struct FaultMedia {
+    inner: Box<dyn crate::WalMedia>,
+    crash_after_appends: Option<u64>,
+    torn_write_bytes: usize,
+    appends: u64,
+    crashed: bool,
+}
+
+impl FaultMedia {
+    /// Wraps `inner`, taking the write-side faults from `plan` (the
+    /// read-side fields are ignored here — arm those on a
+    /// [`FaultBackend`]).
+    pub fn new(inner: Box<dyn crate::WalMedia>, plan: &FaultPlan) -> Self {
+        FaultMedia {
+            inner,
+            crash_after_appends: plan.crash_after_appends,
+            torn_write_bytes: plan.torn_write_bytes,
+            appends: 0,
+            crashed: false,
+        }
+    }
+}
+
+impl crate::WalMedia for FaultMedia {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        if self.crashed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected crash: writer process is gone",
+            ));
+        }
+        if self.crash_after_appends == Some(self.appends) {
+            // The crashing write: only a prefix reaches the media.
+            let torn = self.torn_write_bytes.min(buf.len());
+            self.inner.append(&buf[..torn])?;
+            self.crashed = true;
+            self.appends += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected crash mid-append (torn write)",
+            ));
+        }
+        self.appends += 1;
+        self.inner.append(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.crashed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected crash: writer process is gone",
+            ));
+        }
+        self.inner.sync()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        if self.crashed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected crash: writer process is gone",
+            ));
+        }
+        self.inner.truncate(len)
     }
 }
 

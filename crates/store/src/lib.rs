@@ -73,19 +73,25 @@ mod blocked;
 mod cache;
 mod docmap;
 mod fault;
+mod live;
 mod rlz_store;
+mod segment;
 #[cfg(test)]
 pub(crate) mod testutil;
 mod verify;
+mod wal;
 
 pub use ascii::AsciiStore;
 pub use backend::{FileBackend, MemBackend, StorageBackend};
 pub use blocked::{BlockCodec, BlockedStore};
 pub use cache::ShardedLru;
 pub use docmap::DocMap;
-pub use fault::{FaultBackend, FaultPlan};
+pub use fault::{FaultBackend, FaultMedia, FaultPlan};
+pub use live::{scrub_live, LiveConfig, LiveSnapshot, LiveStore, RecoveryInfo};
 pub use rlz_store::{RlzStore, RlzStoreBuilder};
+pub use segment::{segment_file_name, Manifest, SegmentReader, MANIFEST_FILE};
 pub use verify::{write_quarantine, BadUnit, ScrubReport, QUARANTINE_FILE};
+pub use wal::{FileMedia, FsyncPolicy, Wal, WalMedia, WalOp, WalRecord, WalRecovery, WAL_FILE};
 
 use std::cell::RefCell;
 use std::fmt;
@@ -117,6 +123,11 @@ pub enum StoreError {
     },
     /// Requested document does not exist.
     DocOutOfRange(usize),
+    /// A write was attempted on a store opened without a write path.
+    ReadOnly,
+    /// The write-ahead log hit its hard size bound; writes fail until a
+    /// seal drains it.
+    WalFull,
 }
 
 impl StoreError {
@@ -167,6 +178,8 @@ impl StoreError {
                 doc_id: *doc_id,
             },
             StoreError::DocOutOfRange(id) => StoreError::DocOutOfRange(*id),
+            StoreError::ReadOnly => StoreError::ReadOnly,
+            StoreError::WalFull => StoreError::WalFull,
         }
     }
 }
@@ -192,6 +205,8 @@ impl fmt::Display for StoreError {
                 Ok(())
             }
             StoreError::DocOutOfRange(id) => write!(f, "document {id} out of range"),
+            StoreError::ReadOnly => write!(f, "store is read-only"),
+            StoreError::WalFull => write!(f, "write-ahead log is full"),
         }
     }
 }
@@ -357,6 +372,32 @@ pub trait DocStore: Send + Sync {
     /// is still decompressed only once per batch.
     fn get_batch_results(&self, ids: &[u32], threads: usize) -> Vec<Result<Vec<u8>, StoreError>> {
         get_batch_results_ordered(self, ids, threads)
+    }
+}
+
+/// A store that accepts writes. [`LiveStore`] is the one implementation;
+/// the trait exists so the serving layer can hold `Arc<dyn WriteStore>`
+/// without knowing the store family.
+///
+/// Durability contract: under [`FsyncPolicy::Always`] an `Ok` return means
+/// the mutation's WAL frame is on stable storage — it survives `kill -9`
+/// and power loss. Under `Interval`/`Never` an `Ok` means the mutation is
+/// logged and visible, with durability following by the policy's window.
+pub trait WriteStore: DocStore {
+    /// Stores a new document, returning its assigned id.
+    fn put(&self, doc: &[u8]) -> Result<u32, StoreError>;
+
+    /// Appends bytes to an existing document.
+    fn append(&self, id: u32, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Deletes a document; subsequent gets fail with
+    /// [`StoreError::DocOutOfRange`].
+    fn delete(&self, id: u32) -> Result<(), StoreError>;
+
+    /// True when the write backlog (WAL length) passed its soft bound and
+    /// new writes should be shed with `ERR_BUSY`. Reads are unaffected.
+    fn write_pressure(&self) -> bool {
+        false
     }
 }
 

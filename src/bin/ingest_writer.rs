@@ -1,0 +1,91 @@
+//! The crash-harness writer: ingests deterministic documents into a live
+//! store and prints one flushed `ACK <id>` line per acked write, so a
+//! parent process that SIGKILLs it mid-run knows exactly which writes
+//! the store acked — and can hold recovery to them.
+//!
+//! ```text
+//! ingest_writer --dir DIR [--seed N] [--count N]
+//!               [--fsync always|interval:<ms>|never] [--seal-bytes N]
+//! ```
+//!
+//! Document `id` always holds `ingest::doc_bytes(seed, id)`, so the
+//! verifier re-derives expected content from the seed alone. On a
+//! restart the writer resumes at the recovered doc count (printed as a
+//! flushed `BASE <n>` line before the first write).
+
+use rlz_repro::ingest;
+use rlz_repro::store::{DocStore, FsyncPolicy, WriteStore};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ingest_writer --dir DIR [--seed N] [--count N]\n\
+         \x20                    [--fsync always|interval:<ms>|never] [--seal-bytes N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = None;
+    let mut seed = 0u64;
+    let mut count = 1_000u32;
+    let mut fsync = FsyncPolicy::Always;
+    let mut seal_bytes = 64u64 << 10;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--dir" => dir = Some(PathBuf::from(value(&mut i))),
+            "--seed" => seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--count" => count = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--fsync" => fsync = FsyncPolicy::parse(&value(&mut i)).unwrap_or_else(|| usage()),
+            "--seal-bytes" => seal_bytes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(dir) = dir else { usage() };
+
+    let store = match ingest::open_or_create(&dir, ingest::harness_config(fsync, seal_bytes)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ingest_writer: open {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = std::io::stdout();
+    let mut out = out.lock();
+    let base = store.num_docs() as u32;
+    writeln!(out, "BASE {base}").and_then(|()| out.flush()).ok();
+    for id in base..base.saturating_add(count) {
+        let doc = ingest::doc_bytes(seed, id);
+        match store.put(&doc) {
+            Ok(got) if got == id => {
+                // The ack line goes out only after the store acked the
+                // write under its fsync policy; the flush keeps the
+                // parent's view exact even when we die right after.
+                if writeln!(out, "ACK {id}")
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Ok(got) => {
+                eprintln!("ingest_writer: store assigned id {got}, expected {id}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("ingest_writer: put doc {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,68 @@
+//! Shared pieces of the crash-ingestion harness: deterministic document
+//! content and store construction used by the `ingest_writer` binary,
+//! the out-of-process `kill -9` recovery test, and the ingest bench.
+//!
+//! Everything here is a pure function of `(seed, doc id)` so a verifier
+//! that only knows the seed can re-derive the exact bytes every acked
+//! document must still hold after a crash — no side-channel state file
+//! that could itself be torn by the kill.
+
+use crate::rlz::{Dictionary, PairCoding, SampleStrategy};
+use crate::store::{FsyncPolicy, LiveConfig, LiveStore, StoreError, MANIFEST_FILE};
+use std::path::Path;
+
+/// The document a writer with `seed` stores under doc id `id` —
+/// boilerplate-heavy (so RLZ factorization bites) but salted per-id so
+/// byte-identity checks cannot pass by accident.
+pub fn doc_bytes(seed: u64, id: u32) -> Vec<u8> {
+    // SplitMix64 over (seed, id) picks the per-doc salt and shape.
+    let mut x = seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let salt = next();
+    let mut doc = format!("<doc id={id} salt={salt:016x}>").into_bytes();
+    for k in 0..(next() % 6 + 2) {
+        doc.extend_from_slice(
+            format!("<p>ingest harness boilerplate paragraph {k} repeats across docs</p>")
+                .as_bytes(),
+        );
+    }
+    doc.extend_from_slice(format!("<tail>{:016x}</tail></doc>", next()).as_bytes());
+    doc
+}
+
+/// The dictionary every harness store shares, sampled from the seed-0
+/// document stream — content-typical so factorization is realistic, yet
+/// reproducible without shipping a dictionary file around.
+pub fn harness_dict() -> Dictionary {
+    let all: Vec<u8> = (0..256u32).flat_map(|id| doc_bytes(0, id)).collect();
+    Dictionary::sample(&all, 8 << 10, 512, SampleStrategy::Evenly)
+}
+
+/// The live-store configuration the harness runs with: caller-chosen
+/// fsync policy, small segments so a kill lands around seal boundaries
+/// too, and WAL bounds high enough that the harness never sheds.
+pub fn harness_config(fsync: FsyncPolicy, seal_bytes: u64) -> LiveConfig {
+    LiveConfig {
+        fsync,
+        seal_bytes,
+        wal_soft_bytes: 256 << 20,
+        wal_max_bytes: 512 << 20,
+    }
+}
+
+/// Opens the harness store at `dir`, creating it on first use — exactly
+/// what a restarted writer does after a crash (the create/open split is
+/// keyed off the MANIFEST, which is published atomically).
+pub fn open_or_create(dir: &Path, config: LiveConfig) -> Result<LiveStore, StoreError> {
+    if dir.join(MANIFEST_FILE).exists() {
+        LiveStore::open(dir, config)
+    } else {
+        LiveStore::create(dir, harness_dict(), PairCoding::ZV, config)
+    }
+}

@@ -17,6 +17,8 @@
 //! See the repository `README.md` for a guided tour and `DESIGN.md` for the
 //! mapping from the paper's sections to modules.
 
+pub mod ingest;
+
 pub use rlz_codecs as codecs;
 pub use rlz_core as rlz;
 pub use rlz_corpus as corpus;

@@ -1,0 +1,199 @@
+//! Epoch-swap consistency for the live store: a reader that clones a
+//! snapshot at **any** point in a put/append/delete/seal schedule must
+//! keep seeing exactly the state from its epoch — no doc vanishing
+//! mid-batch while the writer seals the tail into a segment and swaps
+//! the published snapshot underneath it.
+//!
+//! Two angles: a proptest drives randomized single-threaded schedules
+//! and pins snapshots at random epochs, diffing each against a shadow
+//! model of the state at capture time; a threaded stress test hammers
+//! `snapshot()` from reader threads while the writer auto-seals, so the
+//! capture itself races the swap.
+
+use proptest::prelude::*;
+use rlz_repro::rlz::{Dictionary, PairCoding, SampleStrategy};
+use rlz_repro::store::{DocStore, FsyncPolicy, LiveConfig, LiveStore, WriteStore};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let p =
+            std::env::temp_dir().join(format!("rlz-live-it-{name}-{}-{seq}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Deterministic document content: the id and salt pin the bytes, the
+/// repeated tail gives the factorizer something to bite on.
+fn doc_bytes(id: u32, salt: u64) -> Vec<u8> {
+    let mut doc = format!("<doc id={id} salt={salt:016x}>").into_bytes();
+    for k in 0..(id % 7 + 2) {
+        doc.extend_from_slice(format!("<p>shared live boilerplate {k}</p>").as_bytes());
+    }
+    doc.extend_from_slice(b"</doc>");
+    doc
+}
+
+fn create_store(dir: &std::path::Path, seal_bytes: u64) -> LiveStore {
+    let seed: Vec<u8> = (0..64u32).flat_map(|i| doc_bytes(i, 0)).collect();
+    let dict = Dictionary::sample(&seed, 2048, 256, SampleStrategy::Evenly);
+    LiveStore::create(
+        dir,
+        dict,
+        PairCoding::ZV,
+        LiveConfig {
+            fsync: FsyncPolicy::Never,
+            seal_bytes,
+            wal_soft_bytes: u64::MAX,
+            wal_max_bytes: u64::MAX,
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// Randomized schedules of put / append / delete / seal, with
+    /// snapshots pinned at random epochs. After the run (which ends in
+    /// one final seal, so every pinned epoch has been swapped past),
+    /// each snapshot must still serve exactly its epoch's state.
+    #[test]
+    fn snapshot_pinned_at_any_epoch_survives_later_seals(
+        n_ops in 1usize..32,
+        op_mask in any::<u64>(),
+        seal_mask in any::<u64>(),
+        snap_mask in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let dir = TempDir::new("prop-epoch");
+        let store = create_store(dir.path(), u64::MAX);
+        // Shadow model: index = doc id, None = deleted.
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+        let mut pinned: Vec<(rlz_repro::store::LiveSnapshot, Vec<Option<Vec<u8>>>)> = Vec::new();
+        for i in 0..n_ops {
+            let bit = |mask: u64| mask >> (i % 64) & 1 == 1;
+            let live_ids: Vec<u32> = (0..model.len() as u32)
+                .filter(|&id| model[id as usize].is_some())
+                .collect();
+            match (bit(op_mask), bit(op_mask.rotate_left(17)), live_ids.len()) {
+                // Delete the oldest live doc.
+                (true, _, 1..) => {
+                    let id = live_ids[0];
+                    store.delete(id).unwrap();
+                    model[id as usize] = None;
+                }
+                // Append to the newest live doc.
+                (false, true, 1..) => {
+                    let id = *live_ids.last().unwrap();
+                    let tail = format!("<appended op={i}/>").into_bytes();
+                    store.append(id, &tail).unwrap();
+                    model[id as usize].as_mut().unwrap().extend_from_slice(&tail);
+                }
+                _ => {
+                    let doc = doc_bytes(model.len() as u32, salt);
+                    let id = store.put(&doc).unwrap();
+                    prop_assert_eq!(id as usize, model.len());
+                    model.push(Some(doc));
+                }
+            }
+            if bit(seal_mask) {
+                store.seal().unwrap();
+            }
+            if bit(snap_mask) {
+                pinned.push((store.snapshot(), model.clone()));
+            }
+        }
+        // Swap one more epoch past every pinned snapshot.
+        store.put(&doc_bytes(model.len() as u32, salt)).unwrap();
+        store.seal().unwrap();
+
+        for (snap, state) in &pinned {
+            prop_assert_eq!(snap.num_docs(), state.len());
+            let live: Vec<u32> = (0..state.len() as u32)
+                .filter(|&id| state[id as usize].is_some())
+                .collect();
+            // Individual reads: present docs byte-identical, deleted gone.
+            for (id, want) in state.iter().enumerate() {
+                match want {
+                    Some(bytes) => prop_assert_eq!(&snap.get(id).unwrap(), bytes),
+                    None => prop_assert!(snap.get(id).is_err()),
+                }
+            }
+            // One batch over every live id — the "no doc vanishes
+            // mid-batch" clause, exercised through the batch path.
+            if !live.is_empty() {
+                let got = snap.get_batch(&live, 2).unwrap();
+                for (slot, &id) in got.iter().zip(&live) {
+                    prop_assert_eq!(slot, state[id as usize].as_ref().unwrap());
+                }
+            }
+        }
+    }
+}
+
+/// Reader threads race `snapshot()` against a writer that auto-seals
+/// every few KiB: every observed prefix must be fully readable and
+/// byte-identical, however the capture interleaves with the swap.
+#[test]
+fn concurrent_readers_see_full_prefixes_across_auto_seals() {
+    const DOCS: u32 = 300;
+    const SALT: u64 = 0xC0FFEE;
+    let dir = TempDir::new("race-seal");
+    let store = create_store(dir.path(), 4 << 10);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let reader_store = &store;
+        let done_flag = &done;
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            readers.push(scope.spawn(move || {
+                let mut batches = 0u64;
+                while !done_flag.load(std::sync::atomic::Ordering::Acquire) {
+                    let snap = reader_store.snapshot();
+                    let n = snap.num_docs() as u32;
+                    if n == 0 {
+                        continue;
+                    }
+                    let ids: Vec<u32> = (0..n).collect();
+                    let got = snap.get_batch(&ids, 1).expect("pinned prefix readable");
+                    for (id, doc) in got.iter().enumerate() {
+                        assert_eq!(
+                            doc,
+                            &doc_bytes(id as u32, SALT),
+                            "doc {id} changed under a pinned snapshot"
+                        );
+                    }
+                    batches += 1;
+                }
+                batches
+            }));
+        }
+        for id in 0..DOCS {
+            assert_eq!(store.put(&doc_bytes(id, SALT)).unwrap(), id);
+        }
+        done.store(true, std::sync::atomic::Ordering::Release);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "readers must observe some epochs");
+        }
+    });
+    // The writer auto-sealed along the way; everything must have landed.
+    assert_eq!(store.num_docs() as u32, DOCS);
+    let ids: Vec<u32> = (0..DOCS).collect();
+    let got = store.get_batch(&ids, 2).unwrap();
+    for (id, doc) in got.iter().enumerate() {
+        assert_eq!(doc, &doc_bytes(id as u32, SALT));
+    }
+}

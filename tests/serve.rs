@@ -87,6 +87,7 @@ fn start_with(
             max_connections: 0,
             idle_timeout: None,
             shed_queue_depth: 0,
+            writer: None,
         },
     )
 }
@@ -467,6 +468,7 @@ fn connection_cap_rejects_with_busy_and_recovers() {
                 max_connections: 1,
                 idle_timeout: None,
                 shed_queue_depth: 0,
+                writer: None,
             },
         );
         let addr = handle.addr();
@@ -526,6 +528,7 @@ fn idle_timeout_reaps_silent_connections() {
                 max_connections: 0,
                 idle_timeout: Some(Duration::from_millis(150)),
                 shed_queue_depth: 0,
+                writer: None,
             },
         );
         let addr = handle.addr();
@@ -562,6 +565,7 @@ fn overloaded_server_sheds_with_busy_instead_of_stalling() {
                 max_connections: 0,
                 idle_timeout: None,
                 shed_queue_depth: 1,
+                writer: None,
             },
         );
         let addr = handle.addr();
@@ -629,4 +633,143 @@ fn shutdown_opcode_stops_every_worker() {
             .and_then(|mut c| c.get(0).map_err(|_| std::io::Error::other("dead")));
         assert!(refused.is_err(), "server must stop serving after SHUTDOWN");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Write path: live stores over the wire.
+// ---------------------------------------------------------------------------
+
+use rlz_repro::serve::protocol::STATUS_READONLY;
+use rlz_repro::store::{FsyncPolicy, LiveConfig, LiveStore};
+
+fn create_live(dir: &std::path::Path, docs: &[Vec<u8>], cfg: LiveConfig) -> LiveStore {
+    let all: Vec<u8> = docs.concat();
+    let dict = Dictionary::sample(
+        &all,
+        (all.len() / 64).max(1024),
+        256,
+        SampleStrategy::Evenly,
+    );
+    LiveStore::create(dir, dict, PairCoding::ZV, cfg).unwrap()
+}
+
+fn start_live(live: &LiveStore, backend: Backend) -> rlz_repro::serve::ServerHandle {
+    start_cfg(
+        Arc::new(live.clone()),
+        ServeConfig {
+            threads: 2,
+            batch_threads: 1,
+            allow_shutdown: true,
+            backend,
+            cache_bytes: 0,
+            max_connections: 0,
+            idle_timeout: None,
+            shed_queue_depth: 0,
+            writer: Some(Arc::new(live.clone())),
+        },
+    )
+}
+
+#[test]
+fn live_writes_roundtrip_and_persist_across_reopen() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("live-write");
+    let cfg = LiveConfig {
+        fsync: FsyncPolicy::Never, // durability is the crash suite's job
+        ..LiveConfig::default()
+    };
+    let live = create_live(dir.path(), &docs, cfg);
+    for backend in backends() {
+        let handle = start_live(&live, backend);
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let before = client.stat().unwrap().num_docs;
+        let mut ids = Vec::new();
+        for doc in docs.iter().take(24) {
+            ids.push(client.put(doc).unwrap());
+        }
+        for (id, doc) in ids.iter().zip(&docs) {
+            assert_eq!(&client.get(*id).unwrap(), doc, "doc {id} differs");
+        }
+        client.append(ids[0], b"--trailer--").unwrap();
+        let mut want = docs[0].clone();
+        want.extend_from_slice(b"--trailer--");
+        assert_eq!(client.get(ids[0]).unwrap(), want);
+
+        client.delete(ids[1]).unwrap();
+        let err = client.get(ids[1]).unwrap_err();
+        assert!(
+            matches!(err, ClientError::Server { status, .. } if status == STATUS_OUT_OF_RANGE),
+            "deleted doc must answer ERR_RANGE, got {err}"
+        );
+        assert_eq!(client.stat().unwrap().num_docs, before + 24);
+        handle.shutdown();
+    }
+    // Everything acked over the wire must still be there after a clean
+    // reopen (both backends wrote to the same store).
+    drop(live);
+    let reopened = LiveStore::open(dir.path(), LiveConfig::default()).unwrap();
+    let mut want = docs[0].clone();
+    want.extend_from_slice(b"--trailer--");
+    assert_eq!(reopened.get(0).unwrap(), want);
+    assert!(reopened.get(1).is_err(), "delete must survive reopen");
+    assert_eq!(reopened.get(2).unwrap(), docs[2]);
+    assert_eq!(reopened.num_docs(), 24 * backends().len());
+}
+
+#[test]
+fn read_only_family_answers_writes_with_err_readonly() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("readonly-writes");
+    build_rlz(dir.path(), &docs);
+    let store = Arc::new(RlzStore::open(dir.path()).unwrap());
+    for backend in backends() {
+        // `start` never sets a writer, so the server is read-only.
+        let handle = start(Arc::clone(&store) as Arc<dyn DocStore>, 1, backend);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for result in [
+            client.put(b"new doc").map(|_| ()),
+            client.append(0, b"tail"),
+            client.delete(0),
+        ] {
+            let err = result.unwrap_err();
+            assert!(
+                matches!(err, ClientError::Server { status, .. } if status == STATUS_READONLY),
+                "read-only server must answer ERR_READONLY, got {err}"
+            );
+        }
+        // Reads are untouched.
+        assert_eq!(client.get(0).unwrap(), docs[0]);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn wal_backlog_sheds_writes_while_reads_serve() {
+    let docs = corpus_docs();
+    let dir = TempDir::new("write-shed");
+    let cfg = LiveConfig {
+        fsync: FsyncPolicy::Never,
+        seal_bytes: u64::MAX, // never seal: the backlog only grows
+        wal_soft_bytes: 1,    // one put trips the pressure bound
+        wal_max_bytes: 1 << 30,
+    };
+    let live = create_live(dir.path(), &docs, cfg);
+    let handle = start_live(&live, backends()[0]);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let id = client.put(&docs[0]).unwrap();
+    let err = client.put(&docs[1]).unwrap_err();
+    assert!(
+        err.is_busy(),
+        "writes past the soft WAL bound must shed with ERR_BUSY, got {err}"
+    );
+    // Reads keep flowing while the write path sheds.
+    assert_eq!(client.get(id).unwrap(), docs[0]);
+    assert_eq!(client.mget(&[id]).unwrap()[0], docs[0]);
+    // Draining the backlog (seal) reopens the write path.
+    live.seal().unwrap();
+    let id2 = client.put(&docs[1]).unwrap();
+    assert_eq!(client.get(id2).unwrap(), docs[1]);
+    handle.shutdown();
 }
