@@ -16,8 +16,9 @@
 //! DELETE opcodes; every other family serves read-only and answers writes
 //! with ERR_READONLY. `--fsync` sets the WAL durability policy for acked
 //! writes, `--seal-bytes` the tail size that triggers sealing a segment,
-//! and `--wal-soft-bytes` / `--wal-max-bytes` the backlog bounds past
-//! which writes shed with ERR_BUSY / fail with ERR_WAL_FULL.
+//! and `--wal-soft-bytes` / `--wal-max-bytes` the backlog bounds (writes
+//! shed with ERR_BUSY past the soft bound; the hard bound seals to drain
+//! the log, answering ERR_WAL_FULL only if that seal reclaims nothing).
 //! `--resident` loads the payload into memory so retrieval
 //! does no disk I/O. `--backend` picks the event backend (`auto` follows
 //! `RLZ_SERVE_BACKEND`, then epoll on Linux); `--cache-bytes N` enables

@@ -45,7 +45,9 @@
 //! is unreadable but the server, the connection, and every other document
 //! are fine. `ERR_READONLY` answers any write sent to a server without a
 //! writable store; `ERR_WAL_FULL` means the write-ahead log hit its hard
-//! bound — durable, but writes fail until a seal drains it.
+//! bound *and* the automatic drain-seal could not reclaim space (the
+//! normal case seals and accepts the write) — durable, the write did not
+//! happen, retry with a longer backoff.
 //!
 //! Writes are acknowledged only after the store call returns: under the
 //! `always` fsync policy an OK to PUT/APPEND/DELETE means the mutation is
@@ -121,8 +123,10 @@ pub const STATUS_CORRUPT: u8 = 0x06;
 /// A write opcode reached a server that has no write path (every store
 /// family except the live store).
 pub const STATUS_READONLY: u8 = 0x07;
-/// The write-ahead log hit its hard bound; writes fail until a segment
-/// seal drains it. Back off longer than for `ERR_BUSY`.
+/// The write-ahead log hit its hard bound and the store's automatic
+/// drain-seal could not reclaim space (normally it seals and the write
+/// proceeds, so this signals a sealing problem — e.g. the disk is full).
+/// Back off longer than for `ERR_BUSY`.
 pub const STATUS_WAL_FULL: u8 = 0x08;
 
 /// STAT backend tag: the portable poll-loop fallback.

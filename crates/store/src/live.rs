@@ -11,10 +11,16 @@
 //! 2. the document is then factorized against the memory-resident
 //!    dictionary into the in-memory **tail** (encoded bytes, shared via
 //!    `Arc`), immediately visible to readers;
-//! 3. when the tail outgrows the seal threshold it is folded into an
-//!    immutable [segment](crate::segment) published by atomic rename +
-//!    directory fsync, a new `MANIFEST` generation is published the same
-//!    way, and the WAL is reset.
+//! 3. when the tail outgrows the seal threshold — or the WAL backlog
+//!    grows past half its hard bound, which catches delete-heavy and
+//!    highly-compressible traffic whose tail stays small — it is folded
+//!    into an immutable [segment](crate::segment) published by atomic
+//!    rename + directory fsync, a new `MANIFEST` generation is published
+//!    the same way, and the WAL is reset. The write path can therefore
+//!    always drain itself: a WAL at its hard bound seals *before*
+//!    accepting the next write instead of wedging, and
+//!    [`StoreError::WalFull`] is reserved for the pathological case where
+//!    that seal cannot reclaim space.
 //!
 //! # Epoch-swap reads
 //!
@@ -62,14 +68,19 @@ pub struct LiveConfig {
     /// When the WAL is pushed to stable storage.
     pub fsync: FsyncPolicy,
     /// Seal the in-memory tail into a segment once its encoded bytes pass
-    /// this threshold.
+    /// this threshold. The WAL backlog is a second, independent seal
+    /// trigger (at `wal_max_bytes / 2`): tombstones add nothing to the
+    /// tail and compressible documents add little, so the tail alone must
+    /// not be what keeps the log drainable.
     pub seal_bytes: u64,
     /// Soft WAL bound: past this, [`WriteStore::write_pressure`] reports
     /// true and the server sheds *writes* with `ERR_BUSY` (reads are
     /// unaffected — the backlog is writer-side work).
     pub wal_soft_bytes: u64,
-    /// Hard WAL bound: past this, writes fail with
-    /// [`StoreError::WalFull`] until a seal drains the log.
+    /// Hard WAL bound: a write arriving with the WAL at or past this first
+    /// seals the tail to drain the log, then proceeds.
+    /// [`StoreError::WalFull`] is returned only if that seal cannot
+    /// reclaim space — the write path never wedges on a full log.
     pub wal_max_bytes: u64,
 }
 
@@ -224,6 +235,9 @@ struct LiveInner {
     /// WAL length mirrored out of the writer lock so `write_pressure` is a
     /// lock-free load on the serving path.
     wal_len: AtomicU64,
+    /// Opportunistic post-write seals that failed. The writes themselves
+    /// were already durable and acked; the seal retries on later writes.
+    seal_failures: AtomicU64,
 }
 
 /// What [`LiveStore::open`] had to do to get consistent.
@@ -359,7 +373,15 @@ impl LiveStore {
                                 true
                             }
                             Some(TailEntry::Tombstone) => false,
-                            None => sealed.get_inner(*id, &mut doc).is_ok(),
+                            // Only a doc that positively does not exist may
+                            // be skipped. A corrupt or unreadable sealed
+                            // record must surface — silently dropping an
+                            // acked APPEND here would be data loss.
+                            None => match sealed.get_inner(*id, &mut doc) {
+                                Ok(()) => true,
+                                Err(StoreError::DocOutOfRange(_)) => false,
+                                Err(e) => return Err(e),
+                            },
                         };
                         if !found {
                             // Appending to a doc that no longer exists:
@@ -407,7 +429,7 @@ impl LiveStore {
             torn_bytes_dropped: wal_recovery.dropped_bytes,
             debris_removed,
         };
-        Ok(LiveStore {
+        let store = LiveStore {
             inner: Arc::new(LiveInner {
                 dir: dir.to_path_buf(),
                 compressor,
@@ -418,9 +440,31 @@ impl LiveStore {
                 writer: Mutex::new(writer),
                 snapshot: RwLock::new(snapshot),
                 wal_len: AtomicU64::new(wal_len),
+                seal_failures: AtomicU64::new(0),
             }),
             recovery,
-        })
+        };
+        // Under the Interval policy an append only syncs when a *later*
+        // append arrives past the interval; if writes stop, the last
+        // frames would sit unsynced forever. A background flusher holds
+        // the loss window to the interval even across write silence. It
+        // keeps only a Weak handle, so it dies (within one interval) once
+        // the last store handle is dropped.
+        if let FsyncPolicy::Interval(every) = config.fsync {
+            let weak = Arc::downgrade(&store.inner);
+            std::thread::Builder::new()
+                .name("rlz-live-flusher".into())
+                .spawn(move || loop {
+                    std::thread::sleep(every);
+                    let Some(inner) = weak.upgrade() else { break };
+                    let mut writer = inner.writer.lock().expect("writer lock");
+                    // An fsync failure here is retried next tick; the
+                    // frames stay in the WAL either way.
+                    let _ = writer.wal.sync();
+                })
+                .map_err(StoreError::Io)?;
+        }
+        Ok(store)
     }
 
     /// What the most recent [`open`](LiveStore::open) recovered.
@@ -436,6 +480,25 @@ impl LiveStore {
     /// Current WAL backlog in bytes.
     pub fn wal_len(&self) -> u64 {
         self.inner.wal_len.load(Ordering::Relaxed)
+    }
+
+    /// Opportunistic post-write seals that failed so far. The writes they
+    /// followed were already durable and acked — a failed seal costs
+    /// nothing but backlog, and the next write retries it.
+    pub fn seal_failures(&self) -> u64 {
+        self.inner.seal_failures.load(Ordering::Relaxed)
+    }
+
+    /// WAL frames appended but not yet on stable storage (always 0 under
+    /// [`FsyncPolicy::Always`]; under `Interval` the background flusher
+    /// returns this to 0 within one interval even when writes stop).
+    pub fn unsynced_frames(&self) -> u64 {
+        self.inner
+            .writer
+            .lock()
+            .expect("writer lock")
+            .wal
+            .unsynced()
     }
 
     /// Pins the current epoch: an immutable [`LiveSnapshot`] that future
@@ -468,11 +531,36 @@ impl LiveStore {
             .store(writer.wal.len(), Ordering::Relaxed);
     }
 
-    fn check_wal_room(&self, writer: &Writer) -> Result<(), StoreError> {
+    /// Makes room for one more write. A WAL at its hard bound is drained
+    /// by sealing — nothing has been logged for the incoming write yet, so
+    /// a seal failure here fails the write cleanly. [`StoreError::WalFull`]
+    /// only if even a successful seal could not reclaim space.
+    fn ensure_wal_room(&self, writer: &mut Writer) -> Result<(), StoreError> {
+        if writer.wal.len() < self.inner.config.wal_max_bytes {
+            return Ok(());
+        }
+        self.seal_locked(writer)?;
         if writer.wal.len() >= self.inner.config.wal_max_bytes {
             return Err(StoreError::WalFull);
         }
         Ok(())
+    }
+
+    /// Post-write opportunistic seal: fires when the tail passes
+    /// `seal_bytes` *or* the WAL backlog passes half its hard bound (the
+    /// trigger that keeps delete-heavy traffic — whose tombstones add no
+    /// tail bytes — and highly-compressible traffic drainable long before
+    /// the hard bound). The write that got us here is already durably
+    /// logged, published, and its id consumed, so a seal failure must NOT
+    /// fail the ack: it is counted in [`seal_failures`](Self::seal_failures)
+    /// and retried on the next write (or by [`ensure_wal_room`]
+    /// pre-write, where failing is still safe).
+    fn maybe_auto_seal(&self, writer: &mut Writer) {
+        let due = writer.tail_bytes >= self.inner.config.seal_bytes
+            || writer.wal.len() >= self.inner.config.wal_max_bytes / 2;
+        if due && self.seal_locked(writer).is_err() {
+            self.inner.seal_failures.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Seals the in-memory tail into a segment and publishes a new
@@ -485,9 +573,22 @@ impl LiveStore {
 
     fn seal_locked(&self, writer: &mut Writer) -> Result<(), StoreError> {
         if writer.tail.is_empty() {
-            // Nothing new; still drain the WAL if it has synced garbage
-            // from replayed-then-sealed epochs. (It cannot: the WAL resets
-            // exactly when the tail empties. Keep the invariant cheap.)
+            // No new documents, but the WAL can still hold frames that
+            // replayed to no-ops (APPENDs to since-deleted docs are
+            // skipped during recovery). Publish the advanced watermark and
+            // drain them, so a full WAL is always reclaimable.
+            if !writer.wal.is_empty() {
+                let manifest = Manifest {
+                    gen: writer.gen + 1,
+                    next_doc_id: writer.next_id,
+                    applied_seq: writer.next_seq - 1,
+                    segments: writer.segments.clone(),
+                };
+                manifest.publish(&self.inner.dir)?;
+                writer.wal.reset()?;
+                writer.gen = manifest.gen;
+                self.publish(writer);
+            }
             return Ok(());
         }
         let mut ids: Vec<u32> = writer.tail.keys().copied().collect();
@@ -541,7 +642,7 @@ impl LiveStore {
 impl crate::WriteStore for LiveStore {
     fn put(&self, doc: &[u8]) -> Result<u32, StoreError> {
         let mut writer = self.inner.writer.lock().expect("writer lock");
-        self.check_wal_room(&writer)?;
+        self.ensure_wal_room(&mut writer)?;
         let seq = writer.next_seq;
         writer.wal.log_put(seq, doc)?;
         writer.next_seq += 1;
@@ -551,15 +652,13 @@ impl crate::WriteStore for LiveStore {
         writer.tail_bytes += enc.len() as u64;
         writer.tail.insert(id, TailEntry::Doc(Arc::new(enc)));
         self.publish(&writer);
-        if writer.tail_bytes >= self.inner.config.seal_bytes {
-            self.seal_locked(&mut writer)?;
-        }
+        self.maybe_auto_seal(&mut writer);
         Ok(id)
     }
 
     fn append(&self, id: u32, bytes: &[u8]) -> Result<(), StoreError> {
         let mut writer = self.inner.writer.lock().expect("writer lock");
-        self.check_wal_room(&writer)?;
+        self.ensure_wal_room(&mut writer)?;
         // Read the current content through the snapshot (consistent with
         // the writer under its lock); fails typed if the doc never existed
         // or was deleted.
@@ -574,15 +673,13 @@ impl crate::WriteStore for LiveStore {
         writer.tail_bytes += enc.len() as u64;
         writer.tail.insert(id, TailEntry::Doc(Arc::new(enc)));
         self.publish(&writer);
-        if writer.tail_bytes >= self.inner.config.seal_bytes {
-            self.seal_locked(&mut writer)?;
-        }
+        self.maybe_auto_seal(&mut writer);
         Ok(())
     }
 
     fn delete(&self, id: u32) -> Result<(), StoreError> {
         let mut writer = self.inner.writer.lock().expect("writer lock");
-        self.check_wal_room(&writer)?;
+        self.ensure_wal_room(&mut writer)?;
         // Deleting a doc that is not currently visible is out-of-range.
         let snap = self.inner.snapshot.read().expect("snapshot lock").clone();
         let mut probe = Vec::new();
@@ -593,6 +690,9 @@ impl crate::WriteStore for LiveStore {
         writer.next_seq += 1;
         writer.tail.insert(id, TailEntry::Tombstone);
         self.publish(&writer);
+        // Tombstones add no tail bytes; the WAL-length trigger inside is
+        // what keeps delete-heavy traffic sealing (and the log draining).
+        self.maybe_auto_seal(&mut writer);
         Ok(())
     }
 
@@ -809,32 +909,83 @@ mod tests {
     }
 
     #[test]
-    fn wal_full_fails_typed_and_seal_drains() {
-        let dir = TestDir::new("live-walfull");
+    fn wal_bound_seals_to_drain_instead_of_wedging() {
+        // The reviewer's wedge scenario: the tail-size seal trigger is
+        // unreachable (seal_bytes = MAX), so only the WAL-length triggers
+        // keep the log drainable. Writes must never wedge on WalFull.
+        let dir = TestDir::new("live-walbound");
         let config = LiveConfig {
             fsync: FsyncPolicy::Always,
-            seal_bytes: u64::MAX, // never auto-seal
-            wal_soft_bytes: 64,
-            wal_max_bytes: 256,
+            seal_bytes: u64::MAX,
+            wal_soft_bytes: u64::MAX, // isolate the hard-bound machinery
+            wal_max_bytes: 2048,
         };
         let store = LiveStore::create(dir.path(), dict(), PairCoding::ZV, config).unwrap();
-        let mut put_err = None;
-        for i in 0..1000 {
-            match store.put(&doc(i)) {
-                Ok(_) => {}
-                Err(e) => {
-                    put_err = Some(e);
-                    break;
-                }
-            }
+        let docs: Vec<Vec<u8>> = (0..200).map(doc).collect();
+        for d in &docs {
+            store.put(d).unwrap(); // never WalFull
         }
-        assert!(matches!(put_err, Some(StoreError::WalFull)));
-        assert!(store.write_pressure(), "soft bound passed before hard");
-        // Reads keep working while writes are shed.
+        assert!(
+            store.wal_len() < config.wal_max_bytes,
+            "auto-seal kept the log below its hard bound"
+        );
+        assert_eq!(store.seal_failures(), 0);
+        // Delete-heavy traffic: tombstones add no tail bytes, so only the
+        // WAL-length trigger can drain the log here. Before the fix this
+        // wedged permanently once the log filled with DELETE frames.
+        for id in 0..docs.len() as u32 {
+            store.delete(id).unwrap();
+        }
+        assert!(store.wal_len() < config.wal_max_bytes);
+        drop(store);
+        // Restart lands in the same healthy state: all deletes took.
+        let store = LiveStore::open(dir.path(), config).unwrap();
+        assert_eq!(store.num_docs(), docs.len());
+        for id in 0..docs.len() {
+            assert!(store.get(id).is_err(), "doc {id} stays deleted");
+        }
+        store.put(&doc(999)).unwrap();
+    }
+
+    #[test]
+    fn write_pressure_trips_at_soft_bound_while_reads_serve() {
+        let dir = TestDir::new("live-pressure");
+        let config = LiveConfig {
+            fsync: FsyncPolicy::Always,
+            seal_bytes: u64::MAX,
+            wal_soft_bytes: 64,
+            wal_max_bytes: 1 << 30, // backlog grows; auto-seal far away
+        };
+        let store = LiveStore::create(dir.path(), dict(), PairCoding::ZV, config).unwrap();
+        for i in 0..10 {
+            store.put(&doc(i)).unwrap();
+        }
+        assert!(store.write_pressure(), "soft bound passed");
+        // Reads keep working while the server would shed writes.
         assert_eq!(store.get(0).unwrap(), doc(0));
         store.seal().unwrap();
-        assert!(!store.write_pressure());
-        store.put(&doc(999)).unwrap();
+        assert!(!store.write_pressure(), "seal drains the backlog");
+        assert_eq!(store.wal_len(), 0);
+    }
+
+    #[test]
+    fn interval_policy_background_flusher_syncs_idle_tail() {
+        use std::time::{Duration, Instant};
+        let dir = TestDir::new("live-flusher");
+        let config = LiveConfig {
+            fsync: FsyncPolicy::Interval(Duration::from_millis(20)),
+            ..LiveConfig::default()
+        };
+        let store = LiveStore::create(dir.path(), dict(), PairCoding::ZV, config).unwrap();
+        store.put(&doc(0)).unwrap();
+        // No further writes arrive; the background flusher alone must push
+        // the frame to stable storage within the interval (the documented
+        // bounded-loss-window guarantee).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while store.unsynced_frames() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(store.unsynced_frames(), 0, "flusher synced the idle tail");
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub enum FsyncPolicy {
     /// durable before the ack exists. The strongest (and slowest) policy.
     Always,
     /// Sync at most once per interval: bounds the crash-loss window to the
-    /// interval without paying a sync per write.
+    /// interval without paying a sync per write. The `Wal` itself only
+    /// syncs when an append lands past the interval (or [`Wal::sync`] is
+    /// called); [`LiveStore`](crate::LiveStore) runs a background flusher
+    /// so the bound holds even when writes stop arriving.
     Interval(Duration),
     /// Never sync explicitly; the OS flushes when it pleases. Recovery is
     /// still safe (torn tails truncate cleanly) but recently acknowledged
@@ -377,6 +380,12 @@ impl Wal {
     /// True when the log holds no frames.
     pub fn is_empty(&self) -> bool {
         self.media.len() == 0
+    }
+
+    /// Frames appended since the last sync (0 means everything appended
+    /// so far is on stable storage).
+    pub(crate) fn unsynced(&self) -> u64 {
+        self.unsynced
     }
 
     /// Discards every frame: called after a seal has published a manifest
