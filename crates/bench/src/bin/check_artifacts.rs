@@ -178,6 +178,13 @@ fn check_bench(file: &Path, bench: &str, rows: &[Value]) -> Result<(), String> {
                         &format!("row {i}: backend must be epoll/portable, got {backend:?}"),
                     ));
                 }
+                // Optional while older artifacts linger; when present it is
+                // the instrumentation-ablation axis and must be on/off.
+                if let Some(metrics) = row.get("metrics").and_then(Value::as_str) {
+                    if !matches!(metrics, "on" | "off") {
+                        return Err(fail(file, &format!("row {i}: metrics must be on/off")));
+                    }
+                }
             }
         }
         "faults" => {

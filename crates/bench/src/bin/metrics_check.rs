@@ -1,0 +1,333 @@
+//! `metrics_check` — CI validator for the `rlz-serve` metrics surfaces.
+//!
+//! ```text
+//! metrics_check --addr HOST:PORT --drive [--http HOST:PORT]
+//! metrics_check (--addr HOST:PORT | --http HOST:PORT)
+//!               --expect-min 'SERIES=VALUE' [--expect-min ...]
+//! ```
+//!
+//! `--drive` runs the smoke protocol against a **read-only** server: wait
+//! for readiness, scrape, drive a scripted GET/MGET/STAT/error mix with
+//! exact counts, scrape again, and assert the counter deltas match the
+//! script exactly — plus exposition-format cleanliness and histogram
+//! internal consistency (monotone cumulative buckets, `+Inf` == `_count`)
+//! on every scrape. With `--http` the scrapes go through the HTTP listener
+//! and the binary METRICS opcode is cross-checked against it; without,
+//! the opcode alone is used.
+//!
+//! `--expect-min SERIES=VALUE` scrapes once and asserts each named series
+//! (label syntax allowed: `rlz_requests_total{op="get"}=5`) is at least
+//! VALUE — how the chaos and crash CI jobs assert shed/recovery counters
+//! through the real scrape path instead of grepping server logs.
+
+use rlz_bench::promtext::Scrape;
+use rlz_serve::Client;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: metrics_check --addr HOST:PORT --drive [--http HOST:PORT]\n\
+         \x20      metrics_check (--addr HOST:PORT | --http HOST:PORT) \
+         --expect-min 'SERIES=VALUE' [--expect-min ...]"
+    );
+    std::process::exit(2)
+}
+
+/// Scrapes `GET /metrics` over HTTP/1.0 and returns the body.
+fn scrape_http(addr: SocketAddr) -> Result<String, String> {
+    let err = |e: std::io::Error| format!("http scrape {addr}: {e}");
+    let mut stream = TcpStream::connect(addr).map_err(err)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(err)?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: metrics\r\n\r\n")
+        .map_err(err)?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(err)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("http scrape {addr}: no header/body separator"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(format!("http scrape {addr}: {status}"));
+    }
+    if !head.contains("text/plain; version=0.0.4") {
+        return Err(format!(
+            "http scrape {addr}: missing exposition content type in {head:?}"
+        ));
+    }
+    Ok(body.to_string())
+}
+
+/// Scrapes via whichever surface is configured (HTTP preferred) and
+/// requires the text to parse cleanly.
+fn scrape(client: &mut Option<Client>, http: Option<SocketAddr>) -> Result<Scrape, String> {
+    let text = match (http, client) {
+        (Some(addr), _) => scrape_http(addr)?,
+        (None, Some(c)) => c.metrics().map_err(|e| format!("METRICS opcode: {e}"))?,
+        (None, None) => return Err("no scrape surface: pass --addr or --http".into()),
+    };
+    Scrape::parse(&text)
+}
+
+/// Waits until the binary-protocol endpoint answers STAT.
+fn wait_ready(addr: SocketAddr) -> Result<Client, String> {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let attempt = || -> Result<Client, String> {
+        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        c.stat().map_err(|e| e.to_string())?;
+        Ok(c)
+    };
+    loop {
+        match attempt() {
+            Ok(c) => return Ok(c),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("server at {addr} not ready after 15s: {e}"))
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(200)),
+        }
+    }
+}
+
+/// Exact value of one series, defaulting to 0 when the scrape lacks it
+/// (counters the server genuinely never touched).
+fn series(scrape: &Scrape, name: &str, labels: &[(&str, &str)]) -> f64 {
+    scrape.value(name, labels).unwrap_or(0.0)
+}
+
+fn delta_eq(
+    before: &Scrape,
+    after: &Scrape,
+    name: &str,
+    labels: &[(&str, &str)],
+    want: f64,
+) -> Result<(), String> {
+    let b = series(before, name, labels);
+    let a = series(after, name, labels);
+    if a - b != want {
+        return Err(format!(
+            "{name}{labels:?}: delta {} (from {b} to {a}), want {want}",
+            a - b
+        ));
+    }
+    Ok(())
+}
+
+/// Histogram internal consistency for one opcode: cumulative `le` buckets
+/// are monotone and the `+Inf` bucket equals `_count`.
+fn check_histogram(scrape: &Scrape, op: &str) -> Result<(), String> {
+    let name = "rlz_request_duration_seconds";
+    let mut prev = 0.0f64;
+    let mut inf = None;
+    let mut buckets = 0;
+    for s in &scrape.samples {
+        if s.name == format!("{name}_bucket") && s.label("op") == Some(op) {
+            let le = s
+                .label("le")
+                .ok_or_else(|| format!("{op}: bucket without le"))?;
+            if s.value < prev {
+                return Err(format!(
+                    "{op}: cumulative bucket counts not monotone at le={le}"
+                ));
+            }
+            prev = s.value;
+            buckets += 1;
+            if le == "+Inf" {
+                inf = Some(s.value);
+            }
+        }
+    }
+    if buckets < 2 {
+        return Err(format!("{op}: histogram has {buckets} bucket lines"));
+    }
+    let inf = inf.ok_or_else(|| format!("{op}: histogram lacks a +Inf bucket"))?;
+    let count = series(scrape, &format!("{name}_count"), &[("op", op)]);
+    if inf != count {
+        return Err(format!("{op}: +Inf bucket {inf} != _count {count}"));
+    }
+    Ok(())
+}
+
+/// The scripted drive: exact op counts against a read-only store, scrape
+/// before and after, assert every delta.
+#[allow(clippy::type_complexity)]
+fn drive(addr: SocketAddr, http: Option<SocketAddr>) -> Result<(), String> {
+    let mut client = wait_ready(addr)?;
+    let num_docs = client.stat().map_err(|e| format!("STAT: {e}"))?.num_docs as u32;
+    if num_docs < 4 {
+        return Err(format!("store too small to drive ({num_docs} docs)"));
+    }
+    // The scrape client is separate so opcode scrapes never interleave
+    // with the driven connection's frames.
+    let mut scraper = Some(Client::connect(addr).map_err(|e| format!("connect scraper: {e}"))?);
+    let before = scrape(&mut scraper, http)?;
+    if http.is_some() {
+        // Cross-check: the binary opcode must serve the same registry.
+        let opcode = scrape(&mut scraper, None)?;
+        for name in ["rlz_requests_total", "rlz_store_docs"] {
+            if !opcode.samples.iter().any(|s| s.name == name) {
+                return Err(format!("opcode scrape lacks {name}"));
+            }
+        }
+    }
+
+    // The script. Every count here must be mirrored in the deltas below.
+    for i in 0..10u32 {
+        client.get(i % num_docs).map_err(|e| format!("GET: {e}"))?;
+    }
+    for _ in 0..2 {
+        if client.get(num_docs + 7).is_ok() {
+            return Err("out-of-range GET unexpectedly succeeded".into());
+        }
+    }
+    for _ in 0..3 {
+        client
+            .mget(&[0, 1, 2, 1])
+            .map_err(|e| format!("MGET: {e}"))?;
+    }
+    if client.mget(&[0, num_docs + 7]).is_ok() {
+        return Err("out-of-range MGET unexpectedly succeeded".into());
+    }
+    for _ in 0..3 {
+        client.stat().map_err(|e| format!("STAT: {e}"))?;
+    }
+    if client.put(b"metrics-smoke probe").is_ok() {
+        return Err("PUT against a read-only store unexpectedly succeeded".into());
+    }
+
+    let after = scrape(&mut scraper, http)?;
+    let checks: [(&str, &[(&str, &str)], f64); 10] = [
+        ("rlz_requests_total", &[("op", "get")], 12.0),
+        ("rlz_request_errors_total", &[("op", "get")], 2.0),
+        ("rlz_requests_total", &[("op", "mget")], 4.0),
+        ("rlz_request_errors_total", &[("op", "mget")], 1.0),
+        ("rlz_requests_total", &[("op", "stat")], 3.0),
+        ("rlz_request_errors_total", &[("op", "stat")], 0.0),
+        ("rlz_requests_total", &[("op", "put")], 1.0),
+        ("rlz_request_errors_total", &[("op", "put")], 1.0),
+        ("rlz_request_duration_seconds_count", &[("op", "get")], 12.0),
+        ("rlz_request_duration_seconds_count", &[("op", "mget")], 4.0),
+    ];
+    let mut failures = Vec::new();
+    for (name, labels, want) in checks {
+        if let Err(e) = delta_eq(&before, &after, name, labels, want) {
+            failures.push(e);
+        }
+    }
+    for op in ["get", "mget", "put", "stat"] {
+        if let Err(e) = check_histogram(&after, op) {
+            failures.push(e);
+        }
+    }
+    for (name, labels) in [
+        ("rlz_response_bytes_total", [("op", "get")]),
+        ("rlz_response_bytes_total", [("op", "mget")]),
+    ] {
+        if series(&after, name, &labels) <= series(&before, name, &labels) {
+            failures.push(format!("{name}{labels:?} did not grow"));
+        }
+    }
+    if series(&after, "rlz_store_docs", &[]) != num_docs as f64 {
+        failures.push(format!(
+            "rlz_store_docs {} != STAT num_docs {num_docs}",
+            series(&after, "rlz_store_docs", &[])
+        ));
+    }
+    if failures.is_empty() {
+        println!(
+            "metrics_check: drive OK ({} samples scraped, all scripted deltas exact)",
+            after.samples.len()
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// Parses an `--expect-min` spec: `SERIES=VALUE` where SERIES may carry a
+/// label set in exposition syntax.
+#[allow(clippy::type_complexity)]
+fn parse_expectation(spec: &str) -> Result<(String, Vec<(String, String)>, f64), String> {
+    let (series, value) = spec
+        .rsplit_once('=')
+        .ok_or_else(|| format!("--expect-min {spec:?}: missing '='"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("--expect-min {spec:?}: unparseable value"))?;
+    // Reuse the exposition parser by rendering the series as a sample line.
+    let parsed = Scrape::parse(&format!("{series} 0\n"))
+        .map_err(|e| format!("--expect-min {spec:?}: bad series: {e}"))?;
+    let sample = parsed
+        .samples
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("--expect-min {spec:?}: empty series"))?;
+    Ok((sample.name, sample.labels, value))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<SocketAddr> = None;
+    let mut http: Option<SocketAddr> = None;
+    let mut do_drive = false;
+    let mut expectations = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--addr" => addr = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--http" => http = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--drive" => do_drive = true,
+            "--expect-min" => expectations.push(value(&mut i)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if !do_drive && expectations.is_empty() {
+        usage();
+    }
+    let run = || -> Result<(), String> {
+        if do_drive {
+            drive(addr.ok_or("--drive needs --addr")?, http)?;
+        }
+        if !expectations.is_empty() {
+            // Gate on readiness when the binary endpoint is known.
+            let mut client = match (addr, http) {
+                (Some(addr), _) => Some(wait_ready(addr)?),
+                (None, _) => None,
+            };
+            let scrape = scrape(&mut client, http)?;
+            for spec in &expectations {
+                let (name, labels, min) = parse_expectation(spec)?;
+                let labels: Vec<(&str, &str)> = labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let got = series(&scrape, &name, &labels);
+                if got < min {
+                    return Err(format!("{spec}: got {got}, want at least {min}"));
+                }
+                println!("metrics_check: {name}{labels:?} = {got} (>= {min})");
+            }
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("metrics_check: FAIL\n{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

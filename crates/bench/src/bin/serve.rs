@@ -1,0 +1,24 @@
+//! Served-retrieval benchmark: rlz-serve over loopback TCP, closed-loop
+//! and paced open-loop, with the hot-document cache and the metrics
+//! instrumentation as ablation axes (the metrics-off leg exists to bound
+//! the observability tax on tail latency). Writes the machine-readable
+//! `BENCH_serve.json` artifact.
+//!
+//! `cargo run --release -p rlz-bench --bin serve [-- --size-mb N]`
+
+use rlz_bench::{gov2_collection, ScaledConfig};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ScaledConfig::from_args(&args);
+    let gov2 = gov2_collection(&cfg);
+    let report = rlz_bench::serve::serve_table(
+        "Served retrieval — rlz-serve over loopback TCP (extension)",
+        &gov2,
+        &cfg,
+    );
+    report
+        .write(Path::new("BENCH_serve.json"))
+        .expect("write BENCH_serve.json");
+}

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod promtext;
 pub mod report;
 pub mod serve;
 pub mod tables;

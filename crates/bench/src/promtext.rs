@@ -1,0 +1,271 @@
+//! A small parser (and re-emitter) for the Prometheus text exposition
+//! format — the subset `rlz-serve` produces: `# HELP`/`# TYPE` comments,
+//! samples with optional `{label="value"}` sets, and plain float values
+//! (including `+Inf`). The CI metrics checker uses it to assert counter
+//! deltas from real scrapes instead of grepping, and the proptest
+//! roundtrip pins the emitter and parser to each other.
+
+use std::fmt::Write as _;
+
+/// One sample line: `name{label="value",...} 1.5`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (`rlz_requests_total`).
+    pub name: String,
+    /// Label pairs in source order; empty for unlabelled samples.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value (`f64::INFINITY` for `+Inf`).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The label's value, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed scrape: every sample line, in order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scrape {
+    /// All samples, in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+impl Scrape {
+    /// Parses exposition text. `# ...` comment lines and blank lines are
+    /// skipped; any malformed sample line is an error naming the line.
+    pub fn parse(text: &str) -> Result<Scrape, String> {
+        let mut samples = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            samples.push(
+                parse_sample(line).map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?,
+            );
+        }
+        Ok(Scrape { samples })
+    }
+
+    /// The value of the sample with `name` and exactly the given labels
+    /// (order-insensitive), if present.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels.iter().all(|(k, v)| s.label(k) == Some(*v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// Sums every sample of `name` whose labels are a superset of
+    /// `labels` — e.g. all `le` buckets of one histogram series.
+    pub fn sum(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// Re-emits the samples (no comments) in the exposition sample-line
+    /// syntax. `Scrape::parse(s.to_text())` reproduces `s` exactly for
+    /// finite values (`{}` formatting of `f64` is shortest-roundtrip).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&s.name);
+            if !s.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in s.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{k}=\"");
+                    for c in v.chars() {
+                        match c {
+                            '\\' => out.push_str("\\\\"),
+                            '"' => out.push_str("\\\""),
+                            '\n' => out.push_str("\\n"),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            if s.value == f64::INFINITY {
+                out.push_str(" +Inf\n");
+            } else {
+                let _ = writeln!(out, " {}", s.value);
+            }
+        }
+        out
+    }
+}
+
+fn parse_sample(line: &str) -> Result<Sample, &'static str> {
+    let (name_end, labels, rest) = match line.find('{') {
+        Some(brace) => {
+            let (labels, after) = parse_labels(&line[brace + 1..])?;
+            (brace, labels, after)
+        }
+        None => {
+            let sp = line.find(' ').ok_or("no value separator")?;
+            (sp, Vec::new(), &line[sp..])
+        }
+    };
+    let name = &line[..name_end];
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        return Err("invalid metric name");
+    }
+    let value_str = rest.trim_start_matches(' ');
+    if value_str.is_empty() || value_str.contains(' ') {
+        // A trailing timestamp is legal Prometheus but not something the
+        // rlz emitter produces; reject rather than silently misparse.
+        return Err("expected exactly one value after the name");
+    }
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse::<f64>().map_err(|_| "unparseable value")?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parses `key="value",...}` starting just past the opening brace.
+/// Returns the labels and the remainder after the closing brace.
+#[allow(clippy::type_complexity)]
+fn parse_labels(mut s: &str) -> Result<(Vec<(String, String)>, &str), &'static str> {
+    let mut labels = Vec::new();
+    loop {
+        s = s.trim_start_matches(' ');
+        if let Some(rest) = s.strip_prefix('}') {
+            return Ok((labels, rest));
+        }
+        let eq = s.find('=').ok_or("label without '='")?;
+        let key = s[..eq].trim().to_string();
+        if key.is_empty()
+            || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            || key.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            return Err("invalid label name");
+        }
+        s = s[eq + 1..]
+            .strip_prefix('"')
+            .ok_or("label value must be quoted")?;
+        let mut value = String::new();
+        let mut chars = s.char_indices();
+        let after_quote = loop {
+            let (i, c) = chars.next().ok_or("unterminated label value")?;
+            match c {
+                '"' => break i + 1,
+                '\\' => match chars.next().ok_or("dangling escape")?.1 {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    _ => return Err("unknown escape"),
+                },
+                c => value.push(c),
+            }
+        };
+        labels.push((key, value));
+        s = &s[after_quote..];
+        s = s.strip_prefix(',').unwrap_or(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_rlz_exposition_subset() {
+        let text = "\
+# HELP rlz_requests_total Requests served, by opcode.
+# TYPE rlz_requests_total counter
+rlz_requests_total{op=\"get\"} 41
+rlz_requests_total{op=\"mget\"} 0
+rlz_request_duration_seconds_bucket{op=\"get\",le=\"+Inf\"} 41
+rlz_request_duration_seconds_sum{op=\"get\"} 0.004242
+rlz_active_connections 2
+";
+        let scrape = Scrape::parse(text).unwrap();
+        assert_eq!(scrape.samples.len(), 5);
+        assert_eq!(
+            scrape.value("rlz_requests_total", &[("op", "get")]),
+            Some(41.0)
+        );
+        assert_eq!(scrape.value("rlz_requests_total", &[("op", "put")]), None);
+        assert_eq!(scrape.value("rlz_active_connections", &[]), Some(2.0));
+        assert_eq!(
+            scrape.value(
+                "rlz_request_duration_seconds_bucket",
+                &[("op", "get"), ("le", "+Inf")]
+            ),
+            Some(41.0)
+        );
+        assert_eq!(
+            scrape.value("rlz_request_duration_seconds_sum", &[("op", "get")]),
+            Some(0.004242)
+        );
+    }
+
+    #[test]
+    fn sum_matches_label_superset() {
+        let text = "\
+h_bucket{op=\"get\",le=\"0.1\"} 3
+h_bucket{op=\"get\",le=\"1\"} 5
+h_bucket{op=\"mget\",le=\"1\"} 7
+";
+        let scrape = Scrape::parse(text).unwrap();
+        assert_eq!(scrape.sum("h_bucket", &[("op", "get")]), 8.0);
+        assert_eq!(scrape.sum("h_bucket", &[]), 15.0);
+        assert_eq!(scrape.sum("nope", &[]), 0.0);
+    }
+
+    #[test]
+    fn escaped_label_values_roundtrip() {
+        let scrape = Scrape {
+            samples: vec![Sample {
+                name: "m".into(),
+                labels: vec![("k".into(), "a\\b\"c\nd".into())],
+                value: 1.5,
+            }],
+        };
+        let text = scrape.to_text();
+        assert_eq!(Scrape::parse(&text).unwrap(), scrape);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "novalue",
+            "1leading_digit 2",
+            "name{unterminated=\"x} 1",
+            "name{k=\"v\"} ",
+            "name{k=v} 1",
+            "name{k=\"v\"} 1 2",
+            "name{k=\"\\x\"} 1",
+            "name 12x4",
+        ] {
+            assert!(Scrape::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

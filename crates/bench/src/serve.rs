@@ -376,10 +376,16 @@ pub struct ServerLabels {
     pub cache: &'static str,
     /// The event backend name (`"epoll"` / `"portable"`).
     pub backend: &'static str,
+    /// `"on"` when the server collects metrics (the default); `"off"` is
+    /// the instrumentation-cost ablation. Part of the row identity so the
+    /// trend checker never compares across the ablation boundary.
+    pub metrics: &'static str,
 }
 
 impl ServerLabels {
-    /// Labels read from a live server's extended STAT response.
+    /// Labels read from a live server's extended STAT response. STAT does
+    /// not carry the metrics switch, so this assumes the default (`"on"`);
+    /// a driver benchmarking the ablation sets the field itself.
     pub fn from_stat(stats: &rlz_serve::ServeStats) -> Self {
         ServerLabels {
             cache: if stats.cache_budget_bytes > 0 {
@@ -388,6 +394,7 @@ impl ServerLabels {
                 "off"
             },
             backend: stats.backend_name(),
+            metrics: "on",
         }
     }
 }
@@ -411,6 +418,7 @@ pub fn result_row(
         .str("verified", if cfg.verify { "yes" } else { "no" })
         .str("cache", labels.cache)
         .str("backend", labels.backend)
+        .str("metrics", labels.metrics)
         .int("connections", cfg.connections as u64)
         .int("batch", cfg.batch as u64)
         .int("pipeline", cfg.pipeline as u64)
@@ -504,7 +512,10 @@ pub fn serve_table(
     let frames = (cfg.requests / 4).clamp(200, 20_000);
     let mut report = Report::new("serve");
 
-    for cache_bytes in [0usize, cache_budget] {
+    // The third sweep leg is the instrumentation-cost ablation: the same
+    // cache-off workload with metrics collection disabled, so the trend
+    // data carries a direct metrics-on vs metrics-off p99 comparison.
+    for (cache_bytes, metrics) in [(0usize, true), (cache_budget, true), (0usize, false)] {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
         let handle = rlz_serve::serve(
             Arc::new(store.clone()),
@@ -519,6 +530,8 @@ pub fn serve_table(
                 idle_timeout: None,
                 shed_queue_depth: 0,
                 writer: None,
+                metrics,
+                metrics_addr: None,
             },
         )
         .expect("start in-process server");
@@ -526,11 +539,12 @@ pub fn serve_table(
         let labels = ServerLabels {
             cache: if cache_bytes > 0 { "on" } else { "off" },
             backend: handle.backend().name(),
+            metrics: if metrics { "on" } else { "off" },
         };
         println!(
             "store: Enc {pct:.2}%, {num_docs} docs, serving on {addr} \
-             ({} backend, cache {})\n",
-            labels.backend, labels.cache
+             ({} backend, cache {}, metrics {})\n",
+            labels.backend, labels.cache, labels.metrics
         );
         print_serve_header();
 
@@ -559,6 +573,13 @@ pub fn serve_table(
                 store_stats.payload_bytes,
                 labels,
             ));
+        }
+        // The ablation leg only needs the closed-loop sweep for the
+        // instrumentation-cost comparison; skip the cache/pacing studies.
+        if !metrics {
+            println!();
+            handle.shutdown();
+            continue;
         }
         // Zipf single-GET pair: the cache-effectiveness comparison the
         // paper's skewed access patterns motivate.

@@ -1,0 +1,81 @@
+//! Property test pinning the exposition-format emitter and parser to each
+//! other: any scrape built from generated names, labels (including every
+//! escapable character), and values must survive
+//! `Scrape::parse(scrape.to_text())` byte-for-semantics.
+
+use proptest::prelude::*;
+use rlz_bench::promtext::{Sample, Scrape};
+
+/// Metric/label name from a generated seed: always starts with a letter,
+/// body drawn from the legal name alphabet.
+fn name_from(seed: &[u8]) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz_";
+    const BODY: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut out = String::new();
+    out.push(FIRST[seed.first().copied().unwrap_or(0) as usize % FIRST.len()] as char);
+    for &b in seed.iter().skip(1) {
+        out.push(BODY[b as usize % BODY.len()] as char);
+    }
+    out
+}
+
+/// Label value from a generated seed: biased toward the characters the
+/// escaper must handle (`\`, `"`, newline) plus unicode.
+fn value_from(seed: &[u8]) -> String {
+    const PALETTE: [&str; 12] = [
+        "a", "B", "7", " ", ",", "{", "}", "=", "\\", "\"", "\n", "µ",
+    ];
+    seed.iter()
+        .map(|&b| PALETTE[b as usize % PALETTE.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn emitted_scrapes_reparse_identically(
+        specs in collection::vec(
+            (
+                collection::vec(any::<u8>(), 1..12),          // metric name seed
+                collection::vec(
+                    (collection::vec(any::<u8>(), 1..8),      // label name seed
+                     collection::vec(any::<u8>(), 0..10)),    // label value seed
+                    0..4,
+                ),
+                any::<u64>(),                                  // value bits
+                any::<bool>(),                                 // +Inf marker
+            ),
+            0..20,
+        ),
+    ) {
+        let samples: Vec<Sample> = specs
+            .iter()
+            .map(|(name_seed, labels, raw, inf)| {
+                let mut labels: Vec<(String, String)> = labels
+                    .iter()
+                    .map(|(k, v)| (name_from(k), value_from(v)))
+                    .collect();
+                // Duplicate label names would be ambiguous to compare
+                // back; keep the first of each.
+                labels.sort_by(|a, b| a.0.cmp(&b.0));
+                labels.dedup_by(|a, b| a.0 == b.0);
+                let value = if *inf {
+                    f64::INFINITY
+                } else {
+                    // Finite values with a fractional part; `{}` Display
+                    // is shortest-roundtrip so parse() recovers the bits.
+                    (*raw >> 12) as f64 / 1024.0
+                };
+                Sample {
+                    name: name_from(name_seed),
+                    labels,
+                    value,
+                }
+            })
+            .collect();
+        let scrape = Scrape { samples };
+        let reparsed = Scrape::parse(&scrape.to_text()).unwrap();
+        prop_assert_eq!(reparsed, scrape);
+    }
+}

@@ -470,6 +470,19 @@ impl Client {
         })
     }
 
+    /// Fetches the server's metrics in Prometheus text exposition format
+    /// via the METRICS opcode. A server running with metrics disabled
+    /// answers `ERR_BAD_OPCODE` (surfaced as [`ClientError::Server`]).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.req.clear();
+        protocol::write_metrics(&mut self.req);
+        self.stream.write_all(&self.req)?;
+        let (status, body) = read_response(&mut self.stream, &mut self.resp)?;
+        check_ok(status, body)?;
+        String::from_utf8(body.to_vec())
+            .map_err(|_| ClientError::Protocol("METRICS body is not UTF-8"))
+    }
+
     /// Asks the server to exit cleanly. `Ok` means the server acknowledged
     /// and is stopping.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {

@@ -9,9 +9,9 @@
 //! * [`Epoll`] — an `epoll` instance. Interest is registered per fd with a
 //!   caller-chosen `u64` token; [`Epoll::wait`] blocks **in the kernel**
 //!   (no busy-wait, no park interval) until an fd is ready or the timeout
-//!   elapses. Connections register **edge-triggered** ([`EPOLLET`]), which
+//!   elapses. Connections register **edge-triggered** (`EPOLLET`), which
 //!   pairs with the serve loop's drain-until-`WouldBlock` discipline;
-//!   the shared listener registers [`EPOLLEXCLUSIVE`] so one readiness
+//!   the shared listener registers `EPOLLEXCLUSIVE` so one readiness
 //!   event wakes one worker instead of the whole pool (no thundering
 //!   herd).
 //! * [`WakeFd`] — a level-triggered `eventfd` registered in every worker's

@@ -19,6 +19,11 @@
 //!   straight from memory. Each worker reuses per-connection buffers plus
 //!   the store layer's thread-local decode scratch, so a warm single-GET
 //!   request performs zero heap allocations end to end;
+//! * [`metrics`] — a zero-dependency observability layer: lock-free
+//!   per-opcode request/error/byte counters and √2-bucketed latency
+//!   histograms (wait-free to record, nanoseconds on the hot path),
+//!   scraped through the METRICS opcode or an optional plaintext HTTP
+//!   listener in Prometheus text exposition format;
 //! * [`client`] — a blocking client (with split `send_*`/`recv_*`
 //!   pipelining calls) used by the examples, the tests, and the
 //!   `serve_load` benchmark driver in `rlz-bench`.
@@ -60,8 +65,10 @@
 pub mod client;
 #[cfg(target_os = "linux")]
 pub mod event;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError, ServeStats};
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, Op};
 pub use server::{serve, Action, Backend, ResolvedBackend, Responder, ServeConfig, ServerHandle};

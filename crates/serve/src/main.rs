@@ -8,6 +8,7 @@
 //!           [--max-connections N] [--idle-timeout-ms N]
 //!           [--shed-queue-depth N] [--fsync always|interval:<ms>|never]
 //!           [--seal-bytes N] [--wal-soft-bytes N] [--wal-max-bytes N]
+//!           [--metrics-addr HOST:PORT] [--no-metrics]
 //! ```
 //!
 //! The store family is autodetected from the directory layout (`MANIFEST`
@@ -31,6 +32,13 @@
 //! silent for N ms, and `--shed-queue-depth N` answers GET/MGET with
 //! ERR_BUSY while more than N connections are queued behind the current
 //! turn, keeping tail latency bounded instead of collapsing.
+//!
+//! Observability: metrics are collected by default and served through the
+//! protocol's METRICS opcode; `--metrics-addr HOST:PORT` additionally
+//! starts a plaintext HTTP/1.0 listener answering `GET /metrics` in
+//! Prometheus text exposition format (port 0 picks a free port, reported
+//! at startup). `--no-metrics` disables collection entirely (a benchmark
+//! ablation; the METRICS opcode then answers ERR_BAD_OPCODE).
 
 use rlz_serve::{serve, Backend, ServeConfig};
 use rlz_store::{
@@ -51,7 +59,8 @@ fn usage() -> ! {
          \x20                [--max-connections N] [--idle-timeout-ms N]\n\
          \x20                [--shed-queue-depth N]\n\
          \x20                [--fsync always|interval:<ms>|never] [--seal-bytes N]\n\
-         \x20                [--wal-soft-bytes N] [--wal-max-bytes N]"
+         \x20                [--wal-soft-bytes N] [--wal-max-bytes N]\n\
+         \x20                [--metrics-addr HOST:PORT] [--no-metrics]"
     );
     std::process::exit(2)
 }
@@ -169,6 +178,10 @@ fn main() -> ExitCode {
             "--wal-max-bytes" => {
                 live_cfg.wal_max_bytes = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--metrics-addr" => {
+                cfg.metrics_addr = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--no-metrics" => cfg.metrics = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -227,6 +240,11 @@ fn main() -> ExitCode {
             "disabled"
         },
     );
+    if let Some(metrics_addr) = handle.metrics_addr() {
+        println!("rlz-serve: metrics: http://{metrics_addr}/metrics");
+    } else if !cfg.metrics {
+        println!("rlz-serve: metrics: disabled");
+    }
     if cfg.max_connections > 0 || cfg.idle_timeout.is_some() || cfg.shed_queue_depth > 0 {
         println!(
             "rlz-serve: overload controls: max-connections {}, idle-timeout {}, shed-queue-depth {}",

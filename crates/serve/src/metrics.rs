@@ -1,0 +1,697 @@
+//! Zero-dependency serving metrics: a static-shape registry of lock-free
+//! counters and log-bucketed latency histograms, rendered in Prometheus
+//! text exposition format.
+//!
+//! Design constraints (asserted by tests):
+//!
+//! * **No hashing, no locks, no allocation on the hot path.** Every
+//!   counter lives in a fixed enum-indexed array ([`Op`] → slot), so
+//!   recording a served request is a handful of relaxed `fetch_add`s —
+//!   the warm GET path stays zero-allocation with metrics enabled
+//!   (`tests/alloc_counting*.rs`).
+//! * **Wait-free across workers.** [`Histogram::record`] is three relaxed
+//!   atomic adds; there is no CAS loop, no seqlock, nothing a stalled
+//!   thread can block. Snapshots are racy-but-consistent-enough: each
+//!   bucket is read once, so a scrape concurrent with recording can be
+//!   off by in-flight samples but never torn within one bucket.
+//! * **Log-spaced buckets at power-of-√2 boundaries.** 48 bounded buckets
+//!   cover 1.024 µs (2¹⁰ ns) … ~12.1 s (⌊2³³·√2⌋ ns) — two buckets per
+//!   octave, so a quantile estimated from the cumulative counts is within
+//!   a factor of √2 of the exact value — plus one overflow bucket.
+//!   Boundaries are computed exactly in const context (integer square
+//!   root), and the bucket for a sample is found in O(1) from its leading
+//!   zeros plus at most two compares.
+//!
+//! The registry is exposed two ways by the server: the `METRICS` opcode on
+//! the binary protocol ([`crate::protocol::OP_METRICS`]) and an optional
+//! plaintext HTTP/1.0 `GET /metrics` listener (`--metrics-addr`), both
+//! rendering through [`render_prometheus`]. Point-in-time gauges from
+//! subsystems that keep their own counters — the hot-doc cache, the live
+//! store's WAL accounting ([`rlz_store::WriteStats`]), quarantine size —
+//! are sampled at render time, not mirrored into the registry.
+
+use rlz_store::{DocStore, ShardedLru, WriteStore};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::protocol::{STATUS_CORRUPT, STATUS_OK};
+
+/// Smallest bounded bucket boundary: 2^[`MIN_EXP`] ns = 1.024 µs.
+const MIN_EXP: u32 = 10;
+
+/// Bounded (non-overflow) bucket count: two per octave over
+/// 2^10 … 2^33 ns.
+const BOUNDED: usize = 48;
+
+/// Total bucket count including the overflow bucket.
+pub const BUCKETS: usize = BOUNDED + 1;
+
+/// `floor(sqrt(n))` in const context (binary search; no floats, so the
+/// boundaries are bit-exact on every target).
+const fn isqrt(n: u128) -> u64 {
+    // Upper bound chosen for the inputs here (n < 2^68), keeping the
+    // midpoint arithmetic overflow-free.
+    let mut lo: u64 = 0;
+    let mut hi: u64 = 1 << 34;
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if (mid as u128) * (mid as u128) <= n {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+const fn build_bounds() -> [u64; BOUNDED] {
+    let mut b = [0u64; BOUNDED];
+    let mut i = 0;
+    while i < BOUNDED {
+        let e = MIN_EXP + (i / 2) as u32;
+        // Even slots sit on powers of two; odd slots on ⌊2^e·√2⌋ =
+        // ⌊sqrt(2^(2e+1))⌋, computed exactly.
+        b[i] = if i % 2 == 0 {
+            1u64 << e
+        } else {
+            isqrt(1u128 << (2 * e + 1))
+        };
+        i += 1;
+    }
+    b
+}
+
+/// Inclusive upper bounds of the bounded buckets, in nanoseconds,
+/// ascending. Bucket `i` counts samples `v` with
+/// `BOUNDS[i-1] < v <= BOUNDS[i]` (bucket 0: `v <= BOUNDS[0]`); the
+/// overflow bucket `BOUNDED` counts everything past the last bound.
+pub const BOUNDS: [u64; BOUNDED] = build_bounds();
+
+/// The bucket a sample belongs to, in O(1): its octave from
+/// `leading_zeros`, then at most two boundary compares within the octave.
+pub fn bucket_index(ns: u64) -> usize {
+    if ns <= BOUNDS[0] {
+        return 0;
+    }
+    if ns > BOUNDS[BOUNDED - 1] {
+        return BOUNDED;
+    }
+    let e = 63 - ns.leading_zeros();
+    let base = 2 * (e - MIN_EXP) as usize;
+    if ns <= BOUNDS[base] {
+        base
+    } else if ns <= BOUNDS[base + 1] {
+        base + 1
+    } else {
+        base + 2
+    }
+}
+
+// `AtomicU64` is not `Copy`; a const item is the array-repeat idiom.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+/// A wait-free log-bucketed latency histogram (nanosecond samples).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Three relaxed `fetch_add`s: wait-free, no
+    /// allocation.
+    pub fn record(&self, ns: u64) {
+        self.record_n(ns, 1);
+    }
+
+    /// Records `n` samples of the same value (a batched GET run records
+    /// the run's service time once per frame it answered).
+    pub fn record_n(&self, ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(ns)].fetch_add(n, Relaxed);
+        self.count.fetch_add(n, Relaxed);
+        self.sum.fetch_add(ns.saturating_mul(n), Relaxed);
+    }
+
+    /// A point-in-time copy. Concurrent recording can make the parts
+    /// mutually stale by in-flight samples, never torn within one field.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, src) in buckets.iter_mut().zip(&self.buckets) {
+            *b = src.load(Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time [`Histogram`] copy, for quantile estimation and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) sample counts; the last slot is the
+    /// overflow bucket.
+    pub buckets: [u64; BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values, in nanoseconds (saturating).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile (`0.0..=1.0`) in nanoseconds: the inclusive
+    /// upper bound of the bucket containing the `⌈q·count⌉`-th sample.
+    /// For samples within the bounded range the estimate is ≥ the exact
+    /// value and within a factor of √2 of it; overflow-bucket estimates
+    /// return `u64::MAX`. 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < BOUNDED { BOUNDS[i] } else { u64::MAX };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Number of instrumented opcodes.
+pub const OP_COUNT: usize = 6;
+
+/// An instrumented opcode — the index into every per-op metric array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Single-document GET (including batched pipelined runs).
+    Get = 0,
+    /// Multi-document MGET.
+    MGet = 1,
+    /// PUT (live store write).
+    Put = 2,
+    /// APPEND (live store write).
+    Append = 3,
+    /// DELETE (live store write).
+    Delete = 4,
+    /// STAT.
+    Stat = 5,
+}
+
+impl Op {
+    /// Every instrumented opcode, in label order.
+    pub const ALL: [Op; OP_COUNT] = [Op::Get, Op::MGet, Op::Put, Op::Append, Op::Delete, Op::Stat];
+
+    /// The `op` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Get => "get",
+            Op::MGet => "mget",
+            Op::Put => "put",
+            Op::Append => "append",
+            Op::Delete => "delete",
+            Op::Stat => "stat",
+        }
+    }
+}
+
+/// The server's metric registry: fixed-shape, lock-free, shared by every
+/// worker thread. All methods are `&self` and wait-free.
+pub struct Metrics {
+    requests: [AtomicU64; OP_COUNT],
+    errors: [AtomicU64; OP_COUNT],
+    response_bytes: [AtomicU64; OP_COUNT],
+    latency: [Histogram; OP_COUNT],
+    active_connections: AtomicU64,
+    connections_total: AtomicU64,
+    connections_rejected: AtomicU64,
+    shed_reads: AtomicU64,
+    shed_writes: AtomicU64,
+    idle_reaped: AtomicU64,
+    corrupt: AtomicU64,
+    bad_frames: AtomicU64,
+    bad_opcodes: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    scrapes: AtomicU64,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const HIST: Histogram = Histogram::new();
+        Metrics {
+            requests: [ZERO; OP_COUNT],
+            errors: [ZERO; OP_COUNT],
+            response_bytes: [ZERO; OP_COUNT],
+            latency: [HIST; OP_COUNT],
+            active_connections: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+            shed_reads: AtomicU64::new(0),
+            shed_writes: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            bad_frames: AtomicU64::new(0),
+            bad_opcodes: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+            scrapes: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one executed request: its opcode, service time, response
+    /// frame size, and the response status byte (non-OK counts as an
+    /// error; `ERR_CORRUPT` additionally counts toward the corruption
+    /// total). Wait-free, zero-allocation.
+    pub fn note_response(&self, op: Op, ns: u64, bytes: u64, status: u8) {
+        let i = op as usize;
+        self.requests[i].fetch_add(1, Relaxed);
+        self.response_bytes[i].fetch_add(bytes, Relaxed);
+        self.latency[i].record(ns);
+        if status != STATUS_OK {
+            self.errors[i].fetch_add(1, Relaxed);
+            if status == STATUS_CORRUPT {
+                self.corrupt.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// Records a flushed pipelined-GET run from the response bytes it
+    /// appended (`frames` = `[len u32le][status][body]`…): one request per
+    /// frame, each at the run's total service time `ns` (the latency the
+    /// last-written response actually experienced), per-frame error and
+    /// corruption statuses, and the total bytes. Zero-allocation — the
+    /// scan is pointer arithmetic over bytes already written.
+    pub fn note_get_run(&self, frames: &[u8], ns: u64) {
+        let i = Op::Get as usize;
+        let mut n = 0u64;
+        let mut errors = 0u64;
+        let mut corrupt = 0u64;
+        let mut p = 0usize;
+        while p + 5 <= frames.len() {
+            let len = u32::from_le_bytes([frames[p], frames[p + 1], frames[p + 2], frames[p + 3]])
+                as usize;
+            let status = frames[p + 4];
+            if status != STATUS_OK {
+                errors += 1;
+                if status == STATUS_CORRUPT {
+                    corrupt += 1;
+                }
+            }
+            n += 1;
+            p += 4 + len;
+        }
+        self.requests[i].fetch_add(n, Relaxed);
+        self.response_bytes[i].fetch_add(frames.len() as u64, Relaxed);
+        self.latency[i].record_n(ns, n);
+        if errors > 0 {
+            self.errors[i].fetch_add(errors, Relaxed);
+        }
+        if corrupt > 0 {
+            self.corrupt.fetch_add(corrupt, Relaxed);
+        }
+    }
+
+    /// A GET/MGET answered `ERR_BUSY` by queue-depth shedding, without
+    /// touching the store: counted as a request and an error for its op
+    /// (no latency sample — nothing executed) plus the shed-reads total.
+    pub fn note_shed_read(&self, op: Op) {
+        self.requests[op as usize].fetch_add(1, Relaxed);
+        self.errors[op as usize].fetch_add(1, Relaxed);
+        self.shed_reads.fetch_add(1, Relaxed);
+    }
+
+    /// A write answered `ERR_BUSY` because the WAL backlog passed its soft
+    /// bound (the request/error accounting is covered by
+    /// [`Self::note_response`]; this only feeds the dedicated total).
+    pub fn note_shed_write(&self) {
+        self.shed_writes.fetch_add(1, Relaxed);
+    }
+
+    /// A corrupt document surfaced inside an otherwise-OK MGET response
+    /// (per-entry containment).
+    pub fn note_corrupt_entry(&self) {
+        self.corrupt.fetch_add(1, Relaxed);
+    }
+
+    /// A connection was accepted and registered.
+    pub fn note_conn_opened(&self) {
+        self.connections_total.fetch_add(1, Relaxed);
+        self.active_connections.fetch_add(1, Relaxed);
+    }
+
+    /// A registered connection was dropped (any reason).
+    pub fn note_conn_closed(&self) {
+        self.active_connections.fetch_sub(1, Relaxed);
+    }
+
+    /// A connection was rejected at the connection cap.
+    pub fn note_conn_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Relaxed);
+    }
+
+    /// A connection was reaped by the idle-timeout sweep (also closes it;
+    /// callers must not additionally call [`Self::note_conn_closed`]).
+    pub fn note_idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Relaxed);
+        self.active_connections.fetch_sub(1, Relaxed);
+    }
+
+    /// A malformed frame was answered `ERR_BAD_FRAME`.
+    pub fn note_bad_frame(&self) {
+        self.bad_frames.fetch_add(1, Relaxed);
+    }
+
+    /// An unknown opcode was answered `ERR_BAD_OPCODE`.
+    pub fn note_bad_opcode(&self) {
+        self.bad_opcodes.fetch_add(1, Relaxed);
+    }
+
+    /// Folds one observation of a worker's service-queue depth into the
+    /// high-water mark.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth_peak.fetch_max(depth, Relaxed);
+    }
+
+    /// Requests served for `op` so far.
+    pub fn requests(&self, op: Op) -> u64 {
+        self.requests[op as usize].load(Relaxed)
+    }
+
+    /// Error responses for `op` so far.
+    pub fn errors(&self, op: Op) -> u64 {
+        self.errors[op as usize].load(Relaxed)
+    }
+
+    /// Response bytes written for `op` so far.
+    pub fn response_bytes(&self, op: Op) -> u64 {
+        self.response_bytes[op as usize].load(Relaxed)
+    }
+
+    /// A copy of `op`'s latency histogram.
+    pub fn latency(&self, op: Op) -> HistogramSnapshot {
+        self.latency[op as usize].snapshot()
+    }
+
+    /// Reads answered `ERR_BUSY` by queue-depth shedding so far.
+    pub fn shed_reads(&self) -> u64 {
+        self.shed_reads.load(Relaxed)
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+/// Renders `ns` nanoseconds as a decimal seconds literal with no trailing
+/// zeros (`1024` → `"0.000001024"`), the form Prometheus `le` labels and
+/// `_sum` values use.
+fn fmt_seconds(out: &mut String, ns: u64) {
+    let whole = ns / 1_000_000_000;
+    let frac = ns % 1_000_000_000;
+    if frac == 0 {
+        let _ = write!(out, "{whole}");
+        return;
+    }
+    let mut digits = format!("{frac:09}");
+    while digits.ends_with('0') {
+        digits.pop();
+    }
+    let _ = write!(out, "{whole}.{digits}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn per_op_counter(out: &mut String, name: &str, help: &str, value: impl Fn(Op) -> u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for op in Op::ALL {
+        let _ = writeln!(out, "{name}{{op=\"{}\"}} {}", op.name(), value(op));
+    }
+}
+
+/// Renders the whole registry — plus point-in-time gauges sampled from the
+/// store, cache, and write path when present — in Prometheus text
+/// exposition format. Allocates freely; this is the scrape path, not the
+/// serve path.
+pub fn render_prometheus(
+    m: &Metrics,
+    store: Option<&dyn DocStore>,
+    cache: Option<&ShardedLru>,
+    writer: Option<&dyn WriteStore>,
+) -> String {
+    m.scrapes.fetch_add(1, Relaxed);
+    let mut out = String::with_capacity(16 << 10);
+    per_op_counter(
+        &mut out,
+        "rlz_requests_total",
+        "Requests served, by opcode.",
+        |op| m.requests(op),
+    );
+    per_op_counter(
+        &mut out,
+        "rlz_request_errors_total",
+        "Error responses, by opcode (includes shed ERR_BUSY answers).",
+        |op| m.errors(op),
+    );
+    per_op_counter(
+        &mut out,
+        "rlz_response_bytes_total",
+        "Response frame bytes written, by opcode.",
+        |op| m.response_bytes(op),
+    );
+
+    let name = "rlz_request_duration_seconds";
+    let _ = writeln!(
+        out,
+        "# HELP {name} Request service time (parse to response written), by opcode."
+    );
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for op in Op::ALL {
+        let snap = m.latency(op);
+        let mut cumulative = 0u64;
+        for (i, &bound) in BOUNDS.iter().enumerate() {
+            cumulative += snap.buckets[i];
+            let _ = write!(out, "{name}_bucket{{op=\"{}\",le=\"", op.name());
+            fmt_seconds(&mut out, bound);
+            let _ = writeln!(out, "\"}} {cumulative}");
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{op=\"{}\",le=\"+Inf\"}} {}",
+            op.name(),
+            snap.count
+        );
+        let _ = write!(out, "{name}_sum{{op=\"{}\"}} ", op.name());
+        fmt_seconds(&mut out, snap.sum);
+        out.push('\n');
+        let _ = writeln!(out, "{name}_count{{op=\"{}\"}} {}", op.name(), snap.count);
+    }
+
+    gauge(
+        &mut out,
+        "rlz_active_connections",
+        "Currently registered client connections.",
+        m.active_connections.load(Relaxed),
+    );
+    counter(
+        &mut out,
+        "rlz_connections_total",
+        "Connections accepted and registered since start.",
+        m.connections_total.load(Relaxed),
+    );
+    counter(
+        &mut out,
+        "rlz_connections_rejected_total",
+        "Connections rejected at the connection cap.",
+        m.connections_rejected.load(Relaxed),
+    );
+    counter(
+        &mut out,
+        "rlz_shed_reads_total",
+        "GET/MGET requests answered ERR_BUSY by queue-depth shedding.",
+        m.shed_reads.load(Relaxed),
+    );
+    counter(
+        &mut out,
+        "rlz_shed_writes_total",
+        "Writes answered ERR_BUSY by WAL soft-bound pressure.",
+        m.shed_writes.load(Relaxed),
+    );
+    counter(
+        &mut out,
+        "rlz_idle_reaped_total",
+        "Connections closed by the idle-timeout sweep.",
+        m.idle_reaped.load(Relaxed),
+    );
+    counter(
+        &mut out,
+        "rlz_corrupt_total",
+        "Corrupt-document responses (ERR_CORRUPT frames and flagged MGET entries).",
+        m.corrupt.load(Relaxed),
+    );
+    counter(
+        &mut out,
+        "rlz_bad_frames_total",
+        "Malformed request frames answered ERR_BAD_FRAME.",
+        m.bad_frames.load(Relaxed),
+    );
+    counter(
+        &mut out,
+        "rlz_bad_opcodes_total",
+        "Unknown opcodes answered ERR_BAD_OPCODE.",
+        m.bad_opcodes.load(Relaxed),
+    );
+    gauge(
+        &mut out,
+        "rlz_queue_depth_peak",
+        "High-water mark of a worker's service-queue depth.",
+        m.queue_depth_peak.load(Relaxed),
+    );
+    counter(
+        &mut out,
+        "rlz_scrapes_total",
+        "Metrics renders served (opcode and HTTP combined), including this one.",
+        m.scrapes.load(Relaxed),
+    );
+
+    if let Some(store) = store {
+        let stats = store.stats();
+        gauge(
+            &mut out,
+            "rlz_store_docs",
+            "Documents in the served store.",
+            stats.num_docs,
+        );
+        gauge(
+            &mut out,
+            "rlz_store_payload_bytes",
+            "Stored payload bytes (compressed where the store compresses).",
+            stats.payload_bytes,
+        );
+        gauge(
+            &mut out,
+            "rlz_quarantined_docs",
+            "Doc ids quarantined by rlz-verify.",
+            store.quarantined_docs(),
+        );
+    }
+    if let Some(cache) = cache {
+        counter(
+            &mut out,
+            "rlz_cache_hits_total",
+            "Hot-document cache hits.",
+            cache.hits(),
+        );
+        counter(
+            &mut out,
+            "rlz_cache_misses_total",
+            "Hot-document cache misses.",
+            cache.misses(),
+        );
+        gauge(
+            &mut out,
+            "rlz_cache_resident_bytes",
+            "Decoded payload bytes resident in the hot-document cache.",
+            cache.resident_bytes() as u64,
+        );
+        gauge(
+            &mut out,
+            "rlz_cache_byte_budget",
+            "Hot-document cache byte budget.",
+            cache.byte_budget() as u64,
+        );
+    }
+    if let Some(writer) = writer {
+        let w = writer.write_stats();
+        gauge(
+            &mut out,
+            "rlz_wal_bytes",
+            "Current WAL backlog in bytes.",
+            w.wal_bytes,
+        );
+        counter(
+            &mut out,
+            "rlz_wal_frames_total",
+            "WAL frames logged since open.",
+            w.wal_frames,
+        );
+        gauge(
+            &mut out,
+            "rlz_wal_unsynced_frames",
+            "WAL frames appended but not yet on stable storage.",
+            w.unsynced_frames,
+        );
+        counter(
+            &mut out,
+            "rlz_seals_total",
+            "Tail seals published since open (manifest generations advanced).",
+            w.seals,
+        );
+        counter(
+            &mut out,
+            "rlz_seal_failures_total",
+            "Post-write opportunistic seals that failed (retried on the next write).",
+            w.seal_failures,
+        );
+        gauge(
+            &mut out,
+            "rlz_recovery_replayed_frames",
+            "WAL frames replayed by the most recent open.",
+            w.recovery_replayed_frames,
+        );
+        gauge(
+            &mut out,
+            "rlz_recovery_wal_bytes",
+            "WAL bytes read back by the most recent open.",
+            w.recovery_wal_bytes,
+        );
+        gauge(
+            &mut out,
+            "rlz_recovery_torn_bytes",
+            "Torn/corrupt WAL tail bytes truncated by the most recent open.",
+            w.recovery_torn_bytes,
+        );
+        gauge(
+            &mut out,
+            "rlz_recovery_debris_removed",
+            "Seal-debris files deleted by the most recent open.",
+            w.recovery_debris_removed,
+        );
+    }
+    out
+}

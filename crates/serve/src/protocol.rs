@@ -16,6 +16,7 @@
 //! | `0x01` | GET      | `id:u32le`                         |
 //! | `0x02` | MGET     | `count:u32le` then `count` × `id:u32le` |
 //! | `0x03` | STAT     | empty                              |
+//! | `0x04` | METRICS  | empty                              |
 //! | `0x10` | PUT      | the document bytes, verbatim       |
 //! | `0x11` | APPEND   | `id:u32le` then the bytes to append |
 //! | `0x12` | DELETE   | `id:u32le`                         |
@@ -53,8 +54,11 @@
 //! `always` fsync policy an OK to PUT/APPEND/DELETE means the mutation is
 //! on stable storage and will survive `kill -9` of the server.
 //!
-//! OK bodies: GET → the document bytes verbatim; PUT → the assigned
-//! `id:u32le`; APPEND / DELETE → empty; MGET → `count:u32le` then
+//! OK bodies: GET → the document bytes verbatim; METRICS → the server's
+//! metric registry rendered as UTF-8 Prometheus text exposition format
+//! (the same text the optional HTTP `GET /metrics` listener serves; a
+//! server running without metrics answers `ERR_BAD_OPCODE`); PUT → the
+//! assigned `id:u32le`; APPEND / DELETE → empty; MGET → `count:u32le` then
 //! `count` entries, in request order; SHUTDOWN → empty. Each MGET entry is
 //! `elen:u32le` followed by `elen & 0x7FFF_FFFF` payload bytes. With the
 //! top bit of `elen` clear the payload is the document verbatim; with it
@@ -92,6 +96,9 @@ pub const OP_GET: u8 = 0x01;
 pub const OP_MGET: u8 = 0x02;
 /// Store statistics: empty body.
 pub const OP_STAT: u8 = 0x03;
+/// Metrics scrape: empty body. OK body: the registry rendered in
+/// Prometheus text exposition format (UTF-8).
+pub const OP_METRICS: u8 = 0x04;
 /// Store a new document: body is the document bytes. OK body: assigned
 /// `id:u32le`.
 pub const OP_PUT: u8 = 0x10;
@@ -205,6 +212,8 @@ pub enum Request<'a> {
     MGet(MGetIds<'a>),
     /// Store statistics.
     Stat,
+    /// Metrics scrape (Prometheus text rendering of the registry).
+    Metrics,
     /// Store a new document (body borrowed from the receive buffer).
     Put(&'a [u8]),
     /// Append bytes to document `id`.
@@ -274,6 +283,8 @@ pub fn parse_request(buf: &[u8]) -> Parsed<'_> {
         },
         OP_STAT if body.is_empty() => Ok(Request::Stat),
         OP_STAT => Err((STATUS_BAD_FRAME, "STAT carries no body")),
+        OP_METRICS if body.is_empty() => Ok(Request::Metrics),
+        OP_METRICS => Err((STATUS_BAD_FRAME, "METRICS carries no body")),
         OP_SHUTDOWN if body.is_empty() => Ok(Request::Shutdown),
         OP_SHUTDOWN => Err((STATUS_BAD_FRAME, "SHUTDOWN carries no body")),
         _ => Err((STATUS_BAD_OPCODE, "unknown opcode")),
@@ -352,6 +363,12 @@ pub fn write_delete(out: &mut Vec<u8>, id: u32) {
 pub fn write_stat(out: &mut Vec<u8>) {
     out.extend_from_slice(&1u32.to_le_bytes());
     out.push(OP_STAT);
+}
+
+/// Appends a METRICS request frame.
+pub fn write_metrics(out: &mut Vec<u8>) {
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.push(OP_METRICS);
 }
 
 /// Appends a SHUTDOWN request frame.

@@ -14,10 +14,10 @@
 //! * **portable fallback** — the original poll-everything loop, kept for
 //!   non-Linux targets and as an ablation (`RLZ_SERVE_BACKEND=portable`).
 //!   Its idle park now uses a decaying backoff: any progress resets the
-//!   park interval to [`PARK_MIN`], so a request landing on a
+//!   park interval to `PARK_MIN`, so a request landing on a
 //!   recently-active worker is picked up within microseconds instead of a
 //!   full fixed park interval, while a long-idle worker backs off to
-//!   [`PARK_MAX`] between polls.
+//!   `PARK_MAX` between polls.
 //!
 //! The connection state machine is **pipelining-aware**: every complete
 //! frame buffered on a readable socket is drained in one pass, and runs of
@@ -40,6 +40,7 @@
 //! GET request performs zero heap allocations, with or without a cache hit
 //! (asserted by the counting-allocator tests in `tests/`).
 
+use crate::metrics::{self, Metrics, Op};
 use crate::protocol::{
     self, Parsed, Request, BACKEND_EPOLL, BACKEND_PORTABLE, STATUS_BAD_FRAME, STATUS_BAD_OPCODE,
     STATUS_BUSY, STATUS_CORRUPT, STATUS_INTERNAL, STATUS_OK, STATUS_OUT_OF_RANGE, STATUS_READONLY,
@@ -207,6 +208,16 @@ pub struct ServeConfig {
     /// set, writes past the store's WAL-backlog bound are shed with
     /// `ERR_BUSY` while reads keep serving at full speed.
     pub writer: Option<Arc<dyn WriteStore>>,
+    /// Whether the metric registry is collected and the METRICS opcode
+    /// answered (on by default; the off switch exists as a benchmark
+    /// ablation — recording is wait-free and allocation-free, so the tax
+    /// is a few atomic adds and two clock reads per request).
+    pub metrics: bool,
+    /// Bind a plaintext HTTP/1.0 `GET /metrics` listener here (Prometheus
+    /// text exposition format; port 0 picks a free port, reported by
+    /// [`ServerHandle::metrics_addr`]). `None` disables the listener; the
+    /// METRICS opcode on the main port works either way.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -224,6 +235,8 @@ impl std::fmt::Debug for ServeConfig {
                 "writer",
                 &self.writer.as_ref().map(|_| "Arc<dyn WriteStore>"),
             )
+            .field("metrics", &self.metrics)
+            .field("metrics_addr", &self.metrics_addr)
             .finish()
     }
 }
@@ -240,6 +253,8 @@ impl Default for ServeConfig {
             idle_timeout: None,
             shed_queue_depth: 0,
             writer: None,
+            metrics: true,
+            metrics_addr: None,
         }
     }
 }
@@ -274,7 +289,10 @@ impl Overload {
 /// Answers a connection the cap rejected with one `ERR_BUSY` frame, then
 /// drops it. Best-effort and bounded: the peer may already be gone, and a
 /// peer that refuses to read must not wedge the accept loop.
-fn reject_busy(stream: TcpStream) {
+fn reject_busy(stream: TcpStream, metrics: Option<&Metrics>) {
+    if let Some(m) = metrics {
+        m.note_conn_rejected();
+    }
     let mut stream = stream;
     let mut frame = Vec::with_capacity(64);
     protocol::write_error(
@@ -290,6 +308,7 @@ fn reject_busy(stream: TcpStream) {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     backend: ResolvedBackend,
     stop: Arc<AtomicBool>,
     #[cfg(target_os = "linux")]
@@ -301,6 +320,12 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound address of the HTTP `GET /metrics` listener, when
+    /// [`ServeConfig::metrics_addr`] requested one (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The event backend the workers run on.
@@ -356,8 +381,9 @@ pub fn serve(
     let overload = Overload::from_config(&cfg);
     let cache: Option<Arc<ShardedLru>> =
         (cfg.cache_bytes > 0).then(|| Arc::new(ShardedLru::with_byte_budget(cfg.cache_bytes)));
+    let metrics: Option<Arc<Metrics>> = cfg.metrics.then(|| Arc::new(Metrics::new()));
     let threads = cfg.threads.max(1);
-    let mut workers = Vec::with_capacity(threads);
+    let mut workers = Vec::with_capacity(threads + 1);
     #[cfg(target_os = "linux")]
     let wake = match backend {
         ResolvedBackend::Epoll => Some(WakeFd::new()?),
@@ -374,6 +400,9 @@ pub fn serve(
         }
         if let Some(writer) = &cfg.writer {
             responder = responder.with_writer(Arc::clone(writer));
+        }
+        if let Some(metrics) = &metrics {
+            responder = responder.with_metrics(Arc::clone(metrics));
         }
         let builder = std::thread::Builder::new().name(format!("rlz-serve-{w}"));
         let overload = overload.clone();
@@ -393,14 +422,116 @@ pub fn serve(
         };
         workers.push(handle);
     }
+    let metrics_addr = match (cfg.metrics_addr, &metrics) {
+        (Some(bind_addr), Some(metrics)) => {
+            let http = TcpListener::bind(bind_addr)?;
+            http.set_nonblocking(true)?;
+            let bound = http.local_addr()?;
+            let metrics = Arc::clone(metrics);
+            let store = Arc::clone(&store);
+            let cache = cache.clone();
+            let writer = cfg.writer.clone();
+            let stop = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name("rlz-metrics-http".into())
+                .spawn(move || metrics_http_loop(http, metrics, store, cache, writer, stop))?;
+            workers.push(handle);
+            Some(bound)
+        }
+        (Some(_), None) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "metrics_addr requires ServeConfig::metrics",
+            ))
+        }
+        (None, _) => None,
+    };
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         backend,
         stop,
         #[cfg(target_os = "linux")]
         wake,
         workers,
     })
+}
+
+/// The metrics HTTP listener: one thread, one request per connection,
+/// HTTP/1.0 with `Connection: close`. Deliberately minimal — a scrape
+/// path, not a web server: bounded header read with timeouts, `GET
+/// /metrics` answers the rendered registry, anything else 404s. Polls the
+/// stop flag between accepts so [`ServerHandle::join`] returns promptly.
+fn metrics_http_loop(
+    listener: TcpListener,
+    metrics: Arc<Metrics>,
+    store: Arc<dyn DocStore>,
+    cache: Option<Arc<ShardedLru>>,
+    writer: Option<Arc<dyn WriteStore>>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = serve_metrics_http(
+                    stream,
+                    &metrics,
+                    store.as_ref(),
+                    cache.as_deref(),
+                    writer.as_deref(),
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // WouldBlock (idle) and transient accept failures alike: park
+            // briefly, re-check the stop flag.
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn serve_metrics_http(
+    mut stream: TcpStream,
+    metrics: &Metrics,
+    store: &dyn DocStore,
+    cache: Option<&ShardedLru>,
+    writer: Option<&dyn WriteStore>,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read the request head, bounded: a scraper's GET fits in one page.
+    let mut buf = [0u8; 4096];
+    let mut n = 0;
+    while n < buf.len() && !buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(r) => n += r,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?"))
+    {
+        (
+            "200 OK",
+            metrics::render_prometheus(metrics, Some(store), cache, writer),
+        )
+    } else {
+        ("404 Not Found", "not found; scrape /metrics\n".to_string())
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())
 }
 
 /// Per-request execution state shared by a worker's connections: every
@@ -436,6 +567,10 @@ pub struct Responder {
     run: Vec<u32>,
     /// Write path for PUT/APPEND/DELETE; `None` answers `ERR_READONLY`.
     writer: Option<Arc<dyn WriteStore>>,
+    /// Shared metrics registry; `None` disables all instrumentation (a
+    /// benchmark ablation) and makes the METRICS opcode answer
+    /// `ERR_BAD_OPCODE`.
+    metrics: Option<Arc<Metrics>>,
 }
 
 /// What the connection should do after a response was appended.
@@ -467,6 +602,7 @@ impl Responder {
             errs: Vec::new(),
             run: Vec::new(),
             writer: None,
+            metrics: None,
         }
     }
 
@@ -488,11 +624,60 @@ impl Responder {
         self
     }
 
+    /// Attaches a shared metrics registry; enables the METRICS opcode and
+    /// per-request instrumentation on every path this responder serves.
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Executes one well-formed request against `store`, appending exactly
     /// one response frame to `out`. This is the whole per-request hot path:
     /// for a GET it performs zero heap allocations once buffers are warm
     /// (cache hit or miss-free store decode alike).
     pub fn respond(
+        &mut self,
+        store: &dyn DocStore,
+        req: &Request<'_>,
+        out: &mut Vec<u8>,
+    ) -> Action {
+        // GETs — including direct callers like the tests — go through the
+        // buffered-run path so that single and pipelined GETs take the one
+        // (identically instrumented) code path.
+        if let Request::Get(id) = req {
+            self.push_get(*id);
+            self.flush_gets(store, out);
+            return Action::Continue;
+        }
+        let op = match req {
+            Request::Get(_) => Some(Op::Get),
+            Request::MGet(_) => Some(Op::MGet),
+            Request::Put(_) => Some(Op::Put),
+            Request::Append(..) => Some(Op::Append),
+            Request::Delete(_) => Some(Op::Delete),
+            Request::Stat => Some(Op::Stat),
+            Request::Metrics | Request::Shutdown => None,
+        };
+        let timer = match (&self.metrics, op) {
+            (Some(_), Some(_)) => Some((Instant::now(), out.len())),
+            _ => None,
+        };
+        let action = self.respond_inner(store, req, out);
+        if let (Some((t0, start)), Some(op), Some(m)) = (timer, op, &self.metrics) {
+            // Every request appends exactly one frame; its status byte sits
+            // right after the 4-byte length prefix.
+            let status = out.get(start + 4).copied().unwrap_or(STATUS_INTERNAL);
+            m.note_response(
+                op,
+                t0.elapsed().as_nanos() as u64,
+                (out.len() - start) as u64,
+                status,
+            );
+        }
+        action
+    }
+
+    fn respond_inner(
         &mut self,
         store: &dyn DocStore,
         req: &Request<'_>,
@@ -545,6 +730,27 @@ impl Responder {
                 self.respond_write(out, |w| w.delete(*id).map(|()| None));
                 Action::Continue
             }
+            Request::Metrics => {
+                match &self.metrics {
+                    Some(m) => {
+                        let text = metrics::render_prometheus(
+                            m,
+                            Some(store),
+                            self.cache.as_deref(),
+                            self.writer.as_deref(),
+                        );
+                        let start = protocol::begin_response(out);
+                        out.extend_from_slice(text.as_bytes());
+                        protocol::finish_response(out, start, STATUS_OK);
+                    }
+                    None => protocol::write_error(
+                        out,
+                        STATUS_BAD_OPCODE,
+                        "metrics are disabled on this server",
+                    ),
+                }
+                Action::Continue
+            }
             Request::Shutdown => {
                 if self.allow_shutdown {
                     let start = protocol::begin_response(out);
@@ -581,6 +787,9 @@ impl Responder {
             return;
         };
         if writer.write_pressure() {
+            if let Some(m) = &self.metrics {
+                m.note_shed_write();
+            }
             protocol::write_error(
                 out,
                 STATUS_BUSY,
@@ -619,6 +828,13 @@ impl Responder {
     /// writing any response bytes. Out-of-range ids answer individual
     /// error frames (per-GET semantics), exactly as if served one by one.
     pub fn flush_gets(&mut self, store: &dyn DocStore, out: &mut Vec<u8>) {
+        if self.run.is_empty() {
+            return;
+        }
+        // One timestamp pair per *run*, not per GET: a batched run's
+        // members all record the run's total duration — the latency the
+        // last-written response actually experienced.
+        let timer = self.metrics.as_ref().map(|_| (Instant::now(), out.len()));
         match self.run.len() {
             0 => {}
             1 => {
@@ -664,6 +880,9 @@ impl Responder {
                 self.run = run;
                 self.run.clear();
             }
+        }
+        if let (Some((t0, start)), Some(m)) = (timer, &self.metrics) {
+            m.note_get_run(&out[start..], t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -760,10 +979,16 @@ impl Responder {
                     out.extend_from_slice(doc);
                 }
                 (None, Some(e)) => {
+                    let status = store_error_status(e);
+                    if status == STATUS_CORRUPT {
+                        if let Some(m) = &self.metrics {
+                            m.note_corrupt_entry();
+                        }
+                    }
                     let message = e.to_string();
                     let elen = (1 + message.len()) as u32 | protocol::MGET_ENTRY_ERR;
                     out.extend_from_slice(&elen.to_le_bytes());
-                    out.push(store_error_status(e));
+                    out.push(status);
                     out.extend_from_slice(message.as_bytes());
                 }
                 (None, None) => unreachable!("in-range id neither fetched nor failed"),
@@ -1012,13 +1237,23 @@ impl Conn {
                 Parsed::Incomplete => break,
                 Parsed::Malformed(msg) => {
                     responder.flush_gets(store, &mut self.out_buf);
+                    if let Some(m) = &responder.metrics {
+                        m.note_bad_frame();
+                    }
                     protocol::write_error(&mut self.out_buf, STATUS_BAD_FRAME, msg);
                     self.closing = true;
                 }
                 Parsed::Frame { request, consumed } => {
                     match request {
-                        Ok(Request::Get(_) | Request::MGet(_)) if shed => {
+                        Ok(req @ (Request::Get(_) | Request::MGet(_))) if shed => {
                             responder.flush_gets(store, &mut self.out_buf);
+                            if let Some(m) = &responder.metrics {
+                                m.note_shed_read(if matches!(req, Request::Get(_)) {
+                                    Op::Get
+                                } else {
+                                    Op::MGet
+                                });
+                            }
                             protocol::write_error(
                                 &mut self.out_buf,
                                 STATUS_BUSY,
@@ -1043,6 +1278,13 @@ impl Conn {
                         }
                         Err((status, msg)) => {
                             responder.flush_gets(store, &mut self.out_buf);
+                            if let Some(m) = &responder.metrics {
+                                if status == STATUS_BAD_OPCODE {
+                                    m.note_bad_opcode();
+                                } else {
+                                    m.note_bad_frame();
+                                }
+                            }
                             protocol::write_error(&mut self.out_buf, status, msg);
                             if status == STATUS_BAD_FRAME {
                                 // Content desync (e.g. an MGET whose count
@@ -1149,8 +1391,8 @@ impl Conn {
 
 /// The portable fallback: sweep accept + every connection, park briefly
 /// when a whole sweep makes no progress. The park interval decays: any
-/// progress resets it to [`PARK_MIN`] (a follow-up request is noticed in
-/// microseconds), consecutive idle sweeps double it up to [`PARK_MAX`]
+/// progress resets it to `PARK_MIN` (a follow-up request is noticed in
+/// microseconds), consecutive idle sweeps double it up to `PARK_MAX`
 /// (bounding idle CPU without a fixed first-request latency tax).
 fn portable_worker_loop(
     listener: TcpListener,
@@ -1174,13 +1416,16 @@ fn portable_worker_loop(
             match listener.accept() {
                 Ok((stream, _)) => {
                     if ov.at_capacity() {
-                        reject_busy(stream);
+                        reject_busy(stream, responder.metrics.as_deref());
                         busy = true;
                         continue;
                     }
                     match Conn::new(stream) {
                         Ok(conn) => {
                             ov.conn_count.fetch_add(1, Ordering::AcqRel);
+                            if let Some(m) = &responder.metrics {
+                                m.note_conn_opened();
+                            }
                             conns.push(conn);
                             busy = true;
                         }
@@ -1216,11 +1461,17 @@ fn portable_worker_loop(
                 TickOutcome::Idle => i += 1,
                 TickOutcome::Drop => {
                     ov.conn_count.fetch_sub(1, Ordering::AcqRel);
+                    if let Some(m) = &responder.metrics {
+                        m.note_conn_closed();
+                    }
                     conns.swap_remove(i);
                 }
                 TickOutcome::Shutdown => {
                     conns[i].final_flush();
                     ov.conn_count.fetch_sub(1, Ordering::AcqRel);
+                    if let Some(m) = &responder.metrics {
+                        m.note_conn_closed();
+                    }
                     conns.swap_remove(i);
                     stop.store(true, Ordering::Release);
                     busy = true;
@@ -1231,11 +1482,17 @@ fn portable_worker_loop(
             }
         }
         busy_prev = busy_now;
+        if let Some(m) = &responder.metrics {
+            m.note_queue_depth(busy_now as u64);
+        }
         if let Some(timeout) = ov.idle_timeout {
             conns.retain(|conn| {
                 let keep = !conn.idle_expired(timeout);
                 if !keep {
                     ov.conn_count.fetch_sub(1, Ordering::AcqRel);
+                    if let Some(m) = &responder.metrics {
+                        m.note_idle_reaped();
+                    }
                 }
                 keep
             });
@@ -1322,6 +1579,9 @@ fn epoll_worker_loop(
                         ep.delete(conn.stream.as_raw_fd());
                         free.push(slot);
                         ov.conn_count.fetch_sub(1, Ordering::AcqRel);
+                        if let Some(m) = &responder.metrics {
+                            m.note_idle_reaped();
+                        }
                     }
                 }
             }
@@ -1333,7 +1593,7 @@ fn epoll_worker_loop(
                     match listener.accept() {
                         Ok((stream, _)) => {
                             if ov.at_capacity() {
-                                reject_busy(stream);
+                                reject_busy(stream, responder.metrics.as_deref());
                                 continue;
                             }
                             let Ok(conn) = Conn::new(stream) else {
@@ -1352,6 +1612,9 @@ fn epoll_worker_loop(
                             }
                             conns[slot] = Some(conn);
                             ov.conn_count.fetch_add(1, Ordering::AcqRel);
+                            if let Some(m) = &responder.metrics {
+                                m.note_conn_opened();
+                            }
                             // Data may already be buffered (or the
                             // handshake raced the registration): queue the
                             // connection for a first serve turn.
@@ -1378,6 +1641,9 @@ fn epoll_worker_loop(
         // One serve turn per queued connection, round-robin: a connection
         // whose input is still flowing goes back to the tail instead of
         // monopolizing the worker.
+        if let Some(m) = &responder.metrics {
+            m.note_queue_depth(ready.len() as u64);
+        }
         for _ in 0..ready.len() {
             let Some(slot) = ready.pop_front() else { break };
             if let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) {
@@ -1488,6 +1754,9 @@ fn serve_turn(
             conns[slot] = None;
             free.push(slot);
             ov.conn_count.fetch_sub(1, Ordering::AcqRel);
+            if let Some(m) = &responder.metrics {
+                m.note_conn_closed();
+            }
             Turn::Parked
         }
         TickOutcome::Shutdown => {
@@ -1497,6 +1766,9 @@ fn serve_turn(
             conns[slot] = None;
             free.push(slot);
             ov.conn_count.fetch_sub(1, Ordering::AcqRel);
+            if let Some(m) = &responder.metrics {
+                m.note_conn_closed();
+            }
             Turn::Shutdown
         }
     }

@@ -11,10 +11,11 @@
 
 use rlz_core::{Dictionary, PairCoding, SampleStrategy};
 use rlz_serve::protocol::{self, parse_request, Parsed, STATUS_OK};
-use rlz_serve::Responder;
+use rlz_serve::{Metrics, Responder};
 use rlz_store::{RlzStore, RlzStoreBuilder};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Counts every allocation and reallocation; frees are not counted (a hot
 /// path that frees must have allocated first, so allocs alone suffice).
@@ -72,8 +73,11 @@ fn warm_single_get_request_performs_zero_allocations() {
 
     // Simulated connection state, exactly what a worker holds per socket:
     // a receive buffer with the encoded request frame and a response
-    // buffer the document decodes into.
-    let mut responder = Responder::new(1, true);
+    // buffer the document decodes into. Metrics are attached: the
+    // zero-allocation property must hold with instrumentation enabled
+    // (the production default), not just in the ablation.
+    let metrics = Arc::new(Metrics::new());
+    let mut responder = Responder::new(1, true).with_metrics(Arc::clone(&metrics));
     let mut in_buf = Vec::new();
     let mut out_buf = Vec::new();
 
@@ -114,5 +118,14 @@ fn warm_single_get_request_performs_zero_allocations() {
         "warm GET request handling allocated {} time(s) over {} requests",
         after - before,
         docs.len()
+    );
+    // The instrumentation actually observed those requests.
+    assert_eq!(
+        metrics.requests(rlz_serve::Op::Get),
+        (3 * docs.len()) as u64
+    );
+    assert_eq!(
+        metrics.latency(rlz_serve::Op::Get).count,
+        (3 * docs.len()) as u64
     );
 }

@@ -10,7 +10,7 @@
 
 use rlz_core::{Dictionary, PairCoding, SampleStrategy};
 use rlz_serve::protocol::{self, parse_request, Parsed, STATUS_OK};
-use rlz_serve::Responder;
+use rlz_serve::{Metrics, Responder};
 use rlz_store::{RlzStore, RlzStoreBuilder, ShardedLru};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -73,7 +73,11 @@ fn warm_cached_get_request_performs_zero_allocations() {
     // Simulated connection state with a cache large enough that nothing is
     // ever evicted: after the warm-up pass every document is a hit.
     let cache = Arc::new(ShardedLru::with_byte_budget(8 << 20));
-    let mut responder = Responder::new(1, true).with_cache(Arc::clone(&cache));
+    // Metrics attached: zero allocations must hold with instrumentation
+    // enabled (the production default).
+    let mut responder = Responder::new(1, true)
+        .with_cache(Arc::clone(&cache))
+        .with_metrics(Arc::new(Metrics::new()));
     let mut in_buf = Vec::new();
     let mut out_buf = Vec::new();
 

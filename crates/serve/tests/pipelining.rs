@@ -68,6 +68,8 @@ fn servers() -> &'static Vec<(Backend, SocketAddr)> {
                     idle_timeout: None,
                     shed_queue_depth: 0,
                     writer: None,
+                    metrics: true,
+                    metrics_addr: None,
                 },
             )
             .unwrap();

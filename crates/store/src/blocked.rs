@@ -546,6 +546,10 @@ impl DocStore for BlockedStore {
         self.map.num_docs()
     }
 
+    fn quarantined_docs(&self) -> u64 {
+        self.quarantine.len() as u64
+    }
+
     fn stats(&self) -> crate::StoreStats {
         crate::StoreStats {
             num_docs: self.map.num_docs() as u64,

@@ -360,6 +360,13 @@ pub trait DocStore: Send + Sync {
         get_batch_ordered(self, ids, threads)
     }
 
+    /// Number of doc ids quarantined by `rlz-verify` (reads of them
+    /// pre-fail with [`StoreError::Corrupt`]). The default reports 0;
+    /// families that load the `quarantine.bin` sidecar override it.
+    fn quarantined_docs(&self) -> u64 {
+        0
+    }
+
     /// Fetches every document in `ids` with **per-id** error containment:
     /// one unreadable document (a corrupt block, an I/O error, an
     /// out-of-range id) yields an `Err` in its slot while every other slot
@@ -399,6 +406,43 @@ pub trait WriteStore: DocStore {
     fn write_pressure(&self) -> bool {
         false
     }
+
+    /// Point-in-time write-path accounting for monitoring (WAL backlog,
+    /// seal counts, what the last open recovered). The default reports
+    /// zeros; [`LiveStore`] overrides with live values. May take the
+    /// writer lock briefly — call it from scrape paths, not hot paths.
+    fn write_stats(&self) -> WriteStats {
+        WriteStats::default()
+    }
+}
+
+/// Write-path accounting reported by [`WriteStore::write_stats`].
+///
+/// Counters (`wal_frames`, `seals`, `seal_failures`) accumulate from the
+/// store's open; gauges (`wal_bytes`, `unsynced_frames`) are current
+/// values; the `recovery_*` fields describe what the most recent open
+/// replayed (see [`RecoveryInfo`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteStats {
+    /// Current WAL backlog in bytes.
+    pub wal_bytes: u64,
+    /// WAL frames logged since open (PUT/APPEND/DELETE).
+    pub wal_frames: u64,
+    /// WAL frames appended but not yet on stable storage.
+    pub unsynced_frames: u64,
+    /// Tail seals published since open (manifest generations advanced).
+    pub seals: u64,
+    /// Post-write opportunistic seals that failed (retried on the next
+    /// write; the writes they followed were already durable).
+    pub seal_failures: u64,
+    /// WAL frames the most recent open replayed.
+    pub recovery_replayed_frames: u64,
+    /// WAL bytes the most recent open read back.
+    pub recovery_wal_bytes: u64,
+    /// Torn/corrupt WAL tail bytes the most recent open truncated away.
+    pub recovery_torn_bytes: u64,
+    /// Seal-debris files the most recent open deleted.
+    pub recovery_debris_removed: u64,
 }
 
 /// Seek-aware multi-get: orders requests by payload offset, fans contiguous

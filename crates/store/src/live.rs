@@ -73,7 +73,8 @@ pub struct LiveConfig {
     /// tail and compressible documents add little, so the tail alone must
     /// not be what keeps the log drainable.
     pub seal_bytes: u64,
-    /// Soft WAL bound: past this, [`WriteStore::write_pressure`] reports
+    /// Soft WAL bound: past this, [`crate::WriteStore::write_pressure`]
+    /// reports
     /// true and the server sheds *writes* with `ERR_BUSY` (reads are
     /// unaffected — the backlog is writer-side work).
     pub wal_soft_bytes: u64,
@@ -206,6 +207,10 @@ impl DocStore for LiveSnapshot {
     fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
         self.snap.get_into(id, out)
     }
+
+    fn quarantined_docs(&self) -> u64 {
+        self.snap.quarantine.len() as u64
+    }
 }
 
 /// Writer-side state, serialized behind one mutex.
@@ -238,6 +243,10 @@ struct LiveInner {
     /// Opportunistic post-write seals that failed. The writes themselves
     /// were already durable and acked; the seal retries on later writes.
     seal_failures: AtomicU64,
+    /// WAL frames logged since open (PUT/APPEND/DELETE), for monitoring.
+    wal_frames: AtomicU64,
+    /// Seals published since open (manifest generations advanced).
+    seals: AtomicU64,
 }
 
 /// What [`LiveStore::open`] had to do to get consistent.
@@ -253,9 +262,8 @@ pub struct RecoveryInfo {
     pub debris_removed: u64,
 }
 
-/// A writable, crash-recoverable RLZ document store. See the
-/// [module docs](self) for the architecture. Clones are cheap handles on
-/// the same store.
+/// A writable, crash-recoverable RLZ document store. See the module docs
+/// for the architecture. Clones are cheap handles on the same store.
 #[derive(Clone)]
 pub struct LiveStore {
     inner: Arc<LiveInner>,
@@ -441,6 +449,8 @@ impl LiveStore {
                 snapshot: RwLock::new(snapshot),
                 wal_len: AtomicU64::new(wal_len),
                 seal_failures: AtomicU64::new(0),
+                wal_frames: AtomicU64::new(0),
+                seals: AtomicU64::new(0),
             }),
             recovery,
         };
@@ -587,6 +597,7 @@ impl LiveStore {
                 manifest.publish(&self.inner.dir)?;
                 writer.wal.reset()?;
                 writer.gen = manifest.gen;
+                self.inner.seals.fetch_add(1, Ordering::Relaxed);
                 self.publish(writer);
             }
             return Ok(());
@@ -622,6 +633,7 @@ impl LiveStore {
         writer.seg_readers.insert(0, reader); // newest first
         writer.tail.clear();
         writer.tail_bytes = 0;
+        self.inner.seals.fetch_add(1, Ordering::Relaxed);
         self.publish(writer);
         Ok(())
     }
@@ -645,6 +657,7 @@ impl crate::WriteStore for LiveStore {
         self.ensure_wal_room(&mut writer)?;
         let seq = writer.next_seq;
         writer.wal.log_put(seq, doc)?;
+        self.inner.wal_frames.fetch_add(1, Ordering::Relaxed);
         writer.next_seq += 1;
         let id = writer.next_id;
         writer.next_id += 1;
@@ -667,6 +680,7 @@ impl crate::WriteStore for LiveStore {
         snap.get_into(id as usize, &mut doc)?;
         let seq = writer.next_seq;
         writer.wal.log_append(seq, id, bytes)?;
+        self.inner.wal_frames.fetch_add(1, Ordering::Relaxed);
         writer.next_seq += 1;
         doc.extend_from_slice(bytes);
         let enc = self.inner.compressor.compress(&doc);
@@ -687,6 +701,7 @@ impl crate::WriteStore for LiveStore {
         drop(probe);
         let seq = writer.next_seq;
         writer.wal.log_delete(seq, id)?;
+        self.inner.wal_frames.fetch_add(1, Ordering::Relaxed);
         writer.next_seq += 1;
         writer.tail.insert(id, TailEntry::Tombstone);
         self.publish(&writer);
@@ -698,6 +713,22 @@ impl crate::WriteStore for LiveStore {
 
     fn write_pressure(&self) -> bool {
         self.inner.wal_len.load(Ordering::Relaxed) > self.inner.config.wal_soft_bytes
+    }
+
+    // Briefly takes the writer lock (for the unsynced-frame count); meant
+    // for scrape paths, never the per-request hot path.
+    fn write_stats(&self) -> crate::WriteStats {
+        crate::WriteStats {
+            wal_bytes: self.wal_len(),
+            wal_frames: self.inner.wal_frames.load(Ordering::Relaxed),
+            unsynced_frames: self.unsynced_frames(),
+            seals: self.inner.seals.load(Ordering::Relaxed),
+            seal_failures: self.seal_failures(),
+            recovery_replayed_frames: self.recovery.replayed_frames,
+            recovery_wal_bytes: self.recovery.wal_bytes,
+            recovery_torn_bytes: self.recovery.torn_bytes_dropped,
+            recovery_debris_removed: self.recovery.debris_removed,
+        }
     }
 }
 
@@ -713,6 +744,10 @@ impl DocStore for LiveStore {
     fn get_into(&self, id: usize, out: &mut Vec<u8>) -> Result<(), StoreError> {
         let snap = self.inner.snapshot.read().expect("snapshot lock").clone();
         snap.get_into(id, out)
+    }
+
+    fn quarantined_docs(&self) -> u64 {
+        self.inner.quarantine.len() as u64
     }
 
     // Batch reads pin ONE snapshot for the whole batch: a concurrent seal

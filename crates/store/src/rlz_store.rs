@@ -252,6 +252,10 @@ impl DocStore for RlzStore {
         self.map.num_docs()
     }
 
+    fn quarantined_docs(&self) -> u64 {
+        self.quarantine.len() as u64
+    }
+
     fn stats(&self) -> crate::StoreStats {
         crate::StoreStats {
             num_docs: self.map.num_docs() as u64,

@@ -107,6 +107,18 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
 /// Types with a canonical "any value" strategy (subset of `Arbitrary`).
 pub trait ArbitraryValue {
     /// Draws an unconstrained value.

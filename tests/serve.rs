@@ -88,6 +88,8 @@ fn start_with(
             idle_timeout: None,
             shed_queue_depth: 0,
             writer: None,
+            metrics: true,
+            metrics_addr: None,
         },
     )
 }
@@ -469,6 +471,8 @@ fn connection_cap_rejects_with_busy_and_recovers() {
                 idle_timeout: None,
                 shed_queue_depth: 0,
                 writer: None,
+                metrics: true,
+                metrics_addr: None,
             },
         );
         let addr = handle.addr();
@@ -529,6 +533,8 @@ fn idle_timeout_reaps_silent_connections() {
                 idle_timeout: Some(Duration::from_millis(150)),
                 shed_queue_depth: 0,
                 writer: None,
+                metrics: true,
+                metrics_addr: None,
             },
         );
         let addr = handle.addr();
@@ -566,6 +572,8 @@ fn overloaded_server_sheds_with_busy_instead_of_stalling() {
                 idle_timeout: None,
                 shed_queue_depth: 1,
                 writer: None,
+                metrics: true,
+                metrics_addr: None,
             },
         );
         let addr = handle.addr();
@@ -666,6 +674,8 @@ fn start_live(live: &LiveStore, backend: Backend) -> rlz_repro::serve::ServerHan
             idle_timeout: None,
             shed_queue_depth: 0,
             writer: Some(Arc::new(live.clone())),
+            metrics: true,
+            metrics_addr: None,
         },
     )
 }
