@@ -1,0 +1,432 @@
+//! Construction benchmark: batch (materialize-everything) vs the chunked
+//! streaming pipeline, with peak RSS measured per run. Writes
+//! `BENCH_build.json`.
+//!
+//! Peak RSS is `VmHWM` from `/proc/self/status` — a process-wide
+//! high-water mark, so every measurement runs in a fresh child process
+//! (this binary re-execs itself with `--child`) and cannot be polluted by
+//! the runs before it. Rows:
+//!
+//! * `mode=baseline` — a child that only streams the document generator:
+//!   the RSS floor of runtime + generator, subtracted into the budget.
+//! * `mode=serial` — the batch oracle: corpus materialized, dictionary
+//!   sampled from the concatenation, `RlzStoreBuilder::build` over slices.
+//!   Peak RSS grows with the corpus; this is the line the pipeline beats.
+//! * `mode=chunked` — one row per thread count: dictionary sampled via
+//!   `Dictionary::sample_streamed` (two passes over the generator, never
+//!   the corpus in RAM), then `build_rlz_chunked`. Each row asserts the
+//!   emitted store directory is **byte-identical** to the serial oracle's
+//!   (`identical=yes`, so the compression-ratio delta is exactly zero) and
+//!   carries `rss_budget_kb` — the O(dictionary + constant × block) bound
+//!   CI enforces: `peak_rss_kb <= rss_budget_kb` regardless of corpus
+//!   size.
+//!
+//! On the 1-core dev container the thread sweep cannot show >1× scaling
+//! (standing ROADMAP caveat) — the headline here is the memory bound:
+//! the chunked build's VmHWM stays put while the corpus (and the serial
+//! build's VmHWM) grows several times past it.
+//!
+//! ```text
+//! build [--size-mb N] [--threads N] [--block-kb N] [--dict-kb N] [--seed N]
+//! ```
+
+use rlz_bench::report::{Report, Row};
+use rlz_bench::ScaledConfig;
+use rlz_repro::ingest::doc_bytes;
+use rlz_repro::rlz::{Dictionary, PairCoding, RlzCompressor, SampleStrategy};
+use rlz_repro::store::{build_rlz_chunked, BuildConfig, RlzStoreBuilder};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+const SAMPLE_LEN: usize = 1024;
+const QUEUED_BLOCKS: usize = 2;
+
+fn usage() -> ! {
+    eprintln!("usage: build [--size-mb N] [--threads N] [--block-kb N] [--dict-kb N] [--seed N]");
+    std::process::exit(2)
+}
+
+/// Peak resident set of this process in KiB (`VmHWM` from
+/// `/proc/self/status`); 0 where procfs is unavailable.
+fn vmhwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// The deterministic corpus: `docs` documents from the shared ingest
+/// generator.
+fn corpus_stream(seed: u64, docs: u32) -> impl Iterator<Item = Vec<u8>> + Send {
+    (0..docs).map(move |id| doc_bytes(seed, id))
+}
+
+/// What one child run reports back to the parent on stdout.
+#[derive(Debug, Default, Clone)]
+struct ChildResult {
+    vmhwm_kb: u64,
+    dict_kb: u64,
+    elapsed_s: f64,
+    raw_bytes: u64,
+    docs: u64,
+}
+
+impl ChildResult {
+    fn print(&self) {
+        println!(
+            "CHILD_RESULT vmhwm_kb={} dict_kb={} elapsed_s={:.6} raw_bytes={} docs={}",
+            self.vmhwm_kb, self.dict_kb, self.elapsed_s, self.raw_bytes, self.docs
+        );
+    }
+
+    fn parse(stdout: &str) -> Option<ChildResult> {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("CHILD_RESULT "))?
+            .strip_prefix("CHILD_RESULT ")?;
+        let mut r = ChildResult::default();
+        for field in line.split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "vmhwm_kb" => r.vmhwm_kb = value.parse().ok()?,
+                "dict_kb" => r.dict_kb = value.parse().ok()?,
+                "elapsed_s" => r.elapsed_s = value.parse().ok()?,
+                "raw_bytes" => r.raw_bytes = value.parse().ok()?,
+                "docs" => r.docs = value.parse().ok()?,
+                _ => {}
+            }
+        }
+        Some(r)
+    }
+}
+
+/// Child knobs, parsed from the re-exec command line.
+struct ChildArgs {
+    mode: String,
+    dir: PathBuf,
+    docs: u32,
+    seed: u64,
+    raw_bytes: u64,
+    dict_bytes: usize,
+    block_bytes: usize,
+    threads: usize,
+}
+
+/// `--child MODE`: run one measurement and print `CHILD_RESULT`.
+fn run_child(a: &ChildArgs) {
+    let t = Instant::now();
+    let mut out = ChildResult {
+        raw_bytes: a.raw_bytes,
+        docs: a.docs as u64,
+        ..ChildResult::default()
+    };
+    match a.mode.as_str() {
+        // RSS floor: stream the generator, keep nothing.
+        "baseline" => {
+            let mut total = 0u64;
+            for doc in corpus_stream(a.seed, a.docs) {
+                total += doc.len() as u64;
+            }
+            assert_eq!(total, a.raw_bytes, "generator disagrees with parent");
+        }
+        // Batch oracle: corpus fully materialized, then the existing
+        // builder.
+        "serial" => {
+            let docs: Vec<Vec<u8>> = corpus_stream(a.seed, a.docs).collect();
+            let all: Vec<u8> = docs.concat();
+            let dict = Dictionary::sample(&all, a.dict_bytes, SAMPLE_LEN, SampleStrategy::Evenly);
+            out.dict_kb = dict.heap_bytes() as u64 / 1024;
+            drop(all);
+            let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+            RlzStoreBuilder::new(dict, PairCoding::ZV)
+                .threads(a.threads)
+                .build(&a.dir, &slices)
+                .expect("serial build");
+        }
+        // The pipeline under test: the corpus only ever streams.
+        "chunked" => {
+            let dict = Dictionary::sample_streamed(
+                corpus_stream(a.seed, a.docs),
+                a.raw_bytes as usize,
+                a.dict_bytes,
+                SAMPLE_LEN,
+                SampleStrategy::Evenly,
+            );
+            out.dict_kb = dict.heap_bytes() as u64 / 1024;
+            let compressor = RlzCompressor::new(dict, PairCoding::ZV);
+            let cfg = BuildConfig {
+                threads: a.threads,
+                block_bytes: a.block_bytes,
+                queued_blocks: QUEUED_BLOCKS,
+            };
+            let report =
+                build_rlz_chunked(&a.dir, &compressor, corpus_stream(a.seed, a.docs), &cfg)
+                    .expect("chunked build");
+            assert_eq!(report.raw_bytes, a.raw_bytes);
+            assert_eq!(report.docs, a.docs as u64);
+        }
+        _ => usage(),
+    }
+    out.elapsed_s = t.elapsed().as_secs_f64();
+    out.vmhwm_kb = vmhwm_kb();
+    out.print();
+}
+
+/// Re-execs this binary for one measurement and parses its result line.
+fn spawn_child(a: &ChildArgs) -> ChildResult {
+    let exe = std::env::current_exe().expect("current_exe");
+    let output = Command::new(exe)
+        .args([
+            "--child",
+            &a.mode,
+            "--dir",
+            a.dir.to_str().expect("utf8 dir"),
+            "--docs",
+            &a.docs.to_string(),
+            "--seed",
+            &a.seed.to_string(),
+            "--raw-bytes",
+            &a.raw_bytes.to_string(),
+            "--dict-bytes",
+            &a.dict_bytes.to_string(),
+            "--block-bytes",
+            &a.block_bytes.to_string(),
+            "--child-threads",
+            &a.threads.to_string(),
+        ])
+        .output()
+        .expect("spawn child");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "{} child failed: {}\n{}",
+        a.mode,
+        stdout,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    ChildResult::parse(&stdout)
+        .unwrap_or_else(|| panic!("{} child printed no CHILD_RESULT: {stdout}", a.mode))
+}
+
+/// Every file in `dir` by name — the byte-identity comparison input.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read store dir") {
+        let entry = entry.expect("dir entry");
+        out.insert(
+            entry.file_name().to_string_lossy().into_owned(),
+            std::fs::read(entry.path()).expect("read store file"),
+        );
+    }
+    out
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(|s| s.as_str()) == Some("--child") {
+        let mut a = ChildArgs {
+            mode: raw.get(1).cloned().unwrap_or_else(|| usage()),
+            dir: PathBuf::new(),
+            docs: 0,
+            seed: 0,
+            raw_bytes: 0,
+            dict_bytes: 0,
+            block_bytes: 0,
+            threads: 1,
+        };
+        let mut i = 2;
+        while i < raw.len() {
+            let value = |i: &mut usize| -> String {
+                *i += 1;
+                raw.get(*i).cloned().unwrap_or_else(|| usage())
+            };
+            match raw[i].as_str() {
+                "--dir" => a.dir = PathBuf::from(value(&mut i)),
+                "--docs" => a.docs = value(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--seed" => a.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--raw-bytes" => a.raw_bytes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--dict-bytes" => a.dict_bytes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--block-bytes" => {
+                    a.block_bytes = value(&mut i).parse().unwrap_or_else(|_| usage())
+                }
+                "--child-threads" => a.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+                _ => usage(),
+            }
+            i += 1;
+        }
+        return run_child(&a);
+    }
+
+    let mut cfg = ScaledConfig::from_args(&raw);
+    if !raw.iter().any(|a| a == "--size-mb") {
+        // Construction (serial oracle + thread sweep) factorizes the
+        // corpus several times over; default smaller than the read-side
+        // benches.
+        cfg.collection_bytes = 16 << 20;
+    }
+    let mut block_kb = 64usize;
+    let mut dict_kb = 256usize;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--block-kb" => {
+                i += 1;
+                block_kb = raw
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--dict-kb" => {
+                i += 1;
+                dict_kb = raw
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let block_bytes = block_kb.max(1) * 1024;
+    let dict_bytes = dict_kb.max(1) * 1024;
+    let target_bytes = cfg.collection_bytes as u64;
+
+    // Size the corpus: count generator output until the target is met, so
+    // children can be told an exact (docs, raw_bytes) pair.
+    let mut docs = 0u32;
+    let mut raw_bytes = 0u64;
+    while raw_bytes < target_bytes {
+        raw_bytes += doc_bytes(cfg.seed, docs).len() as u64;
+        docs += 1;
+    }
+
+    println!(
+        "Bounded-memory build — {:.1} MiB corpus ({docs} docs), dict {dict_kb} KiB, \
+         master blocks {block_kb} KiB\n",
+        raw_bytes as f64 / (1 << 20) as f64
+    );
+
+    let scratch = std::env::temp_dir().join(format!("rlz-build-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+
+    let mut report = Report::new("build");
+    let child = |mode: &str, dir: PathBuf, threads: usize| ChildArgs {
+        mode: mode.to_string(),
+        dir,
+        docs,
+        seed: cfg.seed,
+        raw_bytes,
+        dict_bytes,
+        block_bytes,
+        threads,
+    };
+
+    let baseline = spawn_child(&child("baseline", scratch.join("baseline"), 1));
+    println!(
+        "  baseline (generator only)          peak RSS {:>8} KiB",
+        baseline.vmhwm_kb
+    );
+    report.push(
+        Row::new()
+            .str("mode", "baseline")
+            .int("corpus_bytes", raw_bytes)
+            .int("docs", docs as u64)
+            .int("peak_rss_kb", baseline.vmhwm_kb),
+    );
+
+    let serial_dir = scratch.join("serial");
+    let serial = spawn_child(&child("serial", serial_dir.clone(), 1));
+    let serial_mb_s = raw_bytes as f64 / (1 << 20) as f64 / serial.elapsed_s.max(1e-9);
+    println!(
+        "  serial  (batch, materialized)      peak RSS {:>8} KiB  {serial_mb_s:>6.1} MB/s",
+        serial.vmhwm_kb
+    );
+    report.push(
+        Row::new()
+            .str("mode", "serial")
+            .int("threads", 1)
+            .int("corpus_bytes", raw_bytes)
+            .int("docs", docs as u64)
+            .num("elapsed_s", serial.elapsed_s)
+            .num("mb_per_s", serial_mb_s)
+            .int("peak_rss_kb", serial.vmhwm_kb)
+            .int("dict_kb", serial.dict_kb),
+    );
+    let serial_files = dir_bytes(&serial_dir);
+
+    // Thread sweep. On the 1-core container this cannot show >1× scaling
+    // (the standing ROADMAP caveat); the RSS bound is the headline.
+    let mut sweep: Vec<usize> = vec![1, 2, cfg.threads];
+    sweep.sort_unstable();
+    sweep.dedup();
+    for threads in sweep {
+        let cfgp = BuildConfig {
+            threads,
+            block_bytes,
+            queued_blocks: QUEUED_BLOCKS,
+        };
+        let dir = scratch.join(format!("chunked-{threads}"));
+        let r = spawn_child(&child("chunked", dir.clone(), threads));
+        let identical = dir_bytes(&dir) == serial_files;
+        // The enforced memory model: generator floor + dictionary (with
+        // construction transient) + in-flight raw/encoded blocks + a
+        // fixed allocator/runtime slack. Corpus size appears nowhere.
+        let block_budget_bytes = (cfgp.max_inflight_blocks() * block_bytes) as u64;
+        let rss_budget_kb =
+            baseline.vmhwm_kb + 3 * r.dict_kb + 4 * block_budget_bytes / 1024 + 4 * 1024;
+        let mb_s = raw_bytes as f64 / (1 << 20) as f64 / r.elapsed_s.max(1e-9);
+        println!(
+            "  chunked (streamed, {threads:>2} thread{}) peak RSS {:>8} KiB  {mb_s:>6.1} MB/s  \
+             budget {rss_budget_kb} KiB  identical={}",
+            if threads == 1 { " " } else { "s" },
+            r.vmhwm_kb,
+            if identical { "yes" } else { "NO" },
+        );
+        assert!(
+            identical,
+            "chunked store (threads={threads}) must be byte-identical to the serial oracle"
+        );
+        assert!(
+            r.vmhwm_kb <= rss_budget_kb,
+            "chunked peak RSS {} KiB exceeds its O(dict + blocks) budget {} KiB",
+            r.vmhwm_kb,
+            rss_budget_kb
+        );
+        report.push(
+            Row::new()
+                .str("mode", "chunked")
+                .int("threads", threads as u64)
+                .int("block_kb", block_kb as u64)
+                .int("corpus_bytes", raw_bytes)
+                .int("docs", docs as u64)
+                .num("elapsed_s", r.elapsed_s)
+                .num("mb_per_s", mb_s)
+                .int("peak_rss_kb", r.vmhwm_kb)
+                .int("dict_kb", r.dict_kb)
+                .int("block_budget_kb", block_budget_bytes / 1024)
+                .int("rss_budget_kb", rss_budget_kb)
+                .num(
+                    "rss_vs_serial",
+                    r.vmhwm_kb as f64 / serial.vmhwm_kb.max(1) as f64,
+                )
+                .str("identical", if identical { "yes" } else { "no" }),
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    report
+        .write(Path::new("BENCH_build.json"))
+        .expect("write BENCH_build.json");
+    println!(
+        "\nwrote BENCH_build.json ({} rows) — serial-vs-chunked ratio delta is 0 by \
+         construction (stores byte-identical)",
+        report.len()
+    );
+}

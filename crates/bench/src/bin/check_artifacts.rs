@@ -347,6 +347,80 @@ fn check_bench(file: &Path, bench: &str, rows: &[Value]) -> Result<(), String> {
                 _ => return Err(fail(file, "mixed rows must cover baseline and ingest")),
             }
         }
+        "build" => {
+            // Three row groups, all required: the generator-only RSS
+            // floor, the batch (materialized) oracle, and the chunked
+            // streaming pipeline's thread sweep.
+            let modes = str_set(rows, "mode");
+            if modes != ["baseline", "chunked", "serial"] {
+                return Err(fail(file, &format!("modes {modes:?}")));
+            }
+            let mut chunked_rows = 0usize;
+            for (i, row) in rows.iter().enumerate() {
+                let mode = row
+                    .get("mode")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| fail(file, &format!("row {i}: missing string \"mode\"")))?;
+                if nonneg(file, row, i, "peak_rss_kb")? == 0.0 {
+                    return Err(fail(file, &format!("row {i}: peak_rss_kb is zero")));
+                }
+                nonneg(file, row, i, "corpus_bytes")?;
+                match mode {
+                    "baseline" => {}
+                    "serial" => {
+                        if nonneg(file, row, i, "mb_per_s")? == 0.0 {
+                            return Err(fail(file, &format!("row {i}: serial rate is zero")));
+                        }
+                    }
+                    "chunked" => {
+                        chunked_rows += 1;
+                        if nonneg(file, row, i, "mb_per_s")? == 0.0 {
+                            return Err(fail(file, &format!("row {i}: chunked rate is zero")));
+                        }
+                        if nonneg(file, row, i, "threads")? < 1.0 {
+                            return Err(fail(file, &format!("row {i}: threads must be >= 1")));
+                        }
+                        // The PR's acceptance bar, re-checked from the
+                        // artifact: byte-identity with the serial oracle...
+                        if row.get("identical").and_then(Value::as_str) != Some("yes") {
+                            return Err(fail(
+                                file,
+                                &format!("row {i}: chunked store not byte-identical to serial"),
+                            ));
+                        }
+                        // ...and the memory bound: peak RSS within the
+                        // O(dict + constant x block) budget, on a corpus
+                        // at least 4x the in-flight block budget (so the
+                        // bound is demonstrated, not vacuous).
+                        let rss = nonneg(file, row, i, "peak_rss_kb")?;
+                        let budget = nonneg(file, row, i, "rss_budget_kb")?;
+                        if rss > budget {
+                            return Err(fail(
+                                file,
+                                &format!("row {i}: peak RSS {rss} KiB over budget {budget} KiB"),
+                            ));
+                        }
+                        let corpus = nonneg(file, row, i, "corpus_bytes")?;
+                        let block_budget = nonneg(file, row, i, "block_budget_kb")? * 1024.0;
+                        if corpus < 4.0 * block_budget {
+                            return Err(fail(
+                                file,
+                                &format!(
+                                    "row {i}: corpus ({corpus} B) under 4x the block budget \
+                                     ({block_budget} B) — RSS bound not demonstrated"
+                                ),
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(fail(file, &format!("row {i}: unknown mode {other:?}")));
+                    }
+                }
+            }
+            if chunked_rows == 0 {
+                return Err(fail(file, "no chunked rows"));
+            }
+        }
         other => {
             // Unknown artifacts still had the generic shape checked; say so
             // rather than silently passing.
@@ -488,6 +562,32 @@ fn main() -> ExitCode {
         }
         if let Some(dir) = &compare_dir {
             compare(file, dir);
+        }
+    }
+    // A benchmark that silently stops emitting its artifact is a
+    // regression the trend table cannot see (it only walks current
+    // files) — warn loudly instead of passing in silence.
+    if let Some(dir) = &compare_dir {
+        let current: Vec<String> = files
+            .iter()
+            .filter_map(|f| f.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            let mut missing: Vec<String> = entries
+                .flatten()
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .filter(|n| !current.iter().any(|c| c == n))
+                .collect();
+            missing.sort();
+            for name in missing {
+                eprintln!(
+                    "check_artifacts: WARNING: {name} existed in the previous run \
+                     ({}) but is missing from this one — did its benchmark stop \
+                     emitting it?",
+                    dir.display()
+                );
+            }
         }
     }
     if failed {

@@ -31,10 +31,10 @@
 
 use rlz_bench::serve::{self, Dist, LoadConfig, ServerLabels};
 use rlz_bench::ScaledConfig;
-use rlz_core::{Dictionary, PairCoding, SampleStrategy};
+use rlz_core::{Dictionary, PairCoding, RlzCompressor, SampleStrategy};
 use rlz_serve::protocol::{self, STATUS_BAD_FRAME, STATUS_BAD_OPCODE, STATUS_OUT_OF_RANGE};
 use rlz_serve::{Client, ClientError};
-use rlz_store::{DocStore, RlzStore, RlzStoreBuilder};
+use rlz_store::{build_rlz_chunked, BuildConfig, DocStore, RlzStore};
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -157,7 +157,9 @@ fn parse_args(raw: &[String]) -> Args {
     args
 }
 
-/// Builds a small RLZ store (GOV2-like corpus at the scaled size) in `dir`.
+/// Builds a small RLZ store (GOV2-like corpus at the scaled size) in `dir`
+/// through the chunked pipeline — `--threads` arrives via [`BuildConfig`],
+/// the shared construction knob surface, not an ad-hoc argument.
 fn build_store(dir: &Path, cfg: &ScaledConfig) {
     let collection = rlz_bench::gov2_collection(cfg);
     let dict_size = cfg.dict_sizes()[0];
@@ -167,15 +169,22 @@ fn build_store(dir: &Path, cfg: &ScaledConfig) {
         cfg.sample_len,
         SampleStrategy::Evenly,
     );
-    let docs: Vec<&[u8]> = collection.iter_docs().collect();
-    RlzStoreBuilder::new(dict, PairCoding::ZV)
-        .threads(cfg.threads)
-        .build(dir, &docs)
-        .expect("build store");
+    let compressor = RlzCompressor::new(dict, PairCoding::ZV);
+    let build_cfg = BuildConfig {
+        threads: cfg.threads,
+        ..BuildConfig::default()
+    };
+    let report = build_rlz_chunked(
+        dir,
+        &compressor,
+        collection.iter_docs().map(|d| d.to_vec()),
+        &build_cfg,
+    )
+    .expect("build store");
     println!(
         "serve_load: built RLZ store at {} ({} docs, {} corpus bytes)",
         dir.display(),
-        docs.len(),
+        report.docs,
         collection.total_bytes()
     );
 }

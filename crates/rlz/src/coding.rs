@@ -345,20 +345,64 @@ impl PairCoding {
 
 /// Encodes a factorized document.
 pub fn encode_document(factors: &[Factor], coding: PairCoding) -> Vec<u8> {
-    let positions: Vec<u32> = factors.iter().map(|f| f.pos).collect();
-    let lengths: Vec<u32> = factors.iter().map(|f| f.len).collect();
-    let mut pos_bytes = Vec::new();
-    coding.pos.encode_stream(&positions, &mut pos_bytes);
-    let mut len_bytes = Vec::new();
-    coding.len.encode_stream(&lengths, &mut len_bytes);
-
-    let mut out = Vec::with_capacity(pos_bytes.len() + len_bytes.len() + 12);
-    vbyte::write_u32(factors.len() as u32, &mut out);
-    vbyte::write_u32(pos_bytes.len() as u32, &mut out);
-    out.extend_from_slice(&pos_bytes);
-    vbyte::write_u32(len_bytes.len() as u32, &mut out);
-    out.extend_from_slice(&len_bytes);
+    let mut out = Vec::new();
+    encode_document_into(factors, coding, &mut EncodeScratch::new(), &mut out);
     out
+}
+
+/// Reusable buffers for the encode side, mirroring [`DecodeScratch`] on the
+/// read side: the factor list of the document being compressed plus the
+/// split position/length streams and their coded images. One scratch per
+/// worker thread makes steady-state bulk compression allocation-free.
+///
+/// The scratch holds no document state between calls — any coding may share
+/// one.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    /// Factor buffer for [`crate::RlzCompressor::compress_with`]; cleared
+    /// and refilled per document.
+    pub(crate) factors: Vec<Factor>,
+    positions: Vec<u32>,
+    lengths: Vec<u32>,
+    pos_bytes: Vec<u8>,
+    len_bytes: Vec<u8>,
+}
+
+impl EncodeScratch {
+    /// An empty scratch; buffers grow to the working-set size on first use.
+    pub fn new() -> Self {
+        EncodeScratch::default()
+    }
+}
+
+/// Encodes a factorized document, appending to `out`. Byte-identical to
+/// [`encode_document`]; the allocation-free entry point for bulk builders
+/// that hold a per-thread [`EncodeScratch`].
+pub fn encode_document_into(
+    factors: &[Factor],
+    coding: PairCoding,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    scratch.positions.clear();
+    scratch.positions.extend(factors.iter().map(|f| f.pos));
+    scratch.lengths.clear();
+    scratch.lengths.extend(factors.iter().map(|f| f.len));
+    scratch.pos_bytes.clear();
+    coding
+        .pos
+        .encode_stream(&scratch.positions, &mut scratch.pos_bytes);
+    scratch.len_bytes.clear();
+    coding
+        .len
+        .encode_stream(&scratch.lengths, &mut scratch.len_bytes);
+
+    out.reserve(scratch.pos_bytes.len() + scratch.len_bytes.len() + 12);
+    vbyte::write_u32(factors.len() as u32, out);
+    vbyte::write_u32(scratch.pos_bytes.len() as u32, out);
+    out.extend_from_slice(&scratch.pos_bytes);
+    vbyte::write_u32(scratch.len_bytes.len() as u32, out);
+    out.extend_from_slice(&scratch.len_bytes);
 }
 
 /// Decodes an encoded document back to factors.

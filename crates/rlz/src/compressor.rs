@@ -2,7 +2,9 @@
 //! dictionary, code the factor streams, decode by translating factors back
 //! through the memory-resident dictionary.
 
-use crate::coding::{decode_and_expand, encode_document, PairCoding};
+use crate::coding::{
+    decode_and_expand, encode_document, encode_document_into, EncodeScratch, PairCoding,
+};
 use crate::factor::{factorize, Factor};
 use crate::Dictionary;
 use rlz_codecs::CodecError;
@@ -45,6 +47,20 @@ impl RlzCompressor {
     /// Compresses one document.
     pub fn compress(&self, doc: &[u8]) -> Vec<u8> {
         encode_document(&self.factorize(doc), self.coding)
+    }
+
+    /// Compresses one document through a caller-owned [`EncodeScratch`],
+    /// appending the encoded record to `out`. Byte-identical to
+    /// [`RlzCompressor::compress`]; a bulk builder that keeps one scratch
+    /// per worker thread compresses steady-state documents without heap
+    /// allocation (the factor list and both coded streams reuse their
+    /// high-water capacity).
+    pub fn compress_with(&self, doc: &[u8], scratch: &mut EncodeScratch, out: &mut Vec<u8>) {
+        let mut factors = std::mem::take(&mut scratch.factors);
+        factors.clear();
+        factorize(&self.dict, doc, &mut factors);
+        encode_document_into(&factors, self.coding, scratch, out);
+        scratch.factors = factors;
     }
 
     /// Compresses a pre-computed factorization (avoids re-parsing when the

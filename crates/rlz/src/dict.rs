@@ -96,6 +96,26 @@ impl Dictionary {
         if n <= dict_size || dict_size == 0 {
             return collection.to_vec();
         }
+        let mut bytes = Vec::with_capacity(dict_size);
+        for (start, end) in Self::sample_windows(n, dict_size, sample_len, strategy) {
+            bytes.extend_from_slice(&collection[start..end]);
+        }
+        bytes.truncate(dict_size);
+        bytes
+    }
+
+    /// The `[start, end)` sample windows over a collection of `n` bytes, in
+    /// emission order — the single source of truth for sample placement,
+    /// shared by [`sample_bytes`](Self::sample_bytes) and the streaming
+    /// sampler so the two cannot drift. The loop stops once the accumulated
+    /// window length reaches `dict_size` (the final window may overshoot;
+    /// callers truncate the concatenation).
+    fn sample_windows(
+        n: usize,
+        dict_size: usize,
+        sample_len: usize,
+        strategy: SampleStrategy,
+    ) -> Vec<(usize, usize)> {
         let region_end = match strategy {
             SampleStrategy::Prefix { percent } => {
                 assert!((1..=100).contains(&percent), "percent must be 1..=100");
@@ -104,7 +124,8 @@ impl Dictionary {
             _ => n,
         };
         let num_samples = dict_size.div_ceil(sample_len).max(1);
-        let mut bytes = Vec::with_capacity(dict_size);
+        let mut windows = Vec::with_capacity(num_samples.min(1 << 20));
+        let mut cum = 0usize;
         match strategy {
             SampleStrategy::Evenly | SampleStrategy::Prefix { .. } => {
                 // Interval between sample starts; positions are spaced so the
@@ -116,8 +137,9 @@ impl Dictionary {
                         (region_end as u64 * k as u64 / num_samples as u64) as usize
                     };
                     let end = (start + sample_len).min(region_end);
-                    bytes.extend_from_slice(&collection[start..end]);
-                    if bytes.len() >= dict_size {
+                    windows.push((start, end));
+                    cum += end - start;
+                    if cum >= dict_size {
                         break;
                     }
                 }
@@ -136,12 +158,104 @@ impl Dictionary {
                     let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
                     let start = (r % region_end.saturating_sub(sample_len).max(1) as u64) as usize;
                     let end = (start + sample_len).min(region_end);
-                    bytes.extend_from_slice(&collection[start..end]);
-                    if bytes.len() >= dict_size {
+                    windows.push((start, end));
+                    cum += end - start;
+                    if cum >= dict_size {
                         break;
                     }
                 }
             }
+        }
+        windows
+    }
+
+    /// Samples a dictionary from a collection streamed as chunks —
+    /// byte-identical to [`sample`](Self::sample) over the concatenated
+    /// chunks, without ever materializing the collection. The input to the
+    /// bounded-memory build pipeline: peak memory is the dictionary plus
+    /// one chunk.
+    ///
+    /// `total_len` must equal the summed chunk length (panics otherwise);
+    /// when the source length is not known up front, one cheap counting
+    /// pass over the generator supplies it.
+    pub fn sample_streamed<I>(
+        chunks: I,
+        total_len: usize,
+        dict_size: usize,
+        sample_len: usize,
+        strategy: SampleStrategy,
+    ) -> Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u8]>,
+    {
+        Self::from_bytes(Self::sample_bytes_streamed(
+            chunks, total_len, dict_size, sample_len, strategy,
+        ))
+    }
+
+    /// The raw sampled bytes of [`sample_streamed`](Self::sample_streamed).
+    fn sample_bytes_streamed<I>(
+        chunks: I,
+        total_len: usize,
+        dict_size: usize,
+        sample_len: usize,
+        strategy: SampleStrategy,
+    ) -> Vec<u8>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u8]>,
+    {
+        assert!(sample_len > 0, "sample length must be positive");
+        if total_len <= dict_size || dict_size == 0 {
+            // Whole collection becomes the dictionary — same as the
+            // materialized path.
+            let mut bytes = Vec::with_capacity(total_len);
+            for chunk in chunks {
+                bytes.extend_from_slice(chunk.as_ref());
+            }
+            assert_eq!(
+                bytes.len(),
+                total_len,
+                "chunk stream length disagrees with total_len"
+            );
+            return bytes;
+        }
+        let windows = Self::sample_windows(total_len, dict_size, sample_len, strategy);
+        // Per-window buffers, filled positionally as chunks stream past:
+        // windows may arrive out of start order (Random) or overlap after
+        // rounding, so each keeps its own buffer and the concatenation at
+        // the end follows emission order.
+        let mut bufs: Vec<Vec<u8>> = windows.iter().map(|&(s, e)| vec![0u8; e - s]).collect();
+        let mut order: Vec<usize> = (0..windows.len()).collect();
+        order.sort_by_key(|&i| windows[i]);
+        let mut next = 0usize; // first start-ordered window not fully filled
+        let mut off = 0usize;
+        for chunk in chunks {
+            let chunk = chunk.as_ref();
+            let chunk_end = off + chunk.len();
+            for &w in &order[next..] {
+                let (ws, we) = windows[w];
+                if ws >= chunk_end {
+                    break;
+                }
+                let (a, b) = (ws.max(off), we.min(chunk_end));
+                if a < b {
+                    bufs[w][a - ws..b - ws].copy_from_slice(&chunk[a - off..b - off]);
+                }
+            }
+            while next < order.len() && windows[order[next]].1 <= chunk_end {
+                next += 1;
+            }
+            off = chunk_end;
+        }
+        assert_eq!(
+            off, total_len,
+            "chunk stream length disagrees with total_len"
+        );
+        let mut bytes = Vec::with_capacity(dict_size + sample_len);
+        for buf in &bufs {
+            bytes.extend_from_slice(buf);
         }
         bytes.truncate(dict_size);
         bytes
@@ -232,6 +346,14 @@ impl Dictionary {
     #[inline]
     pub fn index_q(&self) -> usize {
         self.index.q()
+    }
+
+    /// Resident heap bytes of the dictionary: the sampled text, its suffix
+    /// array (4 bytes per text byte — the dominant term), and the shared
+    /// prefix index. The build pipeline's RSS budget is
+    /// `heap_bytes() + constant × block`.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes.capacity() + self.sa.heap_bytes() + self.index.heap_bytes()
     }
 
     // On-disk serialization is the raw dictionary text — use
@@ -367,5 +489,61 @@ mod tests {
     #[should_panic]
     fn zero_sample_len_rejected() {
         let _ = Dictionary::sample(b"abc", 2, 0, SampleStrategy::Evenly);
+    }
+
+    #[test]
+    fn streamed_sampling_matches_materialized() {
+        let c = collection();
+        let strategies = [
+            SampleStrategy::Evenly,
+            SampleStrategy::Prefix { percent: 37 },
+            SampleStrategy::Random { seed: 7 },
+        ];
+        // Chunkings that split mid-sample, per-byte-ish, and collection-
+        // larger-than-dict vs smaller-than-dict (whole-collection path).
+        for &(dict_size, sample_len) in
+            &[(10_000usize, 1000usize), (4_096, 100), (c.len() + 1, 512)]
+        {
+            for strategy in strategies {
+                let oracle = Dictionary::sample(&c, dict_size, sample_len, strategy);
+                for chunk_len in [1usize << 9, 333, c.len()] {
+                    let streamed = Dictionary::sample_streamed(
+                        c.chunks(chunk_len),
+                        c.len(),
+                        dict_size,
+                        sample_len,
+                        strategy,
+                    );
+                    assert_eq!(
+                        streamed.bytes(),
+                        oracle.bytes(),
+                        "dict {dict_size} sample {sample_len} chunk {chunk_len} {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn streamed_sampling_rejects_wrong_total_len() {
+        let c = collection();
+        let _ = Dictionary::sample_streamed(
+            c.chunks(1024),
+            c.len() + 5,
+            1000,
+            100,
+            SampleStrategy::Evenly,
+        );
+    }
+
+    #[test]
+    fn heap_bytes_accounts_for_all_components() {
+        let c = collection();
+        let d = Dictionary::sample(&c, 8_192, 512, SampleStrategy::Evenly);
+        // At minimum: text + 4-byte-per-symbol suffix array + a non-empty
+        // prefix index.
+        assert!(d.heap_bytes() >= d.len() * 5);
+        assert!(d.heap_bytes() >= d.prefix_index().heap_bytes());
     }
 }

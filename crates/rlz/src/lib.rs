@@ -50,7 +50,9 @@ pub mod factor;
 pub mod prune;
 pub mod stats;
 
-pub use coding::{decode_and_expand_scratch, Coder, DecodeScratch, PairCoding, ParseCodingError};
+pub use coding::{
+    decode_and_expand_scratch, Coder, DecodeScratch, EncodeScratch, PairCoding, ParseCodingError,
+};
 pub use compressor::RlzCompressor;
 pub use dict::{Dictionary, SampleStrategy};
 pub use factor::{expand, factorize, factorize_plain, factorize_to_vec, DecodeError, Factor};

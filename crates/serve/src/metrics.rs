@@ -668,6 +668,12 @@ pub fn render_prometheus(
             "Post-write opportunistic seals that failed (retried on the next write).",
             w.seal_failures,
         );
+        counter(
+            &mut out,
+            "rlz_pre_seal_failures_total",
+            "Pre-write seals that failed and rejected the incoming write.",
+            w.pre_seal_failures,
+        );
         gauge(
             &mut out,
             "rlz_recovery_replayed_frames",

@@ -34,22 +34,60 @@ pub struct AsciiStore {
     quarantine: Arc<Vec<u32>>,
 }
 
+/// Streamed builder for [`AsciiStore`]: documents are appended one at a
+/// time and land on disk immediately, so peak memory is one document plus
+/// the per-document length/checksum tables — never the corpus. The batch
+/// [`AsciiStore::build`] is a thin wrapper over this writer, so the two
+/// emit byte-identical stores by construction.
+#[derive(Debug)]
+pub struct AsciiWriter {
+    data: std::io::BufWriter<File>,
+    dir: std::path::PathBuf,
+    lens: Vec<usize>,
+    sums: Vec<u32>,
+}
+
+impl AsciiWriter {
+    /// Creates `dir` and opens the payload file for streaming appends.
+    pub fn create(dir: &Path) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        Ok(AsciiWriter {
+            data: std::io::BufWriter::new(File::create(dir.join(DATA_FILE))?),
+            dir: dir.to_path_buf(),
+            lens: Vec::new(),
+            sums: Vec::new(),
+        })
+    }
+
+    /// Appends one document to the store.
+    pub fn append(&mut self, doc: &[u8]) -> Result<(), StoreError> {
+        self.data.write_all(doc)?;
+        self.lens.push(doc.len());
+        self.sums.push(crc32c(doc));
+        Ok(())
+    }
+
+    /// Flushes the payload and writes the docmap and checksum sidecar,
+    /// completing the store.
+    pub fn finish(mut self) -> Result<(), StoreError> {
+        self.data.flush()?;
+        std::fs::write(
+            self.dir.join(MAP_FILE),
+            DocMap::from_lens(self.lens).serialize(),
+        )?;
+        std::fs::write(self.dir.join(SUMS_FILE), encode_sums(&self.sums))?;
+        Ok(())
+    }
+}
+
 impl AsciiStore {
     /// Builds the store in `dir` from the given documents.
     pub fn build<'a>(dir: &Path, docs: impl Iterator<Item = &'a [u8]>) -> Result<(), StoreError> {
-        std::fs::create_dir_all(dir)?;
-        let mut data = std::io::BufWriter::new(File::create(dir.join(DATA_FILE))?);
-        let mut lens = Vec::new();
-        let mut sums = Vec::new();
+        let mut writer = AsciiWriter::create(dir)?;
         for doc in docs {
-            data.write_all(doc)?;
-            lens.push(doc.len());
-            sums.push(crc32c(doc));
+            writer.append(doc)?;
         }
-        data.flush()?;
-        std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
-        std::fs::write(dir.join(SUMS_FILE), encode_sums(&sums))?;
-        Ok(())
+        writer.finish()
     }
 
     /// Opens a previously built store with a file-backed payload.

@@ -70,7 +70,7 @@ impl BlockCodec {
         }
     }
 
-    fn compress(&self, data: &[u8]) -> Vec<u8> {
+    pub(crate) fn compress(&self, data: &[u8]) -> Vec<u8> {
         match *self {
             BlockCodec::Zlite(level) => rlz_zlite::compress(data, level),
             BlockCodec::Lzlite(level) => rlz_lzlite::compress(data, level),
@@ -150,6 +150,222 @@ struct BlockEntry {
     crc: u32,
 }
 
+/// One raw (uncompressed) block produced by [`BlockPacker`]: concatenated
+/// whole documents plus the table fields the writer records for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RawBlock {
+    /// The block's concatenated document bytes.
+    pub bytes: Vec<u8>,
+    /// Length of each document in the block, in order (feeds the docmap).
+    pub doc_lens: Vec<usize>,
+    /// Doc id of the block's first document.
+    pub first_doc: u32,
+    /// Uncompressed offset of the block's first byte in the collection.
+    pub raw_start: u64,
+}
+
+/// Greedy whole-document packing into raw blocks — the single source of
+/// truth for block boundaries, shared by the batch builder, the streaming
+/// [`BlockedWriter`] and the chunked build pipeline so the three cannot
+/// drift. `block_size == 0` places one document per block; documents are
+/// never split.
+#[derive(Debug)]
+pub(crate) struct BlockPacker {
+    block_size: usize,
+    current: Vec<u8>,
+    doc_lens: Vec<usize>,
+    doc_id: u32,
+    block_first: u32,
+    block_start: u64,
+    raw_at: u64,
+}
+
+impl BlockPacker {
+    pub fn new(block_size: usize) -> Self {
+        BlockPacker {
+            block_size,
+            current: Vec::new(),
+            doc_lens: Vec::new(),
+            doc_id: 0,
+            block_first: 0,
+            block_start: 0,
+            raw_at: 0,
+        }
+    }
+
+    /// Appends one document; returns the completed block when `doc` opens a
+    /// new one.
+    pub fn push(&mut self, doc: &[u8]) -> Option<RawBlock> {
+        let flushed = if !self.current.is_empty()
+            && (self.block_size == 0 || self.current.len() + doc.len() > self.block_size)
+        {
+            let block = RawBlock {
+                bytes: std::mem::take(&mut self.current),
+                doc_lens: std::mem::take(&mut self.doc_lens),
+                first_doc: self.block_first,
+                raw_start: self.block_start,
+            };
+            self.block_first = self.doc_id;
+            self.block_start = self.raw_at;
+            Some(block)
+        } else {
+            None
+        };
+        self.current.extend_from_slice(doc);
+        self.doc_lens.push(doc.len());
+        self.raw_at += doc.len() as u64;
+        self.doc_id += 1;
+        flushed
+    }
+
+    /// The final block, plus the lengths of any trailing zero-length
+    /// documents that (matching the batch builder's rule) close the
+    /// collection without a block of their own — they still need docmap
+    /// entries. A zero-document collection emits one empty block.
+    pub fn finish(self) -> (Option<RawBlock>, Vec<usize>) {
+        if !self.current.is_empty() || self.doc_id == 0 {
+            (
+                Some(RawBlock {
+                    bytes: self.current,
+                    doc_lens: self.doc_lens,
+                    first_doc: self.block_first,
+                    raw_start: self.block_start,
+                }),
+                Vec::new(),
+            )
+        } else {
+            (None, self.doc_lens)
+        }
+    }
+}
+
+/// Block-level emission for blocked stores: completed blocks (with their
+/// precompressed image) are appended in order and land on disk immediately;
+/// `finish` writes the metadata table and docmap. The stored-verbatim
+/// decision lives here so every build path shares it.
+#[derive(Debug)]
+pub(crate) struct BlockedSink {
+    payload: std::io::BufWriter<File>,
+    dir: std::path::PathBuf,
+    codec: BlockCodec,
+    entries: Vec<BlockEntry>,
+    lens: Vec<usize>,
+    file_at: u64,
+}
+
+impl BlockedSink {
+    pub fn create(dir: &Path, codec: BlockCodec) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        Ok(BlockedSink {
+            payload: std::io::BufWriter::new(File::create(dir.join(BLOCKS_FILE))?),
+            dir: dir.to_path_buf(),
+            codec,
+            entries: Vec::new(),
+            lens: Vec::new(),
+            file_at: 0,
+        })
+    }
+
+    /// Appends one packed block given its compressed image; a block the
+    /// codec could not shrink is marked stored and written verbatim.
+    pub fn append_compressed(&mut self, raw: &RawBlock, comp: &[u8]) -> Result<(), StoreError> {
+        let stored = comp.len() >= raw.bytes.len() && !raw.bytes.is_empty();
+        let bytes: &[u8] = if stored { &raw.bytes } else { comp };
+        self.payload.write_all(bytes)?;
+        self.entries.push(BlockEntry {
+            file_offset: self.file_at,
+            comp_len: bytes.len() as u32,
+            first_doc: raw.first_doc,
+            raw_start: raw.raw_start,
+            stored,
+            crc: crc32c(bytes),
+        });
+        self.file_at += bytes.len() as u64;
+        self.lens.extend_from_slice(&raw.doc_lens);
+        Ok(())
+    }
+
+    /// Packs and compresses one block inline (the serial streaming path).
+    pub fn append_block(&mut self, raw: &RawBlock) -> Result<(), StoreError> {
+        let comp = self.codec.compress(&raw.bytes);
+        self.append_compressed(raw, &comp)
+    }
+
+    /// Records docmap entries for trailing zero-length documents that have
+    /// no block (see [`BlockPacker::finish`]).
+    pub fn append_trailing_doc_lens(&mut self, lens: &[usize]) {
+        self.lens.extend_from_slice(lens);
+    }
+
+    /// Flushes the payload and writes the block table and docmap,
+    /// completing the store.
+    pub fn finish(mut self) -> Result<(), StoreError> {
+        self.payload.flush()?;
+        let mut meta = Vec::new();
+        meta.push(META_VERSION_CHECKSUMMED);
+        meta.push(self.codec.tag());
+        vbyte::write_u64(self.entries.len() as u64, &mut meta);
+        for e in &self.entries {
+            vbyte::write_u64(e.file_offset, &mut meta);
+            vbyte::write_u32(e.comp_len, &mut meta);
+            vbyte::write_u32(e.first_doc, &mut meta);
+            vbyte::write_u64(e.raw_start, &mut meta);
+            meta.push(e.stored as u8);
+            meta.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        std::fs::write(self.dir.join(META_FILE), meta)?;
+        std::fs::write(
+            self.dir.join(MAP_FILE),
+            DocMap::from_lens(self.lens).serialize(),
+        )?;
+        Ok(())
+    }
+}
+
+/// Streamed builder for [`BlockedStore`]: documents are appended one at a
+/// time; each completed block is compressed and written immediately, so
+/// peak memory is one block — never the corpus. Byte-identical to the batch
+/// [`BlockedStore::build`] (both run the same `BlockPacker` and
+/// `BlockedSink`); the batch path additionally compresses blocks in
+/// parallel.
+#[derive(Debug)]
+pub struct BlockedWriter {
+    packer: BlockPacker,
+    sink: BlockedSink,
+}
+
+impl BlockedWriter {
+    /// Creates `dir` and opens the payload for streaming appends.
+    /// `block_size == 0` places one document per block.
+    pub fn create(dir: &Path, codec: BlockCodec, block_size: usize) -> Result<Self, StoreError> {
+        Ok(BlockedWriter {
+            packer: BlockPacker::new(block_size),
+            sink: BlockedSink::create(dir, codec)?,
+        })
+    }
+
+    /// Appends one document, compressing and writing any block it
+    /// completes.
+    pub fn append(&mut self, doc: &[u8]) -> Result<(), StoreError> {
+        if let Some(block) = self.packer.push(doc) {
+            self.sink.append_block(&block)?;
+        }
+        Ok(())
+    }
+
+    /// Compresses the final block and writes the metadata and docmap,
+    /// completing the store.
+    pub fn finish(self) -> Result<(), StoreError> {
+        let BlockedWriter { packer, mut sink } = self;
+        let (tail, trailing) = packer.finish();
+        if let Some(block) = tail {
+            sink.append_block(&block)?;
+        }
+        sink.append_trailing_doc_lens(&trailing);
+        sink.finish()
+    }
+}
+
 /// Blocked store reader. Clones are cheap handles sharing the backend,
 /// block table, document map and (if enabled) the block cache.
 #[derive(Debug, Clone)]
@@ -186,79 +402,28 @@ impl BlockedStore {
         block_size: usize,
         threads: usize,
     ) -> Result<(), StoreError> {
-        std::fs::create_dir_all(dir)?;
         // Group documents into raw blocks.
-        let mut lens = Vec::new();
-        let mut raw_blocks: Vec<Vec<u8>> = Vec::new();
-        let mut firsts: Vec<u32> = Vec::new();
-        let mut raw_starts: Vec<u64> = Vec::new();
-        let mut current = Vec::new();
-        let mut raw_at = 0u64;
-        let mut doc_id = 0u32;
-        let mut block_first = 0u32;
-        let mut block_start = 0u64;
+        let mut packer = BlockPacker::new(block_size);
+        let mut raw_blocks: Vec<RawBlock> = Vec::new();
         for doc in docs {
-            if !current.is_empty() && (block_size == 0 || current.len() + doc.len() > block_size) {
-                raw_blocks.push(std::mem::take(&mut current));
-                firsts.push(block_first);
-                raw_starts.push(block_start);
-                block_first = doc_id;
-                block_start = raw_at;
+            if let Some(block) = packer.push(doc) {
+                raw_blocks.push(block);
             }
-            current.extend_from_slice(doc);
-            lens.push(doc.len());
-            raw_at += doc.len() as u64;
-            doc_id += 1;
         }
-        if !current.is_empty() || doc_id == 0 {
-            raw_blocks.push(current);
-            firsts.push(block_first);
-            raw_starts.push(block_start);
-        }
+        let (tail, trailing) = packer.finish();
+        raw_blocks.extend(tail);
 
         // Compress blocks in parallel; a block the codec cannot shrink is
-        // marked stored and written verbatim.
-        let compressed = crate::parallel_map(&raw_blocks, threads, |raw| codec.compress(raw));
+        // marked stored and written verbatim by the sink.
+        let compressed =
+            crate::parallel_map(&raw_blocks, threads, |raw| codec.compress(&raw.bytes));
 
-        // Write payload and metadata.
-        let mut payload = std::io::BufWriter::new(File::create(dir.join(BLOCKS_FILE))?);
-        let mut entries = Vec::with_capacity(compressed.len());
-        let mut file_at = 0u64;
-        for ((comp, raw), (&first, &raw_start)) in compressed
-            .iter()
-            .zip(&raw_blocks)
-            .zip(firsts.iter().zip(&raw_starts))
-        {
-            let stored = comp.len() >= raw.len() && !raw.is_empty();
-            let bytes: &[u8] = if stored { raw } else { comp };
-            payload.write_all(bytes)?;
-            entries.push(BlockEntry {
-                file_offset: file_at,
-                comp_len: bytes.len() as u32,
-                first_doc: first,
-                raw_start,
-                stored,
-                crc: crc32c(bytes),
-            });
-            file_at += bytes.len() as u64;
+        let mut sink = BlockedSink::create(dir, codec)?;
+        for (raw, comp) in raw_blocks.iter().zip(&compressed) {
+            sink.append_compressed(raw, comp)?;
         }
-        payload.flush()?;
-
-        let mut meta = Vec::new();
-        meta.push(META_VERSION_CHECKSUMMED);
-        meta.push(codec.tag());
-        vbyte::write_u64(entries.len() as u64, &mut meta);
-        for e in &entries {
-            vbyte::write_u64(e.file_offset, &mut meta);
-            vbyte::write_u32(e.comp_len, &mut meta);
-            vbyte::write_u32(e.first_doc, &mut meta);
-            vbyte::write_u64(e.raw_start, &mut meta);
-            meta.push(e.stored as u8);
-            meta.extend_from_slice(&e.crc.to_le_bytes());
-        }
-        std::fs::write(dir.join(META_FILE), meta)?;
-        std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
-        Ok(())
+        sink.append_trailing_doc_lens(&trailing);
+        sink.finish()
     }
 
     /// Opens a previously built store with a file-backed payload.

@@ -1,0 +1,531 @@
+//! Bounded-memory, parallel, streaming store construction.
+//!
+//! The batch builders materialize the corpus (and every encoded record)
+//! before anything reaches disk, so peak RSS grows with the collection.
+//! This module rebuilds construction as a three-stage pipeline whose
+//! memory is **O(dictionary + in-flight blocks)** — the corpus streams
+//! through and never sits in RAM:
+//!
+//! * a **reader** packs the incoming document stream into *master blocks*
+//!   of whole documents (`block_bytes` budget, zopfli's
+//!   `ZOPFLI_MASTER_BLOCK_SIZE` idiom: factorize huge inputs in
+//!   independent large blocks at negligible ratio cost — a document larger
+//!   than the budget gets a block of its own, it is never split);
+//! * a pool of **workers** compresses blocks independently against the
+//!   shared dictionary, each with a per-thread [`rlz_core::EncodeScratch`]
+//!   mirroring the read side's `DecodeScratch`;
+//! * one **writer** consumes completed blocks *in sequence order* and
+//!   appends records/blocks/checksums/docmap through the store family's
+//!   streamed writer ([`crate::AsciiWriter`] / [`crate::RlzWriter`] /
+//!   [`crate::BlockedWriter`]'s sink).
+//!
+//! Both inter-stage channels are bounded ([`BuildConfig::queued_blocks`]),
+//! so a slow writer backpressures the workers and a slow reader starves
+//! them — nothing accumulates. The writer's reorder buffer is bounded by
+//! the same arithmetic ([`BuildConfig::max_inflight_blocks`]).
+//!
+//! Block boundaries only cut *between* documents and compression is per
+//! document (RLZ) or per storage block packed by the exact batch rule
+//! (blocked), so the emitted store is **byte-identical** to the serial
+//! oracle — asserted per family by the `build_stream` proptests.
+
+use crate::blocked::{BlockPacker, BlockedSink, RawBlock};
+use crate::{AsciiWriter, BlockCodec, RlzWriter, StoreError};
+use rlz_core::RlzCompressor;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+
+/// Configuration for the chunked build pipeline, shared by every build
+/// binary (`--threads` / `--block-bytes` plumb into this instead of
+/// ad-hoc arguments).
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// Worker threads compressing master blocks. Defaults to
+    /// `std::thread::available_parallelism()`.
+    pub threads: usize,
+    /// Master-block budget in bytes: the reader packs whole documents into
+    /// blocks of roughly this size (a single larger document still forms
+    /// one block). Default 1 MiB.
+    pub block_bytes: usize,
+    /// Capacity of each bounded inter-stage channel, in blocks — the
+    /// backpressure knob. Default 4.
+    pub queued_blocks: usize,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            block_bytes: 1 << 20,
+            queued_blocks: 4,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// Upper bound on master blocks resident at once: the reader queue,
+    /// one in each worker, the results queue, the writer's reorder buffer
+    /// (bounded by the same arithmetic) and the block being packed. The
+    /// pipeline's raw-byte high-water mark is
+    /// `max_inflight_blocks() * block_bytes` plus one oversized document,
+    /// which is what the build bench budgets RSS against.
+    pub fn max_inflight_blocks(&self) -> usize {
+        2 * self.queued_blocks + 2 * self.threads.max(1) + 1
+    }
+}
+
+/// What a completed chunked build processed (the bench's throughput
+/// denominators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildReport {
+    /// Documents written.
+    pub docs: u64,
+    /// Raw (uncompressed) corpus bytes consumed.
+    pub raw_bytes: u64,
+    /// Master blocks (RLZ/ascii) or storage blocks (blocked) processed.
+    pub blocks: u64,
+}
+
+/// Reader → workers → in-order writer over bounded channels. `blocks` is
+/// drained on a spawned reader thread; `work` runs on `threads` workers;
+/// `emit` observes results in exactly the order `blocks` yielded their
+/// inputs, on the calling thread. On an `emit` error the channels are
+/// dropped, upstream stages unwind, and the error is returned.
+fn run_pipeline<B, R>(
+    blocks: impl Iterator<Item = B> + Send,
+    threads: usize,
+    queued: usize,
+    work: impl Fn(B) -> R + Sync,
+    mut emit: impl FnMut(R) -> Result<(), StoreError>,
+) -> Result<(), StoreError>
+where
+    B: Send,
+    R: Send,
+{
+    let threads = threads.max(1);
+    let queued = queued.max(1);
+    let (block_tx, block_rx) = sync_channel::<(u64, B)>(queued);
+    // The std receiver is `!Sync`, so workers share it behind a mutex; the
+    // lock is held only for the dequeue, never during compression.
+    let block_rx = Arc::new(Mutex::new(block_rx));
+    let (result_tx, result_rx) = sync_channel::<(u64, R)>(queued);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for item in blocks.enumerate() {
+                // A send error means the pipeline shut down early (writer
+                // error); just stop reading.
+                if block_tx.send((item.0 as u64, item.1)).is_err() {
+                    break;
+                }
+            }
+        });
+        for _ in 0..threads {
+            let block_rx = Arc::clone(&block_rx);
+            let result_tx = result_tx.clone();
+            let work = &work;
+            scope.spawn(move || loop {
+                let msg = block_rx.lock().expect("no poisoning").recv();
+                let Ok((seq, block)) = msg else { break };
+                if result_tx.send((seq, work(block))).is_err() {
+                    break;
+                }
+            });
+        }
+        // The workers now hold the only handles to their channels. Dropping
+        // the originals here matters on the error path: if `emit` fails the
+        // writer drops `result_rx`, the workers' sends fail and they exit,
+        // and the shared block receiver must die *with them* so the
+        // reader's send fails too — a strong ref surviving in this frame
+        // would leave the reader blocked and the scope joining forever.
+        drop(block_rx);
+        drop(result_tx);
+
+        // In-order emission: results arrive in completion order; hold the
+        // out-of-order ones (bounded by the in-flight arithmetic) until
+        // their turn.
+        let mut pending: BTreeMap<u64, R> = BTreeMap::new();
+        let mut next_seq = 0u64;
+        let mut outcome = Ok(());
+        'recv: while let Ok((seq, result)) = result_rx.recv() {
+            pending.insert(seq, result);
+            while let Some(result) = pending.remove(&next_seq) {
+                if let Err(e) = emit(result) {
+                    outcome = Err(e);
+                    break 'recv;
+                }
+                next_seq += 1;
+            }
+        }
+        // Dropping the receiver fails the workers' sends; workers exiting
+        // drop the shared block receiver, failing the reader's sends — the
+        // scope then joins everything.
+        drop(result_rx);
+        outcome
+    })
+}
+
+/// One master block of whole documents, concatenated.
+#[derive(Default)]
+struct DocChunk {
+    bytes: Vec<u8>,
+    lens: Vec<usize>,
+}
+
+/// Packs a document stream into master blocks of at most `block_bytes`
+/// (one oversized document still forms a block; documents are never
+/// split).
+fn doc_chunks(
+    mut docs: impl Iterator<Item = Vec<u8>>,
+    block_bytes: usize,
+) -> impl Iterator<Item = DocChunk> {
+    let block_bytes = block_bytes.max(1);
+    let mut carry: Option<Vec<u8>> = None;
+    let mut done = false;
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        let mut chunk = DocChunk::default();
+        while let Some(doc) = carry.take().or_else(|| docs.next()) {
+            if !chunk.lens.is_empty() && chunk.bytes.len() + doc.len() > block_bytes {
+                carry = Some(doc);
+                return Some(chunk);
+            }
+            chunk.bytes.extend_from_slice(&doc);
+            chunk.lens.push(doc.len());
+        }
+        done = true;
+        if chunk.lens.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    })
+}
+
+/// Builds an RLZ store from a document stream with bounded memory:
+/// workers factorize master blocks against `compressor`'s shared
+/// dictionary (per-thread encode scratch), the writer streams encoded
+/// records to disk in document order. Byte-identical to
+/// [`crate::RlzStoreBuilder::build`] over the same documents.
+pub fn build_rlz_chunked(
+    dir: &Path,
+    compressor: &RlzCompressor,
+    docs: impl Iterator<Item = Vec<u8>> + Send,
+    cfg: &BuildConfig,
+) -> Result<BuildReport, StoreError> {
+    struct EncodedChunk {
+        bytes: Vec<u8>,
+        lens: Vec<usize>,
+        raw_bytes: u64,
+    }
+    let mut writer = RlzWriter::create(dir, compressor.dict().bytes(), compressor.coding())?;
+    let mut report = BuildReport::default();
+    run_pipeline(
+        doc_chunks(docs, cfg.block_bytes),
+        cfg.threads,
+        cfg.queued_blocks,
+        |chunk: DocChunk| {
+            let mut bytes = Vec::new();
+            let mut lens = Vec::with_capacity(chunk.lens.len());
+            crate::with_encode_scratch(|scratch| {
+                let mut at = 0usize;
+                for &len in &chunk.lens {
+                    let start = bytes.len();
+                    compressor.compress_with(&chunk.bytes[at..at + len], scratch, &mut bytes);
+                    lens.push(bytes.len() - start);
+                    at += len;
+                }
+            });
+            EncodedChunk {
+                bytes,
+                lens,
+                raw_bytes: chunk.bytes.len() as u64,
+            }
+        },
+        |enc: EncodedChunk| {
+            let mut at = 0usize;
+            for &len in &enc.lens {
+                writer.append_encoded(&enc.bytes[at..at + len])?;
+                at += len;
+            }
+            report.docs += enc.lens.len() as u64;
+            report.raw_bytes += enc.raw_bytes;
+            report.blocks += 1;
+            Ok(())
+        },
+    )?;
+    writer.finish()?;
+    Ok(report)
+}
+
+/// Builds a blocked store from a document stream with bounded memory:
+/// the reader packs storage blocks with the exact batch-builder rule,
+/// workers compress them, the writer emits them in order. Byte-identical
+/// to [`crate::BlockedStore::build`] over the same documents.
+///
+/// `block_size` is the *storage* block budget (0 = one document per
+/// block), which doubles as the pipeline's work granularity;
+/// [`BuildConfig::block_bytes`] is not used here.
+pub fn build_blocked_chunked(
+    dir: &Path,
+    codec: BlockCodec,
+    block_size: usize,
+    docs: impl Iterator<Item = Vec<u8>> + Send,
+    cfg: &BuildConfig,
+) -> Result<BuildReport, StoreError> {
+    /// Reader → worker items: packed storage blocks, then (last) the
+    /// docmap lengths of any trailing zero-length documents without a
+    /// block of their own.
+    enum Item {
+        Packed(RawBlock),
+        Trailing(Vec<usize>),
+    }
+    enum Done {
+        Block(RawBlock, Vec<u8>),
+        Trailing(Vec<usize>),
+    }
+    let mut packer = Some(BlockPacker::new(block_size));
+    let mut docs = docs;
+    let mut queue: VecDeque<Item> = VecDeque::new();
+    let blocks = std::iter::from_fn(move || loop {
+        if let Some(item) = queue.pop_front() {
+            return Some(item);
+        }
+        let p = packer.as_mut()?;
+        match docs.next() {
+            Some(doc) => {
+                if let Some(block) = p.push(&doc) {
+                    return Some(Item::Packed(block));
+                }
+            }
+            None => {
+                let (tail, trailing) = packer.take().expect("packer present").finish();
+                if let Some(block) = tail {
+                    queue.push_back(Item::Packed(block));
+                }
+                if !trailing.is_empty() {
+                    queue.push_back(Item::Trailing(trailing));
+                }
+            }
+        }
+    });
+
+    let mut sink = BlockedSink::create(dir, codec)?;
+    let mut report = BuildReport::default();
+    run_pipeline(
+        blocks,
+        cfg.threads,
+        cfg.queued_blocks,
+        |item: Item| match item {
+            Item::Packed(raw) => {
+                let comp = codec.compress(&raw.bytes);
+                Done::Block(raw, comp)
+            }
+            Item::Trailing(lens) => Done::Trailing(lens),
+        },
+        |done: Done| {
+            match done {
+                Done::Block(raw, comp) => {
+                    report.docs += raw.doc_lens.len() as u64;
+                    report.raw_bytes += raw.bytes.len() as u64;
+                    report.blocks += 1;
+                    sink.append_compressed(&raw, &comp)?;
+                }
+                Done::Trailing(lens) => {
+                    report.docs += lens.len() as u64;
+                    sink.append_trailing_doc_lens(&lens);
+                }
+            }
+            Ok(())
+        },
+    )?;
+    sink.finish()?;
+    Ok(report)
+}
+
+/// Builds an uncompressed [`crate::AsciiStore`] from a document stream
+/// with bounded memory. There is no CPU stage to parallelize — the
+/// "pipeline" degenerates to the streamed [`AsciiWriter`] — but the entry
+/// point exists so every family builds through the same `BuildConfig`
+/// surface. Byte-identical to [`crate::AsciiStore::build`].
+pub fn build_ascii_chunked(
+    dir: &Path,
+    docs: impl Iterator<Item = Vec<u8>>,
+    _cfg: &BuildConfig,
+) -> Result<BuildReport, StoreError> {
+    let mut writer = AsciiWriter::create(dir)?;
+    let mut report = BuildReport::default();
+    for doc in docs {
+        writer.append(&doc)?;
+        report.docs += 1;
+        report.raw_bytes += doc.len() as u64;
+    }
+    report.blocks = report.docs;
+    writer.finish()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestDir;
+    use crate::{AsciiStore, BlockedStore, DocStore, RlzStore, RlzStoreBuilder};
+    use rlz_core::{Dictionary, PairCoding, SampleStrategy};
+
+    fn corpus() -> Vec<Vec<u8>> {
+        (0..300)
+            .map(|i| {
+                format!(
+                    "<doc {i}><nav>home products</nav><p>{}</p></doc>",
+                    "shared phrase ".repeat(i % 31)
+                )
+                .into_bytes()
+            })
+            .collect()
+    }
+
+    fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+        let mut out = BTreeMap::new();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            out.insert(
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn rlz_chunked_matches_serial_oracle() {
+        let docs = corpus();
+        let all: Vec<u8> = docs.concat();
+        let dict = Dictionary::sample(&all, 2048, 256, SampleStrategy::Evenly);
+        let serial = TestDir::new("build-rlz-serial");
+        let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+        let builder = RlzStoreBuilder::new(dict, PairCoding::ZV).threads(2);
+        builder.build(serial.path(), &slices).unwrap();
+
+        for (threads, block_bytes) in [(1usize, 512usize), (4, 4096), (3, 1)] {
+            let chunked = TestDir::new(&format!("build-rlz-chunked-{threads}-{block_bytes}"));
+            let cfg = BuildConfig {
+                threads,
+                block_bytes,
+                queued_blocks: 2,
+            };
+            let report = build_rlz_chunked(
+                chunked.path(),
+                builder.compressor(),
+                docs.iter().cloned(),
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(report.docs, docs.len() as u64);
+            assert_eq!(report.raw_bytes, all.len() as u64);
+            assert_eq!(
+                dir_bytes(serial.path()),
+                dir_bytes(chunked.path()),
+                "threads {threads} block {block_bytes}"
+            );
+            let store = RlzStore::open(chunked.path()).unwrap();
+            for (i, doc) in docs.iter().enumerate() {
+                assert_eq!(&store.get(i).unwrap(), doc);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_chunked_matches_serial_oracle() {
+        let docs = corpus();
+        for block_size in [0usize, 4096] {
+            let serial = TestDir::new(&format!("build-blocked-serial-{block_size}"));
+            let codec = BlockCodec::Zlite(rlz_zlite::Level::Default);
+            BlockedStore::build(
+                serial.path(),
+                docs.iter().map(|d| d.as_slice()),
+                codec,
+                block_size,
+                2,
+            )
+            .unwrap();
+            let chunked = TestDir::new(&format!("build-blocked-chunked-{block_size}"));
+            let cfg = BuildConfig {
+                threads: 4,
+                block_bytes: 1 << 20,
+                queued_blocks: 2,
+            };
+            build_blocked_chunked(
+                chunked.path(),
+                codec,
+                block_size,
+                docs.iter().cloned(),
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(dir_bytes(serial.path()), dir_bytes(chunked.path()));
+        }
+    }
+
+    #[test]
+    fn ascii_chunked_matches_serial_oracle() {
+        let docs = corpus();
+        let serial = TestDir::new("build-ascii-serial");
+        AsciiStore::build(serial.path(), docs.iter().map(|d| d.as_slice())).unwrap();
+        let chunked = TestDir::new("build-ascii-chunked");
+        build_ascii_chunked(
+            chunked.path(),
+            docs.iter().cloned(),
+            &BuildConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(dir_bytes(serial.path()), dir_bytes(chunked.path()));
+    }
+
+    #[test]
+    fn oversized_document_forms_its_own_block() {
+        let docs = vec![vec![b'a'; 10], vec![b'b'; 5000], vec![b'c'; 10]];
+        let chunks: Vec<DocChunk> = doc_chunks(docs.clone().into_iter(), 64).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[1].bytes.len(), 5000);
+        assert_eq!(
+            chunks.iter().map(|c| c.lens.len()).sum::<usize>(),
+            docs.len()
+        );
+    }
+
+    #[test]
+    fn empty_stream_builds_empty_stores() {
+        let cfg = BuildConfig::default();
+        let dict = Dictionary::from_bytes(b"seed".to_vec());
+        let comp = RlzCompressor::new(dict, PairCoding::UV);
+        let rlz = TestDir::new("build-empty-rlz");
+        let report = build_rlz_chunked(rlz.path(), &comp, std::iter::empty(), &cfg).unwrap();
+        assert_eq!(report.docs, 0);
+        assert_eq!(RlzStore::open(rlz.path()).unwrap().num_docs(), 0);
+
+        let blocked = TestDir::new("build-empty-blocked");
+        let serial = TestDir::new("build-empty-blocked-serial");
+        let codec = BlockCodec::Zlite(rlz_zlite::Level::Default);
+        build_blocked_chunked(blocked.path(), codec, 4096, std::iter::empty(), &cfg).unwrap();
+        BlockedStore::build(serial.path(), std::iter::empty(), codec, 4096, 1).unwrap();
+        assert_eq!(dir_bytes(serial.path()), dir_bytes(blocked.path()));
+    }
+
+    #[test]
+    fn writer_error_unwinds_the_pipeline() {
+        // An emit error must propagate out of run_pipeline without
+        // deadlocking reader or workers.
+        let err = run_pipeline(
+            (0..10_000u64).map(|i| vec![i as u8; 64]),
+            2,
+            2,
+            |b: Vec<u8>| b,
+            |_b: Vec<u8>| Err(StoreError::corrupt("synthetic writer failure")),
+        );
+        assert!(matches!(err, Err(StoreError::Corrupt { .. })));
+    }
+}

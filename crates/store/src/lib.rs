@@ -70,6 +70,7 @@
 mod ascii;
 mod backend;
 mod blocked;
+mod build;
 mod cache;
 mod docmap;
 mod fault;
@@ -81,14 +82,17 @@ pub(crate) mod testutil;
 mod verify;
 mod wal;
 
-pub use ascii::AsciiStore;
+pub use ascii::{AsciiStore, AsciiWriter};
 pub use backend::{FileBackend, MemBackend, StorageBackend};
-pub use blocked::{BlockCodec, BlockedStore};
+pub use blocked::{BlockCodec, BlockedStore, BlockedWriter};
+pub use build::{
+    build_ascii_chunked, build_blocked_chunked, build_rlz_chunked, BuildConfig, BuildReport,
+};
 pub use cache::ShardedLru;
 pub use docmap::DocMap;
 pub use fault::{FaultBackend, FaultMedia, FaultPlan};
 pub use live::{scrub_live, LiveConfig, LiveSnapshot, LiveStore, RecoveryInfo};
-pub use rlz_store::{RlzStore, RlzStoreBuilder};
+pub use rlz_store::{RlzStore, RlzStoreBuilder, RlzWriter};
 pub use segment::{segment_file_name, Manifest, SegmentReader, MANIFEST_FILE};
 pub use verify::{write_quarantine, BadUnit, ScrubReport, QUARANTINE_FILE};
 pub use wal::{FileMedia, FsyncPolicy, Wal, WalMedia, WalOp, WalRecord, WalRecovery, WAL_FILE};
@@ -435,6 +439,10 @@ pub struct WriteStats {
     /// Post-write opportunistic seals that failed (retried on the next
     /// write; the writes they followed were already durable).
     pub seal_failures: u64,
+    /// Pre-write seals that failed and rejected the incoming write (the
+    /// WAL was at its hard bound and could not be drained) — each one is
+    /// an error a writer saw.
+    pub pre_seal_failures: u64,
     /// WAL frames the most recent open replayed.
     pub recovery_replayed_frames: u64,
     /// WAL bytes the most recent open read back.
@@ -620,6 +628,11 @@ thread_local! {
     /// warm uncached get reuses one inflate target instead of allocating a
     /// block-sized `Vec` per request.
     static BLOCK_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread encode-side scratch mirroring `DECODE_SCRATCH`, used by
+    /// the chunked build pipeline's workers so factorizing a master block
+    /// reuses one set of factor/stream buffers per thread.
+    static ENCODE_SCRATCH: RefCell<rlz_core::EncodeScratch> =
+        RefCell::new(rlz_core::EncodeScratch::new());
 }
 
 /// Runs `f` over a `len`-byte per-thread scratch slice. Must not be nested
@@ -645,6 +658,12 @@ pub(crate) fn with_decode_scratch<R>(f: impl FnOnce(&mut rlz_core::DecodeScratch
 /// inside [`with_scratch`]; must not be nested within itself.
 pub(crate) fn with_block_scratch<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
     BLOCK_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Runs `f` with this thread's RLZ encode scratch. Must not be nested
+/// within itself.
+pub(crate) fn with_encode_scratch<R>(f: impl FnOnce(&mut rlz_core::EncodeScratch) -> R) -> R {
+    ENCODE_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 /// Reads a whole file (helper shared by store readers).

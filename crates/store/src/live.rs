@@ -243,6 +243,11 @@ struct LiveInner {
     /// Opportunistic post-write seals that failed. The writes themselves
     /// were already durable and acked; the seal retries on later writes.
     seal_failures: AtomicU64,
+    /// Pre-write seals (draining a WAL at its hard bound) that failed and
+    /// therefore failed the incoming write. Unlike post-write failures
+    /// these are user-visible errors, so they are logged and counted
+    /// separately.
+    pre_seal_failures: AtomicU64,
     /// WAL frames logged since open (PUT/APPEND/DELETE), for monitoring.
     wal_frames: AtomicU64,
     /// Seals published since open (manifest generations advanced).
@@ -449,6 +454,7 @@ impl LiveStore {
                 snapshot: RwLock::new(snapshot),
                 wal_len: AtomicU64::new(wal_len),
                 seal_failures: AtomicU64::new(0),
+                pre_seal_failures: AtomicU64::new(0),
                 wal_frames: AtomicU64::new(0),
                 seals: AtomicU64::new(0),
             }),
@@ -497,6 +503,13 @@ impl LiveStore {
     /// nothing but backlog, and the next write retries it.
     pub fn seal_failures(&self) -> u64 {
         self.inner.seal_failures.load(Ordering::Relaxed)
+    }
+
+    /// Pre-write seals that failed and so failed the incoming write (the
+    /// WAL was at its hard bound and could not be drained). Each one is a
+    /// write the caller saw error.
+    pub fn pre_seal_failures(&self) -> u64 {
+        self.inner.pre_seal_failures.load(Ordering::Relaxed)
     }
 
     /// WAL frames appended but not yet on stable storage (always 0 under
@@ -549,7 +562,14 @@ impl LiveStore {
         if writer.wal.len() < self.inner.config.wal_max_bytes {
             return Ok(());
         }
-        self.seal_locked(writer)?;
+        if let Err(e) = self.seal_locked(writer) {
+            // This failure rejects the incoming write, so make it count
+            // and make it visible — post-write seal failures are silent
+            // retries, this one is not.
+            self.inner.pre_seal_failures.fetch_add(1, Ordering::Relaxed);
+            eprintln!("rlz-store: pre-write seal failed, rejecting write: {e}");
+            return Err(e);
+        }
         if writer.wal.len() >= self.inner.config.wal_max_bytes {
             return Err(StoreError::WalFull);
         }
@@ -724,6 +744,7 @@ impl crate::WriteStore for LiveStore {
             unsynced_frames: self.unsynced_frames(),
             seals: self.inner.seals.load(Ordering::Relaxed),
             seal_failures: self.seal_failures(),
+            pre_seal_failures: self.pre_seal_failures(),
             recovery_replayed_frames: self.recovery.replayed_frames,
             recovery_wal_bytes: self.recovery.wal_bytes,
             recovery_torn_bytes: self.recovery.torn_bytes_dropped,

@@ -60,23 +60,76 @@ impl RlzStoreBuilder {
 
     /// Builds the store in `dir`.
     pub fn build(&self, dir: &Path, docs: &[&[u8]]) -> Result<(), StoreError> {
-        std::fs::create_dir_all(dir)?;
         let encoded = crate::parallel_map(docs, self.threads, |doc| self.compressor.compress(doc));
-        let mut payload = std::io::BufWriter::new(File::create(dir.join(PAYLOAD_FILE))?);
-        let mut lens = Vec::with_capacity(encoded.len());
-        let mut sums = Vec::with_capacity(encoded.len());
+        let mut writer = RlzWriter::create(
+            dir,
+            self.compressor.dict().bytes(),
+            self.compressor.coding(),
+        )?;
         for e in &encoded {
-            payload.write_all(e)?;
-            lens.push(e.len());
-            sums.push(crc32c(e));
+            writer.append_encoded(e)?;
         }
-        payload.flush()?;
-        std::fs::write(dir.join(MAP_FILE), DocMap::from_lens(lens).serialize())?;
-        std::fs::write(dir.join(DICT_FILE), self.compressor.dict().bytes())?;
-        std::fs::write(dir.join(SUMS_FILE), encode_sums(&sums))?;
+        writer.finish()
+    }
+}
+
+/// Streamed builder for [`RlzStore`]: pre-encoded records are appended one
+/// at a time and land on disk immediately, so peak memory is one record
+/// plus the per-document length/checksum tables — never the corpus. The
+/// chunked build pipeline's writer thread drives this; the batch
+/// [`RlzStoreBuilder::build`] emits through the same writer, so the two
+/// produce byte-identical stores by construction.
+///
+/// Callers compress documents themselves (via
+/// [`RlzCompressor::compress`] or the scratch-reusing
+/// [`RlzCompressor::compress_with`]) and hand the encoded record to
+/// [`append_encoded`](Self::append_encoded) — that split is what lets a
+/// worker pool own the CPU-heavy factorization while one writer owns the
+/// files.
+#[derive(Debug)]
+pub struct RlzWriter {
+    payload: std::io::BufWriter<File>,
+    dir: std::path::PathBuf,
+    coding: PairCoding,
+    lens: Vec<usize>,
+    sums: Vec<u32>,
+}
+
+impl RlzWriter {
+    /// Creates `dir`, writes the dictionary file, and opens the payload for
+    /// streaming appends.
+    pub fn create(dir: &Path, dict_bytes: &[u8], coding: PairCoding) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(DICT_FILE), dict_bytes)?;
+        Ok(RlzWriter {
+            payload: std::io::BufWriter::new(File::create(dir.join(PAYLOAD_FILE))?),
+            dir: dir.to_path_buf(),
+            coding,
+            lens: Vec::new(),
+            sums: Vec::new(),
+        })
+    }
+
+    /// Appends one pre-encoded record (the next document, in order).
+    pub fn append_encoded(&mut self, record: &[u8]) -> Result<(), StoreError> {
+        self.payload.write_all(record)?;
+        self.lens.push(record.len());
+        self.sums.push(crc32c(record));
+        Ok(())
+    }
+
+    /// Flushes the payload and writes the docmap, checksum sidecar and
+    /// metadata, completing the store.
+    pub fn finish(mut self) -> Result<(), StoreError> {
+        self.payload.flush()?;
+        std::fs::write(
+            self.dir.join(MAP_FILE),
+            DocMap::from_lens(self.lens).serialize(),
+        )?;
+        std::fs::write(self.dir.join(SUMS_FILE), encode_sums(&self.sums))?;
         let mut meta = vec![META_VERSION_CHECKSUMMED, Integrity::Crc32c.tag()];
-        meta.extend_from_slice(self.compressor.coding().name().as_bytes());
-        std::fs::write(dir.join(META_FILE), meta)?;
+        meta.extend_from_slice(self.coding.name().as_bytes());
+        std::fs::write(self.dir.join(META_FILE), meta)?;
         Ok(())
     }
 }

@@ -120,6 +120,13 @@ impl SuffixArray {
     pub fn into_inner(self) -> Vec<u32> {
         self.sa
     }
+
+    /// Heap bytes held by the array — the memory-accounting input for
+    /// build-time RSS budgets (the suffix array dominates a resident
+    /// dictionary at 4 bytes per text byte).
+    pub fn heap_bytes(&self) -> usize {
+        self.sa.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 #[cfg(test)]

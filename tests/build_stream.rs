@@ -1,0 +1,196 @@
+//! Chunked/parallel construction must be byte-identical to the serial
+//! batch oracle — for every store family, across random corpora, master
+//! block sizes, storage block sizes and thread counts, including the
+//! edges the pipeline has to get right: a document larger than the block
+//! budget (one block of its own, never split), zero-length documents, and
+//! trailing zero-length documents (which in the blocked format get docmap
+//! entries but no storage block of their own).
+
+use proptest::prelude::*;
+use rlz_repro::ingest::doc_bytes;
+use rlz_repro::rlz::{Dictionary, PairCoding, SampleStrategy};
+use rlz_repro::store::{
+    build_ascii_chunked, build_blocked_chunked, build_rlz_chunked, AsciiStore, BlockCodec,
+    BlockedStore, BuildConfig, DocStore, RlzStore, RlzStoreBuilder,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("rlz-buildstream-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Every file a build emitted, by name — the identity being asserted.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        out.insert(
+            entry.file_name().to_string_lossy().into_owned(),
+            std::fs::read(entry.path()).unwrap(),
+        );
+    }
+    out
+}
+
+/// A corpus with the awkward shapes mixed in: generator documents, some
+/// zero-length documents scattered through, optionally one document far
+/// larger than any block budget, optionally trailing zero-length docs.
+fn make_docs(seed: u64, n: usize, oversized: bool, trailing_empties: usize) -> Vec<Vec<u8>> {
+    let mut docs: Vec<Vec<u8>> = (0..n as u32).map(|id| doc_bytes(seed, id)).collect();
+    for i in (0..n).step_by(7) {
+        docs[i].clear();
+    }
+    if oversized {
+        let at = n / 2;
+        let big = doc_bytes(seed, u32::MAX)
+            .iter()
+            .cycle()
+            .take(64 * 1024)
+            .copied()
+            .collect();
+        docs.insert(at.min(docs.len()), big);
+    }
+    docs.extend(std::iter::repeat_n(Vec::new(), trailing_empties));
+    docs
+}
+
+fn dict_for(docs: &[Vec<u8>]) -> Dictionary {
+    let all: Vec<u8> = docs.concat();
+    Dictionary::sample(&all, (all.len() / 32).max(64), 128, SampleStrategy::Evenly)
+}
+
+/// Builds serial + chunked for one family and asserts file-level identity
+/// plus `get` round-trips on the chunked store.
+fn check_family(
+    family: &str,
+    docs: &[Vec<u8>],
+    cfg: &BuildConfig,
+    storage_block: usize,
+    tag: &str,
+) {
+    let serial = TempDir::new(&format!("{family}-serial-{tag}"));
+    let chunked = TempDir::new(&format!("{family}-chunked-{tag}"));
+    let reopened: Box<dyn DocStore> = match family {
+        "ascii" => {
+            AsciiStore::build(serial.path(), docs.iter().map(|d| d.as_slice())).unwrap();
+            build_ascii_chunked(chunked.path(), docs.iter().cloned(), cfg).unwrap();
+            Box::new(AsciiStore::open(chunked.path()).unwrap())
+        }
+        "blocked" => {
+            let codec = BlockCodec::Zlite(rlz_repro::zlite::Level::Default);
+            BlockedStore::build(
+                serial.path(),
+                docs.iter().map(|d| d.as_slice()),
+                codec,
+                storage_block,
+                2,
+            )
+            .unwrap();
+            build_blocked_chunked(
+                chunked.path(),
+                codec,
+                storage_block,
+                docs.iter().cloned(),
+                cfg,
+            )
+            .unwrap();
+            Box::new(BlockedStore::open(chunked.path()).unwrap())
+        }
+        "rlz" => {
+            let builder = RlzStoreBuilder::new(dict_for(docs), PairCoding::ZV).threads(2);
+            let slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+            builder.build(serial.path(), &slices).unwrap();
+            build_rlz_chunked(
+                chunked.path(),
+                builder.compressor(),
+                docs.iter().cloned(),
+                cfg,
+            )
+            .unwrap();
+            Box::new(RlzStore::open(chunked.path()).unwrap())
+        }
+        other => panic!("unknown family {other}"),
+    };
+    assert_eq!(
+        dir_bytes(serial.path()),
+        dir_bytes(chunked.path()),
+        "{family} ({tag}): chunked build diverged from the serial oracle"
+    );
+    assert_eq!(reopened.num_docs(), docs.len(), "{family} ({tag})");
+    for (i, doc) in docs.iter().enumerate() {
+        assert_eq!(&reopened.get(i).unwrap(), doc, "{family} ({tag}): doc {i}");
+    }
+}
+
+const FAMILIES: [&str; 3] = ["ascii", "blocked", "rlz"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn chunked_build_equals_serial_build(
+        seed in 0u64..u32::MAX as u64,
+        n in 0usize..90,
+        threads in 1usize..5,
+        block_bytes in 1usize..4096,
+        storage_block in 0usize..8192,
+        oversized in any::<bool>(),
+        trailing_empties in 0usize..4,
+    ) {
+        let docs = make_docs(seed, n, oversized, trailing_empties);
+        let cfg = BuildConfig { threads, block_bytes, queued_blocks: 2 };
+        let tag = format!("{seed}-{n}-{threads}-{block_bytes}");
+        for family in FAMILIES {
+            check_family(family, &docs, &cfg, storage_block, &tag);
+        }
+    }
+}
+
+/// The named edge from the issue: one document larger than the master
+/// block budget must still round-trip byte-identically (it forms a block
+/// of its own; documents are never split).
+#[test]
+fn one_doc_larger_than_block() {
+    let docs = make_docs(0xB16, 12, true, 0);
+    let cfg = BuildConfig {
+        threads: 3,
+        block_bytes: 512,
+        queued_blocks: 2,
+    };
+    for family in FAMILIES {
+        check_family(family, &docs, &cfg, 1024, "oversized");
+    }
+}
+
+/// Trailing zero-length documents: the blocked format gives them docmap
+/// entries but no storage block; the streamed packer must reproduce that
+/// exactly.
+#[test]
+fn trailing_empty_docs_match_serial() {
+    let docs = make_docs(0xE0F, 9, false, 3);
+    let cfg = BuildConfig {
+        threads: 2,
+        block_bytes: 777,
+        queued_blocks: 1,
+    };
+    for family in FAMILIES {
+        check_family(family, &docs, &cfg, 512, "trailing");
+    }
+}
